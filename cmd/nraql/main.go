@@ -1,0 +1,182 @@
+// Command nraql is an interactive SQL shell over the nested relational
+// query engine. It loads a deterministic TPC-H database (or starts empty)
+// and executes SELECT statements under a chosen strategy.
+//
+// Usage:
+//
+//	nraql [-tpch 0.001] [-strategy nested-optimized] [-e "select ..."]
+//
+// Inside the shell:
+//
+//	select ...;                 run a query
+//	\strategy <name>            switch strategy (auto | nested-optimized |
+//	                            nested-original | native | reference)
+//	\explain select ...;        show the plan instead of running
+//	\tables                     list tables with row counts
+//	\q                          quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nra"
+)
+
+var strategyNames = map[string]nra.Strategy{
+	"auto":             nra.Auto,
+	"nested-optimized": nra.NestedOptimized,
+	"nested-original":  nra.NestedOriginal,
+	"native":           nra.Native,
+	"reference":        nra.Reference,
+}
+
+func main() {
+	var (
+		sf    = flag.Float64("tpch", 0.001, "load TPC-H at this scale factor (0 = start empty)")
+		strat = flag.String("strategy", "auto", "execution strategy")
+		eval  = flag.String("e", "", "execute one statement and exit")
+		file  = flag.String("f", "", "execute a ';'-separated SQL script and exit")
+		seed  = flag.Uint64("seed", 42, "TPC-H generator seed")
+		trace = flag.Bool("trace", false, "print the per-operator execution walkthrough")
+	)
+	flag.Parse()
+
+	strategy, ok := strategyNames[*strat]
+	if !ok {
+		fail(fmt.Errorf("unknown strategy %q", *strat))
+	}
+	if *trace {
+		strategy = nra.Traced(strategy, os.Stderr)
+	}
+
+	var db *nra.DB
+	if *sf > 0 {
+		cfg := nra.TPCHScale(*sf)
+		cfg.Seed = *seed
+		var err error
+		db, err = nra.OpenTPCH(cfg)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		db = nra.Open()
+	}
+
+	if *eval != "" {
+		if err := run(db, strategy, *eval); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		for _, stmt := range strings.Split(string(data), ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" || strings.HasPrefix(stmt, "--") {
+				continue
+			}
+			if err := run(db, strategy, stmt); err != nil {
+				fail(fmt.Errorf("%s: %w", stmt, err))
+			}
+		}
+		return
+	}
+
+	fmt.Printf("nraql — nested relational subquery processor (strategy: %s)\n", strategy)
+	if *sf > 0 {
+		fmt.Printf("TPC-H sf=%g loaded: %s\n", *sf, strings.Join(db.Tables(), ", "))
+	}
+	fmt.Println(`type SQL ending with ';', or \q to quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("nraql> ")
+		} else {
+			fmt.Print("  ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			switch {
+			case trimmed == `\q` || trimmed == `\quit`:
+				return
+			case trimmed == `\tables`:
+				for _, t := range db.Tables() {
+					n, _ := db.NumRows(t)
+					fmt.Printf("  %-12s %8d rows\n", t, n)
+				}
+			case strings.HasPrefix(trimmed, `\strategy`):
+				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\strategy`))
+				if s, ok := strategyNames[name]; ok {
+					strategy = s
+					fmt.Printf("strategy: %s\n", strategy)
+				} else {
+					fmt.Printf("unknown strategy %q (try: auto, nested-optimized, nested-original, native, reference)\n", name)
+				}
+			case strings.HasPrefix(trimmed, `\explain`):
+				src := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(trimmed, `\explain`)), ";")
+				out, err := db.Explain(src, strategy)
+				if err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Print(out)
+				}
+			default:
+				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain`)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			src := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if err := run(db, strategy, src); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+func run(db *nra.DB, s nra.Strategy, src string) error {
+	start := time.Now()
+	lead := strings.ToUpper(strings.Fields(strings.TrimSpace(src) + " x")[0])
+	if lead == "INSERT" || lead == "DELETE" || lead == "UPDATE" || lead == "CREATE" || lead == "DROP" {
+		n, err := db.Exec(src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+		return nil
+	}
+	res, err := db.QueryWith(src, s)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	res.Sort()
+	fmt.Print(res)
+	fmt.Printf("(%d rows, %s, %v)\n", res.NumRows(), s, elapsed.Round(time.Microsecond))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nraql:", err)
+	os.Exit(1)
+}

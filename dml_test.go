@@ -1,0 +1,211 @@
+package nra
+
+import (
+	"testing"
+)
+
+func dmlDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	db.MustCreateTable("emp", []string{"id", "name", "dept", "salary"}, "id",
+		[]any{1, "ada", 10, 120},
+		[]any{2, "bob", 10, 95},
+		[]any{3, "cho", 20, 80},
+	)
+	db.MustCreateTable("dept", []string{"dno", "dname"}, "dno",
+		[]any{10, "eng"}, []any{20, "ops"},
+	)
+	if err := db.CreateIndex("emp", "dept"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func count(t *testing.T, db *DB, src string) int64 {
+	t.Helper()
+	res, err := db.Query(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return res.Rows()[0][0].(int64)
+}
+
+func TestInsert(t *testing.T) {
+	db := dmlDB(t)
+	n, err := db.Exec("insert into emp values (4, 'dee', 20, 70), (5, 'eve', 30, 1 + 2 * 50)")
+	if err != nil || n != 2 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	if got := count(t, db, "select count(*) from emp"); got != 5 {
+		t.Fatalf("count = %d", got)
+	}
+	// Computed constant landed.
+	res, _ := db.Query("select salary from emp where id = 5")
+	if res.Rows()[0][0].(int64) != 101 {
+		t.Fatalf("computed insert value: %v", res.Rows()[0][0])
+	}
+	// Column-list form with defaulted (NULL) column.
+	if _, err := db.Exec("insert into emp (id, name) values (6, 'fay')"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("select dept from emp where id = 6")
+	if res.Rows()[0][0] != nil {
+		t.Fatal("unlisted column should default to NULL")
+	}
+	// The index sees new rows.
+	res, _ = db.QueryWith("select name from emp where dept in (select dno from dept where dname = 'ops')", Native)
+	if res.NumRows() != 2 { // cho + dee
+		t.Fatalf("index not maintained: %d rows\n%s", res.NumRows(), res)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := dmlDB(t)
+	cases := []string{
+		"insert into emp values (1, 'dup', 10, 1)",                  // duplicate PK
+		"insert into emp values (null, 'x', 10, 1)",                 // NULL PK
+		"insert into emp values (7, 'x', 10)",                       // arity
+		"insert into emp values (7, 8, 10, 1)",                      // type mismatch (name int)
+		"insert into emp (id, nope) values (7, 1)",                  // unknown column
+		"insert into nope values (1)",                               // unknown table
+		"insert into emp values (7, 'x', 10, 50), (7, 'y', 10, 51)", // dup within batch
+	}
+	for _, src := range cases {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) should fail", src)
+		}
+	}
+	// Failed batch must not partially apply.
+	if got := count(t, db, "select count(*) from emp"); got != 3 {
+		t.Fatalf("failed inserts mutated the table: %d rows", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := dmlDB(t)
+	n, err := db.Exec("delete from emp where salary < 100")
+	if err != nil || n != 2 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if got := count(t, db, "select count(*) from emp"); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	// Subquery-powered DELETE.
+	db2 := dmlDB(t)
+	n, err = db2.Exec("delete from emp where dept in (select dno from dept where dname = 'eng')")
+	if err != nil || n != 2 {
+		t.Fatalf("subquery delete: n=%d err=%v", n, err)
+	}
+	// Unconditional DELETE.
+	n, err = db2.Exec("delete from emp")
+	if err != nil || n != 1 {
+		t.Fatalf("delete all: n=%d err=%v", n, err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := dmlDB(t)
+	n, err := db.Exec("update emp set salary = salary + 10 where dept = 10")
+	if err != nil || n != 2 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	res, _ := db.Query("select salary from emp where id = 1")
+	if res.Rows()[0][0].(int64) != 130 {
+		t.Fatalf("salary after update: %v", res.Rows()[0][0])
+	}
+	// Correlated-subquery UPDATE: set everyone to their department max.
+	n, err = db.Exec(`update emp set salary = (select max(e2.salary) from emp e2 where e2.dept = emp.dept)`)
+	if err != nil || n != 3 {
+		t.Fatalf("subquery update: n=%d err=%v", n, err)
+	}
+	res, _ = db.Query("select salary from emp where id = 2")
+	if res.Rows()[0][0].(int64) != 130 {
+		t.Fatalf("bob should be raised to ada's 130: %v", res.Rows()[0][0])
+	}
+	// PK update with collision must fail atomically.
+	if _, err := db.Exec("update emp set id = 1 where id = 2"); err == nil {
+		t.Fatal("PK collision must error")
+	}
+	if got := count(t, db, "select count(*) from emp"); got != 3 {
+		t.Fatal("failed update mutated the table")
+	}
+	// NOT NULL violation.
+	if err := db.SetNotNull("emp", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("update emp set name = null where id = 1"); err == nil {
+		t.Fatal("NOT NULL violation must error")
+	}
+}
+
+func TestExecRejectsSelect(t *testing.T) {
+	db := dmlDB(t)
+	if _, err := db.Exec("select * from emp"); err == nil {
+		t.Fatal("Exec must reject SELECT")
+	}
+	if _, err := db.Exec("insert into emp values (9, (select max(id) from emp), 1, 1)"); err == nil {
+		t.Fatal("non-constant INSERT values must be rejected")
+	}
+}
+
+func TestCreateDropTable(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`create table widgets (
+		id integer primary key,
+		name varchar(32) not null,
+		weight float,
+		active boolean)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("insert into widgets values (1, 'bolt', 0.5, true), (2, 'nut', 0.2, false)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("select name from widgets where weight < 0.3")
+	if err != nil || res.NumRows() != 1 {
+		t.Fatalf("query on created table: %v rows=%d", err, res.NumRows())
+	}
+	// NOT NULL from DDL is enforced.
+	if _, err := db.Exec("insert into widgets values (3, null, 1.0, true)"); err == nil {
+		t.Fatal("NOT NULL from CREATE TABLE must be enforced")
+	}
+	// Declared types are enforced.
+	if _, err := db.Exec("insert into widgets values (3, 'x', 'heavy', true)"); err == nil {
+		t.Fatal("type mismatch must be rejected")
+	}
+	if _, err := db.Exec("drop table widgets"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("select * from widgets"); err == nil {
+		t.Fatal("dropped table must be gone")
+	}
+	if _, err := db.Exec("drop table widgets"); err == nil {
+		t.Fatal("double drop must error")
+	}
+	// DDL validation.
+	for _, src := range []string{
+		"create table t (a integer, b integer)",                     // no PK
+		"create table t (a integer primary key, b int primary key)", // two PKs
+		"create table t (a blob primary key)",                       // unknown type
+	} {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) should fail", src)
+		}
+	}
+}
+
+func TestCreateInsertQueryEndToEnd(t *testing.T) {
+	// A database built purely from SQL, exercised by a nested query.
+	db := Open()
+	db.MustExec("create table d (dno integer primary key, dname varchar)")
+	db.MustExec("create table e (id integer primary key, dept integer, salary integer)")
+	db.MustExec("insert into d values (1, 'eng'), (2, 'ops')")
+	db.MustExec("insert into e values (1, 1, 100), (2, 1, 90), (3, 2, 80)")
+	res, err := db.Query(`select dname from d where not exists
+		(select * from e where e.dept = d.dno and e.salary > 95)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Rows()[0][0] != "ops" {
+		t.Fatalf("end-to-end: %v", res.Rows())
+	}
+}

@@ -1,0 +1,105 @@
+package nra_test
+
+import (
+	"fmt"
+	"log"
+
+	"nra"
+)
+
+// Example demonstrates the core flow: create tables, run a correlated
+// ALL-subquery, read the result.
+func Example() {
+	db := nra.Open()
+	db.MustCreateTable("emp", []string{"id", "name", "dept", "salary"}, "id",
+		[]any{1, "ada", 10, 120},
+		[]any{2, "bob", 10, 95},
+		[]any{3, "eve", 20, 150},
+	)
+	res, err := db.Query(`
+		select name from emp e
+		where e.salary >= all (select e2.salary from emp e2 where e2.dept = e.dept)
+		order by name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows() {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// ada
+	// eve
+}
+
+// ExampleDB_QueryWith runs the same query under two strategies and shows
+// they agree.
+func ExampleDB_QueryWith() {
+	db := nra.Open()
+	db.MustCreateTable("r", []string{"k", "v"}, "k", []any{1, 5}, []any{2, 9})
+	db.MustCreateTable("s", []string{"k", "v"}, "k", []any{1, 7}, []any{2, nil})
+
+	src := "select v from r where v not in (select v from s)"
+	a, _ := db.QueryWith(src, nra.NestedOptimized)
+	b, _ := db.QueryWith(src, nra.Reference)
+	fmt.Println(a.Equal(b), a.NumRows())
+	// NOT IN over a set containing NULL is never True — zero rows, under
+	// every strategy.
+	// Output:
+	// true 0
+}
+
+// ExampleDB_Explain shows the §4.1 tree expression for a nested query.
+func ExampleDB_Explain() {
+	db := nra.Open()
+	db.MustCreateTable("r", []string{"k", "v"}, "k", []any{1, 5})
+	db.MustCreateTable("s", []string{"k", "g", "v"}, "k", []any{1, 1, 7})
+
+	out, err := db.Explain(
+		"select v from r where r.v > all (select s.v from s where s.g = r.k)",
+		nra.NestedOriginal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[:25])
+	// Output:
+	// tree expression (§4.1):
+}
+
+// ExampleDB_Query_setOperations combines SELECTs with UNION.
+func ExampleDB_Query_setOperations() {
+	db := nra.Open()
+	db.MustCreateTable("a", []string{"k", "v"}, "k", []any{1, 1}, []any{2, 2})
+	db.MustCreateTable("b", []string{"k", "v"}, "k", []any{1, 2}, []any{2, 3})
+
+	res, err := db.Query("select v from a union select v from b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Sort()
+	for _, row := range res.Rows() {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}
+
+// ExampleDB_Query_aggregates uses a correlated scalar aggregate subquery.
+func ExampleDB_Query_aggregates() {
+	db := nra.Open()
+	db.MustCreateTable("emp", []string{"id", "name", "dept", "salary"}, "id",
+		[]any{1, "ada", 10, 120},
+		[]any{2, "bob", 10, 95},
+		[]any{3, "eve", 10, 100},
+	)
+	res, err := db.Query(`
+		select name from emp e
+		where e.salary > (select avg(e2.salary) from emp e2 where e2.dept = e.dept)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows()[0][0])
+	// Output:
+	// ada
+}

@@ -1,0 +1,82 @@
+// Aggregates: scalar aggregate subqueries (MIN/MAX/SUM/AVG/COUNT) — the
+// extension the paper's §2 analysis motivates. The classical rewrites of
+// quantified predicates into aggregates are NOT equivalent under NULLs:
+//
+//	R.A > ALL (select S.B ...)   ≠   R.A > (select max(S.B) ...)
+//
+// because MAX skips NULLs while ALL must treat them as Unknown. This
+// program shows both forms side by side, plus correlated aggregate
+// subqueries (the classic "above department average" query) and
+// aggregate-only select lists.
+//
+//	go run ./examples/aggregates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nra"
+)
+
+func main() {
+	db := nra.Open()
+	db.MustCreateTable("emp", []string{"id", "name", "dept", "salary"}, "id",
+		[]any{1, "ada", 10, 120},
+		[]any{2, "bob", 10, 95},
+		[]any{3, "cho", 10, 70},
+		[]any{4, "dee", 20, 80},
+		[]any{5, "eve", 20, nil}, // unknown salary
+		[]any{6, "fay", 30, 150},
+	)
+
+	show := func(title, sql string) {
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		res.Sort()
+		fmt.Printf("— %s\n%s\n", title, res)
+	}
+
+	show("earning above their department's average (correlated AVG)", `
+		select name from emp e
+		where e.salary > (select avg(e2.salary) from emp e2 where e2.dept = e.dept)`)
+
+	show("department 20's headcount and salary stats (aggregate select list)", `
+		select count(*), count(salary), min(salary), max(salary), avg(salary)
+		from emp where dept = 20`)
+
+	fmt.Println("— §2's warning, live: dept 20 has salaries {80, NULL}")
+	show("  via > ALL   (NULL ⇒ Unknown ⇒ empty result)", `
+		select name from emp
+		where salary > all (select e2.salary from emp e2 where e2.dept = 20)`)
+	show("  via > MAX   (MAX skips NULLs ⇒ 80 ⇒ three rows)", `
+		select name from emp
+		where salary > (select max(e2.salary) from emp e2 where e2.dept = 20)`)
+	fmt.Println("the two forms disagree — exactly why ALL cannot be rewritten")
+	fmt.Println("as MAX when the linked attribute is nullable.")
+	fmt.Println()
+
+	// COUNT-based emptiness is, by contrast, a sound rewrite.
+	a, err := db.Query("select name from emp e where 0 = (select count(*) from emp e2 where e2.dept = e.dept and e2.salary > e.salary)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := db.Query("select name from emp e where not exists (select * from emp e2 where e2.dept = e.dept and e2.salary > e.salary)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT(*)=0 vs NOT EXISTS agree: %v (top-by-dept via both forms)\n", a.Equal(b))
+
+	// The plan: the aggregate is computed over the nested group the
+	// approach builds anyway — one more fold over the same set.
+	plan, err := db.Explain(`
+		select name from emp e
+		where e.salary > (select avg(e2.salary) from emp e2 where e2.dept = e.dept)`,
+		nra.NestedOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan for the correlated AVG query:\n%s", plan)
+}

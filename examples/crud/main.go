@@ -1,0 +1,84 @@
+// CRUD: build a database purely from SQL — CREATE TABLE, INSERT, UPDATE,
+// DELETE — then query it with nested subqueries. DELETE/UPDATE WHERE
+// clauses use the full query engine, so correlated subqueries work inside
+// mutations too.
+//
+//	go run ./examples/crud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nra"
+)
+
+func main() {
+	db := nra.Open()
+
+	script := []string{
+		`create table dept (dno integer primary key, dname varchar not null, budget integer)`,
+		`create table emp (
+			id integer primary key,
+			name varchar not null,
+			dept integer,
+			salary integer)`,
+		`insert into dept values (10, 'eng', 1000), (20, 'ops', 400), (30, 'lab', 50)`,
+		`insert into emp values
+			(1, 'ada', 10, 120), (2, 'bob', 10, 95),
+			(3, 'cho', 20, 80), (4, 'dee', 20, 75), (5, 'eve', 30, 60)`,
+	}
+	for _, stmt := range script {
+		if _, err := db.Exec(stmt); err != nil {
+			log.Fatalf("%s: %v", stmt, err)
+		}
+	}
+
+	show := func(title, sql string) {
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Sort()
+		fmt.Printf("— %s\n%s\n", title, res)
+	}
+
+	show("initial staff", "select name, dept, salary from emp order by name")
+
+	// A raise for everyone under their department's average — note the
+	// correlated aggregate subquery inside UPDATE.
+	n, err := db.Exec(`update emp set salary = salary + 10
+		where salary < (select avg(e2.salary) from emp e2 where e2.dept = emp.dept)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raised %d below-average salaries\n\n", n)
+
+	// Dissolve departments that cannot pay anyone — NOT EXISTS inside
+	// DELETE.
+	n, err = db.Exec(`delete from dept where not exists
+		(select * from emp where emp.dept = dept.dno and emp.salary <= dept.budget)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dissolved %d unaffordable department(s)\n\n", n)
+
+	show("departments left", "select dname, budget from dept order by dname")
+	show("who now tops their department (>= ALL, correlated)", `
+		select name from emp e
+		where e.salary >= all (select e2.salary from emp e2 where e2.dept = e.dept)
+		  and e.dept in (select dno from dept)
+		order by name`)
+
+	// Persist and reload.
+	dir := "crud-data"
+	if err := db.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	back, err := nra.OpenDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := back.Query("select count(*) from emp")
+	fmt.Printf("saved to %s/ and reloaded: emp has %v rows\n", dir, res.Rows()[0][0])
+}

@@ -1,0 +1,100 @@
+// NULL semantics: §2's counterexample, live. With R.A = 5 and
+// S.B = {2, 3, 4, NULL}:
+//
+//   - "R.A > ALL (select S.B from S)" is UNKNOWN (5 > NULL is unknown and
+//     no comparison is false), so the row is NOT returned;
+//   - the classical antijoin rewrite — "NOT EXISTS (select * from S where
+//     R.A <= S.B)" — returns the row, because no S.B is *known* ≥ 5;
+//   - the MAX rewrite "R.A > (select max(S.B) ...)" would also return it
+//     (aggregates skip NULLs).
+//
+// The three are NOT equivalent: this is precisely why commercial systems
+// cannot unnest ALL / NOT IN with antijoins unless a NOT NULL constraint
+// holds, and why the paper's linking selection evaluates the predicate
+// directly on the nested representation.
+//
+//	go run ./examples/nullsemantics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nra"
+)
+
+func main() {
+	db := nra.Open()
+	db.MustCreateTable("R", []string{"A", "rid"}, "rid", []any{5, 1})
+	db.MustCreateTable("S", []string{"B", "sid"}, "sid",
+		[]any{2, 1}, []any{3, 2}, []any{4, 3}, []any{nil, 4})
+
+	show := func(title, sql string) int {
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s → %d row(s)\n", title, res.NumRows())
+		return res.NumRows()
+	}
+
+	fmt.Println("R.A = 5, S.B = {2, 3, 4, NULL} (the paper's §2 example)")
+	fmt.Println()
+
+	all := show("R.A > ALL (select S.B from S)",
+		"select A from R where A > all (select B from S)")
+	anti := show("antijoin rewrite: NOT EXISTS (… where R.A <= S.B)",
+		"select A from R where not exists (select * from S where R.A <= S.B)")
+
+	fmt.Println()
+	if all == 0 && anti == 1 {
+		fmt.Println("⇒ the antijoin rewrite is WRONG under NULLs: it keeps the row")
+		fmt.Println("  the correct >ALL evaluation rejects. Same story for NOT IN:")
+	}
+
+	notIn := show("R.A NOT IN (select S.B from S)",
+		"select A from R where A not in (select B from S)")
+	antiIn := show("antijoin rewrite: NOT EXISTS (… where R.A = S.B)",
+		"select A from R where not exists (select * from S where R.A = S.B)")
+	if notIn == 0 && antiIn == 1 {
+		fmt.Println("⇒ NOT IN ≠ anti-equijoin when the set contains NULL.")
+	}
+	fmt.Println()
+
+	// Remove the NULL and the equivalences are restored — which is exactly
+	// the condition (NOT NULL) under which the native strategy unnests.
+	clean := nra.Open()
+	clean.MustCreateTable("R", []string{"A", "rid"}, "rid", []any{5, 1})
+	clean.MustCreateTable("S", []string{"B", "sid"}, "sid",
+		[]any{2, 1}, []any{3, 2}, []any{4, 3})
+	if err := clean.SetNotNull("S", "B"); err != nil {
+		log.Fatal(err)
+	}
+	if err := clean.SetNotNull("R", "A"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := clean.QueryWith("select A from R where A > all (select B from S)", nra.Native)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := clean.Explain("select A from R where A > all (select B from S)", nra.Native)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("without NULLs and with NOT NULL declared, the native strategy")
+	fmt.Printf("unnests >ALL into an antijoin and returns %d row(s):\n%s", res.NumRows(), plan)
+
+	// The nested relational approach needs no such case analysis: the same
+	// uniform nest + linking-selection plan is correct in both worlds.
+	fmt.Println()
+	for _, tag := range []struct {
+		db   *nra.DB
+		name string
+	}{{db, "with NULL"}, {clean, "without NULL"}} {
+		res, err := tag.db.QueryWith("select A from R where A > all (select B from S)", nra.NestedOptimized)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("nested relational approach, %-13s → %d row(s)\n", tag.name, res.NumRows())
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: create tables, run nested queries with every linking
+// operator, and inspect the plans the nested relational approach builds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nra"
+)
+
+func main() {
+	db := nra.Open()
+
+	// A small employees/departments schema. Note the NULL salary — the
+	// engine implements full SQL three-valued logic, which is exactly what
+	// makes NOT IN / ALL subqueries tricky (and what this library exists
+	// to handle efficiently).
+	db.MustCreateTable("emp", []string{"id", "name", "dept", "salary"}, "id",
+		[]any{1, "ada", 10, 120},
+		[]any{2, "bob", 10, 95},
+		[]any{3, "cho", 20, 80},
+		[]any{4, "dee", 20, nil},
+		[]any{5, "eve", 30, 150},
+	)
+	db.MustCreateTable("dept", []string{"dno", "dname", "budget"}, "dno",
+		[]any{10, "eng", 1000},
+		[]any{20, "ops", 500},
+		[]any{30, "exec", 2000},
+		[]any{40, "lab", 100},
+	)
+
+	queries := []struct {
+		title string
+		sql   string
+	}{
+		{"departments with no employees (NOT EXISTS)", `
+			select dname from dept d
+			where not exists (select * from emp where emp.dept = d.dno)`},
+		{"top earner per department (>= ALL, correlated)", `
+			select name from emp e
+			where e.salary >= all (select e2.salary from emp e2 where e2.dept = e.dept)`},
+		{"employees in departments with budget over 600 (IN)", `
+			select name from emp
+			where dept in (select dno from dept where budget > 600)`},
+		{"employees out-earning everyone in ops (> ALL, uncorrelated)", `
+			select name from emp
+			where salary > all (select salary from emp e2 where e2.dept = 20)`},
+		{"salaries not matched in ops (NOT IN — NULL-aware!)", `
+			select name from emp
+			where salary not in (select salary from emp e2 where e2.dept = 20)`},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("— %s\n", q.title)
+		res, err := db.Query(q.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Sort()
+		fmt.Print(res)
+		fmt.Println()
+	}
+
+	// NOT IN over a set containing NULL: dee's NULL salary makes
+	// "salary NOT IN {80, NULL}" UNKNOWN for every employee, so the last
+	// query returns nothing — the famous SQL pitfall, honoured exactly.
+	fmt.Println("(the NOT IN query is empty because ops contains a NULL salary)")
+	fmt.Println()
+
+	// The plan for the correlated ALL query: tree expression + strategy.
+	plan, err := db.Explain(`
+		select name from emp e
+		where e.salary >= all (select e2.salary from emp e2 where e2.dept = e.dept)`,
+		nra.NestedOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan (nested relational approach, optimized):")
+	fmt.Print(plan)
+
+	// Compare against the native (System A) strategy and the reference
+	// evaluator: all strategies agree, always.
+	for _, s := range []nra.Strategy{nra.NestedOptimized, nra.NestedOriginal, nra.Native, nra.Reference} {
+		res, err := db.QueryWith(
+			"select name from emp e where e.salary >= all (select e2.salary from emp e2 where e2.dept = e.dept)", s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s → %d rows\n", s, res.NumRows())
+	}
+}

@@ -1,0 +1,228 @@
+package nra
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// Exec runs a data-modification or data-definition statement — INSERT
+// INTO ... VALUES, DELETE FROM ... WHERE, UPDATE ... SET ... WHERE,
+// CREATE TABLE, DROP TABLE — and returns the number of affected rows
+// (0 for DDL). DELETE and UPDATE WHERE clauses have the full
+// power of the query language (nested subqueries included): the engine
+// first SELECTs the target rows' primary keys, then mutates. SELECT
+// statements are rejected; use Query. Mutations must not run concurrently
+// with queries on the same DB.
+func (db *DB) Exec(src string) (int, error) {
+	parsed, err := sql.ParseStatement(src)
+	if err != nil {
+		return 0, err
+	}
+	switch st := parsed.(type) {
+	case *sql.InsertStmt:
+		return db.execInsert(st)
+	case *sql.DeleteStmt:
+		return db.execDelete(st)
+	case *sql.UpdateStmt:
+		return db.execUpdate(st)
+	case *sql.CreateTableStmt:
+		return 0, db.execCreateTable(st)
+	case *sql.DropTableStmt:
+		return 0, db.cat.Drop(st.Name)
+	default:
+		return 0, fmt.Errorf("nra: Exec expects INSERT/DELETE/UPDATE/CREATE/DROP; use Query for SELECT")
+	}
+}
+
+// execCreateTable registers an empty table from a CREATE TABLE statement.
+func (db *DB) execCreateTable(st *sql.CreateTableStmt) error {
+	schema := &relation.Schema{Name: st.Name}
+	pk := ""
+	for _, c := range st.Cols {
+		schema.Cols = append(schema.Cols, relation.Column{Name: c.Name, Type: c.Type})
+		if c.PK {
+			pk = c.Name
+		}
+	}
+	tbl, err := db.cat.Create(st.Name, relation.New(schema), pk)
+	if err != nil {
+		return err
+	}
+	for _, c := range st.Cols {
+		if c.NotNull && !c.PK {
+			if err := tbl.SetNotNull(c.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MustExec is Exec that panics on error; for tests and examples.
+func (db *DB) MustExec(src string) int {
+	n, err := db.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (db *DB) execInsert(st *sql.InsertStmt) (int, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	schema := tbl.Rel.Schema
+	// Map the statement's column list (or the full schema) to positions.
+	target := make([]int, 0, len(schema.Cols))
+	if len(st.Cols) == 0 {
+		for i := range schema.Cols {
+			target = append(target, i)
+		}
+	} else {
+		for _, c := range st.Cols {
+			j := schema.ColIndex(c)
+			if j < 0 {
+				return 0, fmt.Errorf("nra: table %s has no column %q", st.Table, c)
+			}
+			target = append(target, j)
+		}
+	}
+
+	empty := relation.NewSchema("values")
+	rows := make([][]value.Value, 0, len(st.Rows))
+	for ri, exprRow := range st.Rows {
+		if len(exprRow) != len(target) {
+			return 0, fmt.Errorf("nra: INSERT row %d has %d values, want %d", ri, len(exprRow), len(target))
+		}
+		full := make([]value.Value, len(schema.Cols)) // unnamed columns default to NULL
+		for i, e := range exprRow {
+			lowered, err := lowerConst(e)
+			if err != nil {
+				return 0, fmt.Errorf("nra: INSERT row %d: %w", ri, err)
+			}
+			compiled, err := expr.Compile(lowered, empty)
+			if err != nil {
+				return 0, fmt.Errorf("nra: INSERT row %d: values must be constants: %w", ri, err)
+			}
+			v, err := compiled.Eval(relation.Tuple{})
+			if err != nil {
+				return 0, fmt.Errorf("nra: INSERT row %d: %w", ri, err)
+			}
+			full[target[i]] = v
+		}
+		rows = append(rows, full)
+	}
+	return tbl.InsertRows(rows)
+}
+
+func (db *DB) execDelete(st *sql.DeleteStmt) (int, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	keys, _, err := db.selectTargets(st.Table, tbl.PK, nil, st.Where)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.DeleteByPK(keys)
+}
+
+func (db *DB) execUpdate(st *sql.UpdateStmt) (int, error) {
+	tbl, err := db.cat.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]string, len(st.Sets))
+	exprs := make([]sql.Expr, len(st.Sets))
+	for i, sc := range st.Sets {
+		if tbl.Rel.Schema.ColIndex(sc.Col) < 0 {
+			return 0, fmt.Errorf("nra: table %s has no column %q", st.Table, sc.Col)
+		}
+		cols[i] = sc.Col
+		exprs[i] = sc.Expr
+	}
+	keys, vals, err := db.selectTargets(st.Table, tbl.PK, exprs, st.Where)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.ApplyUpdates(keys, cols, vals)
+}
+
+// selectTargets runs "SELECT pk[, setExprs...] FROM table [WHERE ...]"
+// through the regular query engine and returns the matched primary keys
+// (and, for UPDATE, the evaluated new values per row).
+func (db *DB) selectTargets(table, pk string, setExprs []sql.Expr, where sql.Expr) ([]value.Value, [][]value.Value, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "select %s", unqualifyName(pk))
+	for _, e := range setExprs {
+		fmt.Fprintf(&b, ", %s", e)
+	}
+	fmt.Fprintf(&b, " from %s", table)
+	if where != nil {
+		fmt.Fprintf(&b, " where %s", where)
+	}
+	st, err := db.analyzeStatement(b.String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("nra: %w (in rewritten DML query %q)", err, b.String())
+	}
+	rel, err := db.executeStatement(st, Auto)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := make([]value.Value, rel.Len())
+	var vals [][]value.Value
+	if len(setExprs) > 0 {
+		vals = make([][]value.Value, rel.Len())
+	}
+	for i, t := range rel.Tuples {
+		keys[i] = t.Atoms[0]
+		if vals != nil {
+			vals[i] = append([]value.Value(nil), t.Atoms[1:]...)
+		}
+	}
+	return keys, vals, nil
+}
+
+// lowerConst lowers a constant AST expression (literals and arithmetic;
+// no column references or subqueries) for INSERT values.
+func lowerConst(e sql.Expr) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return expr.Lit{V: x.V}, nil
+	case *sql.BinOp:
+		l, err := lowerConst(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerConst(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return expr.Arith{Op: expr.Add, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: expr.Div, L: l, R: r}, nil
+		}
+	}
+	return nil, fmt.Errorf("%q is not a constant expression", e)
+}
+
+func unqualifyName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

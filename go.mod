@@ -1,0 +1,3 @@
+module nra
+
+go 1.22

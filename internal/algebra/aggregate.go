@@ -1,0 +1,149 @@
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/value"
+)
+
+// AggFunc identifies an aggregate function for scalar-aggregate linking
+// predicates (A θ (SELECT agg(B) ...)). The paper focuses on non-aggregate
+// subqueries, but §2 analyses the classical count/max rewrites — and the
+// nested representation computes aggregates naturally: the subquery's
+// per-outer-tuple set is already materialised as a group, so the aggregate
+// is a fold over the group's real members.
+type AggFunc uint8
+
+// The aggregate functions. AggNone marks an ordinary quantified predicate.
+const (
+	AggNone AggFunc = iota
+	AggCountStar
+	AggCount // COUNT(col): non-NULL values only
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCountStar:
+		return "COUNT(*)"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "NONE"
+	}
+}
+
+// AggFuncByName maps SQL names to functions (COUNT resolves to AggCount;
+// callers use AggCountStar for COUNT(*)).
+func AggFuncByName(name string) (AggFunc, bool) {
+	switch name {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return AggNone, false
+}
+
+// AggState folds values into an aggregate under SQL semantics: NULL
+// inputs are skipped (except COUNT(*), which counts rows), the empty
+// fold yields NULL (except COUNT/COUNT(*), which yield 0), integer sums
+// stay integral, AVG is always floating point.
+type AggState struct {
+	fn      AggFunc
+	rows    int64
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	extreme value.Value
+}
+
+// NewAggState returns a fresh accumulator for fn.
+func NewAggState(fn AggFunc) *AggState { return &AggState{fn: fn, extreme: value.Null} }
+
+// AddRow records one row for COUNT(*); other functions ignore it.
+func (s *AggState) AddRow() { s.rows++ }
+
+// Add folds one column value.
+func (s *AggState) Add(v value.Value) error {
+	s.rows++
+	if v.IsNull() {
+		return nil
+	}
+	s.count++
+	switch s.fn {
+	case AggCount, AggCountStar:
+		return nil
+	case AggSum, AggAvg:
+		switch v.Kind() {
+		case value.KindInt:
+			s.sumI += v.Int64()
+			s.sumF += float64(v.Int64())
+		case value.KindFloat:
+			s.isFloat = true
+			s.sumF += v.Float64()
+		default:
+			return fmt.Errorf("algebra: %s over %s", s.fn, v.Kind())
+		}
+		return nil
+	case AggMin, AggMax:
+		if s.extreme.IsNull() {
+			s.extreme = v
+			return nil
+		}
+		cmp, known, err := value.Compare(v, s.extreme)
+		if err != nil {
+			return err
+		}
+		if known && ((s.fn == AggMin && cmp < 0) || (s.fn == AggMax && cmp > 0)) {
+			s.extreme = v
+		}
+		return nil
+	}
+	return fmt.Errorf("algebra: Add on %s", s.fn)
+}
+
+// Result returns the aggregate value.
+func (s *AggState) Result() value.Value {
+	switch s.fn {
+	case AggCountStar:
+		return value.Int(s.rows)
+	case AggCount:
+		return value.Int(s.count)
+	case AggSum:
+		if s.count == 0 {
+			return value.Null
+		}
+		if s.isFloat {
+			return value.Float(s.sumF)
+		}
+		return value.Int(s.sumI)
+	case AggAvg:
+		if s.count == 0 {
+			return value.Null
+		}
+		return value.Float(s.sumF / float64(s.count))
+	case AggMin, AggMax:
+		return s.extreme
+	}
+	return value.Null
+}

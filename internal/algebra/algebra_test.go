@@ -1,0 +1,531 @@
+package algebra
+
+import (
+	"testing"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func mustEq(t *testing.T, got, want *relation.Relation, msg string) {
+	t.Helper()
+	if !got.EqualSet(want) {
+		t.Fatalf("%s:\ngot:\n%swant:\n%s", msg, got, want)
+	}
+}
+
+func relR() *relation.Relation {
+	return relation.MustFromRows("R", []string{"R.A", "R.B", "R.D"},
+		[]any{1, 2, 1},
+		[]any{5, 6, 2},
+		[]any{10, 2, 3},
+		[]any{nil, nil, 4},
+	)
+}
+
+func relS() *relation.Relation {
+	return relation.MustFromRows("S", []string{"S.E", "S.G", "S.I"},
+		[]any{2, 1, 1},
+		[]any{4, 1, 2},
+		[]any{6, 2, 3},
+		[]any{nil, 3, 4},
+	)
+}
+
+func TestSelect3VL(t *testing.T) {
+	// R.A > 1 keeps 5 and 10; rejects 1 (false) and NULL (unknown).
+	got, err := Select(relR(), expr.Compare(expr.Gt, expr.Col("R.A"), expr.Val(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromRows("R", []string{"R.A", "R.B", "R.D"},
+		[]any{5, 6, 2}, []any{10, 2, 3})
+	mustEq(t, got, want, "select")
+}
+
+func TestSelectError(t *testing.T) {
+	if _, err := Select(relR(), expr.Col("nope")); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if _, err := Select(relR(), expr.Compare(expr.Eq, expr.Col("R.A"), expr.Val("x"))); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := relation.MustFromRows("R", []string{"x"}, []any{1}, []any{1}, []any{nil}, []any{nil}, []any{2})
+	d := Distinct(r)
+	if d.Len() != 3 {
+		t.Fatalf("distinct len = %d, want 3 (NULLs collapse)", d.Len())
+	}
+}
+
+func TestProjectAndDropSub(t *testing.T) {
+	p, err := Project(relR(), "R.B", "R.D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromRows("R", []string{"R.B", "R.D"},
+		[]any{2, 1}, []any{6, 2}, []any{2, 3}, []any{nil, 4})
+	mustEq(t, p, want, "project")
+
+	if _, err := Project(relR(), "R.Z"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+
+	n, err := Nest(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DropSub(n, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Schema.Subs) != 0 || d.Len() != n.Len() {
+		t.Fatal("DropSub should remove the group, keep rows")
+	}
+	if _, err := DropSub(n, "nope"); err == nil {
+		t.Fatal("unknown sub must error")
+	}
+}
+
+func TestHashJoinBasics(t *testing.T) {
+	on := expr.Compare(expr.Eq, expr.Col("R.D"), expr.Col("S.G"))
+	j, err := Join(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D=1 matches two S rows; D=2 one; D=3 one; D=4 none.
+	if j.Len() != 4 {
+		t.Fatalf("join len = %d, want 4\n%s", j.Len(), j)
+	}
+	// Swapped orientation must produce the same result.
+	j2, err := Join(relR(), relS(), expr.Compare(expr.Eq, expr.Col("S.G"), expr.Col("R.D")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEq(t, j, j2, "swapped equi-join")
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	l := relation.MustFromRows("L", []string{"L.k"}, []any{nil}, []any{1})
+	r := relation.MustFromRows("Rr", []string{"Rr.k"}, []any{nil}, []any{1})
+	j, err := Join(l, r, expr.Compare(expr.Eq, expr.Col("L.k"), expr.Col("Rr.k")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("NULL=NULL must not join: len=%d", j.Len())
+	}
+}
+
+func TestJoinResidualPredicate(t *testing.T) {
+	on := expr.And(
+		expr.Compare(expr.Eq, expr.Col("R.D"), expr.Col("S.G")),
+		expr.Compare(expr.Gt, expr.Col("S.E"), expr.Col("R.B")),
+	)
+	j, err := Join(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (D=1,B=2): S.E=4 passes, S.E=2 fails. (D=2,B=6): S.E=6 fails.
+	// (D=3,B=2): S.E=null → unknown, fails.
+	if j.Len() != 1 {
+		t.Fatalf("residual join len = %d, want 1\n%s", j.Len(), j)
+	}
+}
+
+func TestNonEquiJoinFallsBackToNestedLoop(t *testing.T) {
+	on := expr.Compare(expr.Lt, expr.Col("R.D"), expr.Col("S.G"))
+	j, err := Join(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs with R.D < S.G: D=1 with G∈{2,3} = 2 rows; D=2 with G=3 = 1 row.
+	if j.Len() != 3 {
+		t.Fatalf("theta join len = %d, want 3", j.Len())
+	}
+}
+
+func TestProductIsCross(t *testing.T) {
+	p, err := Product(relR(), relS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != relR().Len()*relS().Len() {
+		t.Fatalf("product len = %d", p.Len())
+	}
+}
+
+func TestJoinDuplicateColumnError(t *testing.T) {
+	if _, err := Join(relR(), relR(), nil); err == nil {
+		t.Fatal("self-product without rename must error on duplicate names")
+	}
+}
+
+func TestLeftOuterJoinPadsPK(t *testing.T) {
+	on := expr.Compare(expr.Eq, expr.Col("R.D"), expr.Col("S.G"))
+	j, err := LeftOuterJoin(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 5 { // 4 matches + 1 padded row for D=4
+		t.Fatalf("outer join len = %d, want 5\n%s", j.Len(), j)
+	}
+	padded := 0
+	si := j.Schema.MustColIndex("S.I")
+	for _, tp := range j.Tuples {
+		if tp.Atoms[si].IsNull() {
+			padded++
+		}
+	}
+	if padded != 1 {
+		t.Fatalf("padded rows = %d, want 1", padded)
+	}
+}
+
+func TestSemiAntiJoin(t *testing.T) {
+	on := expr.Compare(expr.Eq, expr.Col("R.D"), expr.Col("S.G"))
+	semi, err := SemiJoin(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semi.Len() != 3 {
+		t.Fatalf("semijoin len = %d, want 3", semi.Len())
+	}
+	anti, err := AntiJoin(relR(), relS(), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.Len() != 1 || !anti.Tuples[0].Atoms[0].IsNull() {
+		t.Fatalf("antijoin should keep only the D=4 row:\n%s", anti)
+	}
+}
+
+// TestAntiJoinIsNotNotIn demonstrates the §2 counterexample: with R.A = 5
+// and S.B = {2,3,4,null}, "R.A > ALL (select S.B)" is UNKNOWN (so the row
+// is rejected), but the antijoin of R and S on R.A <= S.B keeps the row —
+// the two are NOT equivalent when NULLs are present.
+func TestAntiJoinIsNotNotIn(t *testing.T) {
+	r := relation.MustFromRows("R", []string{"R.A"}, []any{5})
+	s := relation.MustFromRows("S", []string{"S.B"}, []any{2}, []any{3}, []any{4}, []any{nil})
+
+	anti, err := AntiJoin(r, s, expr.Compare(expr.Le, expr.Col("R.A"), expr.Col("S.B")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.Len() != 1 {
+		t.Fatalf("antijoin keeps the tuple (no S.B >= 5 is TRUE): len=%d", anti.Len())
+	}
+
+	// The linking predicate, evaluated correctly, is Unknown → rejected.
+	g := AddGroup(r, "g", s)
+	sel, err := LinkSelect(g, AllPred("R.A", expr.Gt, "g", "S.B", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 0 {
+		t.Fatalf(">ALL over a NULL-containing set must be Unknown, got %d rows", sel.Len())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := relation.MustFromRows("A", []string{"x"}, []any{1}, []any{2}, []any{nil})
+	b := relation.MustFromRows("B", []string{"x"}, []any{2}, []any{3}, []any{nil})
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 { // 1,2,3,null
+		t.Fatalf("union len = %d", u.Len())
+	}
+	i, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Len() != 2 { // 2 and null (set semantics treat NULL as identical)
+		t.Fatalf("intersect len = %d", i.Len())
+	}
+	d, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("difference len = %d", d.Len())
+	}
+	bad := relation.MustFromRows("C", []string{"x", "y"}, []any{1, 2})
+	if _, err := Union(a, bad); err == nil {
+		t.Fatal("incompatible union must error")
+	}
+}
+
+func TestNestBasics(t *testing.T) {
+	n, err := Nest(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 3 {
+		t.Fatalf("nest groups = %d, want 3\n%s", n.Len(), n)
+	}
+	gi := n.Schema.SubIndex("g")
+	for _, tp := range n.Tuples {
+		if tp.Atoms[0].IsNull() {
+			t.Fatal("unexpected null key")
+		}
+		if tp.Atoms[0].Int64() == 1 && tp.Groups[gi].Len() != 2 {
+			t.Fatalf("G=1 group should have 2 members:\n%s", n)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Schema.Depth() != 1 {
+		t.Fatal("nest result should be depth 1")
+	}
+}
+
+func TestNestNullKeysGroupTogether(t *testing.T) {
+	r := relation.MustFromRows("R", []string{"k", "v"},
+		[]any{nil, 1}, []any{nil, 2}, []any{1, 3})
+	n, err := Nest(r, []string{"k"}, []string{"v"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Fatalf("NULL keys must form one group: %d groups", n.Len())
+	}
+}
+
+func TestNestSortMatchesHashNest(t *testing.T) {
+	a, err := Nest(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NestSort(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEq(t, a, b, "sort-based nest vs hash-based nest")
+}
+
+func TestNestErrors(t *testing.T) {
+	if _, err := Nest(relS(), []string{"nope"}, []string{"S.E"}, "g"); err == nil {
+		t.Fatal("unknown nesting attr")
+	}
+	if _, err := Nest(relS(), []string{"S.G"}, []string{"nope"}, "g"); err == nil {
+		t.Fatal("unknown nested attr")
+	}
+	if _, err := Nest(relS(), []string{"S.G"}, []string{"S.G"}, "g"); err == nil {
+		t.Fatal("attr in both N1 and N2")
+	}
+	if _, err := Nest(relS(), []string{"S.G", "S.G"}, []string{"S.E"}, "g"); err == nil {
+		t.Fatal("repeated nesting attr")
+	}
+}
+
+func TestUnnestInverseOfNest(t *testing.T) {
+	n, err := Nest(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Unnest(n, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// unnest(nest(r)) = π_{N1∪N2}(r) when every group is non-empty.
+	want, err := Project(relS(), "S.G", "S.E", "S.I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEq(t, u, want, "unnest∘nest")
+}
+
+func TestUnnestDropsEmptyGroups(t *testing.T) {
+	inner := relation.NewSchema("g", relation.Column{Name: "x", Type: relation.TInt})
+	s := &relation.Schema{Name: "N",
+		Cols: []relation.Column{{Name: "k", Type: relation.TInt}},
+		Subs: []relation.Sub{{Name: "g", Schema: inner}}}
+	r := relation.New(s)
+	r.Append(relation.Tuple{Atoms: []value.Value{value.Int(1)}, Groups: []*relation.Relation{nil}})
+	full := relation.New(inner)
+	full.Append(relation.NewTuple(value.Int(9)))
+	r.Append(relation.Tuple{Atoms: []value.Value{value.Int(2)}, Groups: []*relation.Relation{full}})
+	u, err := Unnest(r, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 || u.Tuples[0].Atoms[0].Int64() != 2 {
+		t.Fatalf("unnest should drop the empty-group tuple:\n%s", u)
+	}
+}
+
+func TestTwoLevelNest(t *testing.T) {
+	// Nest twice: first by (G,E), then by (G): the second nest carries the
+	// first group along, giving the depth-2 relation of §4.2.1.
+	n1, err := Nest(relS(), []string{"S.G", "S.E"}, []string{"S.I"}, "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Nest(n1, []string{"S.G"}, []string{"S.E"}, "g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Schema.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2\n%s", n2.Schema.Depth(), n2)
+	}
+	if err := n2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkPredSomeAll(t *testing.T) {
+	set := relation.MustFromRows("g", []string{"S.B", "S.I"},
+		[]any{2, 1}, []any{3, 2}, []any{4, 3}, []any{nil, 4})
+	r := relation.MustFromRows("R", []string{"R.A"}, []any{5})
+	g := AddGroup(r, "g", set)
+
+	cases := []struct {
+		p    LinkPred
+		want value.Tri
+	}{
+		{AllPred("R.A", expr.Gt, "g", "S.B", "S.I"), value.Unknown}, // 5 >ALL {2,3,4,null}
+		{SomePred("R.A", expr.Gt, "g", "S.B", "S.I"), value.True},
+		{AllPred("R.A", expr.Lt, "g", "S.B", "S.I"), value.False},
+		{SomePred("R.A", expr.Lt, "g", "S.B", "S.I"), value.Unknown},
+		{SomePred("R.A", expr.Eq, "g", "S.B", "S.I"), value.Unknown}, // IN over nulls
+		{AllPred("R.A", expr.Ne, "g", "S.B", "S.I"), value.Unknown},  // NOT IN over nulls
+		{ExistsPred("g", "S.I"), value.True},
+		{NotExistsPred("g", "S.I"), value.False},
+	}
+	for i, tc := range cases {
+		b, err := tc.p.Bind(g.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Eval(g.Tuples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestLinkPredEmptyAndPaddedSets(t *testing.T) {
+	// A group whose only member is padding (presence NULL) is the empty set.
+	set := relation.MustFromRows("g", []string{"S.B", "S.I"}, []any{nil, nil})
+	r := relation.MustFromRows("R", []string{"R.A"}, []any{5})
+	g := AddGroup(r, "g", set)
+	cases := []struct {
+		p    LinkPred
+		want value.Tri
+	}{
+		{AllPred("R.A", expr.Gt, "g", "S.B", "S.I"), value.True},   // ALL over ∅
+		{SomePred("R.A", expr.Gt, "g", "S.B", "S.I"), value.False}, // SOME over ∅
+		{ExistsPred("g", "S.I"), value.False},
+		{NotExistsPred("g", "S.I"), value.True},
+	}
+	for i, tc := range cases {
+		b, err := tc.p.Bind(g.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Eval(g.Tuples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestLinkPredBindErrors(t *testing.T) {
+	set := relation.MustFromRows("g", []string{"S.B", "S.I"}, []any{1, 1})
+	g := AddGroup(relation.MustFromRows("R", []string{"R.A"}, []any{5}), "g", set)
+	bad := []LinkPred{
+		AllPred("R.A", expr.Gt, "nosub", "S.B", "S.I"),
+		AllPred("R.Z", expr.Gt, "g", "S.B", "S.I"),
+		AllPred("R.A", expr.Gt, "g", "S.Z", "S.I"),
+		AllPred("R.A", expr.Gt, "g", "S.B", "S.Z"),
+	}
+	for i, p := range bad {
+		if _, err := p.Bind(g.Schema); err == nil {
+			t.Errorf("case %d: expected bind error", i)
+		}
+	}
+}
+
+func TestLinkSelectStrictVsPad(t *testing.T) {
+	// Two outer tuples: A=5 (fails >ALL{7}) and A=9 (passes).
+	set := relation.MustFromRows("g", []string{"S.B", "S.I"}, []any{7, 1})
+	r := relation.MustFromRows("R", []string{"R.A", "R.K"}, []any{5, 1}, []any{9, 2})
+	g := AddGroup(r, "g", set)
+	p := AllPred("R.A", expr.Gt, "g", "S.B", "S.I")
+
+	strict, err := LinkSelect(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Len() != 1 || strict.Tuples[0].Atoms[0].Int64() != 9 {
+		t.Fatalf("strict selection wrong:\n%s", strict)
+	}
+
+	padded, err := LinkSelectPad(g, p, []string{"R.A", "R.K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Len() != 2 {
+		t.Fatalf("pseudo-selection must keep both tuples: %d", padded.Len())
+	}
+	var sawPadded bool
+	for _, tp := range padded.Tuples {
+		if tp.Atoms[0].IsNull() && tp.Atoms[1].IsNull() {
+			sawPadded = true
+		}
+	}
+	if !sawPadded {
+		t.Fatalf("failing tuple must be NULL-padded:\n%s", padded)
+	}
+	if _, err := LinkSelectPad(g, p, []string{"R.Z"}); err == nil {
+		t.Fatal("unknown pad column must error")
+	}
+}
+
+func TestAddGroupShares(t *testing.T) {
+	set := relation.MustFromRows("g", []string{"x"}, []any{1})
+	r := relation.MustFromRows("R", []string{"a"}, []any{1}, []any{2})
+	g := AddGroup(r, "g", set)
+	if g.Tuples[0].Groups[0] != g.Tuples[1].Groups[0] {
+		t.Fatal("AddGroup must share the group relation")
+	}
+	if g.Schema.SubIndex("g") < 0 {
+		t.Fatal("sub missing")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	n, err := Nest(relS(), []string{"S.G"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Within(n, "g", func(g *relation.Relation) (*relation.Relation, error) {
+		return Select(g, expr.Compare(expr.Gt, expr.Col("S.E"), expr.Val(3)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := out.Schema.SubIndex("g")
+	total := 0
+	for _, tp := range out.Tuples {
+		total += tp.Groups[gi].Len()
+	}
+	if total != 2 { // S.E ∈ {4,6} pass; 2 fails; null fails
+		t.Fatalf("within-filtered members = %d, want 2", total)
+	}
+	if _, err := Within(n, "nope", nil); err == nil {
+		t.Fatal("unknown sub must error")
+	}
+}

@@ -1,0 +1,62 @@
+package algebra
+
+import (
+	"nra/internal/relation"
+)
+
+// The ALL variants of the set operations use SQL's multiset (bag)
+// semantics: UNION ALL concatenates, INTERSECT ALL keeps min(m, n)
+// copies of a row occurring m and n times, EXCEPT ALL keeps max(0, m−n).
+// NULLs group as identical, as in the set variants.
+
+// UnionAll returns the bag union (concatenation).
+func UnionAll(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("union all", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Schema)
+	out.Append(l.Tuples...)
+	out.Append(r.Tuples...)
+	return out, nil
+}
+
+// IntersectAll returns the bag intersection.
+func IntersectAll(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("intersect all", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, r.Len())
+	for _, t := range r.Tuples {
+		counts[t.Key()]++
+	}
+	out := relation.New(l.Schema)
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if counts[k] > 0 {
+			counts[k]--
+			out.Append(t)
+		}
+	}
+	return out, nil
+}
+
+// ExceptAll returns the bag difference.
+func ExceptAll(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("except all", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, r.Len())
+	for _, t := range r.Tuples {
+		counts[t.Key()]++
+	}
+	out := relation.New(l.Schema)
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		out.Append(t)
+	}
+	return out, nil
+}

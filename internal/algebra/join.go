@@ -1,0 +1,275 @@
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// joinSchema concatenates two schemas; duplicate column or subschema names
+// are an error (the front end always produces fully qualified names).
+func joinSchema(name string, l, r *relation.Schema) (*relation.Schema, error) {
+	out := &relation.Schema{Name: name}
+	out.Cols = append(append([]relation.Column{}, l.Cols...), r.Cols...)
+	out.Subs = append(append([]relation.Sub{}, l.Subs...), r.Subs...)
+	seen := make(map[string]bool, len(out.Cols))
+	for _, c := range out.Cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("join: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return out, nil
+}
+
+func concatTuple(l, r relation.Tuple) relation.Tuple {
+	t := relation.Tuple{
+		Atoms: make([]value.Value, 0, len(l.Atoms)+len(r.Atoms)),
+	}
+	t.Atoms = append(append(t.Atoms, l.Atoms...), r.Atoms...)
+	if len(l.Groups)+len(r.Groups) > 0 {
+		t.Groups = make([]*relation.Relation, 0, len(l.Groups)+len(r.Groups))
+		t.Groups = append(append(t.Groups, l.Groups...), r.Groups...)
+	}
+	return t
+}
+
+// nullTuple returns the all-NULL (empty-group) padding tuple for a schema.
+func nullTuple(s *relation.Schema) relation.Tuple {
+	t := relation.Tuple{Atoms: make([]value.Value, len(s.Cols))}
+	if len(s.Subs) > 0 {
+		t.Groups = make([]*relation.Relation, len(s.Subs))
+	}
+	return t
+}
+
+// equiKeys walks an AND-tree of predicates and splits out equality
+// conjuncts of the form lcol = rcol with one column from each side. The
+// remaining conjuncts are returned as the residual predicate (nil if none).
+func equiKeys(on expr.Expr, ls, rs *relation.Schema) (lk, rk []int, residual expr.Expr) {
+	var walk func(e expr.Expr)
+	var rest []expr.Expr
+	walk = func(e expr.Expr) {
+		if l, ok := e.(expr.Logic); ok && l.Op == expr.OpAnd {
+			walk(l.L)
+			walk(l.R)
+			return
+		}
+		if c, ok := e.(expr.Cmp); ok && c.Op == expr.Eq {
+			lc, lok := c.L.(expr.Column)
+			rc, rok := c.R.(expr.Column)
+			if lok && rok {
+				li, ri := ls.ColIndex(lc.Name), rs.ColIndex(rc.Name)
+				if li >= 0 && ri >= 0 && rs.ColIndex(lc.Name) < 0 && ls.ColIndex(rc.Name) < 0 {
+					lk, rk = append(lk, li), append(rk, ri)
+					return
+				}
+				// Swapped orientation: rcol = lcol.
+				li, ri = ls.ColIndex(rc.Name), rs.ColIndex(lc.Name)
+				if li >= 0 && ri >= 0 && rs.ColIndex(rc.Name) < 0 && ls.ColIndex(lc.Name) < 0 {
+					lk, rk = append(lk, li), append(rk, ri)
+					return
+				}
+			}
+		}
+		rest = append(rest, e)
+	}
+	if on != nil {
+		walk(on)
+	}
+	return lk, rk, expr.And(rest...)
+}
+
+// hashTable buckets right-side tuples by their equi-key. NULL key
+// components never match anything under SQL equality, so tuples containing
+// a NULL key are left out of the table.
+func buildHash(r *relation.Relation, keys []int) map[string][]int {
+	h := make(map[string][]int, len(r.Tuples))
+outer:
+	for i, t := range r.Tuples {
+		for _, k := range keys {
+			if t.Atoms[k].IsNull() {
+				continue outer
+			}
+		}
+		k := t.KeyOn(keys)
+		h[k] = append(h[k], i)
+	}
+	return h
+}
+
+// Product returns the Cartesian product l × r.
+func Product(l, r *relation.Relation) (*relation.Relation, error) {
+	return Join(l, r, nil)
+}
+
+// Join returns the θ-join l ⋈_on r. Equality conjuncts between the two
+// sides are executed as a hash join — the only join algorithm the nested
+// relational approach requires (§1: "only hash joins are necessary") —
+// with any residual predicate applied to matching pairs. A condition with
+// no equality conjunct falls back to a nested-loop join. A nil condition
+// is the Cartesian product.
+func Join(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	return join(l, r, on, false)
+}
+
+// LeftOuterJoin returns l ⟕_on r: like Join, but left tuples with no
+// match survive padded with NULLs on the right side — including the right
+// side's primary key, which is how the nested approach encodes "this outer
+// tuple's subquery set is empty".
+func LeftOuterJoin(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	return join(l, r, on, true)
+}
+
+func join(l, r *relation.Relation, on expr.Expr, outer bool) (*relation.Relation, error) {
+	schema, err := joinSchema(l.Schema.Name, l.Schema, r.Schema)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, residual := equiKeys(on, l.Schema, r.Schema)
+	var check *expr.Compiled
+	if residual != nil {
+		check, err = expr.Compile(residual, schema)
+		if err != nil {
+			return nil, fmt.Errorf("join: %w", err)
+		}
+	}
+	out := relation.New(schema)
+	pad := nullTuple(r.Schema)
+
+	emit := func(lt, rt relation.Tuple) (bool, error) {
+		joined := concatTuple(lt, rt)
+		if check != nil {
+			tri, err := check.Truth(joined)
+			if err != nil {
+				return false, err
+			}
+			if !tri.IsTrue() {
+				return false, nil
+			}
+		}
+		out.Append(joined)
+		return true, nil
+	}
+
+	if len(lk) > 0 {
+		h := buildHash(r, rk)
+		for _, lt := range l.Tuples {
+			matched := false
+			if key, ok := probeKey(lt, lk); ok {
+				for _, ri := range h[key] {
+					ok, err := emit(lt, r.Tuples[ri])
+					if err != nil {
+						return nil, err
+					}
+					matched = matched || ok
+				}
+			}
+			if outer && !matched {
+				out.Append(concatTuple(lt, pad))
+			}
+		}
+		return out, nil
+	}
+
+	// Nested-loop fallback (non-equi or cross join).
+	for _, lt := range l.Tuples {
+		matched := false
+		for _, rt := range r.Tuples {
+			ok, err := emit(lt, rt)
+			if err != nil {
+				return nil, err
+			}
+			matched = matched || ok
+		}
+		if outer && !matched {
+			out.Append(concatTuple(lt, pad))
+		}
+	}
+	return out, nil
+}
+
+func probeKey(t relation.Tuple, keys []int) (string, bool) {
+	for _, k := range keys {
+		if t.Atoms[k].IsNull() {
+			return "", false
+		}
+	}
+	return t.KeyOn(keys), true
+}
+
+// SemiJoin returns l ⋉_on r: the left tuples for which at least one right
+// tuple satisfies the condition (the classical implementation of
+// EXISTS/IN/positive-SOME linking predicates).
+func SemiJoin(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	return semi(l, r, on, true)
+}
+
+// AntiJoin returns l ▷_on r: the left tuples for which *no* right tuple
+// satisfies the condition. Note that this is the classical 2-valued
+// antijoin: as §2 of the paper stresses, it is NOT equivalent to NOT
+// IN/θ ALL when NULLs are present — a fact the test suite demonstrates.
+func AntiJoin(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	return semi(l, r, on, false)
+}
+
+func semi(l, r *relation.Relation, on expr.Expr, want bool) (*relation.Relation, error) {
+	probe, err := joinSchema("", l.Schema, r.Schema)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, residual := equiKeys(on, l.Schema, r.Schema)
+	var check *expr.Compiled
+	if residual != nil {
+		check, err = expr.Compile(residual, probe)
+		if err != nil {
+			return nil, fmt.Errorf("semijoin: %w", err)
+		}
+	}
+	out := relation.New(l.Schema)
+
+	matches := func(lt relation.Tuple, candidates []int) (bool, error) {
+		for _, ri := range candidates {
+			if check == nil {
+				return true, nil
+			}
+			tri, err := check.Truth(concatTuple(lt, r.Tuples[ri]))
+			if err != nil {
+				return false, err
+			}
+			if tri.IsTrue() {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	var h map[string][]int
+	all := make([]int, len(r.Tuples))
+	for i := range all {
+		all[i] = i
+	}
+	if len(lk) > 0 {
+		h = buildHash(r, rk)
+	}
+	for _, lt := range l.Tuples {
+		var cand []int
+		if h != nil {
+			if key, ok := probeKey(lt, lk); ok {
+				cand = h[key]
+			}
+		} else {
+			cand = all
+		}
+		m, err := matches(lt, cand)
+		if err != nil {
+			return nil, err
+		}
+		if m == want {
+			out.Append(lt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Nest implements the paper's re-parameterised nest operator υ_{N1,N2}(r)
+// (Definition 3, extended to nested inputs as §3 allows): group r by the
+// nesting attributes N1, collecting the nested attributes N2 — together
+// with any subschemas r already has — into a new set-valued attribute.
+// There is an implicit projection onto N1 ∪ N2 (plus existing subschemas,
+// which ride along inside the new group, giving the multi-level nesting of
+// §4.2.1).
+//
+// Grouping treats NULL keys as equal (like GROUP BY), and groups whose
+// members are all NULL-padded (primary key NULL) are how the approach
+// represents an empty subquery result — see LinkPred.
+//
+// subName names the new nested attribute. Nest uses hashing; NestSort is
+// the sort-based physical alternative.
+func Nest(r *relation.Relation, by, keep []string, subName string) (*relation.Relation, error) {
+	byIdx, keepIdx, schema, err := nestSchema(r, by, keep, subName)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	groupOf := make(map[string]int, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.KeyOn(byIdx)
+		gi, ok := groupOf[k]
+		if !ok {
+			gi = out.Len()
+			groupOf[k] = gi
+			out.Append(newGroupTuple(t, byIdx, schema))
+		}
+		g := out.Tuples[gi].Groups[len(out.Tuples[gi].Groups)-1]
+		g.Append(memberTuple(t, keepIdx))
+	}
+	return out, nil
+}
+
+// NestSort is Nest implemented by physically sorting on N1 and grouping
+// adjacent runs — the "realistic possibility" the paper's stored-procedure
+// implementation used. The result is identical to Nest up to tuple order.
+func NestSort(r *relation.Relation, by, keep []string, subName string) (*relation.Relation, error) {
+	byIdx, keepIdx, schema, err := nestSchema(r, by, keep, subName)
+	if err != nil {
+		return nil, err
+	}
+	sorted := &relation.Relation{Schema: r.Schema, Tuples: append([]relation.Tuple(nil), r.Tuples...)}
+	sorted.SortBy(by...)
+	out := relation.New(schema)
+	var lastKey string
+	for i, t := range sorted.Tuples {
+		k := t.KeyOn(byIdx)
+		if i == 0 || k != lastKey {
+			out.Append(newGroupTuple(t, byIdx, schema))
+			lastKey = k
+		}
+		g := out.Tuples[out.Len()-1].Groups[len(out.Tuples[out.Len()-1].Groups)-1]
+		g.Append(memberTuple(t, keepIdx))
+	}
+	return out, nil
+}
+
+func nestSchema(r *relation.Relation, by, keep []string, subName string) (byIdx, keepIdx []int, schema *relation.Schema, err error) {
+	used := make(map[string]bool, len(by)+len(keep))
+	byIdx = make([]int, len(by))
+	for i, c := range by {
+		j := r.Schema.ColIndex(c)
+		if j < 0 {
+			return nil, nil, nil, fmt.Errorf("nest: unknown nesting attribute %q in %s", c, r.Schema)
+		}
+		byIdx[i] = j
+		if used[c] {
+			return nil, nil, nil, fmt.Errorf("nest: attribute %q repeated", c)
+		}
+		used[c] = true
+	}
+	keepIdx = make([]int, len(keep))
+	for i, c := range keep {
+		j := r.Schema.ColIndex(c)
+		if j < 0 {
+			return nil, nil, nil, fmt.Errorf("nest: unknown nested attribute %q in %s", c, r.Schema)
+		}
+		keepIdx[i] = j
+		if used[c] {
+			return nil, nil, nil, fmt.Errorf("nest: attribute %q in both N1 and N2", c)
+		}
+		used[c] = true
+	}
+
+	inner := &relation.Schema{Name: subName}
+	for _, j := range keepIdx {
+		inner.Cols = append(inner.Cols, r.Schema.Cols[j])
+	}
+	inner.Subs = append(inner.Subs, r.Schema.Subs...)
+
+	schema = &relation.Schema{Name: r.Schema.Name}
+	for _, j := range byIdx {
+		schema.Cols = append(schema.Cols, r.Schema.Cols[j])
+	}
+	schema.Subs = []relation.Sub{{Name: subName, Schema: inner}}
+	return byIdx, keepIdx, schema, nil
+}
+
+func newGroupTuple(t relation.Tuple, byIdx []int, schema *relation.Schema) relation.Tuple {
+	nt := relation.Tuple{Atoms: make([]value.Value, len(byIdx))}
+	for i, j := range byIdx {
+		nt.Atoms[i] = t.Atoms[j]
+	}
+	nt.Groups = []*relation.Relation{relation.New(schema.Subs[0].Schema)}
+	return nt
+}
+
+func memberTuple(t relation.Tuple, keepIdx []int) relation.Tuple {
+	m := relation.Tuple{Atoms: make([]value.Value, len(keepIdx))}
+	for i, j := range keepIdx {
+		m.Atoms[i] = t.Atoms[j]
+	}
+	m.Groups = t.Groups
+	return m
+}
+
+// Unnest is the inverse of nest: it flattens the named subschema, emitting
+// one tuple per group member. Tuples whose group is empty vanish, which is
+// why nest∘unnest is the identity only on relations built by nest (the
+// classical partial-inverse property; see the property tests).
+func Unnest(r *relation.Relation, sub string) (*relation.Relation, error) {
+	si := r.Schema.SubIndex(sub)
+	if si < 0 {
+		return nil, fmt.Errorf("unnest: no subschema %q in %s", sub, r.Schema)
+	}
+	inner := r.Schema.Subs[si].Schema
+	schema := &relation.Schema{Name: r.Schema.Name}
+	schema.Cols = append(append([]relation.Column{}, r.Schema.Cols...), inner.Cols...)
+	for i, s := range r.Schema.Subs {
+		if i != si {
+			schema.Subs = append(schema.Subs, s)
+		}
+	}
+	schema.Subs = append(schema.Subs, inner.Subs...)
+
+	out := relation.New(schema)
+	for _, t := range r.Tuples {
+		g := t.Groups[si]
+		if g == nil {
+			continue
+		}
+		for _, m := range g.Tuples {
+			nt := relation.Tuple{Atoms: make([]value.Value, 0, len(schema.Cols))}
+			nt.Atoms = append(append(nt.Atoms, t.Atoms...), m.Atoms...)
+			for i, og := range t.Groups {
+				if i != si {
+					nt.Groups = append(nt.Groups, og)
+				}
+			}
+			nt.Groups = append(nt.Groups, m.Groups...)
+			out.Append(nt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,344 @@
+package algebra
+
+// This file replays the paper's worked example (§3 Example 1 and §4
+// Example 2) operator by operator: Temp1 = π(R ⟕ S ⟕ T),
+// Temp2 = υ(Temp1), Temp3 = σ̄(Temp2), Temp4 = σ(Temp2), and the full
+// Query Q pipeline ending in π(σ̄ → υ → σ). The base-relation values are
+// reconstructed (the published scan is partly illegible) but every
+// structural property the figures demonstrate is asserted:
+//
+//   - outer-joined tuples with no match carry NULL primary keys (Fig. 1d);
+//   - nesting by the outer attributes yields one group per (R,S) combo,
+//     with the padded tuples representing the empty set (Fig. 2a);
+//   - the pseudo-selection keeps failing tuples NULL-padded (Fig. 2b)
+//     while the strict selection drops them (Fig. 2c);
+//   - a tuple whose linking attribute is NULL still passes when its set
+//     is empty (the paper's "fourth and fifth tuples" remark).
+
+import (
+	"strings"
+	"testing"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func figureRelations() (r, s, tt *relation.Relation) {
+	r = relation.MustFromRows("R", []string{"R.A", "R.B", "R.C", "R.D"},
+		[]any{1, 2, 3, 1},
+		[]any{5, 6, 7, 2},
+		[]any{10, 2, 3, 3},
+		[]any{nil, nil, 5, 4},
+	)
+	s = relation.MustFromRows("S", []string{"S.E", "S.F", "S.G", "S.H", "S.I"},
+		[]any{2, 5, 1, 8, 1},
+		[]any{4, 5, 1, 2, 2},
+		[]any{6, 5, 2, nil, 3},
+		[]any{9, 7, 3, 5, 4},
+	)
+	tt = relation.MustFromRows("T", []string{"T.J", "T.K", "T.L"},
+		[]any{7, 3, 1},
+		[]any{9, 3, 2},
+		[]any{nil, 5, 3},
+		[]any{1, 7, 4},
+	)
+	return
+}
+
+// buildTemp1 computes Temp1 = π(R ⟕_{R.D=S.G} S ⟕_{T.K=R.C ∧ T.L<>S.I} T).
+func buildTemp1(t *testing.T) *relation.Relation {
+	t.Helper()
+	r, s, tt := figureRelations()
+	rs, err := LeftOuterJoin(r, s, expr.Compare(expr.Eq, expr.Col("R.D"), expr.Col("S.G")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst, err := LeftOuterJoin(rs, tt, expr.And(
+		expr.Compare(expr.Eq, expr.Col("T.K"), expr.Col("R.C")),
+		expr.Compare(expr.Ne, expr.Col("T.L"), expr.Col("S.I"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp1, err := Project(rst, "R.B", "R.C", "R.D", "S.E", "S.H", "S.I", "T.J", "T.L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return temp1
+}
+
+func TestFigure1Temp1PadsPrimaryKeys(t *testing.T) {
+	temp1 := buildTemp1(t)
+	si := temp1.Schema.MustColIndex("S.I")
+	tl := temp1.Schema.MustColIndex("T.L")
+	rd := temp1.Schema.MustColIndex("R.D")
+	var sawSPad, sawTPad bool
+	for _, tup := range temp1.Tuples {
+		if tup.Atoms[si].IsNull() {
+			sawSPad = true
+			// The R row with D=4 has no S match.
+			if tup.Atoms[rd].Int64() != 4 {
+				t.Fatalf("unexpected S padding for R.D=%s", tup.Atoms[rd])
+			}
+		}
+		if tup.Atoms[tl].IsNull() {
+			sawTPad = true
+		}
+	}
+	if !sawSPad || !sawTPad {
+		t.Fatalf("outer-join padding missing: S=%v T=%v\n%s", sawSPad, sawTPad, temp1)
+	}
+}
+
+func TestFigure2Temp2Nesting(t *testing.T) {
+	temp1 := buildTemp1(t)
+	temp2, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One nested tuple per distinct (R,S) combination of Temp1.
+	distinct := map[string]bool{}
+	byIdx := make([]int, 6)
+	for i, c := range []string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"} {
+		byIdx[i] = temp1.Schema.MustColIndex(c)
+	}
+	for _, tup := range temp1.Tuples {
+		distinct[tup.KeyOn(byIdx)] = true
+	}
+	if temp2.Len() != len(distinct) {
+		t.Fatalf("Temp2 groups = %d, want %d", temp2.Len(), len(distinct))
+	}
+	if temp2.Schema.Depth() != 1 {
+		t.Fatal("Temp2 must be a one-level nested relation")
+	}
+}
+
+func TestFigure2LinkingSelections(t *testing.T) {
+	temp1 := buildTemp1(t)
+	temp2, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := AllPred("S.H", expr.Gt, "g", "T.J", "T.L")
+
+	// Temp3 = σ̄: every group survives; failing ones are NULL-padded on
+	// the S attributes.
+	temp3, err := LinkSelectPad(temp2, link, []string{"S.E", "S.H", "S.I"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp3.Len() != temp2.Len() {
+		t.Fatalf("pseudo-selection must keep all %d tuples, got %d", temp2.Len(), temp3.Len())
+	}
+
+	// Temp4 = σ: only passing groups survive.
+	temp4, err := LinkSelect(temp2, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp4.Len() >= temp3.Len() {
+		t.Fatalf("strict selection should drop failing tuples: %d vs %d", temp4.Len(), temp3.Len())
+	}
+
+	// "For the fourth and fifth tuples ... although S.H is null, the
+	// linking selection returns true because the set is empty": a tuple
+	// with NULL S.H whose T-group is all padding must survive σ.
+	sh := temp4.Schema.MustColIndex("S.H")
+	foundNullH := false
+	for _, tup := range temp4.Tuples {
+		if tup.Atoms[sh].IsNull() {
+			foundNullH = true
+		}
+	}
+	if !foundNullH {
+		t.Fatalf("NULL-S.H tuple with empty set should pass σ:\n%s", temp4)
+	}
+
+	// The padded tuples of Temp3 must have NULL S.I (the presence mark),
+	// so one level up they stop being set members.
+	padded := 0
+	siIdx := temp3.Schema.MustColIndex("S.I")
+	for _, tup := range temp3.Tuples {
+		if tup.Atoms[siIdx].IsNull() && tup.Atoms[temp3.Schema.MustColIndex("R.D")].Int64() != 4 {
+			padded++
+		}
+	}
+	if padded == 0 {
+		t.Fatalf("σ̄ should have padded at least one failing tuple:\n%s", temp3)
+	}
+}
+
+func TestFigureRenderingMatchesPaperStyle(t *testing.T) {
+	temp1 := buildTemp1(t)
+	temp2, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := temp2.String()
+	// The paper prints nested groups in braces and NULLs as "null".
+	if !strings.Contains(out, "{") || !strings.Contains(out, "null") {
+		t.Fatalf("nested rendering should use braces and 'null':\n%s", out)
+	}
+}
+
+func TestQueryQPipelineByHand(t *testing.T) {
+	// The full §4 Example 2 pipeline, written out operator by operator.
+	r, _, _ := figureRelations()
+	_ = r
+	temp1 := buildTemp1(t)
+	temp2, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp3, err := LinkSelectPad(temp2, AllPred("S.H", expr.Gt, "g", "T.J", "T.L"),
+		[]string{"S.E", "S.H", "S.I"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := DropSub(temp3, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested2, err := Nest(flat, []string{"R.B", "R.C", "R.D"}, []string{"S.E", "S.I"}, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1: R.B NOT IN {S.E} ≡ R.B <> ALL {S.E}; strict σ at the root.
+	final, err := LinkSelect(nested2, AllPred("R.B", expr.Ne, "g", "S.E", "S.I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := DropSub(final, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Note: this hand pipeline intentionally omits the local selections
+	// R.A > 1 and S.F = 5 to stay close to Figure 2; apply R.A > 1 last
+	// to obtain Query Q's answer over these relations.
+	// Verify against direct per-tuple evaluation of the NOT IN predicate.
+	want := map[string]bool{}
+	rRel, sRel, tRel := figureRelations()
+	for _, rt := range rRel.Tuples {
+		rb, rc, rd := rt.Atoms[1], rt.Atoms[2], rt.Atoms[3]
+		notIn := value.True
+		for _, st := range sRel.Tuples {
+			cmp, known, _ := value.Compare(rd, st.Atoms[2]) // R.D = S.G
+			if !known || cmp != 0 {
+				continue
+			}
+			// Inner ALL: S.H > ALL {T.J | T.K=R.C ∧ T.L<>S.I}
+			inner := value.True
+			for _, ttp := range tRel.Tuples {
+				c1, k1, _ := value.Compare(ttp.Atoms[1], rc) // T.K = R.C
+				c2, k2, _ := value.Compare(ttp.Atoms[2], st.Atoms[4])
+				if !k1 || c1 != 0 || (k2 && c2 == 0) {
+					continue
+				}
+				tri, _ := expr.Gt.Apply(st.Atoms[3], ttp.Atoms[0])
+				inner = inner.And(tri)
+			}
+			if inner != value.True {
+				continue // S tuple does not qualify
+			}
+			tri, _ := expr.Ne.Apply(rb, st.Atoms[0])
+			notIn = notIn.And(tri)
+		}
+		if notIn == value.True {
+			want[relation.NewTuple(rb, rc, rd).Key()] = true
+		}
+	}
+	if result.Len() != len(want) {
+		t.Fatalf("pipeline result %d rows, direct evaluation %d:\n%s", result.Len(), len(want), result)
+	}
+	for _, tup := range result.Tuples {
+		if !want[tup.Key()] {
+			t.Fatalf("unexpected tuple %v", tup.Atoms)
+		}
+	}
+}
+
+// TestReduceNestingViaTwoLevelNest replays §4.2.1's observation: the two
+// linking selections of Query Q can run over ONE two-level nested
+// relation — the inner predicate via Within on the depth-2 groups, the
+// outer one directly — and produce the same answer as the interleaved
+// nest/select/drop pipeline.
+func TestReduceNestingViaTwoLevelNest(t *testing.T) {
+	temp1 := buildTemp1(t)
+
+	// Interleaved (original §4.1) pipeline.
+	n1, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "gT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel1, err := LinkSelectPad(n1, AllPred("S.H", expr.Gt, "gT", "T.J", "T.L"),
+		[]string{"S.E", "S.H", "S.I"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := DropSub(sel1, "gT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Nest(flat, []string{"R.B", "R.C", "R.D"}, []string{"S.E", "S.I"}, "gS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, err := LinkSelect(n2, AllPred("R.B", expr.Ne, "gS", "S.E", "S.I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DropSub(sel2, "gS")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two consecutive nests first (a depth-2 relation), then both linking
+	// selections: the deep one applied Within each S-group.
+	d1, err := Nest(temp1,
+		[]string{"R.B", "R.C", "R.D", "S.E", "S.H", "S.I"},
+		[]string{"T.J", "T.L"}, "gT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Nest(d1, []string{"R.B", "R.C", "R.D"}, []string{"S.E", "S.H", "S.I"}, "gS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Schema.Depth() != 2 {
+		t.Fatalf("expected a two-level nested relation, depth=%d", d2.Schema.Depth())
+	}
+	deepSelected, err := Within(d2, "gS", func(g *relation.Relation) (*relation.Relation, error) {
+		padded, err := LinkSelectPad(g, AllPred("S.H", expr.Gt, "gT", "T.J", "T.L"),
+			[]string{"S.E", "S.H", "S.I"})
+		if err != nil {
+			return nil, err
+		}
+		return DropSub(padded, "gT")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outSel, err := LinkSelect(deepSelected, AllPred("R.B", expr.Ne, "gS", "S.E", "S.I"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DropSub(outSel, "gS")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !got.EqualSet(want) {
+		t.Fatalf("two-level nest evaluation differs:\n%s\nvs\n%s", got, want)
+	}
+}

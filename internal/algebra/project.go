@@ -1,0 +1,81 @@
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Project returns π_cols(r) over atomic columns, keeping all subschemas.
+// SQL (and the paper's experiments) use multiset semantics, so duplicates
+// are preserved; compose with Distinct for set semantics.
+func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
+	return ProjectSubs(r, cols, subNames(r.Schema))
+}
+
+// ProjectSubs returns the projection onto the given atomic columns and the
+// given subschemas (by name), in the order given.
+func ProjectSubs(r *relation.Relation, cols, subs []string) (*relation.Relation, error) {
+	colIdx := make([]int, len(cols))
+	outSchema := &relation.Schema{Name: r.Schema.Name}
+	for i, c := range cols {
+		j := r.Schema.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("project: unknown column %q in %s", c, r.Schema)
+		}
+		colIdx[i] = j
+		outSchema.Cols = append(outSchema.Cols, r.Schema.Cols[j])
+	}
+	subIdx := make([]int, len(subs))
+	for i, s := range subs {
+		j := r.Schema.SubIndex(s)
+		if j < 0 {
+			return nil, fmt.Errorf("project: unknown subschema %q in %s", s, r.Schema)
+		}
+		subIdx[i] = j
+		outSchema.Subs = append(outSchema.Subs, r.Schema.Subs[j])
+	}
+	out := relation.New(outSchema)
+	for _, t := range r.Tuples {
+		nt := relation.Tuple{Atoms: make([]value.Value, len(colIdx))}
+		for i, j := range colIdx {
+			nt.Atoms[i] = t.Atoms[j]
+		}
+		if len(subIdx) > 0 {
+			nt.Groups = make([]*relation.Relation, len(subIdx))
+			for i, j := range subIdx {
+				nt.Groups[i] = t.Groups[j]
+			}
+		}
+		out.Append(nt)
+	}
+	return out, nil
+}
+
+// DropSub removes one subschema (and its groups) from r — the projection
+// Algorithm 1 applies right after consuming a nested attribute with a
+// linking selection.
+func DropSub(r *relation.Relation, sub string) (*relation.Relation, error) {
+	var keep []string
+	found := false
+	for _, s := range r.Schema.Subs {
+		if s.Name == sub {
+			found = true
+			continue
+		}
+		keep = append(keep, s.Name)
+	}
+	if !found {
+		return nil, fmt.Errorf("dropsub: no subschema %q in %s", sub, r.Schema)
+	}
+	return ProjectSubs(r, r.Schema.ColNames(), keep)
+}
+
+func subNames(s *relation.Schema) []string {
+	names := make([]string, len(s.Subs))
+	for i, sub := range s.Subs {
+		names[i] = sub.Name
+	}
+	return names
+}

@@ -1,0 +1,347 @@
+package algebra
+
+// Property-based tests (testing/quick + seeded fuzz loops) for the
+// algebraic laws the nested relational approach relies on:
+//
+//   - hash join ≡ nested-loop join;
+//   - semijoin and antijoin partition the left relation;
+//   - unnest ∘ nest = projection (on the nested attributes);
+//   - the §4.2.4 push-down identity υ_{B},{C}(R ⟕_{A=B} S) = R ⟕ (υ S);
+//   - the §4.2.5 positive-operator identity
+//     σ_{AθSOME{B}}(υ(R ⟕_C S)) = R ⋉_{C ∧ AθB} S;
+//   - set-operation laws under NULL-aware set semantics.
+
+import (
+	"math/rand"
+	"testing"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// randRel builds a random flat relation with a unique integer key column
+// "p.k" plus small-domain attribute columns (with NULLs).
+func randRel(rng *rand.Rand, prefix string, cols int, maxRows int) *relation.Relation {
+	names := []string{prefix + ".k"}
+	for i := 0; i < cols; i++ {
+		names = append(names, prefix+"."+string(rune('a'+i)))
+	}
+	var rows [][]any
+	n := rng.Intn(maxRows + 1)
+	for r := 0; r < n; r++ {
+		row := []any{r}
+		for i := 0; i < cols; i++ {
+			if rng.Intn(6) == 0 {
+				row = append(row, nil)
+			} else {
+				row = append(row, rng.Intn(4))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return relation.MustFromRows(prefix, names, rows...)
+}
+
+func TestHashJoinEqualsNestedLoop(t *testing.T) {
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		l := randRel(rng, "l", 2, 8)
+		r := randRel(rng, "r", 2, 8)
+
+		// Equi + residual condition, in a form the hash path extracts...
+		hashCond := expr.And(
+			expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")),
+			expr.Compare(expr.Le, expr.Col("l.b"), expr.Col("r.b")),
+		)
+		// ...and an equivalent form it cannot (¬(x<>y) ≡ x=y in 3VL for
+		// the purposes of a WHERE/ON clause only when non-NULL — so use
+		// a both-sides condition the extractor just doesn't recognise:
+		// swap into a residual by AND-ing TRUE first keeps extraction, so
+		// instead force the nested loop with a non-equi-only condition
+		// and compare against a manual hash by adding the equality back
+		// as a residual comparison on an expression.
+		loopCond := expr.And(
+			expr.Compare(expr.Eq,
+				expr.Arith{Op: expr.Add, L: expr.Col("l.a"), R: expr.Lit{V: value.Int(0)}},
+				expr.Col("r.a")),
+			expr.Compare(expr.Le, expr.Col("l.b"), expr.Col("r.b")),
+		)
+
+		fast, err := Join(l, r, hashCond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		slow, err := Join(l, r, loopCond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fast.EqualSet(slow) {
+			t.Fatalf("seed %d: hash join != nested loop\n%s\nvs\n%s", seed, fast, slow)
+		}
+
+		// Same for the outer join.
+		fastO, err := LeftOuterJoin(l, r, hashCond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		slowO, err := LeftOuterJoin(l, r, loopCond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fastO.EqualSet(slowO) {
+			t.Fatalf("seed %d: outer hash join != outer nested loop", seed)
+		}
+	}
+}
+
+func TestSemiAntiPartition(t *testing.T) {
+	conds := []expr.Expr{
+		expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")),
+		expr.Compare(expr.Lt, expr.Col("l.b"), expr.Col("r.b")),
+		expr.And(
+			expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")),
+			expr.Compare(expr.Ne, expr.Col("l.b"), expr.Col("r.b"))),
+	}
+	for seed := 0; seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		l := randRel(rng, "l", 2, 8)
+		r := randRel(rng, "r", 2, 8)
+		cond := conds[rng.Intn(len(conds))]
+		semi, err := SemiJoin(l, r, cond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		anti, err := AntiJoin(l, r, cond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if semi.Len()+anti.Len() != l.Len() {
+			t.Fatalf("seed %d: semijoin (%d) + antijoin (%d) != |L| (%d)",
+				seed, semi.Len(), anti.Len(), l.Len())
+		}
+		both, err := Union(semi, anti)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !both.EqualSet(Distinct(l)) {
+			t.Fatalf("seed %d: semi ∪ anti != L", seed)
+		}
+	}
+}
+
+func TestUnnestNestIsProjection(t *testing.T) {
+	for seed := 0; seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(int64(2000 + seed)))
+		r := randRel(rng, "p", 3, 10)
+		n, err := Nest(r, []string{"p.a", "p.b"}, []string{"p.k", "p.c"}, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		u, err := Unnest(n, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := Project(r, "p.a", "p.b", "p.k", "p.c")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !u.EqualSet(want) {
+			t.Fatalf("seed %d: unnest∘nest != projection\n%s\nvs\n%s", seed, u, want)
+		}
+	}
+}
+
+// TestNestPushdownIdentity checks §4.2.4's equation on random data:
+// nesting after the outer join equals outer-joining the pre-nested child,
+// when the nest attribute is the equi-join attribute.
+func TestNestPushdownIdentity(t *testing.T) {
+	for seed := 0; seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(int64(3000 + seed)))
+		l := randRel(rng, "l", 1, 8)
+		r := randRel(rng, "r", 2, 8)
+		cond := expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a"))
+
+		// Direct: join flat, then nest by all l-columns keeping r-columns.
+		joined, err := LeftOuterJoin(l, r, cond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		direct, err := Nest(joined, []string{"l.k", "l.a"}, []string{"r.k", "r.b"}, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Pushed down: nest the child by its join attribute first.
+		nested, err := Nest(r, []string{"r.a"}, []string{"r.k", "r.b"}, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pushed, err := LeftOuterJoin(l, nested, cond)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Align shapes: drop the r.a column and normalise empty groups.
+		pushedAligned, err := ProjectSubs(pushed, []string{"l.k", "l.a"}, []string{"g"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// The two differ only in the empty-set encoding (group of padding
+		// tuples vs nil group); compare through the linking predicate,
+		// which is the consumer that matters.
+		for _, p := range []LinkPred{
+			AllPred("l.a", expr.Gt, "g", "r.b", "r.k"),
+			SomePred("l.a", expr.Eq, "g", "r.b", "r.k"),
+			ExistsPred("g", "r.k"),
+		} {
+			a, err := LinkSelect(direct, p)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			b, err := LinkSelect(pushedAligned, p)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			da, err := DropSub(a, "g")
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			db, err := DropSub(b, "g")
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !da.EqualSet(db) {
+				t.Fatalf("seed %d (%s): pushdown identity broken\ndirect:\n%s\npushed:\n%s",
+					seed, p, da, db)
+			}
+		}
+	}
+}
+
+// TestPositiveRewriteIdentity checks §4.2.5's equation on random data:
+// σ_{AθSOME{B}}(υ(R ⟕_C S)) = R ⋉_{C ∧ AθB} S.
+func TestPositiveRewriteIdentity(t *testing.T) {
+	ops := []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(4000 + seed)))
+		l := randRel(rng, "l", 2, 8)
+		r := randRel(rng, "r", 2, 8)
+		corr := expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a"))
+		op := ops[rng.Intn(len(ops))]
+
+		// Nested relational form.
+		joined, err := LeftOuterJoin(l, r, corr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nested, err := Nest(joined, []string{"l.k", "l.a", "l.b"}, []string{"r.k", "r.b"}, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sel, err := LinkSelect(nested, SomePred("l.b", op, "g", "r.b", "r.k"))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nraForm, err := DropSub(sel, "g")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Semijoin form.
+		semi, err := SemiJoin(l, r, expr.And(corr, expr.Compare(op, expr.Col("l.b"), expr.Col("r.b"))))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if !nraForm.EqualSet(semi) {
+			t.Fatalf("seed %d (θ=%s): σ_SOME(υ(⟕)) != ⋉\nNRA:\n%s\nsemijoin:\n%s",
+				seed, op, nraForm, semi)
+		}
+	}
+}
+
+func TestSetOpLaws(t *testing.T) {
+	for seed := 0; seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(int64(5000 + seed)))
+		mk := func() *relation.Relation {
+			var rows [][]any
+			for i := 0; i < rng.Intn(10); i++ {
+				cell := any(rng.Intn(4))
+				if rng.Intn(5) == 0 {
+					cell = nil
+				}
+				rows = append(rows, []any{cell})
+			}
+			return relation.MustFromRows("s", []string{"x"}, rows...)
+		}
+		a, b := mk(), mk()
+		inter, err := Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff, err := Difference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (A ∩ B) ∪ (A − B) = distinct(A)
+		back, err := Union(inter, diff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.EqualSet(Distinct(a)) {
+			t.Fatalf("seed %d: (A∩B) ∪ (A−B) != A", seed)
+		}
+		// Commutativity of ∩ and ∪.
+		interBA, _ := Intersect(b, a)
+		if !inter.EqualSet(interBA) {
+			t.Fatalf("seed %d: ∩ not commutative", seed)
+		}
+		uAB, _ := Union(a, b)
+		uBA, _ := Union(b, a)
+		if !uAB.EqualSet(uBA) {
+			t.Fatalf("seed %d: ∪ not commutative", seed)
+		}
+		// A − B and A ∩ B are disjoint.
+		redisj, _ := Intersect(inter, diff)
+		if redisj.Len() != 0 {
+			t.Fatalf("seed %d: (A∩B) ∩ (A−B) nonempty", seed)
+		}
+	}
+}
+
+// TestLinkQuantifierDuality: ¬(A θ SOME S) = A ¬θ ALL S under 3VL, which
+// is the identity the analyzer's NOT-normalisation uses.
+func TestLinkQuantifierDuality(t *testing.T) {
+	ops := []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(6000 + seed)))
+		set := randRel(rng, "s", 1, 6)
+		outer := randRel(rng, "o", 1, 6)
+		g := AddGroup(outer, "g", set)
+		op := ops[rng.Intn(len(ops))]
+		some := SomePred("o.a", op, "g", "s.a", "s.k")
+		all := AllPred("o.a", op.Negate(), "g", "s.a", "s.k")
+		bs, err := some.Bind(g.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := all.Bind(g.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tup := range g.Tuples {
+			vs, err := bs.Eval(tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, err := ba.Eval(tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vs.Not() != va {
+				t.Fatalf("seed %d tuple %d: ¬(θ SOME)=%v but ¬θ ALL=%v", seed, i, vs.Not(), va)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package algebra implements the extended nested relational algebra of
+// Section 3 of Cao & Badia (SIGMOD 2005): the classical operators
+// (selection, projection, product, joins, set operations) lifted to nested
+// relations, plus the paper's re-parameterised nest operator υ_{N1,N2},
+// unnest, and the linking selection in both its strict (σ) and
+// pseudo-selection (σ̄) forms.
+//
+// All operators are pure: they never mutate their inputs. Tuples that pass
+// through unchanged are shared structurally, so the materialised style
+// stays cheap for the in-memory engine.
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+)
+
+// Select returns σ_pred(r): the tuples for which pred evaluates to True
+// (3VL: both False and Unknown are rejected).
+func Select(r *relation.Relation, pred expr.Expr) (*relation.Relation, error) {
+	c, err := expr.Compile(pred, r.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("select: %w", err)
+	}
+	out := relation.New(r.Schema)
+	for _, t := range r.Tuples {
+		tri, err := c.Truth(t)
+		if err != nil {
+			return nil, fmt.Errorf("select: %w", err)
+		}
+		if tri.IsTrue() {
+			out.Append(t)
+		}
+	}
+	return out, nil
+}
+
+// Distinct returns r with duplicate tuples removed (set semantics,
+// comparing nested groups as sets).
+func Distinct(r *relation.Relation) *relation.Relation {
+	out := relation.New(r.Schema)
+	seen := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Append(t)
+	}
+	return out
+}

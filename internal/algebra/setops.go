@@ -1,0 +1,91 @@
+package algebra
+
+import (
+	"fmt"
+
+	"nra/internal/relation"
+)
+
+// checkUnionCompatible verifies the schemas have the same shape (column
+// count and nesting); names may differ (the left schema wins, SQL-style).
+func checkUnionCompatible(op string, l, r *relation.Schema) error {
+	if len(l.Cols) != len(r.Cols) || len(l.Subs) != len(r.Subs) {
+		return fmt.Errorf("%s: incompatible schemas %s and %s", op, l, r)
+	}
+	for i := range l.Subs {
+		if err := checkUnionCompatible(op, l.Subs[i].Schema, r.Subs[i].Schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Union returns l ∪ r with set semantics.
+func Union(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("union", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Schema)
+	seen := make(map[string]struct{}, len(l.Tuples)+len(r.Tuples))
+	for _, rel := range []*relation.Relation{l, r} {
+		for _, t := range rel.Tuples {
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Append(t)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns l ∩ r with set semantics.
+func Intersect(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("intersect", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	right := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		right[t.Key()] = struct{}{}
+	}
+	out := relation.New(l.Schema)
+	emitted := make(map[string]struct{})
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if _, ok := right[k]; !ok {
+			continue
+		}
+		if _, dup := emitted[k]; dup {
+			continue
+		}
+		emitted[k] = struct{}{}
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// Difference returns l − r with set semantics.
+func Difference(l, r *relation.Relation) (*relation.Relation, error) {
+	if err := checkUnionCompatible("difference", l.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	right := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		right[t.Key()] = struct{}{}
+	}
+	out := relation.New(l.Schema)
+	emitted := make(map[string]struct{})
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if _, ok := right[k]; ok {
+			continue
+		}
+		if _, dup := emitted[k]; dup {
+			continue
+		}
+		emitted[k] = struct{}{}
+		out.Append(t)
+	}
+	return out, nil
+}

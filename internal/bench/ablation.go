@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"nra/internal/core"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+// Ablation measures each §4.2 optimization in isolation on the three
+// workload families, at the largest sweep point — the design-choice
+// benchmarks DESIGN.md calls out. Every configuration's result is
+// verified against the original approach.
+func (e *Env) Ablation() ([]*Figure, error) {
+	configs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"original", core.Original()},
+		{"fused-4.2.2", core.Options{Fused: true}},
+		{"bottomup-4.2.3", core.Options{BottomUp: true, Fused: true}},
+		{"pushdown-4.2.4", core.Options{NestPushdown: true}},
+		{"positive-4.2.5", core.Options{PositiveRewrite: true}},
+		{"optimized-all", core.Optimized()},
+	}
+
+	workloads := []struct {
+		id    string
+		title string
+		build func() ([]pointQuery, error)
+	}{
+		{"ablation-q1", "Query 1 (§4.2 options, largest point)", func() ([]pointQuery, error) {
+			x2, err := e.quantile("orders", "o_orderdate", 1.0)
+			if err != nil {
+				return nil, err
+			}
+			return []pointQuery{{sql: fmt.Sprintf(`select o_orderkey, o_orderpriority from orders
+where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
+  and o_totalprice > all (select l_extendedprice from lineitem
+      where l_orderkey = o_orderkey
+        and l_commitdate < l_receiptdate and l_shipdate < l_commitdate)`, x2.Text())}}, nil
+		}},
+		{"ablation-q2b", "Query 2b (§4.2 options, largest point)", func() ([]pointQuery, error) {
+			pts, err := e.query2("all")
+			if err != nil {
+				return nil, err
+			}
+			return pts[len(pts)-1:], nil
+		}},
+		{"ablation-q3b", "Query 3b(a) (§4.2 options, largest point)", func() ([]pointQuery, error) {
+			pts, err := e.query3("all", "not exists", "=", "=")
+			if err != nil {
+				return nil, err
+			}
+			return pts[len(pts)-1:], nil
+		}},
+		{"ablation-q3c", "Query 3c(a) (§4.2 options, largest point)", func() ([]pointQuery, error) {
+			pts, err := e.query3("any", "exists", "=", "=")
+			if err != nil {
+				return nil, err
+			}
+			return pts[len(pts)-1:], nil
+		}},
+	}
+
+	var figs []*Figure
+	for _, w := range workloads {
+		pts, err := w.build()
+		if err != nil {
+			return nil, err
+		}
+		fig := &Figure{ID: w.id, Title: w.title}
+		for _, pq := range pts {
+			sel, err := sql.Parse(pq.sql)
+			if err != nil {
+				return nil, err
+			}
+			q, err := sql.Analyze(sel, e.Cat)
+			if err != nil {
+				return nil, err
+			}
+			point := Point{Times: make(map[string]time.Duration)}
+			point.BlockSizes, err = e.blockSizes(q)
+			if err != nil {
+				return nil, err
+			}
+			point.Label = sizesLabel(point.BlockSizes)
+			var reference *relation.Relation
+			for _, c := range configs {
+				opt := c.opt
+				best, rows, err := e.timeIt(func() (int, error) {
+					out, err := core.Execute(q, opt)
+					if err != nil {
+						return 0, err
+					}
+					if reference == nil {
+						reference = out
+					} else if !out.EqualSet(reference) {
+						return 0, fmt.Errorf("%s: %s disagrees with original", w.id, c.name)
+					}
+					return out.Len(), nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				point.Times[c.name] = best
+				point.Rows = rows
+			}
+			fig.Points = append(fig.Points, point)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

@@ -1,0 +1,62 @@
+package bench
+
+import "fmt"
+
+// QuerySQL returns the sweep's SQL statements (smallest to largest outer
+// block) for a figure id: "fig4", "fig5", "fig6", "fig7a".."fig9c".
+// It lets external benchmark drivers (bench_test.go, cmd/figures) reuse
+// the exact workloads the figures measure.
+func (e *Env) QuerySQL(id string) ([]string, error) {
+	var (
+		pts []pointQuery
+		err error
+	)
+	switch id {
+	case "fig4", "fig4-notnull":
+		for _, f := range outerFracs {
+			cut, qerr := e.quantile("orders", "o_orderdate", f)
+			if qerr != nil {
+				return nil, qerr
+			}
+			pts = append(pts, pointQuery{sql: fmt.Sprintf(`select o_orderkey, o_orderpriority from orders
+where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
+  and o_totalprice > all (select l_extendedprice from lineitem
+      where l_orderkey = o_orderkey
+        and l_commitdate < l_receiptdate and l_shipdate < l_commitdate)`, cut.Text())})
+		}
+	case "fig5":
+		pts, err = e.query2("any")
+	case "fig6":
+		pts, err = e.query2("all")
+	case "fig7a", "fig7b", "fig7c":
+		op1, op2 := variantOps(id)
+		pts, err = e.query3("all", "exists", op1, op2)
+	case "fig8a", "fig8b", "fig8c":
+		op1, op2 := variantOps(id)
+		pts, err = e.query3("all", "not exists", op1, op2)
+	case "fig9a", "fig9b", "fig9c":
+		op1, op2 := variantOps(id)
+		pts, err = e.query3("any", "exists", op1, op2)
+	default:
+		return nil, fmt.Errorf("bench: unknown figure id %q", id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.sql
+	}
+	return out, nil
+}
+
+func variantOps(id string) (op1, op2 string) {
+	switch id[len(id)-1] {
+	case 'b':
+		return "<>", "="
+	case 'c':
+		return "=", "<>"
+	default:
+		return "=", "="
+	}
+}

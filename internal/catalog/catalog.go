@@ -1,0 +1,205 @@
+// Package catalog manages named base tables, their constraints and their
+// indexes. The paper's engine model assumes every relation has a unique
+// non-NULL primary key (used by the nested approach to recognise padding
+// tuples), and the native baseline's plan choices depend on NOT NULL
+// constraints and index availability — all of which live here.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"nra/internal/index"
+	"nra/internal/relation"
+)
+
+// Table is a base relation plus metadata.
+type Table struct {
+	Name    string
+	Rel     *relation.Relation
+	PK      string          // primary key column (qualified name)
+	NotNull map[string]bool // columns with a NOT NULL constraint (PK implied)
+
+	indexes map[string]*index.Index // by canonical column-list key
+}
+
+// Catalog is a set of tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Create registers a table. The primary key column must exist, be unique
+// and contain no NULLs; this is validated eagerly because both query
+// processing approaches rely on it.
+func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if rel.Schema.Depth() != 0 {
+		return nil, fmt.Errorf("catalog: base table %q must be flat", name)
+	}
+	pkIdx := rel.Schema.ColIndex(pk)
+	if pkIdx < 0 {
+		return nil, fmt.Errorf("catalog: table %q has no column %q for primary key", name, pk)
+	}
+	pkName := rel.Schema.Cols[pkIdx].Name
+	seen := make(map[string]struct{}, rel.Len())
+	for i, t := range rel.Tuples {
+		v := t.Atoms[pkIdx]
+		if v.IsNull() {
+			return nil, fmt.Errorf("catalog: table %q row %d: NULL primary key", name, i)
+		}
+		k := string(v.AppendKey(nil))
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("catalog: table %q row %d: duplicate primary key %s", name, i, v)
+		}
+		seen[k] = struct{}{}
+	}
+	t := &Table{
+		Name:    name,
+		Rel:     rel,
+		PK:      pkName,
+		NotNull: map[string]bool{pkName: true},
+		indexes: make(map[string]*index.Index),
+	}
+	c.tables[name] = t
+	// B+-tree indexes on primary keys are "automatically built by System A"
+	// (§5.1); mirror that.
+	if _, err := t.CreateIndex(pkName); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Drop removes a table; it errors when the table does not exist.
+func (c *Catalog) Drop(name string) error {
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetNotNull declares a NOT NULL constraint on a column; the native
+// baseline's planner uses it to decide whether an antijoin is legal for
+// ALL / NOT IN (§5.2). It verifies the data actually satisfies it.
+func (t *Table) SetNotNull(col string) error {
+	i := t.Rel.Schema.ColIndex(col)
+	if i < 0 {
+		return fmt.Errorf("catalog: table %q has no column %q", t.Name, col)
+	}
+	for row, tp := range t.Rel.Tuples {
+		if tp.Atoms[i].IsNull() {
+			return fmt.Errorf("catalog: table %q row %d violates NOT NULL(%s)", t.Name, row, col)
+		}
+	}
+	t.NotNull[t.Rel.Schema.Cols[i].Name] = true
+	return nil
+}
+
+// IsNotNull reports whether col carries a NOT NULL constraint.
+func (t *Table) IsNotNull(col string) bool {
+	i := t.Rel.Schema.ColIndex(col)
+	if i < 0 {
+		return false
+	}
+	return t.NotNull[t.Rel.Schema.Cols[i].Name]
+}
+
+// CreateIndex builds (or returns an existing) index on the given columns,
+// in order. Single- and multi-column indexes are supported, mirroring the
+// paper's combined index on (l_partkey, l_suppkey) versus the single
+// indexes it compares against.
+func (t *Table) CreateIndex(cols ...string) (*index.Index, error) {
+	canonical := make([]string, len(cols))
+	for i, c := range cols {
+		j := t.Rel.Schema.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("catalog: table %q has no column %q", t.Name, c)
+		}
+		canonical[i] = t.Rel.Schema.Cols[j].Name
+	}
+	key := indexKey(canonical)
+	if idx, ok := t.indexes[key]; ok {
+		return idx, nil
+	}
+	idx, err := index.Build(t.Rel, canonical)
+	if err != nil {
+		return nil, err
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// Index returns the index on exactly the given column list, or nil.
+func (t *Table) Index(cols ...string) *index.Index {
+	canonical := make([]string, len(cols))
+	for i, c := range cols {
+		j := t.Rel.Schema.ColIndex(c)
+		if j < 0 {
+			return nil
+		}
+		canonical[i] = t.Rel.Schema.Cols[j].Name
+	}
+	return t.indexes[indexKey(canonical)]
+}
+
+// DropIndex removes the index on the given column list, if present. The
+// experiments use this to study the native approach's index sensitivity.
+func (t *Table) DropIndex(cols ...string) {
+	canonical := make([]string, len(cols))
+	for i, c := range cols {
+		j := t.Rel.Schema.ColIndex(c)
+		if j < 0 {
+			return
+		}
+		canonical[i] = t.Rel.Schema.Cols[j].Name
+	}
+	delete(t.indexes, indexKey(canonical))
+}
+
+// Indexes lists the column sets of all indexes, sorted.
+func (t *Table) Indexes() [][]string {
+	var keys []string
+	byKey := make(map[string]*index.Index, len(t.indexes))
+	for k, v := range t.indexes {
+		keys = append(keys, k)
+		byKey[k] = v
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k].Columns())
+	}
+	return out
+}
+
+func indexKey(cols []string) string {
+	key := ""
+	for _, c := range cols {
+		key += c + "\x00"
+	}
+	return key
+}

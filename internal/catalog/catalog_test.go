@@ -1,0 +1,216 @@
+package catalog
+
+import (
+	"testing"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func sample() *relation.Relation {
+	return relation.MustFromRows("emp", []string{"id", "dept", "salary"},
+		[]any{1, 10, 100},
+		[]any{2, 10, nil},
+		[]any{3, 20, 80},
+	)
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("emp", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.PK != "id" {
+		t.Fatalf("pk = %q", tbl.PK)
+	}
+	got, err := c.Table("emp")
+	if err != nil || got != tbl {
+		t.Fatal("lookup failed")
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatal("missing table must error")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "emp" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Create("t", sample(), "nope"); err == nil {
+		t.Fatal("unknown PK column must error")
+	}
+	dupPK := relation.MustFromRows("t", []string{"id"}, []any{1}, []any{1})
+	if _, err := c.Create("t", dupPK, "id"); err == nil {
+		t.Fatal("duplicate PK must error")
+	}
+	nullPK := relation.MustFromRows("t", []string{"id"}, []any{nil})
+	if _, err := c.Create("t", nullPK, "id"); err == nil {
+		t.Fatal("NULL PK must error")
+	}
+	if _, err := c.Create("emp", sample(), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("emp", sample(), "id"); err == nil {
+		t.Fatal("duplicate table must error")
+	}
+	nested := &relation.Schema{Name: "n",
+		Cols: []relation.Column{{Name: "k", Type: relation.TInt}},
+		Subs: []relation.Sub{{Name: "g", Schema: relation.NewSchema("g")}}}
+	if _, err := c.Create("n", relation.New(nested), "k"); err == nil {
+		t.Fatal("nested base table must error")
+	}
+}
+
+func TestPKIndexAutomatic(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("emp", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := tbl.Index("id")
+	if idx == nil {
+		t.Fatal("PK index should be created automatically (§5.1)")
+	}
+	rows := idx.Lookup(value.Int(2))
+	if len(rows) != 1 || rows[0] != 1 {
+		t.Fatalf("lookup = %v", rows)
+	}
+}
+
+func TestNotNullConstraint(t *testing.T) {
+	c := New()
+	tbl, _ := c.Create("emp", sample(), "id")
+	if err := tbl.SetNotNull("salary"); err == nil {
+		t.Fatal("NULL data must reject NOT NULL")
+	}
+	if err := tbl.SetNotNull("dept"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.IsNotNull("dept") || tbl.IsNotNull("salary") {
+		t.Fatal("constraint bookkeeping wrong")
+	}
+	if !tbl.IsNotNull("id") {
+		t.Fatal("PK is implicitly NOT NULL")
+	}
+	if err := tbl.SetNotNull("nope"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if tbl.IsNotNull("nope") {
+		t.Fatal("unknown column is not NOT NULL")
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	c := New()
+	tbl, _ := c.Create("emp", sample(), "id")
+	idx, err := tbl.CreateIndex("dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tbl.CreateIndex("dept")
+	if err != nil || again != idx {
+		t.Fatal("CreateIndex should be idempotent")
+	}
+	if _, err := tbl.CreateIndex("dept", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("nope"); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	lists := tbl.Indexes()
+	if len(lists) != 3 { // id (auto), dept, dept+salary
+		t.Fatalf("indexes = %v", lists)
+	}
+	tbl.DropIndex("dept")
+	if tbl.Index("dept") != nil {
+		t.Fatal("drop failed")
+	}
+	tbl.DropIndex("nope") // no-op, no panic
+	if len(tbl.Indexes()) != 2 {
+		t.Fatalf("indexes after drop = %v", tbl.Indexes())
+	}
+}
+
+func TestIndexSharedWithBaseRows(t *testing.T) {
+	c := New()
+	tbl, _ := c.Create("emp", sample(), "id")
+	idx, _ := tbl.CreateIndex("dept")
+	rows := idx.Lookup(value.Int(10))
+	if len(rows) != 2 {
+		t.Fatalf("dept=10 rows = %v", rows)
+	}
+	for _, r := range rows {
+		if tbl.Rel.Tuples[r].Atoms[1].Int64() != 10 {
+			t.Fatal("row ids must address the base relation")
+		}
+	}
+}
+
+func TestMutations(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("emp", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("dept"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert maintains indexes.
+	n, err := tbl.InsertRows([][]value.Value{
+		{value.Int(4), value.Int(10), value.Int(70)},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("insert: %d %v", n, err)
+	}
+	if rows := tbl.Index("dept").Lookup(value.Int(10)); len(rows) != 3 {
+		t.Fatalf("index after insert: %v", rows)
+	}
+
+	// Duplicate PK rejected atomically.
+	if _, err := tbl.InsertRows([][]value.Value{
+		{value.Int(5), value.Int(30), value.Int(1)},
+		{value.Int(4), value.Int(30), value.Int(1)},
+	}); err == nil {
+		t.Fatal("duplicate PK in batch must fail")
+	}
+	if tbl.Rel.Len() != 4 {
+		t.Fatalf("failed batch partially applied: %d rows", tbl.Rel.Len())
+	}
+
+	// Delete by PK.
+	removed, err := tbl.DeleteByPK([]value.Value{value.Int(2), value.Int(99), value.Null})
+	if err != nil || removed != 1 {
+		t.Fatalf("delete: %d %v", removed, err)
+	}
+	if rows := tbl.Index("id").Lookup(value.Int(2)); rows != nil {
+		t.Fatal("index stale after delete")
+	}
+
+	// Update, including a PK change.
+	updated, err := tbl.ApplyUpdates(
+		[]value.Value{value.Int(3)}, []string{"id", "salary"},
+		[][]value.Value{{value.Int(30), value.Int(85)}})
+	if err != nil || updated != 1 {
+		t.Fatalf("update: %d %v", updated, err)
+	}
+	if rows := tbl.Index("id").Lookup(value.Int(30)); len(rows) != 1 {
+		t.Fatal("index stale after PK update")
+	}
+
+	// PK collision on update rejected.
+	if _, err := tbl.ApplyUpdates(
+		[]value.Value{value.Int(30)}, []string{"id"},
+		[][]value.Value{{value.Int(1)}}); err == nil {
+		t.Fatal("PK collision must fail")
+	}
+
+	// Type violation.
+	if _, err := tbl.ApplyUpdates(
+		[]value.Value{value.Int(1)}, []string{"salary"},
+		[][]value.Value{{value.Str("lots")}}); err == nil {
+		t.Fatal("type violation must fail")
+	}
+}

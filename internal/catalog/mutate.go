@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"fmt"
+
+	"nra/internal/index"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Mutations. The engine is reader-optimised: every mutation validates the
+// post-state (types, NOT NULL, primary-key uniqueness) and then rebuilds
+// the table's indexes, which keeps reads index-consistent at O(n) write
+// cost — the right trade-off for an analytical engine. Mutations are NOT
+// safe to run concurrently with queries on the same DB.
+
+// InsertRows appends rows (full table width, schema order) and returns
+// the number inserted. On any validation error nothing is inserted.
+func (t *Table) InsertRows(rows [][]value.Value) (int, error) {
+	schema := t.Rel.Schema
+	pkIdx := schema.MustColIndex(t.PK)
+	seen := make(map[string]bool, t.Rel.Len()+len(rows))
+	for _, tup := range t.Rel.Tuples {
+		seen[string(tup.Atoms[pkIdx].AppendKey(nil))] = true
+	}
+	staged := make([]relation.Tuple, 0, len(rows))
+	for ri, row := range rows {
+		if len(row) != len(schema.Cols) {
+			return 0, fmt.Errorf("catalog: insert into %s: row %d has %d values, want %d",
+				t.Name, ri, len(row), len(schema.Cols))
+		}
+		for ci, v := range row {
+			if err := t.checkCell(schema.Cols[ci], v); err != nil {
+				return 0, fmt.Errorf("catalog: insert into %s row %d: %w", t.Name, ri, err)
+			}
+		}
+		pk := row[pkIdx]
+		if pk.IsNull() {
+			return 0, fmt.Errorf("catalog: insert into %s row %d: NULL primary key", t.Name, ri)
+		}
+		key := string(pk.AppendKey(nil))
+		if seen[key] {
+			return 0, fmt.Errorf("catalog: insert into %s row %d: duplicate primary key %s", t.Name, ri, pk)
+		}
+		seen[key] = true
+		staged = append(staged, relation.Tuple{Atoms: append([]value.Value(nil), row...)})
+	}
+	t.Rel.Append(staged...)
+	if err := t.rebuildIndexes(); err != nil {
+		return 0, err
+	}
+	return len(staged), nil
+}
+
+// DeleteByPK removes the rows whose primary key is in keys; it returns
+// the number removed (missing keys are not an error).
+func (t *Table) DeleteByPK(keys []value.Value) (int, error) {
+	pkIdx := t.Rel.Schema.MustColIndex(t.PK)
+	doomed := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if k.IsNull() {
+			continue
+		}
+		doomed[string(k.AppendKey(nil))] = true
+	}
+	kept := t.Rel.Tuples[:0]
+	removed := 0
+	for _, tup := range t.Rel.Tuples {
+		if doomed[string(tup.Atoms[pkIdx].AppendKey(nil))] {
+			removed++
+			continue
+		}
+		kept = append(kept, tup)
+	}
+	t.Rel.Tuples = kept
+	if removed > 0 {
+		if err := t.rebuildIndexes(); err != nil {
+			return 0, err
+		}
+	}
+	return removed, nil
+}
+
+// ApplyUpdates rewrites the named columns of the rows identified by keys:
+// keys[i]'s row gets vals[i] (parallel to cols). It validates the full
+// post-state before committing; on error the table is unchanged.
+func (t *Table) ApplyUpdates(keys []value.Value, cols []string, vals [][]value.Value) (int, error) {
+	schema := t.Rel.Schema
+	pkIdx := schema.MustColIndex(t.PK)
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		j := schema.ColIndex(c)
+		if j < 0 {
+			return 0, fmt.Errorf("catalog: update %s: no column %q", t.Name, c)
+		}
+		colIdx[i] = j
+	}
+	byKey := make(map[string][]value.Value, len(keys))
+	for i, k := range keys {
+		if len(vals[i]) != len(cols) {
+			return 0, fmt.Errorf("catalog: update %s: row %d has %d values, want %d",
+				t.Name, i, len(vals[i]), len(cols))
+		}
+		byKey[string(k.AppendKey(nil))] = vals[i]
+	}
+
+	next := make([]relation.Tuple, len(t.Rel.Tuples))
+	updated := 0
+	seen := make(map[string]bool, len(t.Rel.Tuples))
+	for i, tup := range t.Rel.Tuples {
+		atoms := tup.Atoms
+		if newVals, hit := byKey[string(tup.Atoms[pkIdx].AppendKey(nil))]; hit {
+			updated++
+			atoms = append([]value.Value(nil), tup.Atoms...)
+			for vi, j := range colIdx {
+				if err := t.checkCell(schema.Cols[j], newVals[vi]); err != nil {
+					return 0, fmt.Errorf("catalog: update %s: %w", t.Name, err)
+				}
+				atoms[j] = newVals[vi]
+			}
+		}
+		pk := atoms[pkIdx]
+		if pk.IsNull() {
+			return 0, fmt.Errorf("catalog: update %s: NULL primary key", t.Name)
+		}
+		key := string(pk.AppendKey(nil))
+		if seen[key] {
+			return 0, fmt.Errorf("catalog: update %s: duplicate primary key %s", t.Name, pk)
+		}
+		seen[key] = true
+		next[i] = relation.Tuple{Atoms: atoms}
+	}
+	if updated == 0 {
+		return 0, nil
+	}
+	t.Rel.Tuples = next
+	if err := t.rebuildIndexes(); err != nil {
+		return 0, err
+	}
+	return updated, nil
+}
+
+// checkCell validates one value against a column's declared type and the
+// table's NOT NULL constraints.
+func (t *Table) checkCell(col relation.Column, v value.Value) error {
+	if v.IsNull() {
+		if t.NotNull[col.Name] {
+			return fmt.Errorf("NULL violates NOT NULL(%s)", col.Name)
+		}
+		return nil
+	}
+	ok := true
+	switch col.Type {
+	case relation.TInt:
+		ok = v.Kind() == value.KindInt
+	case relation.TFloat:
+		ok = v.Kind() == value.KindFloat || v.Kind() == value.KindInt
+	case relation.TString:
+		ok = v.Kind() == value.KindString
+	case relation.TBool:
+		ok = v.Kind() == value.KindBool
+	}
+	if !ok {
+		return fmt.Errorf("value %s (%s) does not fit column %s (%s)", v, v.Kind(), col.Name, col.Type)
+	}
+	return nil
+}
+
+// rebuildIndexes recreates every index over the current rows.
+func (t *Table) rebuildIndexes() error {
+	for key, idx := range t.indexes {
+		fresh, err := index.Build(t.Rel, idx.Columns())
+		if err != nil {
+			return err
+		}
+		t.indexes[key] = fresh
+	}
+	return nil
+}

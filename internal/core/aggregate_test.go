@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nra/internal/naive"
+	"nra/internal/native"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// TestScalarAggregateQueries runs fixed scalar-aggregate workloads through
+// every strategy configuration (plus the native baseline) against the
+// reference evaluator.
+func TestScalarAggregateQueries(t *testing.T) {
+	cat := paperCatalog(t)
+	queries := map[string]string{
+		"max uncorrelated":      "select B from R where R.A > (select max(S.E) from S)",
+		"min uncorrelated":      "select B from R where R.A < (select min(S.E) from S where S.F = 5)",
+		"sum correlated":        "select B from R where R.A > (select sum(S.E) from S where S.G = R.D)",
+		"avg correlated":        "select B from R where R.A >= (select avg(S.E) from S where S.G = R.D)",
+		"count star correlated": "select B from R where 2 = (select count(*) from S where S.G = R.D)",
+		"count col correlated":  "select B from R where (select count(S.E) from S where S.G = R.D) >= 1",
+		"count empty is zero":   "select B from R where 0 = (select count(*) from S where S.G = R.D and S.F = 99)",
+		"max of empty is null":  "select B from R where R.A > (select max(S.E) from S where S.G = R.D and S.F = 99)",
+		"flipped orientation":   "select B from R where (select max(S.E) from S where S.G = R.D) < R.A",
+		"negated scalar cmp":    "select B from R where not (R.A > (select max(S.E) from S where S.G = R.D))",
+		"two scalar subqueries": `select B from R where
+			R.A > (select min(S.E) from S where S.G = R.D)
+			and R.A <= (select max(T.J) from T where T.K = R.C)`,
+		"scalar below quantified": `select B from R where R.B in
+			(select S.E from S where S.G = R.D and S.H >
+				(select avg(T.J) from T where T.K = S.G))`,
+		"scalar above exists": `select B from R where
+			R.A >= (select count(*) from S where S.G = R.D and exists
+				(select * from T where T.K = S.G))`,
+	}
+	for name, src := range queries {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			checkAllStrategies(t, cat, src)
+			// Also the native baseline.
+			q := analyze(t, cat, src)
+			want, err := naive.Evaluate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := native.Execute(q)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			if !got.EqualSet(want) {
+				t.Fatalf("native differs:\n%s\nvs reference:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestMaxRewriteIsNotAll is the §2 counterexample as an end-to-end test:
+// with R.A = 5 and the subquery set {2, 3, 4, NULL},
+// "R.A > ALL (...)" is Unknown (row rejected) but
+// "R.A > (select max(...))" is True (MAX skips NULLs → 4).
+func TestMaxRewriteIsNotAll(t *testing.T) {
+	cat := paperCatalog(t)
+	// R row with A=5 is (5,6,7,2); S rows with G=2: (6,5,2,null,3) → E=6.
+	// Use a tailored pair instead: compare over S.H for G=1: {8,2}.
+	allQ := "select B from R where R.A > all (select S.E from S where S.F = 5)"
+	maxQ := "select B from R where R.A > (select max(S.E) from S where S.F = 5)"
+	// S.E over F=5: {2,4,6,3,null} → max 6; ALL over the same set: any
+	// comparison with NULL poisons non-false results.
+	qAll := analyze(t, cat, allQ)
+	qMax := analyze(t, cat, maxQ)
+	rAll, err := Execute(qAll, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMax, err := Execute(qMax, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=10 row: >ALL {2,4,6,3,null} = unknown (10>null) → rejected;
+	// >max(=6) = true → returned. The two queries MUST differ.
+	if rAll.EqualSet(rMax) {
+		t.Fatalf("ALL and MAX rewrite should differ under NULLs:\nALL:\n%s\nMAX:\n%s", rAll, rMax)
+	}
+	if rAll.Len() != 0 {
+		t.Fatalf(">ALL over NULL-bearing set must reject all rows:\n%s", rAll)
+	}
+	if rMax.Len() == 0 {
+		t.Fatal(">MAX must accept the A=10 row")
+	}
+}
+
+// TestCountRewriteIsNotNotExists: "0 = (select count(*) ...)" IS
+// equivalent to NOT EXISTS (count ignores NULLs only per-column), while
+// the §2 warning concerns rewriting θALL via counts — check the exact
+// equivalence that does hold, as a sanity anchor.
+func TestCountRewriteMatchesNotExists(t *testing.T) {
+	cat := paperCatalog(t)
+	a := analyze(t, cat, "select B from R where 0 = (select count(*) from S where S.G = R.D)")
+	b := analyze(t, cat, "select B from R where not exists (select * from S where S.G = R.D)")
+	ra, err := Execute(a, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Execute(b, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.EqualSet(rb) {
+		t.Fatalf("COUNT(*)=0 should equal NOT EXISTS:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+func TestRootAggregates(t *testing.T) {
+	cat := paperCatalog(t)
+	for name, src := range map[string]string{
+		"plain":          "select count(*) from S",
+		"filtered":       "select count(*), max(S.E), min(S.E), sum(S.E), avg(S.E) from S where S.F = 5",
+		"count col":      "select count(S.E) from S",
+		"with subquery":  "select count(*) from R where exists (select * from S where S.G = R.D)",
+		"empty input":    "select count(*), max(S.E) from S where S.F = 123",
+		"aliased output": "select count(*) as n from S",
+	} {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			checkAllStrategies(t, cat, src)
+		})
+	}
+	// Spot-check values.
+	q := analyze(t, cat, "select count(*), count(S.E), max(S.E) from S where S.F = 5")
+	out, err := Execute(q, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F=5 rows: E ∈ {2,4,6,3,null} → count(*)=5, count(E)=4, max=6.
+	atoms := out.Tuples[0].Atoms
+	if atoms[0].Int64() != 5 || atoms[1].Int64() != 4 || atoms[2].Int64() != 6 {
+		t.Fatalf("aggregate values wrong:\n%s", out)
+	}
+	// Empty input: COUNT 0, MAX NULL.
+	q2 := analyze(t, cat, "select count(*), max(S.E) from S where S.F = 123")
+	out2, err := Execute(q2, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Len() != 1 || out2.Tuples[0].Atoms[0].Int64() != 0 || !out2.Tuples[0].Atoms[1].IsNull() {
+		t.Fatalf("empty aggregate:\n%s", out2)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	cat := paperCatalog(t)
+	bad := []string{
+		"select B, count(*) from R",                               // mixing
+		"select B from R where count(*) > 1",                      // agg in WHERE
+		"select B from R where R.A > (select S.E from S)",         // non-agg scalar sub
+		"select B from R where R.A > (select max(S.E), 1 from S)", // two items
+		"select max(B + 1) from R",                                // non-column arg
+		"select B from R where R.A in (select sum(*) from S)",     // SUM(*)
+		"select B from R where R.A > (select nosuch(S.E) from S)", // unknown func
+	}
+	for _, src := range bad {
+		sel, err := sql.Parse(src)
+		if err != nil {
+			continue // rejected by parser — fine
+		}
+		if _, err := sql.Analyze(sel, cat); err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+		}
+	}
+
+	// Scalar-vs-scalar comparison: legal SQL, beyond the planner's
+	// decomposition (Other bucket) — the reference evaluator handles it.
+	svs := "select B from R where (select max(S.E) from S) > (select min(T.J) from T)"
+	q := analyze(t, cat, svs)
+	if err := Supported(q); err == nil {
+		t.Error("scalar-vs-scalar should be unsupported by the planner")
+	}
+	if _, err := naive.Evaluate(q); err != nil {
+		t.Errorf("reference should evaluate scalar-vs-scalar: %v", err)
+	}
+}
+
+func TestAvgIsFloat(t *testing.T) {
+	cat := paperCatalog(t)
+	q := analyze(t, cat, "select avg(S.E) from S where S.G = 1")
+	out, err := Execute(q, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E over G=1: {2,4} → avg 3.0 as FLOAT.
+	if out.Tuples[0].Atoms[0].Kind() != value.KindFloat || out.Tuples[0].Atoms[0].Float64() != 3.0 {
+		t.Fatalf("avg = %v", out.Tuples[0].Atoms[0])
+	}
+}
+
+// TestDifferentialScalarAgg extends the random differential workload with
+// scalar-aggregate predicates.
+func TestDifferentialScalarAgg(t *testing.T) {
+	iters := 250
+	if testing.Short() {
+		iters = 40
+	}
+	funcs := []string{"count(*)", "count(%s)", "sum(%s)", "avg(%s)", "min(%s)", "max(%s)"}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(42_000_000 + seed)))
+		cat := randCatalog(t, rng)
+		g := &queryGen{rng: rng}
+
+		// Outer block with a scalar-aggregate predicate (and sometimes a
+		// second, quantified one).
+		alias := g.nextAlias()
+		child := g.nextAlias()
+		fn := funcs[rng.Intn(len(funcs))]
+		if strings.Contains(fn, "%s") {
+			fn = fmt.Sprintf(fn, child+"."+genCols[rng.Intn(len(genCols))])
+		}
+		corr := ""
+		if rng.Intn(2) == 0 {
+			corr = fmt.Sprintf(" where %s.%s = %s.%s",
+				child, genCols[rng.Intn(len(genCols))],
+				alias, genCols[rng.Intn(len(genCols))])
+		}
+		extra := ""
+		if rng.Intn(3) == 0 {
+			extra = " and " + g.linkPredicate(alias, nil, 0)
+		}
+		src := fmt.Sprintf("select %s.%s from %s %s where %s.%s %s (select %s from %s %s%s)%s",
+			alias, genCols[rng.Intn(len(genCols))],
+			genTables[rng.Intn(len(genTables))], alias,
+			alias, genCols[rng.Intn(len(genCols))],
+			genOps[rng.Intn(len(genOps))],
+			fn, genTables[rng.Intn(len(genTables))], child, corr, extra)
+
+		sel, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse %q: %v", seed, src, err)
+		}
+		q, err := sql.Analyze(sel, cat)
+		if err != nil {
+			t.Fatalf("seed %d: analyze %q: %v", seed, src, err)
+		}
+		want, err := naive.Evaluate(q)
+		if err != nil {
+			t.Fatalf("seed %d: reference %q: %v", seed, src, err)
+		}
+		for name, opt := range optionMatrix {
+			got, err := Execute(q, opt)
+			if err != nil {
+				t.Fatalf("seed %d (%s): %q: %v", seed, name, src, err)
+			}
+			if !got.EqualSet(want) {
+				t.Fatalf("seed %d (%s): differs for\n  %s\nreference:\n%s\ngot:\n%s",
+					seed, name, src, want, got)
+			}
+		}
+		nat, err := native.Execute(q)
+		if err != nil {
+			t.Fatalf("seed %d (native): %q: %v", seed, src, err)
+		}
+		if !nat.EqualSet(want) {
+			t.Fatalf("seed %d (native): differs for\n  %s\nreference:\n%s\ngot:\n%s",
+				seed, src, want, nat)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"nra/internal/algebra"
+	"nra/internal/exec"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+// chainBlocks returns the blocks of a nested *linear* query as a slice,
+// root first — or ok=false when any block has more than one subquery
+// (a nested tree query) or an Other-bucket conjunct.
+func (p *planner) chainBlocks() ([]*sql.Block, bool) {
+	var chain []*sql.Block
+	b := p.q.Root
+	for {
+		chain = append(chain, b)
+		if len(b.Links) == 0 {
+			return chain, len(b.Children) == 0 || len(b.Links) == len(b.Children)
+		}
+		if len(b.Links) != 1 || len(b.Children) != 1 {
+			return nil, false
+		}
+		b = b.Links[0].Child
+	}
+}
+
+// fullyCorrelatedLinearChain reports a linear query in which every
+// subquery block is correlated (so the top-down unnesting is a chain of
+// left outer joins with no virtual Cartesian products) — the §4.2.1 fused
+// chain applies.
+func (p *planner) fullyCorrelatedLinearChain() ([]*sql.Block, bool) {
+	chain, ok := p.chainBlocks()
+	if !ok || len(chain) < 2 {
+		return nil, false
+	}
+	for _, b := range chain[1:] {
+		if len(b.Corr) == 0 {
+			return nil, false
+		}
+	}
+	return chain, true
+}
+
+// linearCorrelatedChain recognises §4.2.3's *linear correlation*: a
+// linear query in which each inner block is correlated only to its
+// immediate parent, and each linking attribute belongs to the immediate
+// parent (or is a constant). Such queries evaluate bottom-up.
+func (p *planner) linearCorrelatedChain() ([]*sql.Block, bool) {
+	chain, ok := p.fullyCorrelatedLinearChain()
+	if !ok {
+		return nil, false
+	}
+	for i, b := range chain {
+		for _, cp := range b.Corr {
+			for outer := range cp.Outers {
+				if b.Parent == nil || outer != b.Parent.ID {
+					return nil, false
+				}
+			}
+		}
+		if len(b.Links) == 1 {
+			if c, isCol := b.Links[0].Pred.Left.(*sql.ColRef); isCol {
+				r, okRes := p.q.Resolve(c)
+				if !okRes || r.Block != chain[i] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return chain, true
+}
+
+// runBottomUp implements §4.2.3: process a linearly correlated query from
+// the innermost block outward. At each level the (small) set of already-
+// qualified child tuples is outer-joined to the parent block, nested, and
+// reduced by a strict linking selection — only qualified tuples ever
+// participate in further joins.
+func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
+	p.trace("bottom-up evaluation of a linearly correlated chain (§4.2.3)")
+	res, err := p.reduce(chain[len(chain)-1])
+	if err != nil {
+		return nil, err
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		b, c := chain[i], chain[i+1]
+		edge := b.Links[0]
+		rel, err := p.reduce(b)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := p.corrCond(c)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := algebra.LeftOuterJoin(rel, res, cond)
+		if err != nil {
+			return nil, err
+		}
+		p.seq(rel.Len(), res.Len(), joined.Len())
+		subName := "sub"
+		pred, err := p.linkPred(edge, subName, c)
+		if err != nil {
+			return nil, err
+		}
+		by := p.blockCols(joined, b.ID)
+		if p.opt.Fused {
+			spec, err := p.linkSpec(joined, pred, c)
+			if err != nil {
+				return nil, err
+			}
+			res, err = exec.NestLink(joined, p.keys[b.ID], by, spec, nil)
+			if err != nil {
+				return nil, err
+			}
+			p.seq(3*joined.Len(), res.Len())
+			continue
+		}
+		keep := p.blockCols(joined, c.ID)
+		nested, err := algebra.Nest(joined, by, keep, subName)
+		if err != nil {
+			return nil, err
+		}
+		selected, err := algebra.LinkSelect(nested, pred)
+		if err != nil {
+			return nil, err
+		}
+		p.seq(2*joined.Len(), nested.Len(), selected.Len())
+		res, err = algebra.DropSub(selected, subName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runFusedChain implements §4.2.1: build the full left-deep outer join of
+// the chain, then evaluate every linking predicate with a single sort and
+// a single scan (only the deepest nest physically reorders tuples; all
+// others are conceptual).
+func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) {
+	rel, err := p.reduce(chain[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chain[1:] {
+		tc, err := p.reduce(c)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := p.corrCond(c)
+		if err != nil {
+			return nil, err
+		}
+		relLen := rel.Len()
+		rel, err = algebra.LeftOuterJoin(rel, tc, cond)
+		if err != nil {
+			return nil, err
+		}
+		p.seq(relLen, tc.Len(), rel.Len())
+	}
+	levels := make([]exec.ChainLevel, len(chain)-1)
+	for i := 0; i < len(chain)-1; i++ {
+		b, c := chain[i], chain[i+1]
+		pred, err := p.linkPred(b.Links[0], "chain", c)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := p.linkSpec(rel, pred, c)
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = exec.ChainLevel{KeyCols: p.keys[b.ID], Spec: spec}
+	}
+	out, err := exec.NestLinkChain(rel, levels, p.blockCols(rel, chain[0].ID))
+	if err != nil {
+		return nil, err
+	}
+	p.seq(3*rel.Len(), out.Len()) // one sort + one scan for every level
+	p.trace("rel := NestLinkChain(%d levels)  (§4.2.1 fused chain, %d → %d tuples)", len(levels), rel.Len(), out.Len())
+	return out, nil
+}

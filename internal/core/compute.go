@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+
+	"nra/internal/algebra"
+	"nra/internal/exec"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+// run executes the full query: unnest top-down into (outer) joins, compute
+// the linking predicates bottom-up, then finish with the root projection.
+func (p *planner) run() (*relation.Relation, error) {
+	root := p.q.Root
+
+	if p.opt.BottomUp {
+		if chain, ok := p.linearCorrelatedChain(); ok {
+			rel, err := p.runBottomUp(chain)
+			if err != nil {
+				return nil, err
+			}
+			return p.finish(rel)
+		}
+	}
+	if p.opt.Fused {
+		if chain, ok := p.fullyCorrelatedLinearChain(); ok && len(chain) > 1 {
+			rel, err := p.runFusedChain(chain)
+			if err != nil {
+				return nil, err
+			}
+			return p.finish(rel)
+		}
+	}
+
+	rel, err := p.reduce(root)
+	if err != nil {
+		return nil, err
+	}
+	rel, err = p.processChildren(root, root, rel)
+	if err != nil {
+		return nil, err
+	}
+	return p.finish(rel)
+}
+
+// processChildren runs Algorithm 1's loop over the children of node,
+// consuming each subquery in depth-first, left-to-right order. top is the
+// block acting as the root of the current computation (the global root,
+// or the subtree root during standalone evaluation of a non-correlated
+// subquery).
+func (p *planner) processChildren(node, top *sql.Block, rel *relation.Relation) (*relation.Relation, error) {
+	for _, edge := range node.Links {
+		var err error
+		rel, err = p.processEdge(node, top, edge, rel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// processEdge evaluates one linking predicate L between node and
+// edge.Child, transforming rel (which holds the columns of the blocks on
+// the path top..node) into the same shape with L applied.
+func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *relation.Relation) (*relation.Relation, error) {
+	c := edge.Child
+	subName := fmt.Sprintf("sub%d", c.ID)
+	strict := p.strictOK(node, top)
+
+	// §4: a subtree with no outside correlation is executed once and the
+	// result shared by every outer tuple (virtual Cartesian product).
+	if p.subtreeUncorrelated(c) {
+		set, err := p.standalone(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.applyLinkOnGroup(node, edge, algebra.AddGroup(rel, subName, set), subName, strict, rel.Schema)
+	}
+
+	// §4.2.5: positive linking operators rewrite to (semi)joins when no
+	// pending negative operator needs the failing tuples kept.
+	if p.opt.PositiveRewrite && edge.Kind.Positive() && strict {
+		return p.processEdgePositive(node, top, edge, rel)
+	}
+
+	cond, err := p.corrCond(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// §4.2.4: push the nest below the join when the correlation is a pure
+	// equi-join on the nesting attributes and the child is a leaf.
+	if p.opt.NestPushdown && len(c.Links) == 0 {
+		if joinCols, outerCols, ok := p.pushdownCols(c, cond, rel.Schema); ok {
+			// The linked attribute must survive the pushed-down nest as a
+			// nested (not nesting) attribute.
+			usable := true
+			if edge.Kind != sql.Exists && edge.Kind != sql.NotExists {
+				la := ""
+				if edge.Kind == sql.CmpScalar {
+					if agg, ok := c.Agg(); ok {
+						la = agg.Col // "" for COUNT(*): nothing to protect
+					}
+				} else {
+					var err error
+					la, err = p.q.LinkedAttr(c)
+					if err != nil {
+						return nil, unsupportedf("%v", err)
+					}
+				}
+				for _, jc := range joinCols {
+					if la != "" && jc == la {
+						usable = false
+						break
+					}
+				}
+			}
+			if usable {
+				return p.processEdgePushdown(node, edge, rel, subName, strict, joinCols, outerCols)
+			}
+		}
+	}
+
+	tc, err := p.reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	relLen := rel.Len()
+	rel, err = algebra.LeftOuterJoin(rel, tc, cond)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(relLen, tc.Len(), rel.Len()) // hash outer join: read both, write out
+	p.trace("rel := rel ⟕ T%d  (%d ⟕ %d → %d tuples)", c.ID+1, relLen, tc.Len(), rel.Len())
+	// Recurse: the child's own subqueries are consumed first (bottom-up
+	// computation of the linking predicates).
+	rel, err = p.processChildren(c, top, rel)
+	if err != nil {
+		return nil, err
+	}
+
+	pred, err := p.linkPred(edge, subName, c)
+	if err != nil {
+		return nil, err
+	}
+	by := p.otherCols(rel, c.ID)
+	keep := p.blockCols(rel, c.ID)
+
+	if p.opt.Fused {
+		// §4.2.2: one pass — nest and linking selection pipelined.
+		spec, err := p.linkSpec(rel, pred, c)
+		if err != nil {
+			return nil, err
+		}
+		var pad []string
+		if !strict {
+			pad = p.blockCols(rel, node.ID)
+		}
+		out, err := exec.NestLink(rel, p.pathKeyCols(rel, node, top), by, spec, pad)
+		if err != nil {
+			return nil, err
+		}
+		p.seq(3*rel.Len(), out.Len()) // one sort (two passes) + one scan + write
+		p.trace("rel := NestLink[%s]  (fused υ+σ, %d → %d tuples)", pred, rel.Len(), out.Len())
+		return out, nil
+	}
+
+	// Original §4.1: materialised nest, then linking selection, then the
+	// projection dropping the consumed nested attribute.
+	nIn := rel.Len()
+	rel, err = algebra.Nest(rel, by, keep, subName)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(nIn, nIn) // nest: read the flat input, write the nested form
+	p.trace("rel := υ(rel)  (%d tuples → %d groups)", nIn, rel.Len())
+	nNested := rel.Len()
+	if strict {
+		rel, err = algebra.LinkSelect(rel, pred)
+	} else {
+		rel, err = algebra.LinkSelectPad(rel, pred, p.blockCols(rel, node.ID))
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.seq(nIn, nNested) // linking selection: second pass over the groups
+	mode := "σ"
+	if !strict {
+		mode = "σ̄"
+	}
+	p.trace("rel := %s[%s](rel)  → %d tuples", mode, pred, rel.Len())
+	return algebra.DropSub(rel, subName)
+}
+
+// applyLinkOnGroup evaluates the linking selection on a relation that
+// already carries the subquery result as a nested attribute (the
+// non-correlated case), then drops the group.
+func (p *planner) applyLinkOnGroup(node *sql.Block, edge *sql.LinkEdge, rel *relation.Relation, subName string, strict bool, outer *relation.Schema) (*relation.Relation, error) {
+	c := edge.Child
+	pred, err := p.linkPred(edge, subName, c)
+	if err != nil {
+		return nil, err
+	}
+	// Standalone sets contain only real tuples; presence filtering is
+	// unnecessary but harmless (kept for uniformity).
+	nIn := rel.Len()
+	if strict {
+		rel, err = algebra.LinkSelect(rel, pred)
+	} else {
+		rel, err = algebra.LinkSelectPad(rel, pred, p.blockCols(rel, node.ID))
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.seq(nIn, rel.Len())
+	return algebra.DropSub(rel, subName)
+}
+
+// standalone evaluates block c's subtree in isolation, returning its
+// result set (the reduced block with all of its own linking predicates
+// applied).
+func (p *planner) standalone(c *sql.Block) (*relation.Relation, error) {
+	rel, err := p.reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.processChildren(c, c, rel)
+}
+
+// linkSpec resolves a LinkPred's column references into flat indexes of
+// rel for the fused operators.
+func (p *planner) linkSpec(rel *relation.Relation, pred algebra.LinkPred, child *sql.Block) (*exec.LinkSpec, error) {
+	spec := &exec.LinkSpec{Pred: pred, AttrIdx: -1, LinkedIdx: -1, PresIdx: -1}
+	spec.PresIdx = rel.Schema.ColIndex(child.Presence)
+	if spec.PresIdx < 0 {
+		return nil, fmt.Errorf("core: presence column %q missing from %s", child.Presence, rel.Schema)
+	}
+	if pred.Empty == algebra.NoEmptyTest {
+		if pred.Agg != algebra.AggCountStar {
+			spec.LinkedIdx = rel.Schema.ColIndex(pred.Linked)
+			if spec.LinkedIdx < 0 {
+				return nil, fmt.Errorf("core: linked column %q missing from %s", pred.Linked, rel.Schema)
+			}
+		}
+		if pred.Const == nil {
+			spec.AttrIdx = rel.Schema.ColIndex(pred.Attr)
+			if spec.AttrIdx < 0 {
+				return nil, fmt.Errorf("core: linking attribute %q missing from %s", pred.Attr, rel.Schema)
+			}
+		}
+	}
+	return spec, nil
+}
+
+// processEdgePositive implements §4.2.5: for a positive linking operator
+// with only positive operators pending, σ_{AθSOME{B}}(υ(R ⟕_C S)) is
+// rewritten to R ⋉_{C ∧ AθB} S (semijoin for leaves; join + projection +
+// duplicate elimination for inner blocks whose own subqueries still need
+// the child's columns).
+func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, rel *relation.Relation) (*relation.Relation, error) {
+	c := edge.Child
+	cond, err := p.corrCond(c)
+	if err != nil {
+		return nil, err
+	}
+	linkCond, err := p.positiveLinkCond(edge, c)
+	if err != nil {
+		return nil, err
+	}
+	on := expr.And(cond, linkCond)
+
+	tc, err := p.reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Links) == 0 {
+		out, err := algebra.SemiJoin(rel, tc, on)
+		if err != nil {
+			return nil, err
+		}
+		p.seq(rel.Len(), tc.Len(), out.Len())
+		p.trace("rel := rel ⋉ T%d  (§4.2.5 positive rewrite, %d → %d tuples)", c.ID+1, rel.Len(), out.Len())
+		return out, nil
+	}
+	outCols := rel.Schema.ColNames()
+	relLen := rel.Len()
+	rel, err = algebra.Join(rel, tc, on)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(relLen, tc.Len(), rel.Len())
+	rel, err = p.processChildren(c, top, rel)
+	if err != nil {
+		return nil, err
+	}
+	rel, err = algebra.Project(rel, outCols...)
+	if err != nil {
+		return nil, err
+	}
+	// The kept primary keys make distinct-by-value identical to
+	// distinct-by-row, so this restores the pre-join multiset.
+	out := algebra.Distinct(rel)
+	p.seq(rel.Len(), out.Len())
+	return out, nil
+}
+
+// positiveLinkCond renders a positive quantified link as a θ join
+// condition (A θ B); EXISTS contributes no condition.
+func (p *planner) positiveLinkCond(edge *sql.LinkEdge, c *sql.Block) (expr.Expr, error) {
+	if edge.Kind == sql.Exists {
+		return nil, nil
+	}
+	la, err := p.q.LinkedAttr(c)
+	if err != nil {
+		return nil, unsupportedf("%v", err)
+	}
+	op := edge.Cmp
+	if edge.Kind == sql.In {
+		op = expr.Eq
+	}
+	var left expr.Expr
+	switch l := edge.Pred.Left.(type) {
+	case *sql.ColRef:
+		r, ok := p.q.Resolve(l)
+		if !ok {
+			return nil, unsupportedf("unresolved linking attribute %s", l)
+		}
+		left = expr.Col(r.Name)
+	case *sql.Lit:
+		left = expr.Lit{V: l.V}
+	default:
+		return nil, unsupportedf("linking attribute %q", edge.Pred.Left)
+	}
+	return expr.Compare(op, left, expr.Col(la)), nil
+}
+
+// pushdownCols checks §4.2.4's applicability: the correlation condition
+// is a conjunction of equalities child-col = outer-col. It returns the
+// child-side and outer-side columns when applicable.
+func (p *planner) pushdownCols(c *sql.Block, cond expr.Expr, outer *relation.Schema) (childCols, outerCols []string, ok bool) {
+	if cond == nil {
+		return nil, nil, false
+	}
+	var walk func(e expr.Expr) bool
+	walk = func(e expr.Expr) bool {
+		if l, isAnd := e.(expr.Logic); isAnd && l.Op == expr.OpAnd {
+			return walk(l.L) && walk(l.R)
+		}
+		cmp, isCmp := e.(expr.Cmp)
+		if !isCmp || cmp.Op != expr.Eq {
+			return false
+		}
+		lc, lok := cmp.L.(expr.Column)
+		rc, rok := cmp.R.(expr.Column)
+		if !lok || !rok {
+			return false
+		}
+		switch {
+		case p.colBlock[lc.Name] == c.ID && outer.ColIndex(rc.Name) >= 0:
+			childCols = append(childCols, lc.Name)
+			outerCols = append(outerCols, rc.Name)
+			return true
+		case p.colBlock[rc.Name] == c.ID && outer.ColIndex(lc.Name) >= 0:
+			childCols = append(childCols, rc.Name)
+			outerCols = append(outerCols, lc.Name)
+			return true
+		}
+		return false
+	}
+	if !walk(cond) {
+		return nil, nil, false
+	}
+	return childCols, outerCols, len(childCols) > 0
+}
+
+// processEdgePushdown implements §4.2.4: nest the reduced child by its
+// join columns first (υ over the small T_c), then left-outer-join the
+// one-level nested relation to rel — the identity
+// υ_{B},{C}(R ⋈_{A=B} S) = R ⋈_{A=B} (υ_{B},{C} S).
+func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *relation.Relation, subName string, strict bool, childCols, outerCols []string) (*relation.Relation, error) {
+	c := edge.Child
+	tc, err := p.reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	// One child column may be equated with several outer columns; nest by
+	// each child column once, but keep every equality in the join.
+	var nestBy []string
+	seen := make(map[string]bool, len(childCols))
+	for _, jc := range childCols {
+		if !seen[jc] {
+			seen[jc] = true
+			nestBy = append(nestBy, jc)
+		}
+	}
+	var keep []string
+	for _, col := range tc.Schema.ColNames() {
+		if !seen[col] {
+			keep = append(keep, col)
+		}
+	}
+	nested, err := algebra.Nest(tc, nestBy, keep, subName)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(tc.Len(), nested.Len()) // pushed-down nest over the small T_c
+	p.trace("υ(T%d) pushed below the join (§4.2.4): %d tuples → %d groups", c.ID+1, tc.Len(), nested.Len())
+	var onParts []expr.Expr
+	for i := range childCols {
+		onParts = append(onParts, expr.Compare(expr.Eq, expr.Col(outerCols[i]), expr.Col(childCols[i])))
+	}
+	outCols := rel.Schema.ColNames()
+	relLen := rel.Len()
+	rel, err = algebra.LeftOuterJoin(rel, nested, expr.And(onParts...))
+	if err != nil {
+		return nil, err
+	}
+	p.seq(relLen, nested.Len(), rel.Len())
+	pred, err := p.linkPred(edge, subName, c)
+	if err != nil {
+		return nil, err
+	}
+	// Members of a pushed-down group are real child tuples; an outer tuple
+	// with no match gets a nil group (the empty set). The child's presence
+	// column may have been projected away from the group, so presence
+	// filtering is disabled.
+	pred.Presence = ""
+	if strict {
+		rel, err = algebra.LinkSelect(rel, pred)
+	} else {
+		rel, err = algebra.LinkSelectPad(rel, pred, p.blockCols(rel, node.ID))
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Drop the group and the child-side join columns.
+	rel, err = algebra.DropSub(rel, subName)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Project(rel, outCols...)
+}

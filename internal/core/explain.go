@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/algebra"
+	"nra/internal/sql"
+)
+
+// Explain renders the tree expression of §4.1 (the paper's Figure 3(a))
+// for an analyzed query, annotated with the execution strategy the given
+// options select.
+func Explain(q *sql.Query, opt Options) (string, error) {
+	p, err := newPlanner(q, opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("tree expression (§4.1):\n")
+	p.explainBlock(&b, q.Root, 0)
+
+	b.WriteString("strategy: ")
+	switch {
+	case opt.BottomUp && firstOK(p.linearCorrelatedChain()):
+		b.WriteString("bottom-up linear correlation (§4.2.3)")
+	case opt.Fused && firstOK(p.fullyCorrelatedLinearChain()):
+		b.WriteString("fully fused nest chain: one sort, one scan (§4.2.1)")
+	case opt.Fused:
+		b.WriteString("top-down outer joins + pipelined nest/linking selection (§4.2.2)")
+	default:
+		b.WriteString("top-down outer joins + materialised nest, then linking selection (Algorithm 1)")
+	}
+	b.WriteByte('\n')
+	if opt.PositiveRewrite {
+		b.WriteString("  positive linking operators rewritten to (semi)joins where pending operators allow (§4.2.5)\n")
+	}
+	if opt.NestPushdown {
+		b.WriteString("  nest pushed below equi-joins on the nesting attributes (§4.2.4)\n")
+	}
+	return b.String(), nil
+}
+
+func firstOK[T any](_ T, ok bool) bool { return ok }
+
+func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
+	indent := strings.Repeat("  ", depth)
+	var tables []string
+	for _, bt := range blk.Tables {
+		tables = append(tables, bt.Ref.Table)
+	}
+	fmt.Fprintf(b, "%sT%d: %s", indent, blk.ID+1, strings.Join(tables, " ⋈ "))
+	if loc := exprStrings(blk.Local); len(loc) > 0 {
+		fmt.Fprintf(b, "  [θ: %s]", strings.Join(loc, " AND "))
+	}
+	if cor := corrStrings(blk.Corr); len(cor) > 0 {
+		fmt.Fprintf(b, "  [C: %s]", strings.Join(cor, " AND "))
+	}
+	b.WriteByte('\n')
+	for _, l := range blk.Links {
+		mode := "σ"
+		if !p.strictOK(blk, p.q.Root) {
+			mode = "σ̄"
+		}
+		fmt.Fprintf(b, "%s  L: %s  (%s)\n", indent, linkString(l), mode)
+		p.explainBlock(b, l.Child, depth+1)
+	}
+}
+
+func linkString(l *sql.LinkEdge) string {
+	switch l.Kind {
+	case sql.Exists, sql.NotExists:
+		return l.Kind.String()
+	case sql.In, sql.NotIn:
+		return fmt.Sprintf("%s %s", l.Pred.Left, l.Kind)
+	case sql.CmpScalar:
+		agg, _ := l.Child.Agg()
+		arg := agg.Col
+		if agg.Func == algebra.AggCountStar {
+			arg = "*"
+		}
+		return fmt.Sprintf("%s %s %s(%s)", l.Pred.Left, l.Cmp, aggName(agg.Func), arg)
+	default:
+		q := "SOME"
+		if l.Kind == sql.CmpAll {
+			q = "ALL"
+		}
+		return fmt.Sprintf("%s %s%s", l.Pred.Left, l.Cmp, q)
+	}
+}
+
+func aggName(f algebra.AggFunc) string {
+	if f == algebra.AggCountStar {
+		return "COUNT"
+	}
+	return f.String()
+}
+
+func exprStrings(es []sql.Expr) []string {
+	out := make([]string, 0, len(es))
+	for _, e := range es {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+func corrStrings(cs []sql.CorrPred) []string {
+	out := make([]string, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.E.String())
+	}
+	return out
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/algebra"
+	"nra/internal/exec"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+// planner holds per-query planning state.
+type planner struct {
+	q   *sql.Query
+	opt Options
+
+	colBlock map[string]int   // qualified column name → owning block ID
+	needed   map[int][]string // block ID → columns that must flow upward
+	keys     map[int][]string // block ID → its tables' PK columns
+}
+
+func newPlanner(q *sql.Query, opt Options) (*planner, error) {
+	p := &planner{
+		q:        q,
+		opt:      opt,
+		colBlock: make(map[string]int),
+		needed:   make(map[int][]string),
+		keys:     make(map[int][]string),
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	p.computeColumnOwners()
+	if err := p.computeNeeded(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// check verifies the query is decomposable per §4.1: every block's WHERE
+// splits into θ_i / C_ij / L_i, with linking attributes that are columns
+// or constants and single-column subquery select lists.
+func (p *planner) check() error {
+	for _, b := range p.q.Blocks {
+		if len(b.Other) > 0 {
+			return unsupportedf("block %d has a subquery under OR/NOT or another non-conjunctive shape", b.ID)
+		}
+		if b.ComplexItems {
+			return unsupportedf("block %d has subqueries in its select list", b.ID)
+		}
+		for _, l := range b.Links {
+			if l.Pred.Left != nil {
+				switch l.Pred.Left.(type) {
+				case *sql.ColRef, *sql.Lit:
+				default:
+					return unsupportedf("linking attribute %q of block %d is not a column or constant", l.Pred.Left, b.ID)
+				}
+			}
+			switch l.Kind {
+			case sql.Exists, sql.NotExists:
+			case sql.CmpScalar:
+				if _, ok := l.Child.Agg(); !ok {
+					return unsupportedf("scalar subquery block %d lacks a single aggregate", l.Child.ID)
+				}
+			default:
+				if _, err := p.q.LinkedAttr(l.Child); err != nil {
+					return unsupportedf("%v", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *planner) computeColumnOwners() {
+	for _, b := range p.q.Blocks {
+		for _, bt := range b.Tables {
+			for _, c := range bt.Schema.Cols {
+				p.colBlock[c.Name] = b.ID
+			}
+			p.keys[b.ID] = append(p.keys[b.ID], bt.Prefix+"."+unqualify(bt.Table.PK))
+		}
+	}
+}
+
+// computeNeeded determines, per block, the columns that must survive the
+// block's reduction: select/order-by columns (root), every correlated- or
+// linking-predicate column, the linked attributes, and all primary keys
+// (group identity and presence markers).
+func (p *planner) computeNeeded() error {
+	add := func(blockID int, col string) {
+		for _, c := range p.needed[blockID] {
+			if c == col {
+				return
+			}
+		}
+		p.needed[blockID] = append(p.needed[blockID], col)
+	}
+	addExprCols := func(e sql.Expr) error {
+		var firstErr error
+		if e == nil {
+			return nil
+		}
+		sql.Walk(e, func(x sql.Expr) {
+			if firstErr != nil {
+				return
+			}
+			if c, ok := x.(*sql.ColRef); ok {
+				r, ok := p.q.Resolve(c)
+				if !ok {
+					firstErr = unsupportedf("unresolved column %s", c)
+					return
+				}
+				add(r.Block.ID, r.Name)
+			}
+		})
+		return firstErr
+	}
+
+	// Primary keys first: they are the group/presence machinery.
+	for _, b := range p.q.Blocks {
+		for _, k := range p.keys[b.ID] {
+			add(b.ID, k)
+		}
+	}
+	root := p.q.Root
+	if root.Sel.Star {
+		for _, c := range root.Schema.Cols {
+			add(root.ID, c.Name)
+		}
+	} else {
+		for _, it := range root.Sel.Items {
+			if err := addExprCols(it.Expr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, o := range root.Sel.OrderBy {
+		if err := addExprCols(o.Expr); err != nil {
+			return err
+		}
+	}
+	for _, b := range p.q.Blocks {
+		for _, cp := range b.Corr {
+			if err := addExprCols(cp.E); err != nil {
+				return err
+			}
+		}
+		for _, l := range b.Links {
+			if err := addExprCols(l.Pred.Left); err != nil {
+				return err
+			}
+			switch l.Kind {
+			case sql.Exists, sql.NotExists:
+			case sql.CmpScalar:
+				if agg, ok := l.Child.Agg(); ok && agg.Col != "" {
+					add(l.Child.ID, agg.Col)
+				}
+			default:
+				la, err := p.q.LinkedAttr(l.Child)
+				if err != nil {
+					return unsupportedf("%v", err)
+				}
+				add(l.Child.ID, la)
+			}
+		}
+	}
+	return nil
+}
+
+// trace emits one line of the execution walkthrough when Options.Trace
+// is set.
+func (p *planner) trace(format string, args ...any) {
+	if p.opt.Trace != nil {
+		fmt.Fprintf(p.opt.Trace, format+"\n", args...)
+	}
+}
+
+// seq charges sequential tuple accesses to the optional I/O meter
+// (reads of inputs, writes of materialised outputs).
+func (p *planner) seq(ns ...int) {
+	for _, n := range ns {
+		p.opt.Meter.Seq(n)
+	}
+}
+
+// reduce produces T_i = σ_{θ_i}(R_i): the block's tables joined on the
+// local predicates with selections pushed down, projected to the block's
+// needed columns (§4.1 step 1). Single-table blocks — the common case —
+// run as one pipelined scan→filter→project pass; multi-table blocks join
+// with selections pushed to each side.
+func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
+	if len(b.Tables) == 1 {
+		return p.reduceSingle(b)
+	}
+	// Partition local conjuncts by the tables they touch.
+	type pending struct {
+		e    expr.Expr
+		cols []string
+	}
+	var preds []pending
+	for _, l := range b.Local {
+		le, err := p.q.Lower(l)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pending{e: le, cols: le.Columns(nil)})
+	}
+
+	covered := func(cols []string, have *relation.Schema) bool {
+		for _, c := range cols {
+			if have.ColIndex(c) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rel *relation.Relation
+	for ti, bt := range b.Tables {
+		tblRel := &relation.Relation{Schema: bt.Schema, Tuples: bt.Table.Rel.Tuples}
+		p.seq(tblRel.Len()) // base-table scan
+		// Push down single-table selections before joining.
+		var mine []expr.Expr
+		var rest []pending
+		for _, pd := range preds {
+			if covered(pd.cols, bt.Schema) {
+				mine = append(mine, pd.e)
+			} else {
+				rest = append(rest, pd)
+			}
+		}
+		preds = rest
+		if sel := expr.And(mine...); sel != nil {
+			filtered, err := algebra.Select(tblRel, sel)
+			if err != nil {
+				return nil, err
+			}
+			tblRel = filtered
+		}
+		if ti == 0 {
+			rel = tblRel
+			continue
+		}
+		// Join on whatever local predicates are now fully covered.
+		joined, err := joinSchemaPreview(rel, tblRel)
+		if err != nil {
+			return nil, err
+		}
+		var on []expr.Expr
+		rest = nil
+		for _, pd := range preds {
+			if covered(pd.cols, joined) {
+				on = append(on, pd.e)
+			} else {
+				rest = append(rest, pd)
+			}
+		}
+		preds = rest
+		rel, err = algebra.Join(rel, tblRel, expr.And(on...))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(preds) > 0 {
+		// Leftover conjuncts (should not happen: locals only reference the
+		// block's own tables) — apply as a final filter.
+		var all []expr.Expr
+		for _, pd := range preds {
+			all = append(all, pd.e)
+		}
+		filtered, err := algebra.Select(rel, expr.And(all...))
+		if err != nil {
+			return nil, err
+		}
+		rel = filtered
+	}
+	out, err := algebra.Project(rel, p.needed[b.ID]...)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(out.Len()) // write of the reduced block
+	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, blockTables(b), out.Len())
+	return out, nil
+}
+
+// reduceSingle is the pipelined single-table reduction: one pass, no
+// intermediate materialisation between selection and projection.
+func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
+	bt := b.Tables[0]
+	base := &relation.Relation{Schema: bt.Schema, Tuples: bt.Table.Rel.Tuples}
+	local, err := p.q.LowerAll(b.Local)
+	if err != nil {
+		return nil, err
+	}
+	out, err := exec.Drain(exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
+	if err != nil {
+		return nil, err
+	}
+	p.seq(base.Len(), out.Len()) // one scan in, reduced block out
+	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, bt.Ref.Table, out.Len())
+	return out, nil
+}
+
+func blockTables(b *sql.Block) string {
+	names := make([]string, 0, len(b.Tables))
+	for _, bt := range b.Tables {
+		names = append(names, bt.Ref.Table)
+	}
+	return strings.Join(names, " × ")
+}
+
+// joinSchemaPreview returns what the combined schema of a join would be
+// (for predicate coverage checks) without executing it.
+func joinSchemaPreview(l, r *relation.Relation) (*relation.Schema, error) {
+	s := &relation.Schema{Name: "preview"}
+	s.Cols = append(append([]relation.Column{}, l.Schema.Cols...), r.Schema.Cols...)
+	return s, nil
+}
+
+// corrCond conjoins and lowers a block's correlated predicates.
+func (p *planner) corrCond(b *sql.Block) (expr.Expr, error) {
+	var parts []expr.Expr
+	for _, cp := range b.Corr {
+		e, err := p.q.Lower(cp.E)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	return expr.And(parts...), nil
+}
+
+// linkPred converts a link edge into an algebra.LinkPred over the nested
+// attribute subName, with the child's presence column marking padding.
+func (p *planner) linkPred(edge *sql.LinkEdge, subName string, child *sql.Block) (algebra.LinkPred, error) {
+	pred := algebra.LinkPred{Sub: subName, Presence: child.Presence}
+	switch edge.Kind {
+	case sql.Exists:
+		pred.Empty = algebra.NotEmpty
+		return pred, nil
+	case sql.NotExists:
+		pred.Empty = algebra.IsEmpty
+		return pred, nil
+	case sql.CmpScalar:
+		agg, ok := child.Agg()
+		if !ok {
+			return pred, unsupportedf("scalar subquery block %d lacks a single aggregate", child.ID)
+		}
+		pred.Agg = agg.Func
+		pred.Linked = agg.Col
+		pred.Op = edge.Cmp
+		return p.fillLeft(edge, pred)
+	}
+	la, err := p.q.LinkedAttr(child)
+	if err != nil {
+		return pred, unsupportedf("%v", err)
+	}
+	pred.Linked = la
+	switch edge.Kind {
+	case sql.In:
+		pred.Op, pred.Quant = expr.Eq, algebra.Some
+	case sql.NotIn:
+		pred.Op, pred.Quant = expr.Ne, algebra.All
+	case sql.CmpSome:
+		pred.Op, pred.Quant = edge.Cmp, algebra.Some
+	case sql.CmpAll:
+		pred.Op, pred.Quant = edge.Cmp, algebra.All
+	}
+	return p.fillLeft(edge, pred)
+}
+
+// fillLeft resolves the linking attribute (a column of an enclosing block
+// or a constant) into the predicate.
+func (p *planner) fillLeft(edge *sql.LinkEdge, pred algebra.LinkPred) (algebra.LinkPred, error) {
+	switch left := edge.Pred.Left.(type) {
+	case *sql.ColRef:
+		r, ok := p.q.Resolve(left)
+		if !ok {
+			return pred, unsupportedf("unresolved linking attribute %s", left)
+		}
+		pred.Attr = r.Name
+	case *sql.Lit:
+		v := left.V
+		pred.Const = &v
+	default:
+		return pred, unsupportedf("linking attribute %q", edge.Pred.Left)
+	}
+	return pred, nil
+}
+
+// strictOK reports whether the strict linking selection σ may be used
+// when computing a link whose parent block is b: true when b is the root
+// or when every pending linking operator on the path to the root is
+// positive (§4.1: "σ̄ is used for computing negative or mixed linking
+// predicates; σ ... for the last ... or all unfinished being positive").
+// The top parameter is the block acting as root of the current
+// (sub)computation — the global root, or the subquery block itself when a
+// non-correlated subtree is evaluated standalone.
+func (p *planner) strictOK(b, top *sql.Block) bool {
+	if b == top {
+		return true
+	}
+	if p.opt.AlwaysPad {
+		return false
+	}
+	for blk := b; blk != top && blk.Parent != nil; blk = blk.Parent {
+		link := incomingLink(blk)
+		if link == nil || !link.Kind.Positive() {
+			return false
+		}
+	}
+	return true
+}
+
+func incomingLink(b *sql.Block) *sql.LinkEdge {
+	if b.Parent == nil {
+		return nil
+	}
+	for _, l := range b.Parent.Links {
+		if l.Child == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// blockCols returns the columns of rel owned by block id, in schema order.
+func (p *planner) blockCols(rel *relation.Relation, id int) []string {
+	var out []string
+	for _, c := range rel.Schema.Cols {
+		if p.colBlock[c.Name] == id {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// otherCols returns the columns of rel NOT owned by block id.
+func (p *planner) otherCols(rel *relation.Relation, id int) []string {
+	var out []string
+	for _, c := range rel.Schema.Cols {
+		if p.colBlock[c.Name] != id {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// pathKeyCols returns the PK columns of every block from root-of-subtree
+// top down to b that are present in rel, in block order — the group keys
+// for the fused operators.
+func (p *planner) pathKeyCols(rel *relation.Relation, b, top *sql.Block) []string {
+	var chain []*sql.Block
+	for blk := b; ; blk = blk.Parent {
+		chain = append([]*sql.Block{blk}, chain...)
+		if blk == top || blk.Parent == nil {
+			break
+		}
+	}
+	var out []string
+	for _, blk := range chain {
+		for _, k := range p.keys[blk.ID] {
+			if rel.Schema.ColIndex(k) >= 0 {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// subtreeUncorrelated reports whether block c's whole subtree references
+// no block outside the subtree — in which case it can be evaluated once
+// and shared by all outer tuples (§4: virtual Cartesian product).
+func (p *planner) subtreeUncorrelated(c *sql.Block) bool {
+	inSub := map[int]bool{}
+	var mark func(b *sql.Block)
+	mark = func(b *sql.Block) {
+		inSub[b.ID] = true
+		for _, ch := range b.Children {
+			mark(ch)
+		}
+	}
+	mark(c)
+	var bad bool
+	var visit func(b *sql.Block)
+	visit = func(b *sql.Block) {
+		for _, cp := range b.Corr {
+			for id := range cp.Outers {
+				if !inSub[id] {
+					bad = true
+				}
+			}
+		}
+		for _, ch := range b.Children {
+			visit(ch)
+		}
+	}
+	visit(c)
+	return !bad
+}
+
+// finish applies the root select list, DISTINCT and ORDER BY.
+func (p *planner) finish(rel *relation.Relation) (*relation.Relation, error) {
+	return exec.FinishQuery(rel, p.q)
+}
+
+func unqualify(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,269 @@
+// Package csvio persists a catalog to a directory of CSV files plus a
+// JSON manifest (schema, primary keys, NOT NULL constraints, indexes),
+// and loads it back. NULL is encoded as `\N` and string cells beginning
+// with a backslash get one extra leading backslash, so every value —
+// including empty strings and literal `\N` text — survives a round trip.
+// Non-string values render via their SQL text form and parse back under
+// the manifest's column types.
+package csvio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+const (
+	manifestName = "catalog.json"
+	nullToken    = `\N`
+)
+
+// Manifest describes the saved database.
+type Manifest struct {
+	Tables []TableMeta `json:"tables"`
+}
+
+// TableMeta is one table's schema and constraints.
+type TableMeta struct {
+	Name    string       `json:"name"`
+	PK      string       `json:"pk"`
+	Columns []ColumnMeta `json:"columns"`
+	NotNull []string     `json:"not_null,omitempty"`
+	Indexes [][]string   `json:"indexes,omitempty"`
+}
+
+// ColumnMeta is one column's name and declared type.
+type ColumnMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // INTEGER | FLOAT | VARCHAR | BOOLEAN | ANY
+}
+
+// Save writes the catalog into dir (created if missing). When tables is
+// non-empty, only the named tables are written.
+func Save(cat *catalog.Catalog, dir string, tables ...string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[t] = true
+	}
+	var man Manifest
+	for _, name := range cat.Names() {
+		if len(want) > 0 && !want[name] {
+			continue
+		}
+		tbl, err := cat.Table(name)
+		if err != nil {
+			return err
+		}
+		meta := TableMeta{Name: name, PK: unqualify(tbl.PK)}
+		for _, c := range tbl.Rel.Schema.Cols {
+			meta.Columns = append(meta.Columns, ColumnMeta{Name: unqualify(c.Name), Type: c.Type.String()})
+		}
+		for col, nn := range tbl.NotNull {
+			if nn && unqualify(col) != meta.PK {
+				meta.NotNull = append(meta.NotNull, unqualify(col))
+			}
+		}
+		sort.Strings(meta.NotNull)
+		for _, idx := range tbl.Indexes() {
+			cols := make([]string, len(idx))
+			for i, c := range idx {
+				cols[i] = unqualify(c)
+			}
+			if len(cols) == 1 && cols[0] == meta.PK {
+				continue // recreated automatically
+			}
+			meta.Indexes = append(meta.Indexes, cols)
+		}
+		man.Tables = append(man.Tables, meta)
+		if err := saveTable(filepath.Join(dir, name+".csv"), tbl.Rel); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+}
+
+func saveTable(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, len(rel.Schema.Cols))
+	for i, c := range rel.Schema.Cols {
+		header[i] = unqualify(c.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range rel.Tuples {
+		for i, v := range t.Atoms {
+			switch {
+			case v.IsNull():
+				row[i] = nullToken
+			case v.Kind() == value.KindString && strings.HasPrefix(v.Text(), `\`):
+				row[i] = `\` + v.Text() // escape: decoded by stripping one backslash
+			default:
+				row[i] = v.String()
+			}
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Load reads a directory written by Save into a fresh catalog.
+func Load(dir string) (*catalog.Catalog, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("csvio: bad manifest: %w", err)
+	}
+	cat := catalog.New()
+	for _, meta := range man.Tables {
+		rel, err := loadTable(filepath.Join(dir, meta.Name+".csv"), meta)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := cat.Create(meta.Name, rel, meta.PK)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range meta.NotNull {
+			if err := tbl.SetNotNull(col); err != nil {
+				return nil, err
+			}
+		}
+		for _, idx := range meta.Indexes {
+			if _, err := tbl.CreateIndex(idx...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cat, nil
+}
+
+func loadTable(path string, meta TableMeta) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %s: %w", path, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: %s: missing header", path)
+	}
+	header := records[0]
+	if len(header) != len(meta.Columns) {
+		return nil, fmt.Errorf("csvio: %s: header has %d columns, manifest %d", path, len(header), len(meta.Columns))
+	}
+	schema := &relation.Schema{Name: meta.Name}
+	types := make([]relation.Type, len(meta.Columns))
+	for i, c := range meta.Columns {
+		if header[i] != c.Name {
+			return nil, fmt.Errorf("csvio: %s: column %d is %q, manifest says %q", path, i, header[i], c.Name)
+		}
+		types[i] = typeByName(c.Type)
+		schema.Cols = append(schema.Cols, relation.Column{Name: c.Name, Type: types[i]})
+	}
+	rel := relation.New(schema)
+	for ri, rec := range records[1:] {
+		if len(rec) != len(types) {
+			return nil, fmt.Errorf("csvio: %s row %d: %d cells, want %d", path, ri+1, len(rec), len(types))
+		}
+		tup := relation.Tuple{Atoms: make([]value.Value, len(types))}
+		for ci, cell := range rec {
+			v, err := parseCell(cell, types[ci])
+			if err != nil {
+				return nil, fmt.Errorf("csvio: %s row %d col %s: %w", path, ri+1, meta.Columns[ci].Name, err)
+			}
+			tup.Atoms[ci] = v
+		}
+		rel.Append(tup)
+	}
+	return rel, nil
+}
+
+func parseCell(cell string, t relation.Type) (value.Value, error) {
+	if cell == nullToken {
+		return value.Null, nil
+	}
+	if strings.HasPrefix(cell, `\`) {
+		cell = cell[1:] // unescape a literal leading backslash
+	}
+	switch t {
+	case relation.TInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Int(i), nil
+	case relation.TFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(f), nil
+	case relation.TBool:
+		switch cell {
+		case "true":
+			return value.Bool(true), nil
+		case "false":
+			return value.Bool(false), nil
+		}
+		return value.Null, fmt.Errorf("bad boolean %q", cell)
+	default: // VARCHAR / ANY
+		return value.Str(cell), nil
+	}
+}
+
+func typeByName(name string) relation.Type {
+	switch name {
+	case "INTEGER":
+		return relation.TInt
+	case "FLOAT":
+		return relation.TFloat
+	case "VARCHAR":
+		return relation.TString
+	case "BOOLEAN":
+		return relation.TBool
+	default:
+		return relation.TAny
+	}
+}
+
+func unqualify(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

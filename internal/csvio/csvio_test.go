@@ -1,0 +1,193 @@
+package csvio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+	"nra/internal/tpch"
+	"nra/internal/value"
+)
+
+func sampleCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	rel := relation.MustFromRows("t", []string{"id", "name", "price", "flag"},
+		[]any{1, "plain", 1.5, true},
+		[]any{2, "", 2.25, false},              // empty string ≠ NULL
+		[]any{3, nil, nil, nil},                // NULLs
+		[]any{4, "comma, quoted\"", 0.0, true}, // CSV-hostile text
+		[]any{5, `\N`, 3.0, false},             // literal backslash-N text
+	)
+	tbl, err := cat.Create("t", rel, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetNotNull("flag"); err == nil {
+		t.Fatal("flag has NULLs; SetNotNull should fail")
+	}
+	if _, err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("name", "price"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := cat.Table("t")
+	got, err := back.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rel.EqualSet(orig.Rel) {
+		t.Fatalf("data changed in round trip:\n%s\nvs\n%s", got.Rel, orig.Rel)
+	}
+	if got.PK != "id" {
+		t.Fatalf("pk = %q", got.PK)
+	}
+	if got.Index("name") == nil || got.Index("name", "price") == nil {
+		t.Fatal("indexes lost in round trip")
+	}
+	// Type preservation: price stays FLOAT even where 0.
+	pi := got.Rel.Schema.MustColIndex("price")
+	for _, tup := range got.Rel.Tuples {
+		if v := tup.Atoms[pi]; !v.IsNull() && v.Kind() != value.KindFloat {
+			t.Fatalf("price kind = %v", v.Kind())
+		}
+	}
+}
+
+func TestEmptyStringVsNull(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := back.Table("t")
+	ni := tbl.Rel.Schema.MustColIndex("name")
+	var sawEmpty, sawNull, sawToken bool
+	for _, tup := range tbl.Rel.Tuples {
+		v := tup.Atoms[ni]
+		switch {
+		case v.IsNull():
+			sawNull = true
+		case v.Kind() == value.KindString && v.Text() == "":
+			sawEmpty = true
+		case v.Kind() == value.KindString && v.Text() == `\N`:
+			sawToken = true
+		}
+	}
+	if !sawEmpty || !sawNull {
+		t.Fatalf("empty/NULL distinction lost: empty=%v null=%v", sawEmpty, sawNull)
+	}
+	// Literal `\N` text must survive via the escaping rule.
+	if !sawToken {
+		t.Fatal(`literal \N text lost in round trip`)
+	}
+}
+
+func TestNotNullRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cat := catalog.New()
+	rel := relation.MustFromRows("u", []string{"id", "v"}, []any{1, 10}, []any{2, 20})
+	tbl, _ := cat.Create("u", rel, "id")
+	if err := tbl.SetNotNull("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := back.Table("u")
+	if !got.IsNotNull("v") {
+		t.Fatal("NOT NULL constraint lost")
+	}
+}
+
+func TestSubsetSave(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := tpch.Generate(tpch.Config{Parts: 5, Suppliers: 2, Customers: 3, Orders: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir, "region", "nation"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := back.Names(); len(names) != 2 {
+		t.Fatalf("subset tables = %v", names)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orders.csv")); !os.IsNotExist(err) {
+		t.Fatal("orders.csv should not exist")
+	}
+}
+
+func TestTPCHRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := tpch.Generate(tpch.Config{Parts: 10, Suppliers: 3, Customers: 5, Orders: 20, Seed: 9, NullFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cat.Names() {
+		a, _ := cat.Table(name)
+		b, err := back.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Rel.EqualSet(b.Rel) {
+			t.Fatalf("table %s changed in round trip", name)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("missing manifest must error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("bad manifest must error")
+	}
+	// Manifest referencing a missing CSV.
+	dir2 := t.TempDir()
+	man := `{"tables":[{"name":"ghost","pk":"id","columns":[{"name":"id","type":"INTEGER"}]}]}`
+	if err := os.WriteFile(filepath.Join(dir2, "catalog.json"), []byte(man), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("missing table file must error")
+	}
+}

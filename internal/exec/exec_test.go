@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// flatJoin builds a synthetic "outer ⟕ inner" flat relation like the ones
+// the planner feeds NestLink: outer key ok, outer attr a, inner pk pk,
+// inner linked attr b (pk NULL = padding row).
+func flatJoin(rows ...[]any) *relation.Relation {
+	return relation.MustFromRows("j", []string{"ok", "a", "pk", "b"}, rows...)
+}
+
+func allPred() algebra.LinkPred {
+	return algebra.AllPred("a", expr.Gt, "g", "b", "pk")
+}
+
+func spec(rel *relation.Relation, p algebra.LinkPred) *LinkSpec {
+	s := &LinkSpec{Pred: p, AttrIdx: -1, LinkedIdx: -1, PresIdx: rel.Schema.MustColIndex("pk")}
+	if p.Empty == algebra.NoEmptyTest {
+		s.LinkedIdx = rel.Schema.MustColIndex("b")
+		if p.Const == nil {
+			s.AttrIdx = rel.Schema.MustColIndex("a")
+		}
+	}
+	return s
+}
+
+// materialized runs the original two-pass pipeline NestLink must match.
+func materialized(rel *relation.Relation, p algebra.LinkPred, pad []string) (*relation.Relation, error) {
+	nested, err := algebra.Nest(rel, []string{"ok", "a"}, []string{"pk", "b"}, "g")
+	if err != nil {
+		return nil, err
+	}
+	var sel *relation.Relation
+	if pad == nil {
+		sel, err = algebra.LinkSelect(nested, p)
+	} else {
+		sel, err = algebra.LinkSelectPad(nested, p, pad)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return algebra.DropSub(sel, "g")
+}
+
+func TestNestLinkMatchesMaterializedStrict(t *testing.T) {
+	rel := flatJoin(
+		[]any{1, 10, 1, 5}, []any{1, 10, 2, 9},
+		[]any{2, 10, 3, 9}, // fails: 10 > 9 but then 2nd member...
+		[]any{2, 10, 4, 11},
+		[]any{3, 7, nil, nil}, // empty set → ALL true
+		[]any{4, nil, 5, 1},   // NULL attr → unknown
+	)
+	got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := materialized(rel, allPred(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("fused != materialized\nfused:\n%s\nmaterialized:\n%s", got, want)
+	}
+	// Spot-check: ok=1 passes (10>5,10>9), ok=2 fails (10>11 false),
+	// ok=3 passes (empty), ok=4 unknown → dropped.
+	if got.Len() != 2 {
+		t.Fatalf("strict rows = %d\n%s", got.Len(), got)
+	}
+}
+
+func TestNestLinkMatchesMaterializedPad(t *testing.T) {
+	rel := flatJoin(
+		[]any{1, 10, 1, 15}, // fails
+		[]any{2, 10, 2, 5},  // passes
+	)
+	got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := materialized(rel, allPred(), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("fused pad != materialized pad\n%s\nvs\n%s", got, want)
+	}
+	if got.Len() != 2 {
+		t.Fatal("pad mode keeps all groups")
+	}
+	if _, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"nope"}); err == nil {
+		t.Fatal("pad column must be an output column")
+	}
+}
+
+func TestNestLinkExistsForms(t *testing.T) {
+	rel := flatJoin(
+		[]any{1, 0, 1, 0},
+		[]any{2, 0, nil, nil},
+	)
+	ex := algebra.ExistsPred("g", "pk")
+	got, err := NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, ex), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuples[0].Atoms[0].Int64() != 1 {
+		t.Fatalf("EXISTS rows:\n%s", got)
+	}
+	nex := algebra.NotExistsPred("g", "pk")
+	got, err = NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, nex), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuples[0].Atoms[0].Int64() != 2 {
+		t.Fatalf("NOT EXISTS rows:\n%s", got)
+	}
+}
+
+func TestNestLinkConstAttr(t *testing.T) {
+	five := value.Int(5)
+	p := algebra.LinkPred{Const: &five, Op: expr.Gt, Quant: algebra.All, Sub: "g", Linked: "b", Presence: "pk"}
+	rel := flatJoin([]any{1, 0, 1, 3}, []any{2, 0, 2, 9})
+	got, err := NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuples[0].Atoms[0].Int64() != 1 {
+		t.Fatalf("const-attr rows:\n%s", got)
+	}
+}
+
+func TestNestLinkErrors(t *testing.T) {
+	rel := flatJoin([]any{1, 0, 1, 3})
+	if _, err := NestLink(rel, []string{"nope"}, []string{"ok"}, spec(rel, allPred()), nil); err == nil {
+		t.Fatal("unknown key column must error")
+	}
+	if _, err := NestLink(rel, []string{"ok"}, []string{"nope"}, spec(rel, allPred()), nil); err == nil {
+		t.Fatal("unknown by column must error")
+	}
+	// Type error inside the comparison surfaces.
+	bad := relation.MustFromRows("j", []string{"ok", "a", "pk", "b"}, []any{1, "str", 1, 3})
+	if _, err := NestLink(bad, []string{"ok"}, []string{"ok"}, spec(bad, allPred()), nil); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}
+
+// TestNestLinkQuickEquivalence fuzzes random inputs against the
+// materialised pipeline, in both strict and pad mode and across
+// quantifiers.
+func TestNestLinkQuickEquivalence(t *testing.T) {
+	quants := []algebra.LinkPred{
+		algebra.AllPred("a", expr.Gt, "g", "b", "pk"),
+		algebra.AllPred("a", expr.Ne, "g", "b", "pk"), // NOT IN
+		algebra.SomePred("a", expr.Eq, "g", "b", "pk"),
+		algebra.SomePred("a", expr.Le, "g", "b", "pk"),
+		algebra.ExistsPred("g", "pk"),
+		algebra.NotExistsPred("g", "pk"),
+	}
+	for seed := 0; seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		var rows [][]any
+		groups := 1 + rng.Intn(6)
+		pkc := 0
+		for g := 0; g < groups; g++ {
+			attr := any(rng.Intn(5))
+			if rng.Intn(6) == 0 {
+				attr = nil
+			}
+			members := rng.Intn(4)
+			if members == 0 {
+				rows = append(rows, []any{g, attr, nil, nil}) // padding only
+				continue
+			}
+			for m := 0; m < members; m++ {
+				pkc++
+				b := any(rng.Intn(5))
+				if rng.Intn(6) == 0 {
+					b = nil
+				}
+				rows = append(rows, []any{g, attr, pkc, b})
+			}
+		}
+		rel := flatJoin(rows...)
+		p := quants[rng.Intn(len(quants))]
+		var pad []string
+		if rng.Intn(2) == 0 {
+			pad = []string{"a"}
+		}
+		got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, p), pad)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := materialized(rel, p, pad)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("seed %d (%s, pad=%v): fused != materialized\ninput:\n%s\nfused:\n%s\nmaterialized:\n%s",
+				seed, p, pad, rel, got, want)
+		}
+	}
+}
+
+func TestFinish(t *testing.T) {
+	rel := relation.MustFromRows("r", []string{"x", "y"},
+		[]any{2, "b"}, []any{1, "a"}, []any{2, "b"})
+	items := []SelectItem{
+		{Name: "x", Expr: expr.Col("x")},
+		{Name: "twice", Expr: expr.Arith{Op: expr.Mul, L: expr.Col("x"), R: expr.Val(2)}},
+	}
+	out, err := Finish(rel, items, false, []OrderKey{{Col: 0, Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 || out.Tuples[0].Atoms[0].Int64() != 2 || out.Tuples[2].Atoms[1].Int64() != 2 {
+		t.Fatalf("finish:\n%s", out)
+	}
+	dedup, err := Finish(rel, items, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup.Len() != 2 {
+		t.Fatalf("distinct: %d", dedup.Len())
+	}
+	if _, err := Finish(rel, []SelectItem{{Name: "bad", Expr: expr.Col("nope")}}, false, nil); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+// TestNestLinkChainMatchesPerLevel checks the fully fused chain against
+// per-level fused evaluation on a synthetic three-block join.
+func TestNestLinkChainMatchesPerLevel(t *testing.T) {
+	// Blocks: A(ak,aa) ⟕ B(bk,bb) ⟕ C(ck,cb); link1 = aa >ALL {bb},
+	// link2 = bb <SOME {cb}.
+	cols := []string{"ak", "aa", "bk", "bb", "ck", "cb"}
+	for seed := 0; seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(int64(9000 + seed)))
+		var rows [][]any
+		bkc, ckc := 0, 0
+		for a := 0; a < 1+rng.Intn(4); a++ {
+			aa := any(rng.Intn(4))
+			if rng.Intn(7) == 0 {
+				aa = nil
+			}
+			bs := rng.Intn(3)
+			if bs == 0 {
+				rows = append(rows, []any{a, aa, nil, nil, nil, nil})
+				continue
+			}
+			for b := 0; b < bs; b++ {
+				bkc++
+				bb := any(rng.Intn(4))
+				if rng.Intn(7) == 0 {
+					bb = nil
+				}
+				cs := rng.Intn(3)
+				if cs == 0 {
+					rows = append(rows, []any{a, aa, bkc, bb, nil, nil})
+					continue
+				}
+				for c := 0; c < cs; c++ {
+					ckc++
+					cb := any(rng.Intn(4))
+					if rng.Intn(7) == 0 {
+						cb = nil
+					}
+					rows = append(rows, []any{a, aa, bkc, bb, ckc, cb})
+				}
+			}
+		}
+		rel := relation.MustFromRows("j", cols, rows...)
+
+		link1 := algebra.AllPred("aa", expr.Gt, "g", "bb", "bk")
+		link2 := algebra.SomePred("bb", expr.Lt, "g", "cb", "ck")
+		mkSpec := func(p algebra.LinkPred, attr, linked, pres string) *LinkSpec {
+			s := &LinkSpec{Pred: p, AttrIdx: -1, LinkedIdx: -1, PresIdx: rel.Schema.MustColIndex(pres)}
+			if attr != "" {
+				s.AttrIdx = rel.Schema.MustColIndex(attr)
+			}
+			if linked != "" {
+				s.LinkedIdx = rel.Schema.MustColIndex(linked)
+			}
+			return s
+		}
+
+		// Fused chain: one sort, one scan.
+		chain, err := NestLinkChain(rel,
+			[]ChainLevel{
+				{KeyCols: []string{"ak"}, Spec: mkSpec(link1, "aa", "bb", "bk")},
+				{KeyCols: []string{"bk"}, Spec: mkSpec(link2, "bb", "cb", "ck")},
+			}, []string{"ak", "aa"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Per-level: inner link first (padding failing B rows), then outer.
+		lvl2, err := NestLink(rel, []string{"ak", "bk"},
+			[]string{"ak", "aa", "bk", "bb"}, mkSpec(link2, "bb", "cb", "ck"),
+			[]string{"bk", "bb"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		spec1 := &LinkSpec{Pred: link1,
+			AttrIdx:   lvl2.Schema.MustColIndex("aa"),
+			LinkedIdx: lvl2.Schema.MustColIndex("bb"),
+			PresIdx:   lvl2.Schema.MustColIndex("bk")}
+		want, err := NestLink(lvl2, []string{"ak"}, []string{"ak", "aa"}, spec1, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		if !chain.EqualSet(want) {
+			t.Fatalf("seed %d: chain != per-level\ninput:\n%s\nchain:\n%s\nper-level:\n%s",
+				seed, rel, chain, want)
+		}
+	}
+}
+
+func TestNestLinkChainErrors(t *testing.T) {
+	rel := flatJoin([]any{1, 0, 1, 3})
+	if _, err := NestLinkChain(rel, nil, []string{"ok"}); err == nil {
+		t.Fatal("empty chain must error")
+	}
+	if _, err := NestLinkChain(rel,
+		[]ChainLevel{{KeyCols: []string{"nope"}, Spec: spec(rel, allPred())}},
+		[]string{"ok"}); err == nil {
+		t.Fatal("unknown key column must error")
+	}
+	if _, err := NestLinkChain(rel,
+		[]ChainLevel{{KeyCols: []string{"ok"}, Spec: spec(rel, allPred())}},
+		[]string{"nope"}); err == nil {
+		t.Fatal("unknown output column must error")
+	}
+}

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// FinishQuery applies the root block's select list, DISTINCT and ORDER BY
+// to a relation holding (at least) the root block's columns. It is the
+// final step shared by the nested relational planner and the native
+// baseline, and produces exactly the schema the reference evaluator uses.
+func FinishQuery(rel *relation.Relation, q *sql.Query) (*relation.Relation, error) {
+	root := q.Root
+	if len(root.AggItems) > 0 {
+		out, err := finishAggregate(rel, root)
+		if err != nil {
+			return nil, err
+		}
+		return applyLimit(out, root.Sel.Limit, root.Sel.Offset), nil
+	}
+	var items []SelectItem
+	if root.Sel.Star {
+		for _, c := range root.Schema.Cols {
+			items = append(items, SelectItem{Name: c.Name, Expr: expr.Col(c.Name)})
+		}
+	} else {
+		for _, it := range root.Sel.Items {
+			le, err := q.Lower(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			name := it.Alias
+			if name == "" {
+				name = it.Expr.String()
+			}
+			items = append(items, SelectItem{Name: name, Expr: le})
+		}
+	}
+	var order []OrderKey
+	for _, o := range root.Sel.OrderBy {
+		idx := -1
+		if c, ok := o.Expr.(*sql.ColRef); ok {
+			for i, it := range items {
+				if it.Name == c.String() || it.Name == c.Column {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: ORDER BY key %s is not a select item", o.Expr)
+		}
+		order = append(order, OrderKey{Col: idx, Desc: o.Desc})
+	}
+	out, err := Finish(rel, items, root.Sel.Distinct, order)
+	if err != nil {
+		return nil, err
+	}
+	return applyLimit(out, root.Sel.Limit, root.Sel.Offset), nil
+}
+
+// applyLimit slices the result per LIMIT/OFFSET (after DISTINCT and
+// ORDER BY, as in SQL). limit < 0 means no limit.
+func applyLimit(r *relation.Relation, limit, offset int) *relation.Relation {
+	if limit < 0 && offset <= 0 {
+		return r
+	}
+	start := offset
+	if start > r.Len() {
+		start = r.Len()
+	}
+	end := r.Len()
+	if limit >= 0 && start+limit < end {
+		end = start + limit
+	}
+	out := relation.New(r.Schema)
+	out.Append(r.Tuples[start:end]...)
+	return out
+}
+
+// finishAggregate folds an aggregate-only root select list over the
+// qualifying tuples: one output row, no GROUP BY.
+func finishAggregate(rel *relation.Relation, root *sql.Block) (*relation.Relation, error) {
+	outSchema := &relation.Schema{Name: "result"}
+	states := make([]*algebra.AggState, len(root.AggItems))
+	colIdx := make([]int, len(root.AggItems))
+	for i, info := range root.AggItems {
+		name := root.Sel.Items[i].Alias
+		if name == "" {
+			name = root.Sel.Items[i].Expr.String()
+		}
+		outSchema.Cols = append(outSchema.Cols, relation.Column{Name: name, Type: relation.TAny})
+		states[i] = algebra.NewAggState(info.Func)
+		colIdx[i] = -1
+		if info.Col != "" {
+			colIdx[i] = rel.Schema.ColIndex(info.Col)
+			if colIdx[i] < 0 {
+				return nil, fmt.Errorf("exec: aggregate column %s missing from %s", info.Col, rel.Schema)
+			}
+		}
+	}
+	for _, t := range rel.Tuples {
+		for i, st := range states {
+			if colIdx[i] < 0 {
+				st.AddRow()
+				continue
+			}
+			if err := st.Add(t.Atoms[colIdx[i]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := relation.New(outSchema)
+	row := relation.Tuple{Atoms: make([]value.Value, len(states))}
+	for i, st := range states {
+		row.Atoms[i] = st.Result()
+	}
+	out.Append(row)
+	return out, nil
+}

@@ -1,0 +1,374 @@
+package exec
+
+import (
+	"fmt"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Iterator is the classical volcano interface: Open prepares the
+// operator, Next produces one tuple at a time (ok=false at end of
+// stream), Close releases state. Operators compose into pipelines that
+// never materialise intermediate results — the execution style §4.2.2's
+// pipelining argument assumes.
+type Iterator interface {
+	Open() error
+	Next() (relation.Tuple, bool, error)
+	Close() error
+	// Schema describes the produced tuples.
+	Schema() *relation.Schema
+}
+
+// Drain runs an iterator to completion and materialises its output.
+func Drain(it Iterator) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.New(it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Append(t)
+	}
+}
+
+// Scan streams a materialised relation.
+type Scan struct {
+	Rel *relation.Relation
+	pos int
+}
+
+// NewScan returns a scan over rel.
+func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
+
+func (s *Scan) Open() error              { s.pos = 0; return nil }
+func (s *Scan) Close() error             { return nil }
+func (s *Scan) Schema() *relation.Schema { return s.Rel.Schema }
+func (s *Scan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= s.Rel.Len() {
+		return relation.Tuple{}, false, nil
+	}
+	t := s.Rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Filter streams the input tuples satisfying a predicate (3VL: only True
+// passes).
+type Filter struct {
+	In   Iterator
+	Pred expr.Expr
+
+	compiled *expr.Compiled
+}
+
+// NewFilter wraps in with predicate pred (nil = pass-through).
+func NewFilter(in Iterator, pred expr.Expr) *Filter { return &Filter{In: in, Pred: pred} }
+
+func (f *Filter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	if f.Pred == nil {
+		f.compiled = nil
+		return nil
+	}
+	c, err := expr.Compile(f.Pred, f.In.Schema())
+	if err != nil {
+		return fmt.Errorf("filter: %w", err)
+	}
+	f.compiled = c
+	return nil
+}
+func (f *Filter) Close() error             { return f.In.Close() }
+func (f *Filter) Schema() *relation.Schema { return f.In.Schema() }
+func (f *Filter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return t, ok, err
+		}
+		if f.compiled == nil {
+			return t, true, nil
+		}
+		tri, err := f.compiled.Truth(t)
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if tri.IsTrue() {
+			return t, true, nil
+		}
+	}
+}
+
+// Project streams a column subset of its input.
+type Project struct {
+	In   Iterator
+	Cols []string
+
+	idx    []int
+	schema *relation.Schema
+}
+
+// NewProject projects in onto cols.
+func NewProject(in Iterator, cols []string) *Project { return &Project{In: in, Cols: cols} }
+
+func (p *Project) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
+	in := p.In.Schema()
+	p.idx = p.idx[:0]
+	p.schema = &relation.Schema{Name: in.Name}
+	for _, c := range p.Cols {
+		j := in.ColIndex(c)
+		if j < 0 {
+			return fmt.Errorf("project: no column %q in %s", c, in)
+		}
+		p.idx = append(p.idx, j)
+		p.schema.Cols = append(p.schema.Cols, in.Cols[j])
+	}
+	return nil
+}
+func (p *Project) Close() error             { return p.In.Close() }
+func (p *Project) Schema() *relation.Schema { return p.schema }
+func (p *Project) Next() (relation.Tuple, bool, error) {
+	t, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return relation.Tuple{}, ok, err
+	}
+	out := relation.Tuple{Atoms: make([]value.Value, len(p.idx))}
+	for i, j := range p.idx {
+		out.Atoms[i] = t.Atoms[j]
+	}
+	return out, true, nil
+}
+
+// Limit streams at most N tuples after skipping Offset.
+type Limit struct {
+	In     Iterator
+	N      int // -1 = unlimited
+	Offset int
+
+	emitted, skipped int
+}
+
+// NewLimit wraps in with a LIMIT/OFFSET window.
+func NewLimit(in Iterator, n, offset int) *Limit { return &Limit{In: in, N: n, Offset: offset} }
+
+func (l *Limit) Open() error {
+	l.emitted, l.skipped = 0, 0
+	return l.In.Open()
+}
+func (l *Limit) Close() error             { return l.In.Close() }
+func (l *Limit) Schema() *relation.Schema { return l.In.Schema() }
+func (l *Limit) Next() (relation.Tuple, bool, error) {
+	for {
+		if l.N >= 0 && l.emitted >= l.N {
+			return relation.Tuple{}, false, nil
+		}
+		t, ok, err := l.In.Next()
+		if err != nil || !ok {
+			return t, ok, err
+		}
+		if l.skipped < l.Offset {
+			l.skipped++
+			continue
+		}
+		l.emitted++
+		return t, true, nil
+	}
+}
+
+// HashJoin streams the probe (left) side against a hash table built over
+// the build (right) side on Open — an inner or left-outer equi-join with
+// optional residual predicate, matching algebra.Join/LeftOuterJoin.
+type HashJoin struct {
+	Left, Right Iterator
+	On          expr.Expr
+	Outer       bool
+
+	schema   *relation.Schema
+	build    *relation.Relation
+	table    map[string][]int
+	lk, rk   []int
+	residual *expr.Compiled
+	pad      relation.Tuple
+
+	cur     relation.Tuple // current probe tuple
+	matches []int
+	mi      int
+	matched bool
+	have    bool
+	loopPos int // nested-loop fallback position
+	useLoop bool
+}
+
+// NewHashJoin joins left ⋈/⟕ right on the given condition.
+func NewHashJoin(left, right Iterator, on expr.Expr, outer bool) *HashJoin {
+	return &HashJoin{Left: left, Right: right, On: on, Outer: outer}
+}
+
+func (h *HashJoin) Schema() *relation.Schema { return h.schema }
+
+func (h *HashJoin) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	var err error
+	h.build, err = Drain(h.Right)
+	if err != nil {
+		return err
+	}
+	ls, rs := h.Left.Schema(), h.build.Schema
+	h.schema = &relation.Schema{Name: ls.Name}
+	h.schema.Cols = append(append([]relation.Column{}, ls.Cols...), rs.Cols...)
+	seen := map[string]bool{}
+	for _, c := range h.schema.Cols {
+		if seen[c.Name] {
+			return fmt.Errorf("hashjoin: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	h.lk, h.rk, h.residual = nil, nil, nil
+	lk, rk, residual := extractEquiKeys(h.On, ls, rs)
+	h.lk, h.rk = lk, rk
+	if residual != nil {
+		c, err := expr.Compile(residual, h.schema)
+		if err != nil {
+			return fmt.Errorf("hashjoin: %w", err)
+		}
+		h.residual = c
+	}
+	h.useLoop = len(h.lk) == 0
+	if !h.useLoop {
+		h.table = make(map[string][]int, h.build.Len())
+	rows:
+		for i, t := range h.build.Tuples {
+			for _, k := range h.rk {
+				if t.Atoms[k].IsNull() {
+					continue rows
+				}
+			}
+			key := t.KeyOn(h.rk)
+			h.table[key] = append(h.table[key], i)
+		}
+	}
+	h.pad = relation.Tuple{Atoms: make([]value.Value, len(rs.Cols))}
+	h.have = false
+	return nil
+}
+
+func (h *HashJoin) Close() error { return h.Left.Close() }
+
+func (h *HashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if !h.have {
+			t, ok, err := h.Left.Next()
+			if err != nil || !ok {
+				return relation.Tuple{}, ok, err
+			}
+			h.cur, h.have, h.matched = t, true, false
+			h.mi, h.loopPos = 0, 0
+			if !h.useLoop {
+				h.matches = nil
+				allKeys := true
+				for _, k := range h.lk {
+					if h.cur.Atoms[k].IsNull() {
+						allKeys = false
+						break
+					}
+				}
+				if allKeys {
+					h.matches = h.table[h.cur.KeyOn(h.lk)]
+				}
+			}
+		}
+		var candidate int
+		var exhausted bool
+		if h.useLoop {
+			if h.loopPos >= h.build.Len() {
+				exhausted = true
+			} else {
+				candidate = h.loopPos
+				h.loopPos++
+			}
+		} else {
+			if h.mi >= len(h.matches) {
+				exhausted = true
+			} else {
+				candidate = h.matches[h.mi]
+				h.mi++
+			}
+		}
+		if exhausted {
+			h.have = false
+			if h.Outer && !h.matched {
+				return h.concat(h.cur, h.pad), true, nil
+			}
+			continue
+		}
+		joined := h.concat(h.cur, h.build.Tuples[candidate])
+		if h.residual != nil {
+			tri, err := h.residual.Truth(joined)
+			if err != nil {
+				return relation.Tuple{}, false, err
+			}
+			if !tri.IsTrue() {
+				continue
+			}
+		}
+		h.matched = true
+		return joined, true, nil
+	}
+}
+
+func (h *HashJoin) concat(l, r relation.Tuple) relation.Tuple {
+	t := relation.Tuple{Atoms: make([]value.Value, 0, len(l.Atoms)+len(r.Atoms))}
+	t.Atoms = append(append(t.Atoms, l.Atoms...), r.Atoms...)
+	return t
+}
+
+// extractEquiKeys mirrors algebra's equi-conjunct extraction for the
+// iterator pipeline.
+func extractEquiKeys(on expr.Expr, ls, rs *relation.Schema) (lk, rk []int, residual expr.Expr) {
+	var rest []expr.Expr
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		if l, ok := e.(expr.Logic); ok && l.Op == expr.OpAnd {
+			walk(l.L)
+			walk(l.R)
+			return
+		}
+		if c, ok := e.(expr.Cmp); ok && c.Op == expr.Eq {
+			lc, lok := c.L.(expr.Column)
+			rc, rok := c.R.(expr.Column)
+			if lok && rok {
+				li, ri := ls.ColIndex(lc.Name), rs.ColIndex(rc.Name)
+				if li >= 0 && ri >= 0 && rs.ColIndex(lc.Name) < 0 && ls.ColIndex(rc.Name) < 0 {
+					lk, rk = append(lk, li), append(rk, ri)
+					return
+				}
+				li, ri = ls.ColIndex(rc.Name), rs.ColIndex(lc.Name)
+				if li >= 0 && ri >= 0 && rs.ColIndex(rc.Name) < 0 && ls.ColIndex(lc.Name) < 0 {
+					lk, rk = append(lk, li), append(rk, ri)
+					return
+				}
+			}
+		}
+		rest = append(rest, e)
+	}
+	if on != nil {
+		walk(on)
+	}
+	return lk, rk, expr.And(rest...)
+}

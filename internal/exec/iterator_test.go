@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+)
+
+func randFlat(rng *rand.Rand, prefix string, cols, maxRows int) *relation.Relation {
+	names := []string{prefix + ".k"}
+	for i := 0; i < cols; i++ {
+		names = append(names, prefix+"."+string(rune('a'+i)))
+	}
+	var rows [][]any
+	for r := 0; r < rng.Intn(maxRows+1); r++ {
+		row := []any{r}
+		for i := 0; i < cols; i++ {
+			if rng.Intn(6) == 0 {
+				row = append(row, nil)
+			} else {
+				row = append(row, rng.Intn(4))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return relation.MustFromRows(prefix, names, rows...)
+}
+
+func TestScanFilterProjectPipeline(t *testing.T) {
+	rel := relation.MustFromRows("t", []string{"t.a", "t.b"},
+		[]any{1, 10}, []any{2, nil}, []any{3, 30}, []any{4, 5})
+	pred := expr.Compare(expr.Gt, expr.Col("t.b"), expr.Val(7))
+	out, err := Drain(NewProject(NewFilter(NewScan(rel), pred), []string{"t.a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.Select(rel, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = algebra.Project(want, "t.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualSet(want) {
+		t.Fatalf("pipeline != algebra:\n%s\nvs\n%s", out, want)
+	}
+}
+
+func TestIteratorErrors(t *testing.T) {
+	rel := relation.MustFromRows("t", []string{"t.a"}, []any{1})
+	if _, err := Drain(NewFilter(NewScan(rel), expr.Col("nope"))); err == nil {
+		t.Fatal("unknown filter column must error at Open")
+	}
+	if _, err := Drain(NewProject(NewScan(rel), []string{"nope"})); err == nil {
+		t.Fatal("unknown projection column must error at Open")
+	}
+	// Runtime type error surfaces from Next.
+	rel2 := relation.MustFromRows("t", []string{"t.a", "t.s"}, []any{1, "x"})
+	if _, err := Drain(NewFilter(NewScan(rel2), expr.Compare(expr.Eq, expr.Col("t.a"), expr.Col("t.s")))); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}
+
+func TestLimitIterator(t *testing.T) {
+	rel := relation.MustFromRows("t", []string{"t.a"},
+		[]any{1}, []any{2}, []any{3}, []any{4}, []any{5})
+	out, err := Drain(NewLimit(NewScan(rel), 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Tuples[0].Atoms[0].Int64() != 2 || out.Tuples[1].Atoms[0].Int64() != 3 {
+		t.Fatalf("limit window:\n%s", out)
+	}
+	all, _ := Drain(NewLimit(NewScan(rel), -1, 0))
+	if all.Len() != 5 {
+		t.Fatal("unlimited must pass everything")
+	}
+	none, _ := Drain(NewLimit(NewScan(rel), 0, 0))
+	if none.Len() != 0 {
+		t.Fatal("limit 0")
+	}
+	past, _ := Drain(NewLimit(NewScan(rel), 3, 99))
+	if past.Len() != 0 {
+		t.Fatal("offset past end")
+	}
+}
+
+// TestHashJoinIteratorMatchesAlgebra fuzzes the streaming join (inner and
+// left outer, equi and theta) against the materialised algebra join.
+func TestHashJoinIteratorMatchesAlgebra(t *testing.T) {
+	conds := func() []expr.Expr {
+		return []expr.Expr{
+			expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")),
+			expr.And(
+				expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")),
+				expr.Compare(expr.Lt, expr.Col("l.b"), expr.Col("r.b"))),
+			expr.Compare(expr.Ne, expr.Col("l.a"), expr.Col("r.a")), // nested-loop path
+			nil, // cross join
+		}
+	}
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(7000 + seed)))
+		l := randFlat(rng, "l", 2, 8)
+		r := randFlat(rng, "r", 2, 8)
+		cond := conds()[rng.Intn(4)]
+		outer := rng.Intn(2) == 0
+
+		it := NewHashJoin(NewScan(l), NewScan(r), cond, outer)
+		got, err := Drain(it)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var want *relation.Relation
+		if outer {
+			want, err = algebra.LeftOuterJoin(l, r, cond)
+		} else {
+			want, err = algebra.Join(l, r, cond)
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("seed %d (outer=%v): iterator join != algebra join\ngot:\n%s\nwant:\n%s",
+				seed, outer, got, want)
+		}
+	}
+}
+
+func TestHashJoinReopen(t *testing.T) {
+	l := relation.MustFromRows("l", []string{"l.a"}, []any{1}, []any{2})
+	r := relation.MustFromRows("r", []string{"r.a"}, []any{1}, []any{2}, []any{2})
+	it := NewHashJoin(NewScan(l), NewScan(r), expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")), false)
+	first, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Drain(it) // Drain re-Opens
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.EqualSet(second) || first.Len() != 3 {
+		t.Fatalf("reopen changed results: %d vs %d", first.Len(), second.Len())
+	}
+}

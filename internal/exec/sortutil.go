@@ -1,0 +1,11 @@
+package exec
+
+import (
+	"sort"
+
+	"nra/internal/relation"
+)
+
+func sortSliceStable(ts []relation.Tuple, less func(a, b relation.Tuple) bool) {
+	sort.SliceStable(ts, func(i, j int) bool { return less(ts[i], ts[j]) })
+}

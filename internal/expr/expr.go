@@ -1,0 +1,108 @@
+// Package expr implements scalar and boolean expressions over tuples,
+// evaluated under SQL's three-valued logic. Expressions are built by the
+// SQL front end and by planners; operators compile them once against a
+// schema and then evaluate the compiled form per tuple.
+package expr
+
+import (
+	"fmt"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Expr is an expression tree node.
+type Expr interface {
+	// String renders the expression in SQL-ish syntax.
+	String() string
+	// Columns appends the names of all columns referenced to dst.
+	Columns(dst []string) []string
+	// compile resolves column references against env and returns an
+	// evaluator over a tuple stack (innermost frame last).
+	compile(env *Env) (evalFn, error)
+}
+
+type evalFn func(stack []relation.Tuple) (value.Value, error)
+
+// Env is a compilation environment: a stack of schemas, outermost first.
+// Column references resolve in the *innermost* frame that knows the name,
+// which is exactly SQL's correlation rule for subqueries.
+type Env struct {
+	frames []*relation.Schema
+}
+
+// NewEnv builds an environment from schemas, outermost first.
+func NewEnv(schemas ...*relation.Schema) *Env { return &Env{frames: schemas} }
+
+// Push returns a new Env with one more (inner) frame.
+func (e *Env) Push(s *relation.Schema) *Env {
+	frames := make([]*relation.Schema, len(e.frames)+1)
+	copy(frames, e.frames)
+	frames[len(e.frames)] = s
+	return &Env{frames: frames}
+}
+
+// resolve finds (frame, column) for a name, innermost first.
+func (e *Env) resolve(name string) (frame, col int, ok bool) {
+	for f := len(e.frames) - 1; f >= 0; f-- {
+		if c := e.frames[f].ColIndex(name); c >= 0 {
+			return f, c, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Compiled is a bound predicate/scalar ready for repeated evaluation.
+type Compiled struct {
+	fn     evalFn
+	frames int
+}
+
+// Compile binds e against a single-schema environment. The returned
+// Compiled evaluates against one tuple of that schema.
+func Compile(e Expr, s *relation.Schema) (*Compiled, error) {
+	return CompileEnv(e, NewEnv(s))
+}
+
+// CompileEnv binds e against a full environment (for correlated
+// evaluation). Eval must then be given one tuple per frame, outermost
+// first.
+func CompileEnv(e Expr, env *Env) (*Compiled, error) {
+	fn, err := e.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{fn: fn, frames: len(env.frames)}, nil
+}
+
+// Eval evaluates the compiled expression over a tuple stack.
+func (c *Compiled) Eval(stack ...relation.Tuple) (value.Value, error) {
+	if len(stack) != c.frames {
+		return value.Null, fmt.Errorf("expr: evaluated with %d frames, compiled for %d", len(stack), c.frames)
+	}
+	return c.fn(stack)
+}
+
+// Truth evaluates the compiled expression as a predicate under 3VL.
+func (c *Compiled) Truth(stack ...relation.Tuple) (value.Tri, error) {
+	v, err := c.Eval(stack...)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if v.IsNull() {
+		return value.Unknown, nil
+	}
+	if v.Kind() != value.KindBool {
+		return value.Unknown, fmt.Errorf("expr: predicate evaluated to non-boolean %s", v.Kind())
+	}
+	return v.Truth(), nil
+}
+
+// MustCompile is Compile that panics on error; for tests.
+func MustCompile(e Expr, s *relation.Schema) *Compiled {
+	c, err := Compile(e, s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

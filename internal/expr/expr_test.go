@@ -1,0 +1,247 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func schemaRS() *relation.Schema {
+	return relation.NewSchema("R",
+		relation.Column{Name: "R.A", Type: relation.TInt},
+		relation.Column{Name: "R.B", Type: relation.TInt},
+		relation.Column{Name: "R.S", Type: relation.TString},
+	)
+}
+
+func tup(a, b any, s any) relation.Tuple {
+	va, _ := relation.ToValue(a)
+	vb, _ := relation.ToValue(b)
+	vs, _ := relation.ToValue(s)
+	return relation.NewTuple(va, vb, vs)
+}
+
+func TestColumnAndLiteral(t *testing.T) {
+	c := MustCompile(Col("R.B"), schemaRS())
+	v, err := c.Eval(tup(1, 7, "x"))
+	if err != nil || v.Int64() != 7 {
+		t.Fatalf("col eval: %v %v", v, err)
+	}
+	lit := MustCompile(Val(3.5), schemaRS())
+	v, _ = lit.Eval(tup(0, 0, ""))
+	if v.Float64() != 3.5 {
+		t.Fatal("literal eval")
+	}
+}
+
+func TestUnknownColumnError(t *testing.T) {
+	if _, err := Compile(Col("R.Z"), schemaRS()); err == nil {
+		t.Fatal("unknown column must fail at compile time")
+	}
+}
+
+func TestComparisons3VL(t *testing.T) {
+	s := schemaRS()
+	tests := []struct {
+		e    Expr
+		t    relation.Tuple
+		want value.Tri
+	}{
+		{Compare(Gt, Col("R.A"), Val(5)), tup(6, 0, ""), value.True},
+		{Compare(Gt, Col("R.A"), Val(5)), tup(5, 0, ""), value.False},
+		{Compare(Gt, Col("R.A"), Val(5)), tup(nil, 0, ""), value.Unknown},
+		{Compare(Eq, Col("R.A"), Col("R.B")), tup(2, 2, ""), value.True},
+		{Compare(Ne, Col("R.A"), Col("R.B")), tup(2, nil, ""), value.Unknown},
+		{Compare(Le, Col("R.S"), Val("m")), tup(0, 0, "a"), value.True},
+	}
+	for i, tc := range tests {
+		c := MustCompile(tc.e, s)
+		got, err := c.Truth(tc.t)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != tc.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestLogicAndNot3VL(t *testing.T) {
+	s := schemaRS()
+	// R.A > 5 AND R.B = 1, with NULLs flowing through.
+	e := And(Compare(Gt, Col("R.A"), Val(5)), Compare(Eq, Col("R.B"), Val(1)))
+	c := MustCompile(e, s)
+	cases := []struct {
+		t    relation.Tuple
+		want value.Tri
+	}{
+		{tup(6, 1, ""), value.True},
+		{tup(6, 2, ""), value.False},
+		{tup(4, nil, ""), value.False},   // False AND Unknown = False
+		{tup(6, nil, ""), value.Unknown}, // True AND Unknown = Unknown
+		{tup(nil, nil, ""), value.Unknown},
+	}
+	for i, tc := range cases {
+		got, err := c.Truth(tc.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("AND case %d: got %v want %v", i, got, tc.want)
+		}
+	}
+	or := MustCompile(Or(Compare(Gt, Col("R.A"), Val(5)), Compare(Eq, Col("R.B"), Val(1))), s)
+	if got, _ := or.Truth(tup(nil, 1, "")); got != value.True {
+		t.Error("Unknown OR True must be True")
+	}
+	not := MustCompile(Not{E: Compare(Gt, Col("R.A"), Val(5))}, s)
+	if got, _ := not.Truth(tup(nil, 0, "")); got != value.Unknown {
+		t.Error("NOT Unknown must be Unknown")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	s := schemaRS()
+	isn := MustCompile(IsNull{E: Col("R.A")}, s)
+	if got, _ := isn.Truth(tup(nil, 0, "")); got != value.True {
+		t.Error("IS NULL on NULL")
+	}
+	if got, _ := isn.Truth(tup(1, 0, "")); got != value.False {
+		t.Error("IS NULL on value")
+	}
+	isnn := MustCompile(IsNull{E: Col("R.A"), Negate: true}, s)
+	if got, _ := isnn.Truth(tup(nil, 0, "")); got != value.False {
+		t.Error("IS NOT NULL on NULL")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	s := schemaRS()
+	e := MustCompile(Arith{Op: Add, L: Col("R.A"), R: Arith{Op: Mul, L: Col("R.B"), R: Val(2)}}, s)
+	v, err := e.Eval(tup(1, 3, ""))
+	if err != nil || v.Int64() != 7 {
+		t.Fatalf("1+3*2 = %v (%v)", v, err)
+	}
+	v, _ = e.Eval(tup(nil, 3, ""))
+	if !v.IsNull() {
+		t.Fatal("NULL arithmetic must be NULL")
+	}
+	div := MustCompile(Arith{Op: Div, L: Val(1), R: Col("R.A")}, s)
+	if _, err := div.Eval(tup(0, 0, "")); err == nil {
+		t.Fatal("division by zero must error")
+	}
+	v, err = div.Eval(tup(4, 0, ""))
+	if err != nil || v.Float64() != 0.25 {
+		t.Fatalf("1/4 = %v (%v)", v, err)
+	}
+	bad := MustCompile(Arith{Op: Add, L: Col("R.S"), R: Val(1)}, s)
+	if _, err := bad.Eval(tup(0, 0, "x")); err == nil {
+		t.Fatal("string arithmetic must error")
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	s := schemaRS()
+	c := MustCompile(Compare(Eq, Col("R.A"), Col("R.S")), s)
+	if _, err := c.Truth(tup(1, 0, "x")); err == nil {
+		t.Fatal("int=string comparison must error")
+	}
+	l := MustCompile(Logic{Op: OpAnd, L: Col("R.A"), R: Val(true)}, s)
+	if _, err := l.Truth(tup(1, 0, "")); err == nil {
+		t.Fatal("non-boolean logic operand must error")
+	}
+}
+
+func TestCorrelatedEnvResolution(t *testing.T) {
+	outer := relation.NewSchema("R", relation.Column{Name: "R.A", Type: relation.TInt})
+	inner := relation.NewSchema("S", relation.Column{Name: "S.B", Type: relation.TInt})
+	env := NewEnv(outer).Push(inner)
+	c, err := CompileEnv(Compare(Eq, Col("R.A"), Col("S.B")), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Truth(relation.NewTuple(value.Int(3)), relation.NewTuple(value.Int(3)))
+	if err != nil || got != value.True {
+		t.Fatalf("correlated eval: %v %v", got, err)
+	}
+	// Inner frame shadows outer frame for same-named columns.
+	inner2 := relation.NewSchema("S", relation.Column{Name: "R.A", Type: relation.TInt})
+	env2 := NewEnv(outer).Push(inner2)
+	c2, err := CompileEnv(Col("R.A"), env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c2.Eval(relation.NewTuple(value.Int(1)), relation.NewTuple(value.Int(2)))
+	if v.Int64() != 2 {
+		t.Fatal("innermost frame must win")
+	}
+	// Wrong frame count errors.
+	if _, err := c2.Eval(relation.NewTuple(value.Int(1))); err == nil {
+		t.Fatal("frame count mismatch must error")
+	}
+}
+
+func TestCmpOpNegateFlipQuick(t *testing.T) {
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	err := quick.Check(func(oi uint8, a, b int64) bool {
+		op := ops[int(oi)%len(ops)]
+		x, y := value.Int(a), value.Int(b)
+		direct, _ := op.Apply(x, y)
+		neg, _ := op.Negate().Apply(x, y)
+		flip, _ := op.Flip().Apply(y, x)
+		return direct == neg.Not() && direct == flip
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpOpNegateWithNullStaysUnknown(t *testing.T) {
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		direct, _ := op.Apply(value.Null, value.Int(1))
+		neg, _ := op.Negate().Apply(value.Null, value.Int(1))
+		if direct != value.Unknown || neg != value.Unknown {
+			t.Errorf("%s: NULL comparison must stay Unknown under negation", op)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(
+		Compare(Gt, Col("R.A"), Val(10)),
+		Not{E: IsNull{E: Col("R.B")}},
+	)
+	s := e.String()
+	for _, want := range []string{"R.A > 10", "NOT", "R.B IS NULL", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+	if Val("o'brien").String() != "'o''brien'" {
+		t.Errorf("string literal quoting: %s", Val("o'brien"))
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := And(Compare(Gt, Col("R.A"), Col("R.B")), IsNull{E: Col("R.S")})
+	got := e.Columns(nil)
+	if len(got) != 3 {
+		t.Fatalf("Columns = %v", got)
+	}
+}
+
+func TestAndOfNothingIsNil(t *testing.T) {
+	if And() != nil {
+		t.Fatal("And() should be nil")
+	}
+	if And(nil, nil) != nil {
+		t.Fatal("And(nil,nil) should be nil")
+	}
+	one := Compare(Eq, Col("R.A"), Val(1))
+	if And(nil, one) != Expr(one) {
+		t.Fatal("And of single expr should be that expr")
+	}
+}

@@ -1,0 +1,423 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// CmpOp is a comparison operator θ ∈ {=, <>, <, <=, >, >=}.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Negate returns the complement operator (¬(a op b) = a op' b under 2VL;
+// under 3VL the Unknown case is preserved because both sides map NULL
+// comparisons to Unknown).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	}
+	panic("expr: invalid CmpOp")
+}
+
+// Flip returns the operator with swapped operands: a op b == b op.Flip() a.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return op // = and <> are symmetric
+	}
+}
+
+// Apply evaluates a θ b under 3VL.
+func (op CmpOp) Apply(a, b value.Value) (value.Tri, error) {
+	cmp, known, err := value.Compare(a, b)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if !known {
+		return value.Unknown, nil
+	}
+	switch op {
+	case Eq:
+		return value.TriOf(cmp == 0), nil
+	case Ne:
+		return value.TriOf(cmp != 0), nil
+	case Lt:
+		return value.TriOf(cmp < 0), nil
+	case Le:
+		return value.TriOf(cmp <= 0), nil
+	case Gt:
+		return value.TriOf(cmp > 0), nil
+	case Ge:
+		return value.TriOf(cmp >= 0), nil
+	}
+	return value.Unknown, fmt.Errorf("expr: invalid comparison operator %d", op)
+}
+
+// Column references an atomic column by (usually qualified) name.
+type Column struct{ Name string }
+
+// Col is shorthand for a column reference.
+func Col(name string) Column { return Column{Name: name} }
+
+func (c Column) String() string                { return c.Name }
+func (c Column) Columns(dst []string) []string { return append(dst, c.Name) }
+
+func (c Column) compile(env *Env) (evalFn, error) {
+	f, i, ok := env.resolve(c.Name)
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown column %q", c.Name)
+	}
+	return func(stack []relation.Tuple) (value.Value, error) {
+		return stack[f].Atoms[i], nil
+	}, nil
+}
+
+// Lit is a literal value.
+type Lit struct{ V value.Value }
+
+// Val wraps a Go literal as an expression (nil = NULL).
+func Val(x any) Lit {
+	v, err := relation.ToValue(x)
+	if err != nil {
+		panic(err)
+	}
+	return Lit{V: v}
+}
+
+func (l Lit) String() string {
+	if l.V.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(l.V.Text(), "'", "''") + "'"
+	}
+	return l.V.String()
+}
+func (l Lit) Columns(dst []string) []string { return dst }
+
+func (l Lit) compile(*Env) (evalFn, error) {
+	v := l.V
+	return func([]relation.Tuple) (value.Value, error) { return v, nil }, nil
+}
+
+// Cmp is a binary comparison L θ R.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Compare builds a comparison node.
+func Compare(op CmpOp, l, r Expr) Cmp { return Cmp{Op: op, L: l, R: r} }
+
+func (c Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+func (c Cmp) Columns(dst []string) []string {
+	return c.R.Columns(c.L.Columns(dst))
+}
+
+func (c Cmp) compile(env *Env) (evalFn, error) {
+	lf, err := c.L.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := c.R.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(stack []relation.Tuple) (value.Value, error) {
+		a, err := lf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		b, err := rf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		t, err := op.Apply(a, b)
+		if err != nil {
+			return value.Null, err
+		}
+		return t.Value(), nil
+	}, nil
+}
+
+// LogicOp is AND or OR.
+type LogicOp uint8
+
+// The binary logical connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+func (op LogicOp) String() string {
+	if op == OpAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Logic is a Kleene conjunction or disjunction.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// And builds the conjunction of the given predicates (nil for empty input).
+func And(es ...Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = Logic{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Or builds the disjunction of the given predicates.
+func Or(l, r Expr) Expr { return Logic{Op: OpOr, L: l, R: r} }
+
+func (l Logic) String() string { return fmt.Sprintf("(%s %s %s)", l.L, l.Op, l.R) }
+func (l Logic) Columns(dst []string) []string {
+	return l.R.Columns(l.L.Columns(dst))
+}
+
+func (l Logic) compile(env *Env) (evalFn, error) {
+	lf, err := l.L.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := l.R.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	and := l.Op == OpAnd
+	return func(stack []relation.Tuple) (value.Value, error) {
+		a, err := lf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		ta, err := asTri(a)
+		if err != nil {
+			return value.Null, err
+		}
+		// Short circuit where 3VL allows it.
+		if and && ta == value.False {
+			return value.Bool(false), nil
+		}
+		if !and && ta == value.True {
+			return value.Bool(true), nil
+		}
+		b, err := rf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		tb, err := asTri(b)
+		if err != nil {
+			return value.Null, err
+		}
+		if and {
+			return ta.And(tb).Value(), nil
+		}
+		return ta.Or(tb).Value(), nil
+	}, nil
+}
+
+func asTri(v value.Value) (value.Tri, error) {
+	if v.IsNull() {
+		return value.Unknown, nil
+	}
+	if v.Kind() != value.KindBool {
+		return value.Unknown, fmt.Errorf("expr: logical operand is %s, not boolean", v.Kind())
+	}
+	return v.Truth(), nil
+}
+
+// Not is Kleene negation.
+type Not struct{ E Expr }
+
+func (n Not) String() string                { return fmt.Sprintf("NOT (%s)", n.E) }
+func (n Not) Columns(dst []string) []string { return n.E.Columns(dst) }
+
+func (n Not) compile(env *Env) (evalFn, error) {
+	f, err := n.E.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	return func(stack []relation.Tuple) (value.Value, error) {
+		v, err := f(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		t, err := asTri(v)
+		if err != nil {
+			return value.Null, err
+		}
+		return t.Not().Value(), nil
+	}, nil
+}
+
+// IsNull is the IS [NOT] NULL predicate — the only predicate that is never
+// Unknown.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (p IsNull) String() string {
+	if p.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", p.E)
+	}
+	return fmt.Sprintf("%s IS NULL", p.E)
+}
+func (p IsNull) Columns(dst []string) []string { return p.E.Columns(dst) }
+
+func (p IsNull) compile(env *Env) (evalFn, error) {
+	f, err := p.E.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	neg := p.Negate
+	return func(stack []relation.Tuple) (value.Value, error) {
+		v, err := f(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(v.IsNull() != neg), nil
+	}, nil
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// The arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[op] }
+
+// Arith is binary arithmetic; any NULL operand yields NULL.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (a Arith) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+func (a Arith) Columns(dst []string) []string {
+	return a.R.Columns(a.L.Columns(dst))
+}
+
+func (a Arith) compile(env *Env) (evalFn, error) {
+	lf, err := a.L.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := a.R.compile(env)
+	if err != nil {
+		return nil, err
+	}
+	op := a.Op
+	return func(stack []relation.Tuple) (value.Value, error) {
+		x, err := lf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		y, err := rf(stack)
+		if err != nil {
+			return value.Null, err
+		}
+		return applyArith(op, x, y)
+	}, nil
+}
+
+func applyArith(op ArithOp, x, y value.Value) (value.Value, error) {
+	if x.IsNull() || y.IsNull() {
+		return value.Null, nil
+	}
+	if x.Kind() == value.KindInt && y.Kind() == value.KindInt && op != Div {
+		a, b := x.Int64(), y.Int64()
+		switch op {
+		case Add:
+			return value.Int(a + b), nil
+		case Sub:
+			return value.Int(a - b), nil
+		case Mul:
+			return value.Int(a * b), nil
+		}
+	}
+	if (x.Kind() == value.KindInt || x.Kind() == value.KindFloat) &&
+		(y.Kind() == value.KindInt || y.Kind() == value.KindFloat) {
+		a, b := x.Float64(), y.Float64()
+		switch op {
+		case Add:
+			return value.Float(a + b), nil
+		case Sub:
+			return value.Float(a - b), nil
+		case Mul:
+			return value.Float(a * b), nil
+		case Div:
+			if b == 0 {
+				return value.Null, fmt.Errorf("expr: division by zero")
+			}
+			return value.Float(a / b), nil
+		}
+	}
+	return value.Null, fmt.Errorf("expr: arithmetic on %s and %s", x.Kind(), y.Kind())
+}

@@ -1,0 +1,133 @@
+// Package index implements the two access structures the native baseline
+// ("System A") uses: an equality hash index and a sorted index supporting
+// range scans — the functional equivalent of the B+-trees the paper's
+// experiments rely on. The nested relational approach itself needs no
+// indexes (§1), so only internal/native consumes this package.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Index maps key values of one or more columns to the row ids of a base
+// relation. Both point lookups (hash) and ordered range scans (sorted row
+// list) are supported.
+type Index struct {
+	cols    []string
+	colIdx  []int
+	hash    map[string][]int
+	ordered []int // row ids sorted by key, for range scans on 1-col indexes
+	rel     *relation.Relation
+}
+
+// Build constructs an index over the given columns of rel. Rows with a
+// NULL in any key column are excluded from the hash (SQL equality never
+// matches NULL) but present in the ordered list (sorted first).
+func Build(rel *relation.Relation, cols []string) (*Index, error) {
+	idx := &Index{cols: append([]string(nil), cols...), rel: rel}
+	for _, c := range cols {
+		j := rel.Schema.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("index: no column %q in %s", c, rel.Schema)
+		}
+		idx.colIdx = append(idx.colIdx, j)
+	}
+	idx.hash = make(map[string][]int, rel.Len())
+rows:
+	for i, t := range rel.Tuples {
+		for _, j := range idx.colIdx {
+			if t.Atoms[j].IsNull() {
+				continue rows
+			}
+		}
+		k := t.KeyOn(idx.colIdx)
+		idx.hash[k] = append(idx.hash[k], i)
+	}
+	idx.ordered = make([]int, rel.Len())
+	for i := range idx.ordered {
+		idx.ordered[i] = i
+	}
+	sort.SliceStable(idx.ordered, func(a, b int) bool {
+		ta, tb := rel.Tuples[idx.ordered[a]], rel.Tuples[idx.ordered[b]]
+		for _, j := range idx.colIdx {
+			va, vb := ta.Atoms[j], tb.Atoms[j]
+			if !value.Identical(va, vb) {
+				return value.Less(va, vb)
+			}
+		}
+		return false
+	})
+	return idx, nil
+}
+
+// Columns returns the indexed column names.
+func (x *Index) Columns() []string { return append([]string(nil), x.cols...) }
+
+// Lookup returns the row ids whose key equals the given values. A NULL
+// probe never matches.
+func (x *Index) Lookup(keys ...value.Value) []int {
+	if len(keys) != len(x.colIdx) {
+		return nil
+	}
+	var buf []byte
+	for _, k := range keys {
+		if k.IsNull() {
+			return nil
+		}
+		buf = k.AppendKey(buf)
+	}
+	return x.hash[string(buf)]
+}
+
+// Entries returns the number of distinct keys in the index; a rough size
+// measure the native planner uses to prefer smaller index structures
+// (the paper's Query 3a(b) observation).
+func (x *Index) Entries() int { return len(x.hash) }
+
+// Range scans a single-column index and returns the row ids whose key v
+// satisfies lo ≤ v ≤ hi (a nil bound is open). NULL keys never qualify.
+func (x *Index) Range(lo, hi *value.Value) []int {
+	if len(x.colIdx) != 1 {
+		return nil
+	}
+	j := x.colIdx[0]
+	keyAt := func(i int) value.Value { return x.rel.Tuples[x.ordered[i]].Atoms[j] }
+	// Binary-search the start position: NULLs sort first in the ordered
+	// list, and value.Less is consistent with value.Compare on same-kind
+	// keys, so the ordered list is usable as a B+-tree leaf chain.
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(x.ordered), func(i int) bool {
+			v := keyAt(i)
+			if v.IsNull() {
+				return false
+			}
+			cmp, known, err := value.Compare(v, *lo)
+			return err == nil && known && cmp >= 0
+		})
+	} else {
+		start = sort.Search(len(x.ordered), func(i int) bool { return !keyAt(i).IsNull() })
+	}
+	var out []int
+	for i := start; i < len(x.ordered); i++ {
+		v := keyAt(i)
+		if v.IsNull() {
+			continue
+		}
+		if hi != nil {
+			cmp, known, err := value.Compare(v, *hi)
+			if err != nil || !known {
+				continue
+			}
+			if cmp > 0 {
+				break
+			}
+		}
+		out = append(out, x.ordered[i])
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func sample() *relation.Relation {
+	return relation.MustFromRows("t", []string{"a", "b"},
+		[]any{5, "x"},
+		[]any{3, "y"},
+		[]any{5, "z"},
+		[]any{nil, "w"},
+		[]any{8, "y"},
+	)
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(sample(), []string{"nope"}); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	idx, err := Build(sample(), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := idx.Lookup(value.Int(5)); len(rows) != 2 {
+		t.Fatalf("a=5 rows = %v", rows)
+	}
+	if rows := idx.Lookup(value.Int(4)); rows != nil {
+		t.Fatalf("a=4 rows = %v", rows)
+	}
+	if rows := idx.Lookup(value.Null); rows != nil {
+		t.Fatal("NULL probe must match nothing (SQL equality)")
+	}
+	if rows := idx.Lookup(value.Int(1), value.Int(2)); rows != nil {
+		t.Fatal("wrong arity must match nothing")
+	}
+	if idx.Entries() != 3 { // 3, 5, 8 (NULL row excluded)
+		t.Fatalf("entries = %d", idx.Entries())
+	}
+}
+
+func TestCompositeLookup(t *testing.T) {
+	idx, err := Build(sample(), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := idx.Lookup(value.Int(5), value.Str("z")); len(rows) != 1 || rows[0] != 2 {
+		t.Fatalf("composite lookup = %v", rows)
+	}
+	if cols := idx.Columns(); len(cols) != 2 || cols[0] != "a" {
+		t.Fatalf("columns = %v", cols)
+	}
+}
+
+func TestRange(t *testing.T) {
+	idx, err := Build(sample(), []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := value.Int(4), value.Int(8)
+	rows := idx.Range(&lo, &hi)
+	if len(rows) != 3 { // 5, 5, 8
+		t.Fatalf("range [4,8] rows = %v", rows)
+	}
+	// Open bounds.
+	if rows := idx.Range(nil, nil); len(rows) != 4 { // NULL excluded
+		t.Fatalf("full range rows = %v", rows)
+	}
+	onlyHi := value.Int(3)
+	if rows := idx.Range(nil, &onlyHi); len(rows) != 1 {
+		t.Fatalf("range (-inf,3] rows = %v", rows)
+	}
+	onlyLo := value.Int(6)
+	if rows := idx.Range(&onlyLo, nil); len(rows) != 1 {
+		t.Fatalf("range [6,inf) rows = %v", rows)
+	}
+	// Range on a composite index is unsupported.
+	comp, _ := Build(sample(), []string{"a", "b"})
+	if comp.Range(&lo, &hi) != nil {
+		t.Fatal("composite range should be nil")
+	}
+}
+
+// TestRangeMatchesScanQuick: the binary-searched range scan must agree
+// with a naive filter for random data and bounds.
+func TestRangeMatchesScanQuick(t *testing.T) {
+	err := quick.Check(func(seed int64, loRaw, hiRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rows [][]any
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			if rng.Intn(5) == 0 {
+				rows = append(rows, []any{nil})
+			} else {
+				rows = append(rows, []any{rng.Intn(20)})
+			}
+		}
+		rel := relation.MustFromRows("t", []string{"k"}, rows...)
+		idx, err := Build(rel, []string{"k"})
+		if err != nil {
+			return false
+		}
+		lo, hi := value.Int(int64(loRaw%20)), value.Int(int64(hiRaw%20))
+		got := idx.Range(&lo, &hi)
+		want := map[int]bool{}
+		for i, tup := range rel.Tuples {
+			v := tup.Atoms[0]
+			if v.IsNull() {
+				continue
+			}
+			c1, k1, _ := value.Compare(v, lo)
+			c2, k2, _ := value.Compare(v, hi)
+			if k1 && k2 && c1 >= 0 && c2 <= 0 {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, r := range got {
+			if !want[r] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLookupMatchesScanQuick: hash lookups must agree with a naive filter.
+func TestLookupMatchesScanQuick(t *testing.T) {
+	err := quick.Check(func(seed int64, probe uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rows [][]any
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			rows = append(rows, []any{rng.Intn(10), rng.Intn(3)})
+		}
+		rel := relation.MustFromRows("t", []string{"k", "v"}, rows...)
+		idx, err := Build(rel, []string{"k"})
+		if err != nil {
+			return false
+		}
+		p := value.Int(int64(probe % 10))
+		got := idx.Lookup(p)
+		count := 0
+		for _, tup := range rel.Tuples {
+			if value.Identical(tup.Atoms[0], p) {
+				count++
+			}
+		}
+		return len(got) == count
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package iomodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Seq(100)
+	m.Seq(50)
+	m.Rand(3)
+	if m.SeqTuples != 150 || m.RandOps != 3 {
+		t.Fatalf("meter = %+v", m)
+	}
+	m.Reset()
+	if m.SeqTuples != 0 || m.RandOps != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Seq(10) // must not panic
+	m.Rand(10)
+	m.Reset()
+	if m.Cost(Disk2005()) != 0 {
+		t.Fatal("nil meter cost should be 0")
+	}
+	if m.String() != "no meter" {
+		t.Fatalf("nil meter string = %q", m.String())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	p := Params{TuplesPerPage: 100, SeqPageCost: time.Millisecond, RandCost: 10 * time.Millisecond}
+	var m Meter
+	m.Seq(250) // 3 pages (rounded up)
+	m.Rand(2)
+	want := 3*time.Millisecond + 20*time.Millisecond
+	if got := m.Cost(p); got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	// Exact page multiples do not round up.
+	m.Reset()
+	m.Seq(200)
+	if got := m.Cost(p); got != 2*time.Millisecond {
+		t.Fatalf("cost = %v", got)
+	}
+}
+
+func TestDisk2005RandomDominates(t *testing.T) {
+	// The whole point of the model: at 2005 constants, one random access
+	// costs as much as ~50 sequential pages (~5000 tuples).
+	p := Disk2005()
+	var seq, rnd Meter
+	seq.Seq(5000)
+	rnd.Rand(1)
+	if seq.Cost(p) < rnd.Cost(p)/2 {
+		t.Fatalf("unexpected balance: seq=%v rand=%v", seq.Cost(p), rnd.Cost(p))
+	}
+	if rnd.Cost(p) != 5*time.Millisecond {
+		t.Fatalf("rand cost = %v", rnd.Cost(p))
+	}
+}
+
+func TestString(t *testing.T) {
+	var m Meter
+	m.Seq(7)
+	m.Rand(2)
+	s := m.String()
+	if !strings.Contains(s, "seq=7") || !strings.Contains(s, "rand=2") {
+		t.Fatalf("string = %q", s)
+	}
+}

@@ -1,0 +1,546 @@
+// Package naive is the ground-truth reference evaluator: it executes an
+// analyzed query by direct tuple iteration, exactly following SQL's
+// three-valued, nested-iteration semantics ("for each outer tuple,
+// re-evaluate the subquery"). It is deliberately simple and unoptimised —
+// its only job is to be obviously correct, so the differential tests can
+// hold the nested relational approach and the native baseline to it.
+//
+// Unlike the planners, it supports arbitrary WHERE shapes: subqueries
+// under OR and NOT, multiple subqueries per conjunct, any nesting depth.
+package naive
+
+import (
+	"fmt"
+	"sort"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// Evaluate runs the analyzed query and returns the result relation. The
+// result columns are the root block's select items (qualified names, or
+// aliases where given).
+func Evaluate(q *sql.Query) (*relation.Relation, error) {
+	e := &evaluator{q: q}
+	return e.evalRoot()
+}
+
+type frame struct {
+	block *sql.Block
+	tuple relation.Tuple
+}
+
+type evaluator struct {
+	q      *sql.Query
+	frames []frame
+}
+
+func (e *evaluator) evalRoot() (*relation.Relation, error) {
+	root := e.q.Root
+	if len(root.AggItems) > 0 {
+		return e.evalRootAggregate(root)
+	}
+	outSchema, items, err := e.rootSchema(root)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+
+	err = e.eachBlockTuple(root, func(t relation.Tuple) error {
+		keep, err := e.where(root, t)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		if items == nil { // SELECT *
+			out.Append(relation.Tuple{Atoms: append([]value.Value(nil), t.Atoms...)})
+			return nil
+		}
+		e.push(root, t)
+		defer e.pop()
+		row := relation.Tuple{Atoms: make([]value.Value, len(items))}
+		for i, it := range items {
+			v, err := e.evalExpr(it)
+			if err != nil {
+				return err
+			}
+			row.Atoms[i] = v
+		}
+		out.Append(row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if root.Sel.Distinct {
+		dedup := relation.New(outSchema)
+		seen := make(map[string]struct{}, out.Len())
+		for _, t := range out.Tuples {
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			dedup.Append(t)
+		}
+		out = dedup
+	}
+
+	if len(root.Sel.OrderBy) > 0 {
+		if err := e.orderBy(out, root, items); err != nil {
+			return nil, err
+		}
+	}
+	return applyLimit(out, root.Sel.Limit, root.Sel.Offset), nil
+}
+
+// applyLimit slices per LIMIT/OFFSET; limit < 0 means none.
+func applyLimit(r *relation.Relation, limit, offset int) *relation.Relation {
+	if limit < 0 && offset <= 0 {
+		return r
+	}
+	start := offset
+	if start > r.Len() {
+		start = r.Len()
+	}
+	end := r.Len()
+	if limit >= 0 && start+limit < end {
+		end = start + limit
+	}
+	out := relation.New(r.Schema)
+	out.Append(r.Tuples[start:end]...)
+	return out
+}
+
+// evalRootAggregate evaluates an aggregate-only root select list: one
+// output row folding all qualifying tuples (no GROUP BY).
+func (e *evaluator) evalRootAggregate(root *sql.Block) (*relation.Relation, error) {
+	outSchema := &relation.Schema{Name: "result"}
+	states := make([]*algebra.AggState, len(root.AggItems))
+	colIdx := make([]int, len(root.AggItems))
+	for i, info := range root.AggItems {
+		name := root.Sel.Items[i].Alias
+		if name == "" {
+			name = root.Sel.Items[i].Expr.String()
+		}
+		outSchema.Cols = append(outSchema.Cols, relation.Column{Name: name, Type: relation.TAny})
+		states[i] = algebra.NewAggState(info.Func)
+		colIdx[i] = -1
+		if info.Col != "" {
+			colIdx[i] = root.Schema.ColIndex(info.Col)
+		}
+	}
+	err := e.eachBlockTuple(root, func(t relation.Tuple) error {
+		keep, err := e.where(root, t)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		for i, st := range states {
+			if colIdx[i] < 0 {
+				st.AddRow()
+				continue
+			}
+			if err := st.Add(t.Atoms[colIdx[i]]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+	row := relation.Tuple{Atoms: make([]value.Value, len(states))}
+	for i, st := range states {
+		row.Atoms[i] = st.Result()
+	}
+	out.Append(row)
+	return applyLimit(out, root.Sel.Limit, root.Sel.Offset), nil
+}
+
+// rootSchema derives the output schema and the list of item expressions.
+func (e *evaluator) rootSchema(root *sql.Block) (*relation.Schema, []sql.Expr, error) {
+	s := &relation.Schema{Name: "result"}
+	var items []sql.Expr
+	if root.Sel.Star {
+		// SELECT *: output the block schema positionally (items == nil).
+		s.Cols = append(s.Cols, root.Schema.Cols...)
+		return s, nil, nil
+	}
+	for _, it := range root.Sel.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		s.Cols = append(s.Cols, relation.Column{Name: name, Type: relation.TAny})
+		items = append(items, it.Expr)
+	}
+	return s, items, nil
+}
+
+// eachBlockTuple enumerates the cross product of a block's FROM tables.
+func (e *evaluator) eachBlockTuple(b *sql.Block, f func(relation.Tuple) error) error {
+	width := len(b.Schema.Cols)
+	current := relation.Tuple{Atoms: make([]value.Value, 0, width)}
+	var rec func(ti int) error
+	rec = func(ti int) error {
+		if ti == len(b.Tables) {
+			t := relation.Tuple{Atoms: append([]value.Value(nil), current.Atoms...)}
+			return f(t)
+		}
+		for _, row := range b.Tables[ti].Table.Rel.Tuples {
+			save := len(current.Atoms)
+			current.Atoms = append(current.Atoms, row.Atoms...)
+			if err := rec(ti + 1); err != nil {
+				return err
+			}
+			current.Atoms = current.Atoms[:save]
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// where evaluates the full (undecomposed) WHERE of a block for tuple t.
+func (e *evaluator) where(b *sql.Block, t relation.Tuple) (bool, error) {
+	if b.Sel.Where == nil {
+		return true, nil
+	}
+	e.push(b, t)
+	defer e.pop()
+	tri, err := e.truth(b.Sel.Where)
+	if err != nil {
+		return false, err
+	}
+	return tri == value.True, nil
+}
+
+func (e *evaluator) push(b *sql.Block, t relation.Tuple) {
+	e.frames = append(e.frames, frame{block: b, tuple: t})
+}
+func (e *evaluator) pop() { e.frames = e.frames[:len(e.frames)-1] }
+
+// lookup finds the value of a resolved column in the current frame stack.
+func (e *evaluator) lookup(c *sql.ColRef) (value.Value, error) {
+	res, ok := e.q.Resolve(c)
+	if !ok {
+		return value.Null, fmt.Errorf("naive: unresolved column %s", c)
+	}
+	for i := len(e.frames) - 1; i >= 0; i-- {
+		if e.frames[i].block == res.Block {
+			j := res.Block.Schema.ColIndex(res.Name)
+			if j < 0 {
+				return value.Null, fmt.Errorf("naive: column %s missing from block schema", res.Name)
+			}
+			return e.frames[i].tuple.Atoms[j], nil
+		}
+	}
+	return value.Null, fmt.Errorf("naive: no frame for block %d (column %s)", res.Block.ID, c)
+}
+
+// truth evaluates a predicate under 3VL.
+func (e *evaluator) truth(x sql.Expr) (value.Tri, error) {
+	v, err := e.evalExpr(x)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if v.IsNull() {
+		return value.Unknown, nil
+	}
+	if v.Kind() != value.KindBool {
+		return value.Unknown, fmt.Errorf("naive: predicate evaluated to %s", v.Kind())
+	}
+	return v.Truth(), nil
+}
+
+// evalExpr evaluates a scalar/boolean AST expression in the current frame
+// stack, including subquery predicates.
+func (e *evaluator) evalExpr(x sql.Expr) (value.Value, error) {
+	switch n := x.(type) {
+	case *sql.Lit:
+		return n.V, nil
+	case *sql.ColRef:
+		return e.lookup(n)
+	case *sql.NotExpr:
+		t, err := e.truth(n.E)
+		if err != nil {
+			return value.Null, err
+		}
+		return t.Not().Value(), nil
+	case *sql.IsNullExpr:
+		v, err := e.evalExpr(n.E)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(v.IsNull() != n.Negate), nil
+	case *sql.BinOp:
+		return e.evalBinOp(n)
+	case *sql.SubqueryPred:
+		t, err := e.evalSubquery(n)
+		if err != nil {
+			return value.Null, err
+		}
+		return t.Value(), nil
+	case *sql.ScalarSub:
+		return e.evalScalarSub(n)
+	}
+	return value.Null, fmt.Errorf("naive: cannot evaluate %T", x)
+}
+
+// evalScalarSub computes a scalar aggregate subquery in the current
+// correlation environment: fold the aggregate over the qualifying rows.
+func (e *evaluator) evalScalarSub(sc *sql.ScalarSub) (value.Value, error) {
+	child := e.blockFor(sc.Sel)
+	if child == nil {
+		return value.Null, fmt.Errorf("naive: no analyzed block for scalar subquery")
+	}
+	return e.aggregateBlock(child)
+}
+
+// aggregateBlock folds a block's single aggregate over its qualifying
+// tuples (locals, correlation and nested subqueries all honoured).
+func (e *evaluator) aggregateBlock(child *sql.Block) (value.Value, error) {
+	agg, ok := child.Agg()
+	if !ok {
+		return value.Null, fmt.Errorf("naive: block %d is not a scalar aggregate", child.ID)
+	}
+	state := algebra.NewAggState(agg.Func)
+	colIdx := -1
+	if agg.Col != "" {
+		colIdx = child.Schema.ColIndex(agg.Col)
+		if colIdx < 0 {
+			return value.Null, fmt.Errorf("naive: aggregate column %s missing", agg.Col)
+		}
+	}
+	err := e.eachBlockTuple(child, func(t relation.Tuple) error {
+		keep, err := e.where(child, t)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		if colIdx < 0 {
+			state.AddRow()
+			return nil
+		}
+		return state.Add(t.Atoms[colIdx])
+	})
+	if err != nil {
+		return value.Null, err
+	}
+	return state.Result(), nil
+}
+
+func (e *evaluator) evalBinOp(n *sql.BinOp) (value.Value, error) {
+	switch n.Op {
+	case "AND", "OR":
+		lt, err := e.truth(n.L)
+		if err != nil {
+			return value.Null, err
+		}
+		rt, err := e.truth(n.R)
+		if err != nil {
+			return value.Null, err
+		}
+		if n.Op == "AND" {
+			return lt.And(rt).Value(), nil
+		}
+		return lt.Or(rt).Value(), nil
+	}
+	l, err := e.evalExpr(n.L)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := e.evalExpr(n.R)
+	if err != nil {
+		return value.Null, err
+	}
+	switch n.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := cmpOpOf(n.Op)
+		t, err := op.Apply(l, r)
+		if err != nil {
+			return value.Null, err
+		}
+		return t.Value(), nil
+	case "+", "-", "*", "/":
+		return arith(n.Op, l, r)
+	}
+	return value.Null, fmt.Errorf("naive: unknown operator %q", n.Op)
+}
+
+// evalSubquery computes the 3VL truth of a linking predicate by executing
+// the subquery per SQL semantics in the current correlation environment.
+func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
+	child := e.childBlock(sp)
+	if child == nil {
+		return value.Unknown, fmt.Errorf("naive: no analyzed block for subquery %s", sp)
+	}
+
+	var left value.Value
+	if sp.Left != nil {
+		v, err := e.evalExpr(sp.Left)
+		if err != nil {
+			return value.Unknown, err
+		}
+		left = v
+	}
+
+	// A quantified predicate over an aggregate subquery sees a singleton
+	// set: the one row every aggregate query returns.
+	if _, isAgg := child.Agg(); isAgg && sp.Kind != sql.Exists && sp.Kind != sql.NotExists {
+		item, err := e.aggregateBlock(child)
+		if err != nil {
+			return value.Unknown, err
+		}
+		op := sp.Cmp
+		switch sp.Kind {
+		case sql.In:
+			op = expr.Eq
+		case sql.NotIn:
+			op = expr.Ne
+		}
+		return op.Apply(left, item)
+	}
+
+	res := initialTri(sp.Kind)
+
+	done := fmt.Errorf("naive: early out") // sentinel
+	err := e.eachBlockTuple(child, func(t relation.Tuple) error {
+		keep, err := e.where(child, t)
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+		switch sp.Kind {
+		case sql.Exists:
+			res = value.True
+			return done
+		case sql.NotExists:
+			res = value.False
+			return done
+		}
+		// Quantified comparison: evaluate the single select item.
+		e.push(child, t)
+		item, err := e.evalExpr(child.Sel.Items[0].Expr)
+		e.pop()
+		if err != nil {
+			return err
+		}
+		cmp, err := sp.Cmp.Apply(left, item)
+		if err != nil {
+			return err
+		}
+		switch sp.Kind {
+		case sql.In, sql.CmpSome:
+			res = res.Or(cmp)
+			if res == value.True {
+				return done
+			}
+		case sql.NotIn, sql.CmpAll:
+			res = res.And(cmp)
+			if res == value.False {
+				return done
+			}
+		}
+		return nil
+	})
+	if err != nil && err != done {
+		return value.Unknown, err
+	}
+	return res, nil
+}
+
+func initialTri(k sql.LinkKind) value.Tri {
+	switch k {
+	case sql.Exists:
+		return value.False // empty → false
+	case sql.NotExists:
+		return value.True // empty → true
+	case sql.In, sql.CmpSome:
+		return value.False
+	default: // NotIn, CmpAll
+		return value.True
+	}
+}
+
+// childBlock finds the analyzed block corresponding to a subquery
+// predicate (matching by the shared Select AST node).
+func (e *evaluator) childBlock(sp *sql.SubqueryPred) *sql.Block {
+	return e.blockFor(sp.Sel)
+}
+
+// blockFor finds the analyzed block of a Select AST node.
+func (e *evaluator) blockFor(sel *sql.Select) *sql.Block {
+	for _, b := range e.q.Blocks {
+		if b.Sel == sel {
+			return b
+		}
+	}
+	return nil
+}
+
+func (e *evaluator) orderBy(out *relation.Relation, root *sql.Block, items []sql.Expr) error {
+	type keyed struct {
+		t    relation.Tuple
+		keys []value.Value
+	}
+	rows := make([]keyed, out.Len())
+	// ORDER BY keys must be select items (by position in items) or plain
+	// column references into the output schema.
+	for i, t := range out.Tuples {
+		rows[i] = keyed{t: t}
+		for _, o := range root.Sel.OrderBy {
+			idx := -1
+			if c, ok := o.Expr.(*sql.ColRef); ok {
+				idx = out.Schema.ColIndex(c.String())
+				if idx < 0 {
+					idx = out.Schema.ColIndex(c.Column)
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("naive: ORDER BY key %s is not a select item", o.Expr)
+			}
+			rows[i].keys = append(rows[i].keys, t.Atoms[idx])
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for ki, o := range root.Sel.OrderBy {
+			va, vb := rows[a].keys[ki], rows[b].keys[ki]
+			if value.Identical(va, vb) {
+				continue
+			}
+			less := value.Less(va, vb)
+			if o.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	for i := range rows {
+		out.Tuples[i] = rows[i].t
+	}
+	return nil
+}
+
+func unqualified(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

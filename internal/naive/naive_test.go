@@ -1,0 +1,174 @@
+package naive
+
+import (
+	"testing"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+func db(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	r := relation.MustFromRows("R", []string{"A", "B", "D"},
+		[]any{5, 1, 1},
+		[]any{2, 2, 2},
+		[]any{nil, 3, 3},
+	)
+	s := relation.MustFromRows("S", []string{"E", "G", "I"},
+		[]any{2, 1, 1},
+		[]any{3, 1, 2},
+		[]any{4, 2, 3},
+		[]any{nil, 1, 4},
+	)
+	if _, err := cat.Create("R", r, "D"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("S", s, "I"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func eval(t testing.TB, cat *catalog.Catalog, src string) *relation.Relation {
+	t.Helper()
+	sel, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	q, err := sql.Analyze(sel, cat)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	out, err := Evaluate(q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return out
+}
+
+func firstCol(r *relation.Relation) []string {
+	var out []string
+	for _, t := range r.Tuples {
+		out = append(out, t.Atoms[0].String())
+	}
+	return out
+}
+
+func TestKnownAnswers(t *testing.T) {
+	cat := db(t)
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// R.A=5: 5>ALL{2,3,null}? unknown → out. R.A=2: {4} for G=2 → 2>4
+		// false. R.A=null: unknown. Empty set for D=3? G=3 nothing → true!
+		{"select B from R where A > all (select E from S where S.G = R.D)", 1},
+		// EXISTS: D=1 and D=2 have matches.
+		{"select B from R where exists (select * from S where S.G = R.D)", 2},
+		{"select B from R where not exists (select * from S where S.G = R.D)", 1},
+		// IN: A=2 with G=2 set {4}: false; A=5 with {2,3,null}: unknown;
+		// A=null: unknown → 0 rows.
+		{"select B from R where A in (select E from S where S.G = R.D)", 0},
+		// NOT IN over NULL-bearing set: unknown; over {4}: 2<>4 true;
+		// empty set → true.
+		{"select B from R where A not in (select E from S where S.G = R.D)", 2},
+		// Uncorrelated SOME: A=2 → 2<=2 true; A=5 → all false except
+		// 5<=NULL unknown → unknown; A=NULL → unknown. One row.
+		{"select B from R where A <= some (select E from S)", 1},
+		// OR with subquery — the shape only this evaluator accepts.
+		{"select B from R where B = 3 or exists (select * from S where S.G = R.D and S.E = 2)", 2},
+		// Multiple subqueries in one conjunct via OR.
+		{"select B from R where exists (select * from S where S.G = R.D) or A not in (select E from S)", 2},
+	}
+	for _, tc := range cases {
+		got := eval(t, cat, tc.src)
+		if got.Len() != tc.want {
+			t.Errorf("%s\n  got %d rows, want %d:\n%s", tc.src, got.Len(), tc.want, got)
+		}
+	}
+}
+
+func TestNotWrappingPreserved(t *testing.T) {
+	cat := db(t)
+	// NOT(NOT EXISTS ...) ≡ EXISTS ...: double negation through the AST.
+	a := eval(t, cat, "select B from R where not (not exists (select * from S where S.G = R.D))")
+	b := eval(t, cat, "select B from R where exists (select * from S where S.G = R.D)")
+	if !a.EqualSet(b) {
+		t.Fatalf("double negation broken:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSelectStarAndProjection(t *testing.T) {
+	cat := db(t)
+	star := eval(t, cat, "select * from R where A > 1")
+	if len(star.Schema.Cols) != 3 || star.Len() != 2 {
+		t.Fatalf("star:\n%s", star)
+	}
+	expr := eval(t, cat, "select A + B as s from R where D = 1")
+	if expr.Schema.Cols[0].Name != "s" || expr.Tuples[0].Atoms[0].Int64() != 6 {
+		t.Fatalf("expression projection:\n%s", expr)
+	}
+}
+
+func TestDistinctAndOrderBy(t *testing.T) {
+	cat := db(t)
+	d := eval(t, cat, "select distinct G from S")
+	if d.Len() != 2 {
+		t.Fatalf("distinct: %d", d.Len())
+	}
+	o := eval(t, cat, "select E from S order by E desc")
+	got := firstCol(o)
+	// NULLs sort first ascending → last when descending.
+	if got[0] != "4" || got[3] != "null" {
+		t.Fatalf("order by desc: %v", got)
+	}
+	asc := eval(t, cat, "select E, I from S order by E")
+	if firstCol(asc)[0] != "null" {
+		t.Fatalf("order by asc: %v", firstCol(asc))
+	}
+}
+
+func TestMultiTableFrom(t *testing.T) {
+	cat := db(t)
+	j := eval(t, cat, "select R.B, S.E from R, S where R.D = S.G")
+	if j.Len() != 4 { // D=1 matches 3 S rows (G=1), D=2 matches 1
+		t.Fatalf("join rows = %d:\n%s", j.Len(), j)
+	}
+}
+
+func TestCorrelationToGrandparent(t *testing.T) {
+	cat := db(t)
+	// The innermost block references R (two levels up).
+	out := eval(t, cat, `select B from R where exists
+		(select * from S where S.G = R.D and exists
+			(select * from S s2 where s2.E = R.A))`)
+	// R.A=5: no s2.E=5 → false. R.A=2: s2.E=2 exists and S.G=2 exists → true.
+	if out.Len() != 1 || out.Tuples[0].Atoms[0].Int64() != 2 {
+		t.Fatalf("grandparent correlation:\n%s", out)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	cat := db(t)
+	sel, err := sql.Parse("select B from R where A + 'x' = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sql.Analyze(sel, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(q); err == nil {
+		t.Fatal("type error must surface")
+	}
+	sel2, _ := sql.Parse("select B from R order by A + 1")
+	q2, err := sql.Analyze(sel2, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(q2); err == nil {
+		t.Fatal("non-item ORDER BY key must error")
+	}
+}

@@ -1,0 +1,66 @@
+package naive
+
+import (
+	"fmt"
+
+	"nra/internal/expr"
+	"nra/internal/value"
+)
+
+func cmpOpOf(op string) expr.CmpOp {
+	switch op {
+	case "=":
+		return expr.Eq
+	case "<>":
+		return expr.Ne
+	case "<":
+		return expr.Lt
+	case "<=":
+		return expr.Le
+	case ">":
+		return expr.Gt
+	case ">=":
+		return expr.Ge
+	}
+	panic("naive: bad comparison operator " + op)
+}
+
+// arith mirrors internal/expr's arithmetic semantics: NULL-propagating,
+// integer-preserving except division.
+func arith(op string, x, y value.Value) (value.Value, error) {
+	if x.IsNull() || y.IsNull() {
+		return value.Null, nil
+	}
+	if x.Kind() == value.KindInt && y.Kind() == value.KindInt && op != "/" {
+		a, b := x.Int64(), y.Int64()
+		switch op {
+		case "+":
+			return value.Int(a + b), nil
+		case "-":
+			return value.Int(a - b), nil
+		case "*":
+			return value.Int(a * b), nil
+		}
+	}
+	numeric := func(v value.Value) bool {
+		return v.Kind() == value.KindInt || v.Kind() == value.KindFloat
+	}
+	if !numeric(x) || !numeric(y) {
+		return value.Null, fmt.Errorf("naive: arithmetic on %s and %s", x.Kind(), y.Kind())
+	}
+	a, b := x.Float64(), y.Float64()
+	switch op {
+	case "+":
+		return value.Float(a + b), nil
+	case "-":
+		return value.Float(a - b), nil
+	case "*":
+		return value.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return value.Null, fmt.Errorf("naive: division by zero")
+		}
+		return value.Float(a / b), nil
+	}
+	return value.Null, fmt.Errorf("naive: unknown arithmetic operator %q", op)
+}

@@ -1,0 +1,387 @@
+package native
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nra/internal/catalog"
+	"nra/internal/naive"
+	"nra/internal/relation"
+	"nra/internal/sql"
+)
+
+func testCatalog(t testing.TB, notNull bool) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	r := relation.MustFromRows("R", []string{"A", "B", "C", "D"},
+		[]any{1, 2, 3, 1},
+		[]any{5, 6, 7, 2},
+		[]any{10, 2, 3, 3},
+		[]any{7, 4, 5, 4},
+	)
+	s := relation.MustFromRows("S", []string{"E", "F", "G", "H", "I"},
+		[]any{2, 5, 1, 8, 1},
+		[]any{4, 5, 1, 2, 2},
+		[]any{6, 5, 2, 9, 3},
+		[]any{9, 7, 3, 5, 4},
+	)
+	tt := relation.MustFromRows("T", []string{"J", "K", "L"},
+		[]any{7, 3, 1},
+		[]any{9, 1, 2},
+		[]any{1, 7, 4},
+	)
+	for _, def := range []struct {
+		name string
+		rel  *relation.Relation
+		pk   string
+	}{{"R", r, "D"}, {"S", s, "I"}, {"T", tt, "L"}} {
+		tbl, err := cat.Create(def.name, def.rel, def.pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if notNull {
+			for _, c := range def.rel.Schema.Cols {
+				if err := tbl.SetNotNull(c.Name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return cat
+}
+
+func analyze(t testing.TB, cat *catalog.Catalog, src string) *sql.Query {
+	t.Helper()
+	sel, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	q, err := sql.Analyze(sel, cat)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	return q
+}
+
+func checkAgainstReference(t *testing.T, cat *catalog.Catalog, src string) *Executor {
+	t.Helper()
+	q := analyze(t, cat, src)
+	want, err := naive.Evaluate(q)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	ex, err := New(q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	got, err := ex.Execute()
+	if err != nil {
+		t.Fatalf("execute %q: %v", src, err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("native differs from reference for\n  %s\nreference (%d rows):\n%s\ngot (%d rows):\n%s",
+			src, want.Len(), want, got.Len(), got)
+	}
+	return ex
+}
+
+func TestModeSelection(t *testing.T) {
+	withNN := testCatalog(t, true)
+	without := testCatalog(t, false)
+
+	cases := []struct {
+		name string
+		src  string
+		cat  *catalog.Catalog
+		want Mode
+	}{
+		{
+			// Query 2a shape: mixed ANY + NOT EXISTS, linearly correlated.
+			name: "positive pipeline",
+			src: `select B from R where R.A < any (select S.E from S where S.G = R.D and not exists
+				(select * from T where T.K = S.G))`,
+			cat:  without,
+			want: ModeUnnested,
+		},
+		{
+			// Query 1 with NOT NULL: antijoin is legal.
+			name: "all with not null",
+			src:  "select B from R where R.A > all (select S.E from S where S.G = R.D)",
+			cat:  withNN,
+			want: ModeUnnested,
+		},
+		{
+			// Query 1 without NOT NULL: "if the constraint is dropped ...
+			// antijoin is not used".
+			name: "all without not null",
+			src:  "select B from R where R.A > all (select S.E from S where S.G = R.D)",
+			cat:  without,
+			want: ModeNestedIteration,
+		},
+		{
+			// Query 3 shape: innermost correlated to both outer blocks —
+			// System A cannot unnest even with NOT NULL.
+			name: "double correlation",
+			src: `select B from R where R.A > all (select S.E from S where S.G = R.D and exists
+				(select * from T where T.K = R.C and T.J = S.F))`,
+			cat:  withNN,
+			want: ModeNestedIteration,
+		},
+		{
+			name: "tree query",
+			src: `select B from R where exists (select * from S where S.G = R.D)
+				and exists (select * from T where T.K = R.C)`,
+			cat:  withNN,
+			want: ModeNestedIteration,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex := checkAgainstReference(t, tc.cat, tc.src)
+			if ex.Mode() != tc.want {
+				t.Fatalf("mode = %v, want %v", ex.Mode(), tc.want)
+			}
+		})
+	}
+}
+
+func TestExplainMentionsIndexes(t *testing.T) {
+	cat := testCatalog(t, false)
+	q := analyze(t, cat, "select B from R where R.A > all (select S.E from S where S.G = R.D)")
+	ex, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	out := ex.Explain()
+	if !strings.Contains(out, "nested iteration") {
+		t.Fatalf("explain: %s", out)
+	}
+}
+
+func TestIndexChoicePrefersCoveredCombined(t *testing.T) {
+	cat := testCatalog(t, false)
+	tbl, _ := cat.Table("S")
+	if _, err := tbl.CreateIndex("G"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("G", "F"); err != nil {
+		t.Fatal(err)
+	}
+	// Both S.G = R.D and S.F = 5 are equality probes → combined index wins.
+	q := analyze(t, cat, "select B from R where R.A > all (select S.E from S where S.G = R.D and S.F = 5)")
+	ex, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.blocks = map[int]*blockState{}
+	st, err := ex.blockState(q.Root.Links[0].Child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.idx == nil || len(st.idx.Columns()) != 2 {
+		t.Fatalf("expected the combined (G,F) index, got %v", st.idx)
+	}
+	// A non-equality correlation demotes to the single-column index
+	// (the paper's Query 3a(b) effect).
+	q2 := analyze(t, cat, "select B from R where R.A > all (select S.E from S where S.G <> R.D and S.F = 5)")
+	ex2, err := New(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2.blocks = map[int]*blockState{}
+	st2, err := ex2.blockState(q2.Root.Links[0].Child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.idx != nil && len(st2.idx.Columns()) == 2 {
+		t.Fatalf("combined index must not be usable: %v", st2.idx.Columns())
+	}
+}
+
+// TestDifferentialNative reruns the random query workload against the
+// reference evaluator with and without NOT NULL constraints (the
+// constraint changes the plan but must never change the answer).
+func TestDifferentialNative(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(7_000_000 + seed)))
+		cat, hasNulls := randCatalog(t, rng)
+		g := &queryGen{rng: rng}
+		src := g.query(1 + rng.Intn(2))
+
+		sel, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse %q: %v", seed, src, err)
+		}
+		q, err := sql.Analyze(sel, cat)
+		if err != nil {
+			t.Fatalf("seed %d: analyze %q: %v", seed, src, err)
+		}
+		want, err := naive.Evaluate(q)
+		if err != nil {
+			t.Fatalf("seed %d: reference %q: %v", seed, src, err)
+		}
+		ex, err := New(q)
+		if err != nil {
+			t.Fatalf("seed %d: plan %q: %v", seed, src, err)
+		}
+		got, err := ex.Execute()
+		if err != nil {
+			t.Fatalf("seed %d: execute %q: %v", seed, src, err)
+		}
+		if !got.EqualSet(want) {
+			t.Fatalf("seed %d (mode %v, nulls %v): native differs for\n  %s\nreference (%d rows):\n%s\ngot (%d rows):\n%s",
+				seed, ex.Mode(), hasNulls, src, want.Len(), want, got.Len(), got)
+		}
+	}
+}
+
+// randCatalog mirrors core's random catalog, optionally NULL-free with
+// NOT NULL constraints declared (to exercise the pipeline mode).
+func randCatalog(t testing.TB, rng *rand.Rand) (*catalog.Catalog, bool) {
+	t.Helper()
+	cat := catalog.New()
+	nullFree := rng.Intn(2) == 0
+	for _, name := range []string{"A", "B", "C"} {
+		rows := 3 + rng.Intn(8)
+		cols := []string{"k", "w", "x", "y"}
+		var data [][]any
+		for r := 0; r < rows; r++ {
+			row := []any{r}
+			for c := 1; c < len(cols); c++ {
+				if !nullFree && rng.Float64() < 0.18 {
+					row = append(row, nil)
+				} else {
+					row = append(row, rng.Intn(5))
+				}
+			}
+			data = append(data, row)
+		}
+		rel := relation.MustFromRows(name, cols, data...)
+		tbl, err := cat.Create(name, rel, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nullFree {
+			for _, c := range cols {
+				if err := tbl.SetNotNull(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Random secondary indexes, so index and scan paths both run.
+		for _, c := range cols[1:] {
+			if rng.Float64() < 0.5 {
+				if _, err := tbl.CreateIndex(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return cat, !nullFree
+}
+
+// queryGen is duplicated from core's differential test (kept local so the
+// packages stay independent).
+type queryGen struct {
+	rng   *rand.Rand
+	alias int
+}
+
+var genTables = []string{"A", "B", "C"}
+var genCols = []string{"w", "x", "y"}
+var genOps = []string{"=", "<>", "<", "<=", ">", ">="}
+
+func (g *queryGen) nextAlias() string {
+	g.alias++
+	return fmt.Sprintf("t%d", g.alias)
+}
+
+func (g *queryGen) query(depth int) string {
+	alias := g.nextAlias()
+	table := genTables[g.rng.Intn(len(genTables))]
+	sel := fmt.Sprintf("%s.%s", alias, genCols[g.rng.Intn(len(genCols))])
+	where := g.where(alias, nil, depth)
+	q := fmt.Sprintf("select %s from %s %s", sel, table, alias)
+	if where != "" {
+		q += " where " + where
+	}
+	return q
+}
+
+func (g *queryGen) where(alias string, outer []string, depth int) string {
+	var conj []string
+	n := g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		conj = append(conj, fmt.Sprintf("%s.%s %s %d",
+			alias, genCols[g.rng.Intn(len(genCols))],
+			genOps[g.rng.Intn(len(genOps))], g.rng.Intn(5)))
+	}
+	for _, o := range outer {
+		if g.rng.Float64() < 0.7 {
+			conj = append(conj, fmt.Sprintf("%s.%s %s %s.%s",
+				alias, genCols[g.rng.Intn(len(genCols))],
+				genOps[g.rng.Intn(3)],
+				o, genCols[g.rng.Intn(len(genCols))]))
+		}
+	}
+	if depth > 0 {
+		kids := 1
+		if g.rng.Float64() < 0.25 {
+			kids = 2
+		}
+		for i := 0; i < kids; i++ {
+			conj = append(conj, g.linkPredicate(alias, outer, depth-1))
+		}
+	}
+	return strings.Join(conj, " and ")
+}
+
+func (g *queryGen) linkPredicate(alias string, outer []string, depth int) string {
+	child := g.nextAlias()
+	table := genTables[g.rng.Intn(len(genTables))]
+	visible := append(append([]string{}, outer...), alias)
+	childWhere := g.where(child, visible, depth)
+	whereClause := ""
+	if childWhere != "" {
+		whereClause = " where " + childWhere
+	}
+	linked := fmt.Sprintf("%s.%s", child, genCols[g.rng.Intn(len(genCols))])
+
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("exists (select * from %s %s%s)", table, child, whereClause)
+	case 1:
+		return fmt.Sprintf("not exists (select * from %s %s%s)", table, child, whereClause)
+	case 2:
+		return fmt.Sprintf("%s.%s in (select %s from %s %s%s)",
+			alias, genCols[g.rng.Intn(len(genCols))], linked, table, child, whereClause)
+	case 3:
+		return fmt.Sprintf("%s.%s not in (select %s from %s %s%s)",
+			alias, genCols[g.rng.Intn(len(genCols))], linked, table, child, whereClause)
+	case 4:
+		return fmt.Sprintf("%s.%s %s some (select %s from %s %s%s)",
+			alias, genCols[g.rng.Intn(len(genCols))],
+			genOps[g.rng.Intn(len(genOps))], linked, table, child, whereClause)
+	case 5:
+		agg := []string{"count(*)", "min(%s)", "max(%s)", "sum(%s)", "avg(%s)", "count(%s)"}[g.rng.Intn(6)]
+		if strings.Contains(agg, "%s") {
+			agg = fmt.Sprintf(agg, linked)
+		}
+		return fmt.Sprintf("%s.%s %s (select %s from %s %s%s)",
+			alias, genCols[g.rng.Intn(len(genCols))],
+			genOps[g.rng.Intn(len(genOps))], agg, table, child, whereClause)
+	default:
+		return fmt.Sprintf("%s.%s %s all (select %s from %s %s%s)",
+			alias, genCols[g.rng.Intn(len(genCols))],
+			genOps[g.rng.Intn(len(genOps))], linked, table, child, whereClause)
+	}
+}

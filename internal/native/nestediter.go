@@ -1,0 +1,285 @@
+package native
+
+import (
+	"fmt"
+
+	"nra/internal/algebra"
+	"nra/internal/exec"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// runNestedIteration executes the fallback plan: the outer block is
+// scanned once with its local selections applied, and for each qualifying
+// outer tuple every subquery is re-evaluated, fetching inner tuples
+// through the best matching index ("accessed by index rowid", §5.2).
+func (e *Executor) runNestedIteration() (*relation.Relation, error) {
+	e.blocks = make(map[int]*blockState)
+	root := e.q.Root
+	outer, err := e.reduceBlock(root)
+	if err != nil {
+		return nil, err
+	}
+	e.m.Seq(outer.Len())
+	kept := relation.New(outer.Schema)
+	frames := []frame{{block: root}}
+	for _, t := range outer.Tuples {
+		frames[0].tuple = t
+		ok := true
+		for _, edge := range root.Links {
+			tri, err := e.evalLink(edge, frames)
+			if err != nil {
+				return nil, err
+			}
+			if !tri.IsTrue() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept.Append(t)
+		}
+	}
+	return exec.FinishQuery(kept, e.q)
+}
+
+type frame struct {
+	block *sql.Block
+	tuple relation.Tuple
+}
+
+// evalLink evaluates one linking predicate for the outer tuples bound in
+// frames, re-running the subquery with index-assisted access.
+func (e *Executor) evalLink(edge *sql.LinkEdge, frames []frame) (value.Tri, error) {
+	child := edge.Child
+	st, err := e.blockState(child)
+	if err != nil {
+		return value.Unknown, err
+	}
+
+	var left value.Value
+	if edge.Kind != sql.Exists && edge.Kind != sql.NotExists {
+		v, err := e.leftValue(edge, frames)
+		if err != nil {
+			return value.Unknown, err
+		}
+		left = v
+	}
+
+	// Scalar aggregate: fold the qualifying candidates, compare once.
+	if edge.Kind == sql.CmpScalar {
+		return e.evalScalarLink(edge, st, frames, left)
+	}
+
+	res := initialTri(edge.Kind)
+	stop := false
+	err = e.eachCandidate(st, frames, func(cand relation.Tuple) error {
+		// The candidate qualifies only if the child's own linking
+		// predicates hold (recursive nested iteration).
+		sub := append(append([]frame{}, frames...), frame{block: child, tuple: cand})
+		for _, l := range child.Links {
+			tri, err := e.evalLink(l, sub)
+			if err != nil {
+				return err
+			}
+			if !tri.IsTrue() {
+				return nil
+			}
+		}
+		switch edge.Kind {
+		case sql.Exists:
+			res, stop = value.True, true
+			return nil
+		case sql.NotExists:
+			res, stop = value.False, true
+			return nil
+		}
+		item, err := st.itemValue(cand)
+		if err != nil {
+			return err
+		}
+		cmp, err := linkCmp(edge).Apply(left, item)
+		if err != nil {
+			return err
+		}
+		switch edge.Kind {
+		case sql.In, sql.CmpSome:
+			res = res.Or(cmp)
+			stop = res == value.True
+		case sql.NotIn, sql.CmpAll:
+			res = res.And(cmp)
+			stop = res == value.False
+		}
+		return nil
+	}, &stop)
+	if err != nil {
+		return value.Unknown, err
+	}
+	return res, nil
+}
+
+// evalScalarLink evaluates "left θ (select agg(col) ...)" by nested
+// iteration: accumulate the aggregate over the qualifying inner tuples
+// (index-assisted), then apply θ once.
+func (e *Executor) evalScalarLink(edge *sql.LinkEdge, st *blockState, frames []frame, left value.Value) (value.Tri, error) {
+	child := edge.Child
+	agg, ok := child.Agg()
+	if !ok {
+		return value.Unknown, fmt.Errorf("native: block %d is not a scalar aggregate", child.ID)
+	}
+	colIdx := -1
+	if agg.Col != "" {
+		colIdx = st.rel.Schema.ColIndex(agg.Col)
+		if colIdx < 0 {
+			return value.Unknown, fmt.Errorf("native: aggregate column %s missing", agg.Col)
+		}
+	}
+	state := algebra.NewAggState(agg.Func)
+	stop := false
+	err := e.eachCandidate(st, frames, func(cand relation.Tuple) error {
+		sub := append(append([]frame{}, frames...), frame{block: child, tuple: cand})
+		for _, l := range child.Links {
+			tri, err := e.evalLink(l, sub)
+			if err != nil {
+				return err
+			}
+			if !tri.IsTrue() {
+				return nil
+			}
+		}
+		if colIdx < 0 {
+			state.AddRow()
+			return nil
+		}
+		return state.Add(cand.Atoms[colIdx])
+	}, &stop)
+	if err != nil {
+		return value.Unknown, err
+	}
+	return edge.Cmp.Apply(left, state.Result())
+}
+
+func initialTri(k sql.LinkKind) value.Tri {
+	switch k {
+	case sql.Exists, sql.In, sql.CmpSome:
+		return value.False
+	default:
+		return value.True
+	}
+}
+
+func linkCmp(edge *sql.LinkEdge) expr.CmpOp {
+	switch edge.Kind {
+	case sql.In:
+		return expr.Eq
+	case sql.NotIn:
+		return expr.Ne
+	default:
+		return edge.Cmp
+	}
+}
+
+func (e *Executor) leftValue(edge *sql.LinkEdge, frames []frame) (value.Value, error) {
+	switch l := edge.Pred.Left.(type) {
+	case *sql.Lit:
+		return l.V, nil
+	case *sql.ColRef:
+		r, ok := e.q.Resolve(l)
+		if !ok {
+			return value.Null, fmt.Errorf("native: unresolved linking attribute %s", l)
+		}
+		for i := len(frames) - 1; i >= 0; i-- {
+			if frames[i].block == r.Block {
+				j := r.Block.Schema.ColIndex(r.Name)
+				return frames[i].tuple.Atoms[j], nil
+			}
+		}
+		return value.Null, fmt.Errorf("native: no frame for %s", l)
+	}
+	return value.Null, fmt.Errorf("native: bad linking attribute %s", edge.Pred.Left)
+}
+
+// eachCandidate enumerates the child rows satisfying the block's local and
+// correlated predicates, via the chosen index when one applies. The stop
+// flag allows quantifier early-exit.
+func (e *Executor) eachCandidate(st *blockState, frames []frame, f func(relation.Tuple) error, stop *bool) error {
+	rows, usedIndex, err := st.candidateRows(frames)
+	if err != nil {
+		return err
+	}
+	if usedIndex {
+		// One index traversal plus one rowid fetch per candidate — the
+		// random-access pattern of "accessed by index rowid" (§5.2).
+		e.m.Rand(1 + len(rows))
+	} else {
+		e.m.Seq(len(rows)) // full scan of the inner table
+	}
+	stack := make([]relation.Tuple, 0, len(frames)+1)
+	for _, fr := range frames {
+		stack = append(stack, fr.tuple)
+	}
+	stack = append(stack, relation.Tuple{})
+	for _, row := range rows {
+		if *stop {
+			return nil
+		}
+		t := st.rel.Tuples[row]
+		stack[len(stack)-1] = t
+		ok := true
+		for _, rp := range st.rest {
+			tri, err := rp.compiled.Truth(stack...)
+			if err != nil {
+				return err
+			}
+			if !tri.IsTrue() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := f(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidateRows returns the row ids to inspect: an index lookup when the
+// block's equality predicates cover an index, a full scan otherwise.
+func (st *blockState) candidateRows(frames []frame) ([]int, bool, error) {
+	if st.idx == nil {
+		return st.allRows, false, nil
+	}
+	keys := make([]value.Value, len(st.idxProbe))
+	for i, pr := range st.idxProbe {
+		if pr.fromCol == "" {
+			keys[i] = pr.constVal
+			continue
+		}
+		found := false
+		for fi := len(frames) - 1; fi >= 0; fi-- {
+			if frames[fi].block == pr.fromBlock {
+				keys[i] = frames[fi].tuple.Atoms[pr.fromIdx]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false, fmt.Errorf("native: no frame for probe column %s", pr.fromCol)
+		}
+	}
+	return st.idx.Lookup(keys...), true, nil
+}
+
+// itemValue extracts the subquery's single select-item value from a
+// candidate tuple.
+func (st *blockState) itemValue(cand relation.Tuple) (value.Value, error) {
+	if st.itemIdx < 0 {
+		return value.Null, fmt.Errorf("native: block %d has no single-column select item", st.b.ID)
+	}
+	return cand.Atoms[st.itemIdx], nil
+}

@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"fmt"
+
+	"nra/internal/value"
+)
+
+// FromRows builds a flat relation from Go literals, inferring column types
+// from the first non-nil value seen in each column. Supported cell types:
+// int, int64, float64, string, bool, and nil for NULL. It is the test- and
+// example-friendly constructor used throughout the repository to transcribe
+// the paper's figures.
+func FromRows(name string, cols []string, rows ...[]any) (*Relation, error) {
+	s := &Schema{Name: name}
+	for _, c := range cols {
+		s.Cols = append(s.Cols, Column{Name: c, Type: TAny})
+	}
+	r := New(s)
+	for ri, row := range rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("relation %s: row %d has %d cells, want %d", name, ri, len(row), len(cols))
+		}
+		t := Tuple{Atoms: make([]value.Value, len(row))}
+		for ci, cell := range row {
+			v, err := ToValue(cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s row %d col %s: %w", name, ri, cols[ci], err)
+			}
+			t.Atoms[ci] = v
+			if s.Cols[ci].Type == TAny && !v.IsNull() {
+				s.Cols[ci].Type = typeOf(v)
+			}
+		}
+		r.Append(t)
+	}
+	return r, nil
+}
+
+// MustFromRows is FromRows that panics on error; for tests and examples.
+func MustFromRows(name string, cols []string, rows ...[]any) *Relation {
+	r, err := FromRows(name, cols, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ToValue converts a Go literal to a Value. nil maps to NULL.
+func ToValue(cell any) (value.Value, error) {
+	switch x := cell.(type) {
+	case nil:
+		return value.Null, nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	case value.Value:
+		return x, nil
+	default:
+		return value.Null, fmt.Errorf("unsupported literal type %T", cell)
+	}
+}

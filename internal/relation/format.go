@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the relation as an aligned text table, printing nested
+// groups in braces the way the paper's Figure 2 draws them, e.g.
+//
+//	B  C  D  E  H  I  {J, L}
+//	1  2  3  5  7  2  {(8,1), (6,3)}
+func (r *Relation) String() string {
+	headers := make([]string, 0, len(r.Schema.Cols)+len(r.Schema.Subs))
+	for _, c := range r.Schema.Cols {
+		headers = append(headers, shortName(c.Name))
+	}
+	for _, sub := range r.Schema.Subs {
+		headers = append(headers, "{"+strings.Join(shortNames(sub.Schema), ", ")+"}")
+	}
+
+	rows := make([][]string, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		row := make([]string, 0, len(headers))
+		for _, v := range t.Atoms {
+			row = append(row, v.String())
+		}
+		for _, g := range t.Groups {
+			row = append(row, formatGroup(g))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return strings.TrimRight(b.String(), " \n") + "\n"
+}
+
+func formatGroup(g *Relation) string {
+	if g == nil || len(g.Tuples) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(g.Tuples))
+	for i, t := range g.Tuples {
+		cells := make([]string, 0, len(t.Atoms)+len(t.Groups))
+		for _, v := range t.Atoms {
+			cells = append(cells, v.String())
+		}
+		for _, sub := range t.Groups {
+			cells = append(cells, formatGroup(sub))
+		}
+		if len(cells) == 1 {
+			parts[i] = cells[0]
+		} else {
+			parts[i] = "(" + strings.Join(cells, ",") + ")"
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func shortName(qualified string) string {
+	if i := strings.LastIndexByte(qualified, '.'); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+func shortNames(s *Schema) []string {
+	out := make([]string, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		out = append(out, shortName(c.Name))
+	}
+	for _, sub := range s.Subs {
+		out = append(out, fmt.Sprintf("{%s}", strings.Join(shortNames(sub.Schema), ", ")))
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"nra/internal/value"
+)
+
+// Tuple is a nested tuple: one atomic value per schema column and one
+// nested relation per subschema. Groups[i] may be nil to denote the empty
+// nested relation (operators normalise nil and empty identically).
+type Tuple struct {
+	Atoms  []value.Value
+	Groups []*Relation
+}
+
+// NewTuple builds a flat tuple from values.
+func NewTuple(vs ...value.Value) Tuple { return Tuple{Atoms: vs} }
+
+// Clone returns a deep copy of the tuple. Atomic values are immutable and
+// shared; group relations are copied recursively.
+func (t Tuple) Clone() Tuple {
+	c := Tuple{Atoms: append([]value.Value(nil), t.Atoms...)}
+	if t.Groups != nil {
+		c.Groups = make([]*Relation, len(t.Groups))
+		for i, g := range t.Groups {
+			if g != nil {
+				c.Groups[i] = g.Clone()
+			}
+		}
+	}
+	return c
+}
+
+// Relation is a nested relation: a schema plus a multiset of tuples. The
+// formal model is a set; physical operators may carry duplicates internally
+// and the algebra offers Distinct where set semantics are required (SQL
+// itself is multiset-based, matching the paper's experiments).
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// New returns an empty relation over the given schema.
+func New(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Append adds tuples to the relation.
+func (r *Relation) Append(ts ...Tuple) { r.Tuples = append(r.Tuples, ts...) }
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Schema: r.Schema.Clone(), Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// Col returns the values of one atomic column.
+func (r *Relation) Col(name string) []value.Value {
+	i := r.Schema.MustColIndex(name)
+	out := make([]value.Value, len(r.Tuples))
+	for j, t := range r.Tuples {
+		out[j] = t.Atoms[i]
+	}
+	return out
+}
+
+// key encodes the full tuple (recursively, groups included after
+// canonical sorting) into dst. Two tuples encode identically iff they are
+// identical under grouping semantics.
+func (t Tuple) key(dst []byte) []byte {
+	for _, v := range t.Atoms {
+		dst = v.AppendKey(dst)
+	}
+	for _, g := range t.Groups {
+		dst = append(dst, '{')
+		if g != nil {
+			keys := make([]string, len(g.Tuples))
+			for i, gt := range g.Tuples {
+				keys[i] = string(gt.key(nil))
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				// Length-prefix each member key so payload bytes can
+				// never be mistaken for separators.
+				n := len(k)
+				dst = append(dst,
+					byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+				dst = append(dst, k...)
+			}
+		}
+		dst = append(dst, '}')
+	}
+	return dst
+}
+
+// Key returns a canonical string key for the whole tuple (used for
+// set-equality testing and duplicate elimination).
+func (t Tuple) Key() string { return string(t.key(nil)) }
+
+// KeyOn returns a canonical key for a subset of atomic columns, given by
+// index. It is the grouping key used by nest and hash joins.
+func (t Tuple) KeyOn(cols []int) string {
+	var dst []byte
+	for _, i := range cols {
+		dst = t.Atoms[i].AppendKey(dst)
+	}
+	return string(dst)
+}
+
+// EqualSet reports whether two relations contain the same multiset of
+// tuples (order-insensitive, nested groups compared as sets). Schemas must
+// already be known compatible; only tuple contents are compared.
+func (r *Relation) EqualSet(o *Relation) bool {
+	if len(r.Tuples) != len(o.Tuples) {
+		return false
+	}
+	counts := make(map[string]int, len(r.Tuples))
+	for _, t := range r.Tuples {
+		counts[t.Key()]++
+	}
+	for _, t := range o.Tuples {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortCanonical orders tuples by their canonical key, recursively sorting
+// nested groups first. It makes output deterministic for golden tests.
+func (r *Relation) SortCanonical() {
+	for i := range r.Tuples {
+		for _, g := range r.Tuples[i].Groups {
+			if g != nil {
+				g.SortCanonical()
+			}
+		}
+	}
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Key() < r.Tuples[j].Key()
+	})
+}
+
+// SortBy orders tuples by the named atomic columns using the total order
+// value.Less (NULLs first). It is the physical reordering behind sort-based
+// nest.
+func (r *Relation) SortBy(cols ...string) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.Schema.MustColIndex(c)
+	}
+	sort.SliceStable(r.Tuples, func(a, b int) bool {
+		ta, tb := r.Tuples[a], r.Tuples[b]
+		for _, i := range idx {
+			va, vb := ta.Atoms[i], tb.Atoms[i]
+			if !value.Identical(va, vb) {
+				return value.Less(va, vb)
+			}
+		}
+		return false
+	})
+}
+
+// Validate checks that every tuple matches the schema shape (arity of
+// atoms and groups, recursively). It returns the first violation found.
+func (r *Relation) Validate() error {
+	for i, t := range r.Tuples {
+		if len(t.Atoms) != len(r.Schema.Cols) {
+			return fmt.Errorf("relation %s: tuple %d has %d atoms, schema has %d columns",
+				r.Schema.Name, i, len(t.Atoms), len(r.Schema.Cols))
+		}
+		if len(t.Groups) != len(r.Schema.Subs) {
+			return fmt.Errorf("relation %s: tuple %d has %d groups, schema has %d subschemas",
+				r.Schema.Name, i, len(t.Groups), len(r.Schema.Subs))
+		}
+		for j, g := range t.Groups {
+			if g == nil {
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				return fmt.Errorf("relation %s tuple %d group %s: %w",
+					r.Schema.Name, i, r.Schema.Subs[j].Name, err)
+			}
+		}
+	}
+	return nil
+}

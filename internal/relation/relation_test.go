@@ -1,0 +1,250 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"nra/internal/value"
+)
+
+func flatSchema() *Schema {
+	return NewSchema("R",
+		Column{Name: "R.A", Type: TInt},
+		Column{Name: "R.B", Type: TInt},
+		Column{Name: "R.C", Type: TString},
+	)
+}
+
+func TestSchemaDepth(t *testing.T) {
+	s := flatSchema()
+	if s.Depth() != 0 {
+		t.Fatalf("flat schema depth = %d", s.Depth())
+	}
+	nested := &Schema{
+		Name: "N",
+		Cols: []Column{{Name: "N.X", Type: TInt}},
+		Subs: []Sub{{Name: "g", Schema: flatSchema()}},
+	}
+	if nested.Depth() != 1 {
+		t.Fatalf("one-level depth = %d", nested.Depth())
+	}
+	deep := &Schema{Name: "D", Subs: []Sub{{Name: "g", Schema: nested}}}
+	if deep.Depth() != 2 {
+		t.Fatalf("two-level depth = %d", deep.Depth())
+	}
+}
+
+func TestColIndexQualifiedAndSuffix(t *testing.T) {
+	s := flatSchema()
+	if s.ColIndex("R.B") != 1 {
+		t.Error("exact lookup failed")
+	}
+	if s.ColIndex("B") != 1 {
+		t.Error("unqualified suffix lookup failed")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	amb := NewSchema("J",
+		Column{Name: "R.K", Type: TInt},
+		Column{Name: "S.K", Type: TInt},
+	)
+	if amb.ColIndex("K") != -1 {
+		t.Error("ambiguous unqualified lookup must fail")
+	}
+	if amb.ColIndex("S.K") != 1 {
+		t.Error("qualified lookup must disambiguate")
+	}
+}
+
+func TestMustColIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	flatSchema().MustColIndex("missing")
+}
+
+func TestSchemaCloneIndependent(t *testing.T) {
+	s := flatSchema()
+	c := s.Clone()
+	c.Cols[0].Name = "R.Z"
+	if s.Cols[0].Name != "R.A" {
+		t.Fatal("Clone shares column storage")
+	}
+	if !s.Equal(s.Clone()) {
+		t.Fatal("Clone not Equal to original")
+	}
+	if s.Equal(c) {
+		t.Fatal("modified clone still Equal")
+	}
+}
+
+func TestFromRowsTypesAndNulls(t *testing.T) {
+	r := MustFromRows("R", []string{"R.A", "R.B"},
+		[]any{1, "x"},
+		[]any{nil, "y"},
+		[]any{3, nil},
+	)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Schema.Cols[0].Type != TInt || r.Schema.Cols[1].Type != TString {
+		t.Fatalf("inferred types: %v %v", r.Schema.Cols[0].Type, r.Schema.Cols[1].Type)
+	}
+	if !r.Tuples[1].Atoms[0].IsNull() || !r.Tuples[2].Atoms[1].IsNull() {
+		t.Fatal("nil should map to NULL")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows("R", []string{"a"}, []any{1, 2}); err == nil {
+		t.Error("arity mismatch not detected")
+	}
+	if _, err := FromRows("R", []string{"a"}, []any{struct{}{}}); err == nil {
+		t.Error("bad literal type not detected")
+	}
+}
+
+func TestEqualSetOrderInsensitive(t *testing.T) {
+	a := MustFromRows("R", []string{"x"}, []any{1}, []any{2}, []any{2})
+	b := MustFromRows("R", []string{"x"}, []any{2}, []any{1}, []any{2})
+	c := MustFromRows("R", []string{"x"}, []any{1}, []any{1}, []any{2})
+	if !a.EqualSet(b) {
+		t.Error("multiset equality should ignore order")
+	}
+	if a.EqualSet(c) {
+		t.Error("different multiplicities must differ")
+	}
+	d := MustFromRows("R", []string{"x"}, []any{1}, []any{2})
+	if a.EqualSet(d) {
+		t.Error("different cardinalities must differ")
+	}
+}
+
+func TestSortByNullsFirstAndStable(t *testing.T) {
+	r := MustFromRows("R", []string{"a", "b"},
+		[]any{3, 1}, []any{nil, 2}, []any{1, 3}, []any{3, 4},
+	)
+	r.SortBy("a")
+	if !r.Tuples[0].Atoms[0].IsNull() {
+		t.Fatal("NULL should sort first")
+	}
+	if r.Tuples[1].Atoms[0].Int64() != 1 {
+		t.Fatal("sort order wrong")
+	}
+	// Stability: the two a=3 rows keep input order (b=1 then b=4).
+	if r.Tuples[2].Atoms[1].Int64() != 1 || r.Tuples[3].Atoms[1].Int64() != 4 {
+		t.Fatal("sort not stable")
+	}
+}
+
+func TestTupleKeyOnGroupsNulls(t *testing.T) {
+	t1 := NewTuple(value.Null, value.Int(1))
+	t2 := NewTuple(value.Null, value.Int(1))
+	t3 := NewTuple(value.Int(0), value.Int(1))
+	if t1.KeyOn([]int{0, 1}) != t2.KeyOn([]int{0, 1}) {
+		t.Error("NULL keys must group together")
+	}
+	if t1.KeyOn([]int{0, 1}) == t3.KeyOn([]int{0, 1}) {
+		t.Error("NULL must not collide with 0")
+	}
+}
+
+func TestNestedTupleKeyAndEqualSet(t *testing.T) {
+	inner := MustFromRows("g", []string{"x"}, []any{1}, []any{2})
+	inner2 := MustFromRows("g", []string{"x"}, []any{2}, []any{1}) // same set, different order
+	s := &Schema{Name: "N", Cols: []Column{{Name: "k", Type: TInt}},
+		Subs: []Sub{{Name: "g", Schema: inner.Schema}}}
+	a := New(s)
+	a.Append(Tuple{Atoms: []value.Value{value.Int(1)}, Groups: []*Relation{inner}})
+	b := New(s)
+	b.Append(Tuple{Atoms: []value.Value{value.Int(1)}, Groups: []*Relation{inner2}})
+	if !a.EqualSet(b) {
+		t.Fatal("nested groups must compare as sets")
+	}
+	empty := New(s)
+	empty.Append(Tuple{Atoms: []value.Value{value.Int(1)}, Groups: []*Relation{nil}})
+	if a.EqualSet(empty) {
+		t.Fatal("empty group must differ from populated group")
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	r := New(flatSchema())
+	r.Append(NewTuple(value.Int(1))) // wrong arity
+	if err := r.Validate(); err == nil {
+		t.Fatal("arity violation not detected")
+	}
+	s := &Schema{Name: "N", Cols: []Column{{Name: "k"}},
+		Subs: []Sub{{Name: "g", Schema: flatSchema()}}}
+	r2 := New(s)
+	r2.Append(NewTuple(value.Int(1))) // missing group
+	if err := r2.Validate(); err == nil {
+		t.Fatal("missing group not detected")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := MustFromRows("R", []string{"R.A", "R.B"}, []any{1, nil}, []any{22, "x"})
+	out := r.String()
+	for _, want := range []string{"A", "B", "null", "22", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table rendering missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(flatSchema().String(), "R(R.A, R.B, R.C)") {
+		t.Errorf("schema rendering: %s", flatSchema())
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	inner := MustFromRows("g", []string{"x"}, []any{1})
+	s := &Schema{Name: "N", Cols: []Column{{Name: "k", Type: TInt}},
+		Subs: []Sub{{Name: "g", Schema: inner.Schema}}}
+	r := New(s)
+	r.Append(Tuple{Atoms: []value.Value{value.Int(9)}, Groups: []*Relation{inner}})
+	c := r.Clone()
+	c.Tuples[0].Groups[0].Tuples[0].Atoms[0] = value.Int(99)
+	if inner.Tuples[0].Atoms[0].Int64() != 1 {
+		t.Fatal("Clone shares nested group storage")
+	}
+}
+
+func TestSortCanonicalDeterministic(t *testing.T) {
+	a := MustFromRows("R", []string{"x"}, []any{3}, []any{1}, []any{2})
+	b := MustFromRows("R", []string{"x"}, []any{2}, []any{3}, []any{1})
+	a.SortCanonical()
+	b.SortCanonical()
+	for i := range a.Tuples {
+		if !value.Identical(a.Tuples[i].Atoms[0], b.Tuples[i].Atoms[0]) {
+			t.Fatal("canonical sort not deterministic")
+		}
+	}
+}
+
+func TestNestedGroupRendering(t *testing.T) {
+	inner := MustFromRows("g", []string{"x", "y"}, []any{1, 2}, []any{3, nil})
+	single := MustFromRows("h", []string{"z"}, []any{7})
+	s := &Schema{Name: "N",
+		Cols: []Column{{Name: "k", Type: TInt}},
+		Subs: []Sub{{Name: "g", Schema: inner.Schema}, {Name: "h", Schema: single.Schema}}}
+	r := New(s)
+	r.Append(Tuple{Atoms: []value.Value{value.Int(1)},
+		Groups: []*Relation{inner, single}})
+	r.Append(Tuple{Atoms: []value.Value{value.Int(2)},
+		Groups: []*Relation{nil, nil}}) // empty sets
+	out := r.String()
+	for _, want := range []string{"{(1,2), (3,null)}", "{7}", "{}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/expr"
+	"nra/internal/value"
+)
+
+// Node is any AST node.
+type Node interface{ String() string }
+
+// Stmt is a top-level statement: a single Select, or a SetOp combining
+// statements with UNION / INTERSECT / EXCEPT.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+func (s *Select) stmt() {}
+
+// SetOpKind names a statement-level set operation.
+type SetOpKind uint8
+
+// The set operations; the *All variants use bag (multiset) semantics.
+const (
+	Union SetOpKind = iota
+	UnionAll
+	Intersect
+	IntersectAll
+	Except
+	ExceptAll
+)
+
+// String spells the operator.
+func (k SetOpKind) String() string {
+	switch k {
+	case Union:
+		return "UNION"
+	case UnionAll:
+		return "UNION ALL"
+	case Intersect:
+		return "INTERSECT"
+	case IntersectAll:
+		return "INTERSECT ALL"
+	case Except:
+		return "EXCEPT"
+	case ExceptAll:
+		return "EXCEPT ALL"
+	}
+	return "?"
+}
+
+// SetOp combines two statements. Standard SQL precedence applies:
+// INTERSECT binds tighter than UNION/EXCEPT; equal operators associate
+// left.
+type SetOp struct {
+	Kind SetOpKind
+	L, R Stmt
+	Pos  int
+}
+
+func (s *SetOp) stmt() {}
+func (s *SetOp) String() string {
+	return s.L.String() + " " + s.Kind.String() + " " + s.R.String()
+}
+
+// Select is one query block.
+type Select struct {
+	Distinct bool
+	Star     bool // SELECT *
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil if absent
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+	Offset   int // 0 = none
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional AS alias
+}
+
+// TableRef is a FROM-clause entry.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Name returns the effective range-variable name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a scalar or boolean expression in the AST. Unlike internal/expr,
+// AST expressions may contain subqueries.
+type Expr interface {
+	Node
+	// walk visits this node and its children (subqueries excluded).
+	walk(func(Expr))
+}
+
+// ColRef is a column reference, optionally qualified.
+type ColRef struct {
+	Qualifier string // table or alias; "" if unqualified
+	Column    string
+	Pos       int
+}
+
+func (c *ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+func (c *ColRef) walk(f func(Expr)) { f(c) }
+
+// Lit is a literal.
+type Lit struct {
+	V   value.Value
+	Pos int
+}
+
+func (l *Lit) String() string {
+	if l.V.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(l.V.Text(), "'", "''") + "'"
+	}
+	return l.V.String()
+}
+func (l *Lit) walk(f func(Expr)) { f(l) }
+
+// BinOp is a binary operation: comparison (= <> < <= > >=), logical
+// (AND OR) or arithmetic (+ - * /).
+type BinOp struct {
+	Op   string
+	L, R Expr
+	Pos  int
+}
+
+func (b *BinOp) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+func (b *BinOp) walk(f func(Expr)) {
+	f(b)
+	b.L.walk(f)
+	b.R.walk(f)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	E   Expr
+	Pos int
+}
+
+func (n *NotExpr) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+func (n *NotExpr) walk(f func(Expr)) {
+	f(n)
+	n.E.walk(f)
+}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+	Pos    int
+}
+
+func (p *IsNullExpr) String() string {
+	if p.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", p.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", p.E)
+}
+func (p *IsNullExpr) walk(f func(Expr)) {
+	f(p)
+	p.E.walk(f)
+}
+
+// LinkKind classifies the subquery predicate forms — the linking operators.
+type LinkKind uint8
+
+// The linking operator kinds. Positive: Exists, In, CmpSome.
+// Negative: NotExists, NotIn, CmpAll (per §2's terminology). CmpScalar is
+// the scalar-aggregate comparison "A θ (SELECT agg(B) ...)", which is
+// neither (its empty-set behaviour is the aggregate's, not a quantifier's).
+const (
+	Exists LinkKind = iota
+	NotExists
+	In
+	NotIn
+	CmpSome   // θ SOME / θ ANY
+	CmpAll    // θ ALL
+	CmpScalar // θ (scalar aggregate subquery)
+)
+
+// Positive reports whether the operator is a positive linking operator.
+func (k LinkKind) Positive() bool { return k == Exists || k == In || k == CmpSome }
+
+// String spells the operator.
+func (k LinkKind) String() string {
+	switch k {
+	case Exists:
+		return "EXISTS"
+	case NotExists:
+		return "NOT EXISTS"
+	case In:
+		return "IN"
+	case NotIn:
+		return "NOT IN"
+	case CmpSome:
+		return "SOME"
+	case CmpAll:
+		return "ALL"
+	case CmpScalar:
+		return "θ scalar"
+	}
+	return "?"
+}
+
+// SubqueryPred is a linking predicate: EXISTS/NOT EXISTS (Left nil), or
+// Left IN / NOT IN / θ SOME / θ ALL (subquery).
+type SubqueryPred struct {
+	Kind LinkKind
+	Cmp  expr.CmpOp // for CmpSome/CmpAll; In/NotIn use Eq/Ne implicitly
+	Left Expr       // nil for EXISTS forms
+	Sel  *Select
+	Pos  int
+}
+
+func (s *SubqueryPred) String() string {
+	switch s.Kind {
+	case Exists, NotExists:
+		return fmt.Sprintf("%s (%s)", s.Kind, s.Sel)
+	case In, NotIn:
+		return fmt.Sprintf("(%s %s (%s))", s.Left, s.Kind, s.Sel)
+	default:
+		q := "SOME"
+		if s.Kind == CmpAll {
+			q = "ALL"
+		}
+		return fmt.Sprintf("(%s %s %s (%s))", s.Left, s.Cmp, q, s.Sel)
+	}
+}
+func (s *SubqueryPred) walk(f func(Expr)) {
+	f(s)
+	if s.Left != nil {
+		s.Left.walk(f)
+	}
+}
+
+// FuncCall is an aggregate function application: COUNT(*), COUNT(x),
+// SUM(x), AVG(x), MIN(x) or MAX(x). Aggregates may appear only as select
+// items (of a scalar subquery, or of an aggregate-only root select list).
+type FuncCall struct {
+	Name string // upper-case: COUNT, SUM, AVG, MIN, MAX
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+	Pos  int
+}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, f.Arg)
+}
+func (f *FuncCall) walk(fn func(Expr)) {
+	fn(f)
+	if f.Arg != nil {
+		f.Arg.walk(fn)
+	}
+}
+
+// ScalarSub is a scalar subquery — one that returns a single value
+// because its select list is a single aggregate. It may appear wherever a
+// scalar expression may (the reference evaluator supports all placements;
+// the planners decompose the "expr θ (select agg ...)" conjunct form).
+type ScalarSub struct {
+	Sel *Select
+	Pos int
+}
+
+func (s *ScalarSub) String() string     { return "(" + s.Sel.String() + ")" }
+func (s *ScalarSub) walk(fn func(Expr)) { fn(s) }
+
+// String renders the Select back to SQL (normalised form).
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" && t.Alias != t.Table {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+	}
+	return b.String()
+}
+
+// Walk visits e and its child expressions in pre-order, not descending
+// into subqueries.
+func Walk(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	e.walk(f)
+}
+
+// Conjuncts splits an expression into its top-level AND-ed conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// Subqueries returns the subquery predicates appearing anywhere in e
+// (not descending into the subqueries themselves).
+func Subqueries(e Expr) []*SubqueryPred {
+	var out []*SubqueryPred
+	if e == nil {
+		return nil
+	}
+	e.walk(func(x Expr) {
+		if sp, ok := x.(*SubqueryPred); ok {
+			out = append(out, sp)
+		}
+	})
+	return out
+}

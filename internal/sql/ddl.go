@@ -1,0 +1,154 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/relation"
+)
+
+// Data-definition statements: CREATE TABLE and DROP TABLE — enough to
+// build a database from a SQL script (see cmd/nraql).
+
+// ColDef is one column definition of CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    relation.Type
+	NotNull bool
+	PK      bool
+}
+
+// CreateTableStmt is CREATE TABLE name (col type [PRIMARY KEY] [NOT NULL], ...).
+// Exactly one column must be the primary key (the engine's model requires
+// a unique non-NULL key per relation).
+type CreateTableStmt struct {
+	Name string
+	Cols []ColDef
+	Pos  int
+}
+
+func (s *CreateTableStmt) stmt() {}
+func (s *CreateTableStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+		if c.PK {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+	Pos  int
+}
+
+func (s *DropTableStmt) stmt()          {}
+func (s *DropTableStmt) String() string { return "DROP TABLE " + s.Name }
+
+// typeNames maps SQL type spellings to engine types.
+var typeNames = map[string]relation.Type{
+	"INTEGER": relation.TInt, "INT": relation.TInt, "BIGINT": relation.TInt,
+	"FLOAT": relation.TFloat, "REAL": relation.TFloat, "DOUBLE": relation.TFloat,
+	"DECIMAL": relation.TFloat, "NUMERIC": relation.TFloat,
+	"VARCHAR": relation.TString, "TEXT": relation.TString, "STRING": relation.TString,
+	"CHAR": relation.TString, "DATE": relation.TString,
+	"BOOLEAN": relation.TBool, "BOOL": relation.TBool,
+}
+
+// parseCreate parses after the CREATE keyword was consumed.
+func (p *parser) parseCreate(pos int) (Stmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name.Text, Pos: pos}
+	for {
+		cname, err := p.expect(TokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.expect(TokIdent, "column type")
+		if err != nil {
+			return nil, err
+		}
+		typ, ok := typeNames[strings.ToUpper(tname.Text)]
+		if !ok {
+			return nil, errf(tname.Pos, "unknown type %q (try INTEGER, FLOAT, VARCHAR, BOOLEAN, DATE)", tname.Text)
+		}
+		// Optional VARCHAR(n)-style length, accepted and ignored.
+		if p.peek().Kind == TokLParen {
+			p.next()
+			if _, err := p.expect(TokNumber, "length"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+		}
+		def := ColDef{Name: cname.Text, Type: typ}
+		for {
+			if p.eatKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				def.PK = true
+				def.NotNull = true
+				continue
+			}
+			if p.atKeyword("NOT") && p.peek2().Kind == TokKeyword && p.peek2().Text == "NULL" {
+				p.next()
+				p.next()
+				def.NotNull = true
+				continue
+			}
+			break
+		}
+		st.Cols = append(st.Cols, def)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	pks := 0
+	for _, c := range st.Cols {
+		if c.PK {
+			pks++
+		}
+	}
+	if pks != 1 {
+		return nil, errf(pos, "CREATE TABLE %s must declare exactly one PRIMARY KEY column (got %d)", st.Name, pks)
+	}
+	return st, nil
+}
+
+// parseDrop parses after the DROP keyword was consumed.
+func (p *parser) parseDrop(pos int) (Stmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name.Text, Pos: pos}, nil
+}

@@ -1,0 +1,208 @@
+package sql
+
+// Data-modification statements. The engine is query-centric (the paper's
+// subject is subquery *processing*), but a usable library needs writes:
+// INSERT INTO ... VALUES, DELETE FROM ... WHERE, UPDATE ... SET ... WHERE.
+// DELETE/UPDATE WHERE clauses have the full power of the query language —
+// including nested subqueries — because the executor reduces them to a
+// SELECT of the target rows' primary keys.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...), (...), ...
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty = all columns in schema order
+	Rows  [][]Expr // constant expressions only
+	Pos   int
+}
+
+func (s *InsertStmt) stmt() {}
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s", s.Table)
+	if len(s.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(s.Cols, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// DeleteStmt is DELETE FROM table [WHERE pred].
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil = all rows
+	Pos   int
+}
+
+func (s *DeleteStmt) stmt() {}
+func (s *DeleteStmt) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+// SetClause is one col = expr assignment of an UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// UpdateStmt is UPDATE table SET col = expr, ... [WHERE pred].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+	Pos   int
+}
+
+func (s *UpdateStmt) stmt() {}
+func (s *UpdateStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s SET ", s.Table)
+	for i, sc := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", sc.Col, sc.Expr)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+// parseInsert parses after the INSERT keyword was consumed.
+func (p *parser) parseInsert(pos int) (Stmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(TokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: tbl.Text, Pos: pos}
+	if p.peek().Kind == TokLParen {
+		p.next()
+		for {
+			c, err := p.expect(TokIdent, "column name")
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, c.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokLParen, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	return st, nil
+}
+
+// parseDelete parses after the DELETE keyword was consumed.
+func (p *parser) parseDelete(pos int) (Stmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(TokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: tbl.Text, Pos: pos}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// parseUpdate parses after the UPDATE keyword was consumed.
+func (p *parser) parseUpdate(pos int) (Stmt, error) {
+	tbl, err := p.expect(TokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: tbl.Text, Pos: pos}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(TokIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Kind != TokOp || t.Text != "=" {
+			return nil, errf(t.Pos, "expected '=' in SET clause, found %s", t)
+		}
+		p.next()
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Col: c.Text, Expr: e})
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}

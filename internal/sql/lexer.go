@@ -1,0 +1,131 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenises a SQL string. It returns all tokens (terminated by a
+// TokEOF token) or a lexical error.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == '.' && (i+1 >= n || !isDigit(src[i+1])):
+			toks = append(toks, Token{TokDot, ".", i})
+			i++
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, Token{TokOp, string(c), i})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < n && src[i+1] == '>':
+				toks = append(toks, Token{TokOp, "<>", i})
+				i += 2
+			case i+1 < n && src[i+1] == '=':
+				toks = append(toks, Token{TokOp, "<=", i})
+				i += 2
+			default:
+				toks = append(toks, Token{TokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "<>", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected character %q", c)
+			}
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < n {
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, errf(i, "unterminated string literal")
+			}
+			toks = append(toks, Token{TokString, b.String(), i})
+			i = j
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
+			j := i
+			isFloat := false
+			for j < n && (isDigit(src[j]) || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						return nil, errf(i, "malformed number")
+					}
+					isFloat = true
+				}
+				j++
+			}
+			toks = append(toks, Token{TokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, i})
+			} else {
+				toks = append(toks, Token{TokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,652 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"nra/internal/expr"
+	"nra/internal/value"
+)
+
+// Parse parses a single SELECT statement (no statement-level set
+// operations; see ParseStatement for those).
+func Parse(src string) (*Select, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, errf(0, "statement-level set operations are not allowed here")
+	}
+	return sel, nil
+}
+
+// ParseStatement parses a statement: one SELECT, or several combined with
+// UNION / INTERSECT / EXCEPT (each optionally ALL). INTERSECT binds
+// tighter than UNION and EXCEPT; equal operators associate left.
+func ParseStatement(src string) (Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var st Stmt
+	switch {
+	case p.atKeyword("INSERT"):
+		st, err = p.parseInsert(p.next().Pos)
+	case p.atKeyword("DELETE"):
+		st, err = p.parseDelete(p.next().Pos)
+	case p.atKeyword("UPDATE"):
+		st, err = p.parseUpdate(p.next().Pos)
+	case p.atKeyword("CREATE"):
+		st, err = p.parseCreate(p.next().Pos)
+	case p.atKeyword("DROP"):
+		st, err = p.parseDrop(p.next().Pos)
+	default:
+		st, err = p.parseStatement()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, errf(p.peek().Pos, "unexpected %s after end of statement", p.peek())
+	}
+	return st, nil
+}
+
+// parseStatement: term ((UNION | EXCEPT) [ALL] term)*
+func (p *parser) parseStatement() (Stmt, error) {
+	l, err := p.parseIntersectTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind SetOpKind
+		switch {
+		case p.atKeyword("UNION"):
+			kind = Union
+		case p.atKeyword("EXCEPT"):
+			kind = Except
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		if p.eatKeyword("ALL") {
+			kind++ // Union→UnionAll, Except→ExceptAll
+		}
+		r, err := p.parseIntersectTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &SetOp{Kind: kind, L: l, R: r, Pos: pos}
+	}
+}
+
+// parseIntersectTerm: select (INTERSECT [ALL] select)*
+func (p *parser) parseIntersectTerm() (Stmt, error) {
+	var l Stmt
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	l = sel
+	for p.atKeyword("INTERSECT") {
+		pos := p.next().Pos
+		kind := Intersect
+		if p.eatKeyword("ALL") {
+			kind = IntersectAll
+		}
+		r, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		l = &SetOp{Kind: kind, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return errf(p.peek().Pos, "expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(kind TokKind, what string) (Token, error) {
+	if p.peek().Kind != kind {
+		return Token{}, errf(p.peek().Pos, "expected %s, found %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.eatKeyword("DISTINCT")
+
+	if t := p.peek(); t.Kind == TokOp && t.Text == "*" {
+		p.next()
+		sel.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.eatKeyword("AS") {
+				id, err := p.expect(TokIdent, "alias")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = id.Text
+			} else if p.peek().Kind == TokIdent {
+				item.Alias = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		id, err := p.expect(TokIdent, "table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: id.Text}
+		if p.eatKeyword("AS") {
+			a, err := p.expect(TokIdent, "table alias")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a.Text
+		} else if p.peek().Kind == TokIdent {
+			ref.Alias = p.next().Text
+		}
+		sel.From = append(sel.From, ref)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+
+	if p.eatKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.eatKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.eatKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if p.eatKeyword("LIMIT") {
+		n, err := p.parseNonNegativeInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.eatKeyword("OFFSET") {
+		n, err := p.parseNonNegativeInt("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+// parseNonNegativeInt reads the integer operand of LIMIT/OFFSET.
+func (p *parser) parseNonNegativeInt(what string) (int, error) {
+	tok, err := p.expect(TokNumber, what+" count")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(tok.Text)
+	if err != nil || n < 0 {
+		return 0, errf(tok.Pos, "%s requires a non-negative integer, got %q", what, tok.Text)
+	}
+	return n, nil
+}
+
+// parseExpr parses with precedence OR < AND < NOT < predicate < additive
+// < multiplicative < unary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		pos := p.next().Pos
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e, Pos: pos}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.Eq, "<>": expr.Ne, "<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.atKeyword("EXISTS") {
+		pos := p.next().Pos
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &SubqueryPred{Kind: Exists, Sel: sub, Pos: pos}, nil
+	}
+
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	t := p.peek()
+	if t.Kind == TokOp {
+		if op, ok := cmpOps[t.Text]; ok {
+			pos := p.next().Pos
+			// Quantified comparison?
+			if p.atKeyword("ANY") || p.atKeyword("SOME") || p.atKeyword("ALL") {
+				q := p.next().Text
+				sub, err := p.parseSubquery()
+				if err != nil {
+					return nil, err
+				}
+				kind := CmpSome
+				if q == "ALL" {
+					kind = CmpAll
+				}
+				return &SubqueryPred{Kind: kind, Cmp: op, Left: l, Sel: sub, Pos: pos}, nil
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: t.Text, L: l, R: r, Pos: pos}, nil
+		}
+	}
+
+	// x NOT IN (...) / x NOT BETWEEN a AND b
+	if p.atKeyword("NOT") && (p.peek2().Kind == TokKeyword && (p.peek2().Text == "IN" || p.peek2().Text == "BETWEEN")) {
+		p.next() // NOT
+		if p.atKeyword("IN") {
+			pos := p.next().Pos
+			return p.parseInTail(l, pos, true)
+		}
+		pos := p.peek().Pos
+		e, err := p.parseBetweenTail(l)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e, Pos: pos}, nil
+	}
+
+	if p.atKeyword("IN") {
+		pos := p.next().Pos
+		return p.parseInTail(l, pos, false)
+	}
+
+	if p.atKeyword("BETWEEN") {
+		return p.parseBetweenTail(l)
+	}
+
+	if p.atKeyword("IS") {
+		pos := p.next().Pos
+		neg := p.eatKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negate: neg, Pos: pos}, nil
+	}
+
+	return l, nil
+}
+
+// parseInTail parses the operand of [NOT] IN: a subquery, or a value
+// list. "x IN (a, b)" desugars to "x = a OR x = b"; "x NOT IN (a, b)" to
+// "x <> a AND x <> b" — the 3VL-faithful expansions (NULLs in the list
+// poison exactly as SQL requires).
+func (p *parser) parseInTail(l Expr, pos int, negate bool) (Expr, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		if negate {
+			return &SubqueryPred{Kind: NotIn, Cmp: expr.Ne, Left: l, Sel: sel, Pos: pos}, nil
+		}
+		return &SubqueryPred{Kind: In, Cmp: expr.Eq, Left: l, Sel: sel, Pos: pos}, nil
+	}
+	var out Expr
+	for {
+		item, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var cmp Expr
+		if negate {
+			cmp = &BinOp{Op: "<>", L: l, R: item, Pos: pos}
+		} else {
+			cmp = &BinOp{Op: "=", L: l, R: item, Pos: pos}
+		}
+		if out == nil {
+			out = cmp
+		} else if negate {
+			out = &BinOp{Op: "AND", L: out, R: cmp, Pos: pos}
+		} else {
+			out = &BinOp{Op: "OR", L: out, R: cmp, Pos: pos}
+		}
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseBetweenTail desugars "l BETWEEN a AND b" into l >= a AND l <= b.
+func (p *parser) parseBetweenTail(l Expr) (Expr, error) {
+	pos := p.peek().Pos
+	if err := p.expectKeyword("BETWEEN"); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinOp{
+		Op:  "AND",
+		L:   &BinOp{Op: ">=", L: l, R: lo, Pos: pos},
+		R:   &BinOp{Op: "<=", L: l, R: hi, Pos: pos},
+		Pos: pos,
+	}, nil
+}
+
+// parseFuncCall parses an aggregate call after its name and before "(".
+func (p *parser) parseFuncCall(name string, pos int) (Expr, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokOp && t.Text == "*" {
+		if name != "COUNT" {
+			return nil, errf(t.Pos, "%s(*) is not valid; only COUNT(*)", name)
+		}
+		p.next()
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Name: name, Star: true, Pos: pos}, nil
+	}
+	arg, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &FuncCall{Name: name, Arg: arg, Pos: pos}, nil
+}
+
+func (p *parser) parseSubquery() (*Select, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negative literals; otherwise 0 - e.
+		if lit, ok := e.(*Lit); ok {
+			switch lit.V.Kind() {
+			case value.KindInt:
+				return &Lit{V: value.Int(-lit.V.Int64()), Pos: t.Pos}, nil
+			case value.KindFloat:
+				return &Lit{V: value.Float(-lit.V.Float64()), Pos: t.Pos}, nil
+			}
+		}
+		return &BinOp{Op: "-", L: &Lit{V: value.Int(0), Pos: t.Pos}, R: e, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return &Lit{V: value.Int(i), Pos: t.Pos}, nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "malformed number %q", t.Text)
+		}
+		return &Lit{V: value.Float(f), Pos: t.Pos}, nil
+	case TokString:
+		p.next()
+		return &Lit{V: value.Str(t.Text), Pos: t.Pos}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Lit{V: value.Null, Pos: t.Pos}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{V: value.Bool(true), Pos: t.Pos}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{V: value.Bool(false), Pos: t.Pos}, nil
+		case "SELECT":
+			return nil, errf(t.Pos, "scalar subqueries are not supported; use IN/EXISTS/SOME/ALL linking predicates")
+		}
+		return nil, errf(t.Pos, "unexpected keyword %s", t.Text)
+	case TokIdent:
+		p.next()
+		// Aggregate function call?
+		if p.peek().Kind == TokLParen {
+			name := strings.ToUpper(t.Text)
+			switch name {
+			case "COUNT", "SUM", "AVG", "MIN", "MAX":
+				return p.parseFuncCall(name, t.Pos)
+			}
+			return nil, errf(t.Pos, "unknown function %q (supported: COUNT, SUM, AVG, MIN, MAX)", t.Text)
+		}
+		if p.peek().Kind == TokDot {
+			p.next()
+			col, err := p.expect(TokIdent, "column name")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: t.Text, Column: col.Text, Pos: t.Pos}, nil
+		}
+		return &ColRef{Column: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		if p.atKeyword("SELECT") {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return &ScalarSub{Sel: sel, Pos: t.Pos}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s", t)
+}

@@ -1,0 +1,74 @@
+// Package sql implements the SQL front end for the subset of SQL the
+// paper studies: SELECT-FROM-WHERE blocks with arbitrarily nested
+// non-aggregate subqueries linked by EXISTS, NOT EXISTS, IN, NOT IN,
+// θ SOME/ANY and θ ALL, with correlation to any enclosing block.
+// It provides a lexer, a recursive-descent parser producing an AST, and a
+// semantic analyzer that resolves names against a catalog and decomposes
+// each query block's WHERE clause into local, correlated and linking
+// predicates — the θ_i, C_ij and L_i of §4.1.
+package sql
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // = <> < <= > >= + - * /
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+)
+
+// Token is one lexical token with its source position (1-based offset).
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers preserve case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords recognised by the lexer (case-insensitive in input).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"ANY": true, "SOME": true, "ALL": true, "BETWEEN": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true, "AS": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"LIMIT": true, "OFFSET": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"DELETE": true, "UPDATE": true, "SET": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "PRIMARY": true, "KEY": true,
+}
+
+// Error is a front-end error carrying the offending position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,73 @@
+package tpch
+
+// Config sets the row counts and generation knobs. The zero value is not
+// usable; start from DefaultConfig or Scale.
+type Config struct {
+	Parts     int
+	Suppliers int
+	Customers int
+	Orders    int
+
+	// PartSuppPerPart is the number of suppliers per part (TPC-H: 4).
+	PartSuppPerPart int
+	// MaxLinesPerOrder is the per-order lineitem count upper bound
+	// (TPC-H: 7; uniform in [1, max]).
+	MaxLinesPerOrder int
+
+	// Seed makes generation deterministic.
+	Seed uint64
+
+	// NullFraction injects NULLs into the nullable measure columns
+	// (l_extendedprice, ps_supplycost, o_totalprice, p_retailprice,
+	// s_acctbal, c_acctbal). 0 produces a specification-clean, NULL-free
+	// database.
+	NullFraction float64
+}
+
+// Scale returns the TPC-H cardinality ratios at the given scale factor:
+// sf = 1 is the paper's 1 GB configuration (200k parts, 10k suppliers,
+// 150k customers, 1.5M orders, ~6M lineitems). The benchmarks use small
+// fractions of that.
+func Scale(sf float64) Config {
+	round := func(f float64) int {
+		n := int(f + 0.5)
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return Config{
+		Parts:            round(200_000 * sf),
+		Suppliers:        round(10_000 * sf),
+		Customers:        round(150_000 * sf),
+		Orders:           round(1_500_000 * sf),
+		PartSuppPerPart:  4,
+		MaxLinesPerOrder: 7,
+		Seed:             42,
+	}
+}
+
+// DefaultConfig is a small laptop-friendly database (sf = 1/500).
+func DefaultConfig() Config { return Scale(0.002) }
+
+func (c Config) normalised() Config {
+	if c.PartSuppPerPart <= 0 {
+		c.PartSuppPerPart = 4
+	}
+	if c.MaxLinesPerOrder <= 0 {
+		c.MaxLinesPerOrder = 7
+	}
+	if c.Parts <= 0 {
+		c.Parts = 1
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 1
+	}
+	if c.Customers <= 0 {
+		c.Customers = 1
+	}
+	if c.Orders <= 0 {
+		c.Orders = 1
+	}
+	return c
+}

@@ -1,0 +1,278 @@
+package tpch
+
+import (
+	"fmt"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	containers  = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"}
+	types       = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BURNISHED NICKEL", "ECONOMY BRUSHED STEEL", "PROMO POLISHED BRASS", "LARGE ANODIZED ZINC"}
+	shipModes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	nameNouns   = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower"}
+	commentBits = []string{"carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending", "express", "regular", "special", "bold", "even", "silent"}
+)
+
+// Generate builds the TPC-H tables into a fresh catalog.
+func Generate(cfg Config) (*catalog.Catalog, error) {
+	cfg = cfg.normalised()
+	cat := catalog.New()
+	g := &gen{cfg: cfg, rng: newRNG(cfg.Seed)}
+
+	builders := []func(*catalog.Catalog) error{
+		g.region, g.nation, g.supplier, g.part, g.partsupp,
+		g.customer, g.orders, g.lineitem,
+	}
+	for _, build := range builders {
+		if err := build(cat); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+type gen struct {
+	cfg Config
+	rng *rng
+
+	// lineitem needs per-order keys and the part/supplier domains.
+	orderKeys []int
+}
+
+// maybeNull replaces v with NULL at the configured fraction.
+func (g *gen) maybeNull(v value.Value) value.Value {
+	if g.cfg.NullFraction > 0 && g.rng.float() < g.cfg.NullFraction {
+		return value.Null
+	}
+	return v
+}
+
+func (g *gen) comment() value.Value {
+	return value.Str(pick(g.rng, commentBits) + " " + pick(g.rng, commentBits))
+}
+
+func (g *gen) phone() value.Value {
+	return value.Str(fmt.Sprintf("%d-%03d-%03d-%04d",
+		10+g.rng.intn(25), g.rng.intn(1000), g.rng.intn(1000), g.rng.intn(10000)))
+}
+
+// date returns an ISO date uniformly distributed over TPC-H's order-date
+// range [1992-01-01, 1998-08-02], as day offsets into a simplified
+// 360-day calendar (12 months × 30 days) — ISO strings keep lexicographic
+// order equal to chronological order, which is all the engine needs.
+func (g *gen) date(startYear, years int) string {
+	return dayToDate(g.rng.intn(years*360), startYear)
+}
+
+func dayToDate(day, startYear int) string {
+	y := startYear + day/360
+	m := (day%360)/30 + 1
+	d := day%30 + 1
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+func create(cat *catalog.Catalog, name string, cols []string, rows [][]value.Value, pk string) error {
+	schema := &relation.Schema{Name: name}
+	for _, c := range cols {
+		schema.Cols = append(schema.Cols, relation.Column{Name: c, Type: relation.TAny})
+	}
+	rel := relation.New(schema)
+	for _, r := range rows {
+		rel.Append(relation.Tuple{Atoms: r})
+	}
+	// Infer column types from the first non-null value.
+	for ci := range schema.Cols {
+		for _, t := range rel.Tuples {
+			v := t.Atoms[ci]
+			if v.IsNull() {
+				continue
+			}
+			switch v.Kind() {
+			case value.KindInt:
+				schema.Cols[ci].Type = relation.TInt
+			case value.KindFloat:
+				schema.Cols[ci].Type = relation.TFloat
+			case value.KindString:
+				schema.Cols[ci].Type = relation.TString
+			case value.KindBool:
+				schema.Cols[ci].Type = relation.TBool
+			}
+			break
+		}
+	}
+	_, err := cat.Create(name, rel, pk)
+	return err
+}
+
+func (g *gen) region(cat *catalog.Catalog) error {
+	var rows [][]value.Value
+	for i, name := range regionNames {
+		rows = append(rows, []value.Value{value.Int(int64(i)), value.Str(name), g.comment()})
+	}
+	return create(cat, "region", []string{"r_regionkey", "r_name", "r_comment"}, rows, "r_regionkey")
+}
+
+func (g *gen) nation(cat *catalog.Catalog) error {
+	var rows [][]value.Value
+	for i, name := range nationNames {
+		rows = append(rows, []value.Value{
+			value.Int(int64(i)), value.Str(name), value.Int(int64(i % 5)), g.comment(),
+		})
+	}
+	return create(cat, "nation",
+		[]string{"n_nationkey", "n_name", "n_regionkey", "n_comment"}, rows, "n_nationkey")
+}
+
+func (g *gen) supplier(cat *catalog.Catalog) error {
+	rows := make([][]value.Value, 0, g.cfg.Suppliers)
+	for i := 1; i <= g.cfg.Suppliers; i++ {
+		rows = append(rows, []value.Value{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("Supplier#%09d", i)),
+			value.Str(fmt.Sprintf("addr %d %s", g.rng.intn(1000), pick(g.rng, nameNouns))),
+			value.Int(int64(g.rng.intn(len(nationNames)))),
+			g.phone(),
+			g.maybeNull(value.Float(g.rng.money(-999.99, 9999.99))),
+			g.comment(),
+		})
+	}
+	return create(cat, "supplier",
+		[]string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"},
+		rows, "s_suppkey")
+}
+
+func (g *gen) part(cat *catalog.Catalog) error {
+	rows := make([][]value.Value, 0, g.cfg.Parts)
+	for i := 1; i <= g.cfg.Parts; i++ {
+		rows = append(rows, []value.Value{
+			value.Int(int64(i)),
+			value.Str(pick(g.rng, nameNouns) + " " + pick(g.rng, nameNouns)),
+			value.Str(fmt.Sprintf("Manufacturer#%d", 1+g.rng.intn(5))),
+			value.Str(fmt.Sprintf("Brand#%d%d", 1+g.rng.intn(5), 1+g.rng.intn(5))),
+			value.Str(pick(g.rng, types)),
+			value.Int(int64(g.rng.rangeInt(1, 50))),
+			value.Str(pick(g.rng, containers)),
+			g.maybeNull(value.Float(g.rng.money(900, 2100))),
+			g.comment(),
+		})
+	}
+	return create(cat, "part",
+		[]string{"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"},
+		rows, "p_partkey")
+}
+
+func (g *gen) partsupp(cat *catalog.Catalog) error {
+	rows := make([][]value.Value, 0, g.cfg.Parts*g.cfg.PartSuppPerPart)
+	rowid := 0
+	for p := 1; p <= g.cfg.Parts; p++ {
+		for s := 0; s < g.cfg.PartSuppPerPart; s++ {
+			rowid++
+			suppkey := 1 + (p+s*(g.cfg.Suppliers/g.cfg.PartSuppPerPart+1))%g.cfg.Suppliers
+			rows = append(rows, []value.Value{
+				value.Int(int64(rowid)),
+				value.Int(int64(p)),
+				value.Int(int64(suppkey)),
+				value.Int(int64(g.rng.rangeInt(1, 9999))),
+				g.maybeNull(value.Float(g.rng.money(1, 1000))),
+				g.comment(),
+			})
+		}
+	}
+	return create(cat, "partsupp",
+		[]string{"ps_rowid", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"},
+		rows, "ps_rowid")
+}
+
+func (g *gen) customer(cat *catalog.Catalog) error {
+	rows := make([][]value.Value, 0, g.cfg.Customers)
+	for i := 1; i <= g.cfg.Customers; i++ {
+		rows = append(rows, []value.Value{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("Customer#%09d", i)),
+			value.Str(fmt.Sprintf("addr %d %s", g.rng.intn(1000), pick(g.rng, nameNouns))),
+			value.Int(int64(g.rng.intn(len(nationNames)))),
+			g.phone(),
+			g.maybeNull(value.Float(g.rng.money(-999.99, 9999.99))),
+			value.Str(pick(g.rng, segments)),
+			g.comment(),
+		})
+	}
+	return create(cat, "customer",
+		[]string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"},
+		rows, "c_custkey")
+}
+
+func (g *gen) orders(cat *catalog.Catalog) error {
+	rows := make([][]value.Value, 0, g.cfg.Orders)
+	g.orderKeys = g.orderKeys[:0]
+	for i := 1; i <= g.cfg.Orders; i++ {
+		g.orderKeys = append(g.orderKeys, i)
+		rows = append(rows, []value.Value{
+			value.Int(int64(i)),
+			value.Int(int64(1 + g.rng.intn(g.cfg.Customers))),
+			value.Str(pick(g.rng, []string{"O", "F", "P"})),
+			g.maybeNull(value.Float(g.rng.money(850, 500_000))),
+			value.Str(g.date(1992, 7)),
+			value.Str(pick(g.rng, priorities)),
+			value.Str(fmt.Sprintf("Clerk#%09d", 1+g.rng.intn(1000))),
+			value.Int(0),
+			g.comment(),
+		})
+	}
+	return create(cat, "orders",
+		[]string{"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"},
+		rows, "o_orderkey")
+}
+
+func (g *gen) lineitem(cat *catalog.Catalog) error {
+	var rows [][]value.Value
+	rowid := 0
+	for _, ok := range g.orderKeys {
+		lines := g.rng.rangeInt(1, g.cfg.MaxLinesPerOrder)
+		base := g.rng.intn(7 * 360) // order date offset reused for ship dates
+		for ln := 1; ln <= lines; ln++ {
+			rowid++
+			ship := base + g.rng.rangeInt(1, 121)
+			commit := base + g.rng.rangeInt(30, 90)
+			receipt := ship + g.rng.rangeInt(1, 30)
+			qty := g.rng.rangeInt(1, 50)
+			price := g.rng.money(900, 105_000)
+			rows = append(rows, []value.Value{
+				value.Int(int64(rowid)),
+				value.Int(int64(ok)),
+				value.Int(int64(1 + g.rng.intn(g.cfg.Parts))),
+				value.Int(int64(1 + g.rng.intn(g.cfg.Suppliers))),
+				value.Int(int64(ln)),
+				value.Int(int64(qty)),
+				g.maybeNull(value.Float(price)),
+				value.Float(float64(g.rng.intn(11)) / 100),
+				value.Float(float64(g.rng.intn(9)) / 100),
+				value.Str(pick(g.rng, []string{"R", "A", "N"})),
+				value.Str(pick(g.rng, []string{"O", "F"})),
+				value.Str(dayToDate(ship, 1992)),
+				value.Str(dayToDate(commit, 1992)),
+				value.Str(dayToDate(receipt, 1992)),
+				value.Str(pick(g.rng, instructs)),
+				value.Str(pick(g.rng, shipModes)),
+				g.comment(),
+			})
+		}
+	}
+	return create(cat, "lineitem",
+		[]string{"l_rowid", "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"},
+		rows, "l_rowid")
+}

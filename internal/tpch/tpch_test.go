@@ -1,0 +1,204 @@
+package tpch
+
+import (
+	"testing"
+
+	"nra/internal/value"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Parts: 20, Suppliers: 5, Customers: 10, Orders: 30, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if !ta.Rel.EqualSet(tb.Rel) {
+			t.Fatalf("table %s not deterministic", name)
+		}
+	}
+	c, err := Generate(Config{Parts: 20, Suppliers: 5, Customers: 10, Orders: 30, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, _ := a.Table("orders")
+	tc, _ := c.Table("orders")
+	if to.Rel.EqualSet(tc.Rel) {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	cfg := Config{Parts: 25, Suppliers: 8, Customers: 10, Orders: 40, PartSuppPerPart: 4, MaxLinesPerOrder: 7, Seed: 1}
+	cat, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{"region": 5, "nation": 25, "part": 25, "supplier": 8, "customer": 10, "orders": 40, "partsupp": 100}
+	for name, want := range counts {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Rel.Len() != want {
+			t.Errorf("%s has %d rows, want %d", name, tbl.Rel.Len(), want)
+		}
+	}
+	li, _ := cat.Table("lineitem")
+	if li.Rel.Len() < 40 || li.Rel.Len() > 40*7 {
+		t.Errorf("lineitem rows %d outside [orders, 7·orders]", li.Rel.Len())
+	}
+}
+
+func TestScaleRatios(t *testing.T) {
+	cfg := Scale(0.01)
+	if cfg.Parts != 2000 || cfg.Orders != 15000 || cfg.Suppliers != 100 || cfg.Customers != 1500 {
+		t.Fatalf("scale ratios wrong: %+v", cfg)
+	}
+	tiny := Scale(0.0000001) // everything clamps to ≥ 1
+	if tiny.Parts < 1 || tiny.Orders < 1 {
+		t.Fatal("scale must clamp to 1")
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	cat, err := Generate(Config{Parts: 15, Suppliers: 6, Customers: 9, Orders: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _ := cat.Table("lineitem")
+	ordersTbl, _ := cat.Table("orders")
+	okIdx := ordersTbl.Index("o_orderkey")
+	if okIdx == nil {
+		t.Fatal("orders PK index missing")
+	}
+	oi := li.Rel.Schema.MustColIndex("l_orderkey")
+	pi := li.Rel.Schema.MustColIndex("l_partkey")
+	si := li.Rel.Schema.MustColIndex("l_suppkey")
+	for _, tup := range li.Rel.Tuples {
+		if len(okIdx.Lookup(tup.Atoms[oi])) != 1 {
+			t.Fatalf("dangling l_orderkey %v", tup.Atoms[oi])
+		}
+		if p := tup.Atoms[pi].Int64(); p < 1 || p > 15 {
+			t.Fatalf("l_partkey out of range: %d", p)
+		}
+		if s := tup.Atoms[si].Int64(); s < 1 || s > 6 {
+			t.Fatalf("l_suppkey out of range: %d", s)
+		}
+	}
+	ps, _ := cat.Table("partsupp")
+	ppi := ps.Rel.Schema.MustColIndex("ps_partkey")
+	psi := ps.Rel.Schema.MustColIndex("ps_suppkey")
+	for _, tup := range ps.Rel.Tuples {
+		if p := tup.Atoms[ppi].Int64(); p < 1 || p > 15 {
+			t.Fatalf("ps_partkey out of range: %d", p)
+		}
+		if s := tup.Atoms[psi].Int64(); s < 1 || s > 6 {
+			t.Fatalf("ps_suppkey out of range: %d", s)
+		}
+	}
+}
+
+func TestNullInjection(t *testing.T) {
+	cat, err := Generate(Config{Parts: 50, Suppliers: 5, Customers: 5, Orders: 200, Seed: 5, NullFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _ := cat.Table("lineitem")
+	col := li.Rel.Col("l_extendedprice")
+	nulls := 0
+	for _, v := range col {
+		if v.IsNull() {
+			nulls++
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("NullFraction produced no NULLs")
+	}
+	frac := float64(nulls) / float64(len(col))
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("null fraction %f far from 0.3", frac)
+	}
+	// PKs must never be NULL (catalog.Create enforces; reaching here means ok).
+	clean, err := Generate(Config{Parts: 10, Suppliers: 3, Customers: 3, Orders: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li2, _ := clean.Table("lineitem")
+	for _, v := range li2.Rel.Col("l_extendedprice") {
+		if v.IsNull() {
+			t.Fatal("NULL without NullFraction")
+		}
+	}
+}
+
+func TestDatesAreISOAndOrdered(t *testing.T) {
+	cat, err := Generate(Config{Parts: 5, Suppliers: 2, Customers: 3, Orders: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _ := cat.Table("lineitem")
+	si := li.Rel.Schema.MustColIndex("l_shipdate")
+	ri := li.Rel.Schema.MustColIndex("l_receiptdate")
+	for _, tup := range li.Rel.Tuples {
+		ship, receipt := tup.Atoms[si], tup.Atoms[ri]
+		if len(ship.Text()) != 10 || ship.Text()[4] != '-' {
+			t.Fatalf("bad date format %q", ship.Text())
+		}
+		cmp, known, err := value.Compare(ship, receipt)
+		if err != nil || !known || cmp >= 0 {
+			t.Fatalf("l_shipdate %s should precede l_receiptdate %s", ship, receipt)
+		}
+	}
+}
+
+func TestFullTPCHSchemas(t *testing.T) {
+	cat, err := Generate(Config{Parts: 3, Suppliers: 2, Customers: 2, Orders: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"region":   {"r_regionkey", "r_name", "r_comment"},
+		"nation":   {"n_nationkey", "n_name", "n_regionkey", "n_comment"},
+		"supplier": {"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"},
+		"part":     {"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"},
+		"partsupp": {"ps_rowid", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"},
+		"customer": {"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"},
+		"orders":   {"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"},
+		"lineitem": {"l_rowid", "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"},
+	}
+	for name, cols := range want {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tbl.Rel.Schema.ColNames()
+		if len(got) != len(cols) {
+			t.Fatalf("%s: %d columns, want %d (%v)", name, len(got), len(cols), got)
+		}
+		for i, c := range cols {
+			if got[i] != c {
+				t.Fatalf("%s col %d = %q, want %q", name, i, got[i], c)
+			}
+		}
+	}
+}
+
+func TestPartSizeDomain(t *testing.T) {
+	cat, err := Generate(Config{Parts: 200, Suppliers: 10, Customers: 5, Orders: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := cat.Table("part")
+	for _, v := range part.Rel.Col("p_size") {
+		if s := v.Int64(); s < 1 || s > 50 {
+			t.Fatalf("p_size out of TPC-H domain [1,50]: %d", s)
+		}
+	}
+}

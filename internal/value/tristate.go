@@ -1,0 +1,78 @@
+package value
+
+// Tri is a truth value in SQL's three-valued logic. WHERE clauses keep a
+// tuple only when the predicate evaluates to True; both False and Unknown
+// reject it — but the distinction matters to the pseudo-selection operator
+// and to NOT, which maps Unknown to Unknown.
+type Tri uint8
+
+// The three truth values. The numeric order False < Unknown < True makes
+// AND = min and OR = max, the standard Kleene tables.
+const (
+	False Tri = iota
+	Unknown
+	True
+)
+
+// TriOf converts a Go bool to a Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And returns the Kleene conjunction of t and u.
+func (t Tri) And(u Tri) Tri {
+	if u < t {
+		return u
+	}
+	return t
+}
+
+// Or returns the Kleene disjunction of t and u.
+func (t Tri) Or(u Tri) Tri {
+	if u > t {
+		return u
+	}
+	return t
+}
+
+// Not returns the Kleene negation of t. Unknown stays Unknown.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// IsTrue reports whether t is True (the WHERE-clause acceptance test).
+func (t Tri) IsTrue() bool { return t == True }
+
+// Value converts t to a SQL BOOLEAN value; Unknown becomes NULL.
+func (t Tri) Value() Value {
+	switch t {
+	case True:
+		return Bool(true)
+	case False:
+		return Bool(false)
+	default:
+		return Null
+	}
+}
+
+// String returns "true", "false" or "unknown".
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,276 @@
+// Package value implements SQL atomic values with NULL and the
+// three-valued logic (3VL) that the nested relational approach of
+// Cao & Badia (SIGMOD 2005) depends on.
+//
+// A Value is an immutable tagged union over the SQL types the engine
+// supports: 64-bit integers, 64-bit floats, strings and booleans, plus the
+// distinguished NULL. Dates are represented as ISO-8601 strings
+// ("2026-07-04"), whose lexicographic order coincides with chronological
+// order, so no separate date kind is needed.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL, so freshly allocated
+// tuples start out as all-NULL rows, which is exactly the padding behaviour
+// left outer joins and pseudo-selections need.
+type Value struct {
+	kind Kind
+	i    int64 // payload for KindInt; 0/1 for KindBool
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string value. (Not named String because Value has a
+// String method.)
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int64 returns the integer payload. It panics unless v is an integer.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: Int64 on %s", v.kind))
+	}
+	return v.i
+}
+
+// Float64 returns the float payload, widening integers. It panics unless v
+// is numeric.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("value: Float64 on %s", v.kind))
+}
+
+// Text returns the string payload. It panics unless v is a string.
+func (v Value) Text() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: Text on %s", v.kind))
+	}
+	return v.s
+}
+
+// Truth returns the boolean payload as a Tri. NULL maps to Unknown.
+// It panics on non-boolean, non-null values.
+func (v Value) Truth() Tri {
+	switch v.kind {
+	case KindBool:
+		if v.i != 0 {
+			return True
+		}
+		return False
+	case KindNull:
+		return Unknown
+	}
+	panic(fmt.Sprintf("value: Truth on %s", v.kind))
+}
+
+// String renders v the way the paper's figures print relations: NULL as
+// "null", strings verbatim, numbers in their shortest form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// numeric reports whether v is an INT or FLOAT.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare compares two values under SQL semantics. The second result is
+// false when the comparison is NULL (either operand NULL): in that case the
+// caller must treat any predicate over it as Unknown. Comparing values of
+// incompatible kinds (e.g. a string with an int) is reported through err;
+// the engine treats that as a type error, never silently.
+func Compare(a, b Value) (cmp int, known bool, err error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false, nil
+	}
+	switch {
+	case a.kind == KindInt && b.kind == KindInt:
+		return cmpOrdered(a.i, b.i), true, nil
+	case a.numeric() && b.numeric():
+		af, bf := a.Float64(), b.Float64()
+		return cmpOrdered(af, bf), true, nil
+	case a.kind == KindString && b.kind == KindString:
+		return cmpOrdered(a.s, b.s), true, nil
+	case a.kind == KindBool && b.kind == KindBool:
+		return cmpOrdered(a.i, b.i), true, nil
+	}
+	return 0, false, fmt.Errorf("value: cannot compare %s with %s", a.kind, b.kind)
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Identical reports whether a and b are the same value under *grouping*
+// semantics: NULL is identical to NULL, and values of different kinds are
+// never identical (no numeric widening; a column has one declared type).
+// This is the equality used by nest/GROUP BY and DISTINCT, as opposed to
+// the 3VL Compare used by predicates.
+func Identical(a, b Value) bool {
+	if a.kind != b.kind {
+		// Allow 5 and 5.0 to group together when columns were widened.
+		if a.numeric() && b.numeric() {
+			return a.Float64() == b.Float64()
+		}
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindInt, KindBool:
+		return a.i == b.i
+	case KindFloat:
+		return a.f == b.f || (math.IsNaN(a.f) && math.IsNaN(b.f))
+	case KindString:
+		return a.s == b.s
+	}
+	return false
+}
+
+// Less is a total order used for deterministic sorting of relations
+// (sort-based nest, golden-test output). NULL sorts first; across kinds the
+// order is by kind tag. It is NOT the SQL comparison — use Compare for
+// predicate evaluation.
+func Less(a, b Value) bool {
+	if a.kind != b.kind {
+		if a.numeric() && b.numeric() {
+			af, bf := a.Float64(), b.Float64()
+			if af != bf {
+				return af < bf
+			}
+			return a.kind < b.kind
+		}
+		return a.kind < b.kind
+	}
+	switch a.kind {
+	case KindNull:
+		return false
+	case KindInt, KindBool:
+		return a.i < b.i
+	case KindFloat:
+		return a.f < b.f
+	case KindString:
+		return a.s < b.s
+	}
+	return false
+}
+
+// AppendKey appends a canonical byte encoding of v to dst. Two values have
+// the same encoding iff Identical(a, b). It is used to build hash keys for
+// grouping, hash joins and duplicate elimination.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0)
+	case KindInt:
+		dst = append(dst, 1)
+		return appendUint64(dst, uint64(v.i))
+	case KindFloat:
+		// Encode integral floats as ints so widened columns hash together.
+		if f := v.f; f == math.Trunc(f) && f >= math.MinInt64 && f < math.MaxInt64 {
+			dst = append(dst, 1)
+			return appendUint64(dst, uint64(int64(f)))
+		}
+		dst = append(dst, 2)
+		return appendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = append(dst, 3)
+		dst = appendUint64(dst, uint64(len(v.s)))
+		return append(dst, v.s...)
+	case KindBool:
+		dst = append(dst, 4, byte(v.i))
+		return dst
+	default:
+		panic("value: AppendKey on invalid kind")
+	}
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

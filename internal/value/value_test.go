@@ -1,0 +1,249 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "FLOAT",
+		KindString: "VARCHAR", KindBool: "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value is not NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).Int64() != 42 {
+		t.Error("Int roundtrip failed")
+	}
+	if Float(2.5).Float64() != 2.5 {
+		t.Error("Float roundtrip failed")
+	}
+	if Int(7).Float64() != 7.0 {
+		t.Error("Int should widen via Float64")
+	}
+	if Str("abc").Text() != "abc" {
+		t.Error("Str roundtrip failed")
+	}
+	if Bool(true).Truth() != True || Bool(false).Truth() != False {
+		t.Error("Bool truth failed")
+	}
+	if Null.Truth() != Unknown {
+		t.Error("NULL truth should be Unknown")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Int64 on string": func() { Str("x").Int64() },
+		"Text on int":     func() { Int(1).Text() },
+		"Float64 on bool": func() { Bool(true).Float64() },
+		"Truth on int":    func() { Int(1).Truth() },
+		"Float64 on null": func() { Null.Float64() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b  Value
+		cmp   int
+		known bool
+		err   bool
+	}{
+		{Int(1), Int(2), -1, true, false},
+		{Int(2), Int(2), 0, true, false},
+		{Int(3), Int(2), 1, true, false},
+		{Int(2), Float(2.5), -1, true, false},
+		{Float(2.5), Int(2), 1, true, false},
+		{Float(2.0), Int(2), 0, true, false},
+		{Str("a"), Str("b"), -1, true, false},
+		{Str("2026-07-04"), Str("2026-07-05"), -1, true, false},
+		{Bool(false), Bool(true), -1, true, false},
+		{Null, Int(1), 0, false, false},
+		{Int(1), Null, 0, false, false},
+		{Null, Null, 0, false, false},
+		{Int(1), Str("1"), 0, false, true},
+		{Bool(true), Int(1), 0, false, true},
+	}
+	for _, tc := range tests {
+		cmp, known, err := Compare(tc.a, tc.b)
+		if (err != nil) != tc.err {
+			t.Errorf("Compare(%v,%v) err = %v, want err=%v", tc.a, tc.b, err, tc.err)
+			continue
+		}
+		if tc.err {
+			continue
+		}
+		if known != tc.known || (known && cmp != tc.cmp) {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", tc.a, tc.b, cmp, known, tc.cmp, tc.known)
+		}
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical(Null, Null) {
+		t.Error("NULL must be identical to NULL under grouping semantics")
+	}
+	if Identical(Null, Int(0)) {
+		t.Error("NULL is not identical to 0")
+	}
+	if !Identical(Int(5), Float(5.0)) {
+		t.Error("widened numerics should group together")
+	}
+	if Identical(Int(5), Str("5")) {
+		t.Error("kinds differ")
+	}
+	nan := Float(math.NaN())
+	if !Identical(nan, nan) {
+		t.Error("NaN must group with itself")
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	vs := []Value{Null, Bool(false), Int(-3), Int(7), Float(2.5), Str(""), Str("z")}
+	for i, a := range vs {
+		for j, b := range vs {
+			la, lb := Less(a, b), Less(b, a)
+			if la && lb {
+				t.Errorf("Less not antisymmetric for %v,%v", a, b)
+			}
+			if i == j && la {
+				t.Errorf("Less not irreflexive for %v", a)
+			}
+		}
+	}
+	if !Less(Int(2), Float(2.5)) || Less(Float(2.5), Int(2)) {
+		t.Error("cross-kind numeric order broken")
+	}
+}
+
+func TestAppendKeyDistinguishes(t *testing.T) {
+	vs := []Value{Null, Int(0), Int(1), Float(0.5), Str(""), Str("0"), Bool(false), Bool(true), Float(2.0), Int(2)}
+	for i, a := range vs {
+		for j, b := range vs {
+			ka, kb := string(a.AppendKey(nil)), string(b.AppendKey(nil))
+			same := ka == kb
+			if same != Identical(a, b) {
+				t.Errorf("key collision mismatch: %v vs %v (i=%d,j=%d): keys equal=%v identical=%v",
+					a, b, i, j, same, Identical(a, b))
+			}
+		}
+	}
+}
+
+func TestKeyConcatenationUnambiguous(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc").
+	k1 := Str("c").AppendKey(Str("ab").AppendKey(nil))
+	k2 := Str("bc").AppendKey(Str("a").AppendKey(nil))
+	if string(k1) == string(k2) {
+		t.Fatal("length-prefixed string keys collided")
+	}
+}
+
+func TestTriTables(t *testing.T) {
+	// Kleene truth tables.
+	and := [3][3]Tri{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	or := [3][3]Tri{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	all := []Tri{False, Unknown, True}
+	for _, a := range all {
+		for _, b := range all {
+			if got := a.And(b); got != and[a][b] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, and[a][b])
+			}
+			if got := a.Or(b); got != or[a][b] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, or[a][b])
+			}
+		}
+	}
+	if False.Not() != True || True.Not() != False || Unknown.Not() != Unknown {
+		t.Error("NOT table wrong")
+	}
+	if !True.IsTrue() || False.IsTrue() || Unknown.IsTrue() {
+		t.Error("IsTrue wrong")
+	}
+	if Unknown.Value() != Null || True.Value() != Bool(true) {
+		t.Error("Tri.Value wrong")
+	}
+	if TriOf(true) != True || TriOf(false) != False {
+		t.Error("TriOf wrong")
+	}
+}
+
+func triFromByte(b byte) Tri { return Tri(b % 3) }
+
+func TestTriDeMorganQuick(t *testing.T) {
+	err := quick.Check(func(x, y byte) bool {
+		a, b := triFromByte(x), triFromByte(y)
+		return a.And(b).Not() == a.Not().Or(b.Not()) &&
+			a.Or(b).Not() == a.Not().And(b.Not())
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriAlgebraQuick(t *testing.T) {
+	err := quick.Check(func(x, y, z byte) bool {
+		a, b, c := triFromByte(x), triFromByte(y), triFromByte(z)
+		return a.And(b) == b.And(a) && // commutativity
+			a.Or(b) == b.Or(a) &&
+			a.And(b.And(c)) == a.And(b).And(c) && // associativity
+			a.Or(b.Or(c)) == a.Or(b).Or(c) &&
+			a.Not().Not() == a && // involution
+			a.And(True) == a && a.Or(False) == a // identities
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"null": Null, "42": Int(42), "-1": Int(-1),
+		"2.5": Float(2.5), "abc": Str("abc"), "true": Bool(true), "false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTriString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("Tri.String wrong")
+	}
+}

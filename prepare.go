@@ -1,0 +1,39 @@
+package nra
+
+import (
+	"nra/internal/sql"
+)
+
+// Stmt is a prepared statement: parsed and analyzed once, executable many
+// times (the analysis — block decomposition, name resolution — is the
+// expensive part for short queries). A Stmt is immutable and safe for
+// concurrent use.
+type Stmt struct {
+	db  *DB
+	st  *sql.Statement
+	src string
+}
+
+// Prepare parses and analyzes a statement for repeated execution.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	st, err := db.analyzeStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, st: st, src: src}, nil
+}
+
+// Run executes the prepared statement with the default strategy.
+func (s *Stmt) Run() (*Result, error) { return s.RunWith(Auto) }
+
+// RunWith executes the prepared statement with an explicit strategy.
+func (s *Stmt) RunWith(strategy Strategy) (*Result, error) {
+	rel, err := s.db.executeStatement(s.st, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// SQL returns the original statement text.
+func (s *Stmt) SQL() string { return s.src }

@@ -1,0 +1,58 @@
+package nra
+
+import (
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Result is a query result: a flat relation of output rows.
+type Result struct {
+	rel *relation.Relation
+}
+
+// Columns returns the output column names (select-item aliases or
+// expressions).
+func (r *Result) Columns() []string { return r.rel.Schema.ColNames() }
+
+// NumRows returns the row count.
+func (r *Result) NumRows() int { return r.rel.Len() }
+
+// Rows converts the result to native Go values: int64, float64, string,
+// bool, or nil for NULL.
+func (r *Result) Rows() [][]any {
+	out := make([][]any, r.rel.Len())
+	for i, t := range r.rel.Tuples {
+		row := make([]any, len(t.Atoms))
+		for j, v := range t.Atoms {
+			row[j] = toGo(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func toGo(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.Int64()
+	case value.KindFloat:
+		return v.Float64()
+	case value.KindString:
+		return v.Text()
+	case value.KindBool:
+		return v.Truth() == value.True
+	}
+	return nil
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string { return r.rel.String() }
+
+// Equal reports whether two results contain the same multiset of rows
+// (order-insensitive).
+func (r *Result) Equal(o *Result) bool { return r.rel.EqualSet(o.rel) }
+
+// Sort orders rows canonically, for deterministic display.
+func (r *Result) Sort() { r.rel.SortCanonical() }

@@ -1,0 +1,138 @@
+package nra
+
+import (
+	"strings"
+	"testing"
+)
+
+func setOpDB(t testing.TB) *DB {
+	t.Helper()
+	db := Open()
+	db.MustCreateTable("a", []string{"id", "v"}, "id",
+		[]any{1, 1}, []any{2, 2}, []any{3, 2}, []any{4, 3})
+	db.MustCreateTable("b", []string{"id", "v"}, "id",
+		[]any{1, 2}, []any{2, 3}, []any{3, 3}, []any{4, 5})
+	return db
+}
+
+func values(t *testing.T, db *DB, src string) map[int64]int {
+	t.Helper()
+	res, err := db.Query(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	out := map[int64]int{}
+	for _, row := range res.Rows() {
+		out[row[0].(int64)]++
+	}
+	return out
+}
+
+func TestUnion(t *testing.T) {
+	db := setOpDB(t)
+	got := values(t, db, "select v from a union select v from b")
+	want := map[int64]int{1: 1, 2: 1, 3: 1, 5: 1}
+	if len(got) != len(want) {
+		t.Fatalf("UNION: %v", got)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("UNION: %v", got)
+		}
+	}
+	all := values(t, db, "select v from a union all select v from b")
+	if all[2] != 3 || all[3] != 3 || all[1] != 1 || all[5] != 1 {
+		t.Fatalf("UNION ALL: %v", all)
+	}
+}
+
+func TestIntersectExcept(t *testing.T) {
+	db := setOpDB(t)
+	inter := values(t, db, "select v from a intersect select v from b")
+	if len(inter) != 2 || inter[2] != 1 || inter[3] != 1 {
+		t.Fatalf("INTERSECT: %v", inter)
+	}
+	interAll := values(t, db, "select v from a intersect all select v from b")
+	// a has v: {1,2,2,3}; b has {2,3,3,5} → bag ∩ = {2,3}.
+	if interAll[2] != 1 || interAll[3] != 1 || len(interAll) != 2 {
+		t.Fatalf("INTERSECT ALL: %v", interAll)
+	}
+	except := values(t, db, "select v from a except select v from b")
+	if len(except) != 1 || except[1] != 1 {
+		t.Fatalf("EXCEPT: %v", except)
+	}
+	exceptAll := values(t, db, "select v from a except all select v from b")
+	// {1,2,2,3} − {2,3,3,5} = {1,2}.
+	if exceptAll[1] != 1 || exceptAll[2] != 1 || len(exceptAll) != 2 {
+		t.Fatalf("EXCEPT ALL: %v", exceptAll)
+	}
+}
+
+func TestSetOpPrecedence(t *testing.T) {
+	db := setOpDB(t)
+	// INTERSECT binds tighter: a ∪ (a ∩ b).
+	got := values(t, db, "select v from a union select v from a intersect select v from b")
+	// a∩b = {2,3}; a∪{2,3} = {1,2,3}.
+	if len(got) != 3 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("precedence: %v", got)
+	}
+}
+
+func TestSetOpWithSubqueries(t *testing.T) {
+	db := setOpDB(t)
+	// Each leg is a full nested query; both run under every strategy.
+	src := `select v from a where v > all (select v from b where b.id = a.id)
+	        union
+	        select v from b where not exists (select * from a where a.v = b.v)`
+	var first *Result
+	for _, s := range []Strategy{Auto, NestedOptimized, NestedOriginal, Native, Reference} {
+		res, err := db.QueryWith(src, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if first == nil {
+			first = res
+		} else if !res.Equal(first) {
+			t.Fatalf("strategy %s disagrees on set-op statement", s)
+		}
+	}
+}
+
+func TestSetOpErrors(t *testing.T) {
+	db := setOpDB(t)
+	if _, err := db.Query("select id, v from a union select v from b"); err == nil {
+		t.Fatal("width mismatch must error")
+	}
+	if _, err := db.Query("select v from a union"); err == nil {
+		t.Fatal("dangling UNION must error")
+	}
+}
+
+func TestSetOpExplain(t *testing.T) {
+	db := setOpDB(t)
+	out, err := db.Explain("select v from a union select v from b", NestedOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "leaf 1") || !strings.Contains(out, "leaf 2") {
+		t.Fatalf("set-op explain should show both leaves:\n%s", out)
+	}
+}
+
+func TestSetOpBagLaws(t *testing.T) {
+	db := setOpDB(t)
+	// |A UNION ALL B| = |A| + |B|
+	ua, err := db.Query("select v from a union all select v from b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.NumRows() != 8 {
+		t.Fatalf("UNION ALL size = %d", ua.NumRows())
+	}
+	// (A EXCEPT ALL B) + (A INTERSECT ALL B) has |A| rows.
+	ea, _ := db.Query("select v from a except all select v from b")
+	ia, _ := db.Query("select v from a intersect all select v from b")
+	if ea.NumRows()+ia.NumRows() != 4 {
+		t.Fatalf("bag partition law broken: %d + %d != 4", ea.NumRows(), ia.NumRows())
+	}
+}
