@@ -15,6 +15,7 @@ package nra
 //	Figure 8   → BenchmarkFig8Query3b_{a,b,c}
 //	Figure 9   → BenchmarkFig9Query3c_{a,b,c}
 //	(DESIGN)   → BenchmarkAblation*
+//	(parallel) → BenchmarkParallelism (serial vs P=2/4/8, docs/PARALLELISM.md)
 
 import (
 	"sync"
@@ -207,6 +208,40 @@ func BenchmarkAblation(b *testing.B) {
 		{"optimized", core.Optimized()},
 	}
 	for _, fig := range []string{"fig4", "fig6", "fig8a", "fig9a"} {
+		q := analyzeLargest(b, fig)
+		for _, c := range configs {
+			b.Run(fig+"/"+c.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Execute(q, c.opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelism times the partitioned-parallel operators against
+// the serial ones (P = 1 vs 2/4/8) on the workload families; results are
+// tuple-for-tuple identical at every degree, so this measures pure
+// physical speedup. cmd/figures -parallel runs the same ablation at a
+// larger scale factor for EXPERIMENTS.md.
+func BenchmarkParallelism(b *testing.B) {
+	par := func(p int) core.Options {
+		opt := core.Optimized()
+		opt.Parallelism = p
+		return opt
+	}
+	configs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"serial-p1", core.Optimized()},
+		{"parallel-p2", par(2)},
+		{"parallel-p4", par(4)},
+		{"parallel-p8", par(8)},
+	}
+	for _, fig := range []string{"fig4", "fig6", "fig8a"} {
 		q := analyzeLargest(b, fig)
 		for _, c := range configs {
 			b.Run(fig+"/"+c.name, func(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...] [-ablation]
+//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...] [-ablation] [-parallel]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 		nulls    = flag.Float64("nulls", 0, "NULL fraction in measure columns")
 		only     = flag.String("fig", "", "comma-separated figure ids to run (default: all)")
 		ablation = flag.Bool("ablation", false, "also run the §4.2 ablation study")
+		parallel = flag.Bool("parallel", false, "also run the parallel-vs-serial ablation (serial / P=2 / P=4 / P=8)")
 		noverify = flag.Bool("noverify", false, "skip cross-strategy result verification")
 	)
 	flag.Parse()
@@ -49,17 +50,28 @@ func main() {
 		}
 	}
 
-	if *ablation {
+	if *ablation || *parallel {
 		env, err := bench.NewEnv(cfg)
 		if err != nil {
 			fail(err)
 		}
-		figs, err := env.Ablation()
-		if err != nil {
-			fail(err)
+		if *ablation {
+			figs, err := env.Ablation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
 		}
-		for _, f := range figs {
-			fmt.Println(f.Format())
+		if *parallel {
+			figs, err := env.ParallelAblation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
 		}
 	}
 }
@@ -126,6 +138,18 @@ func runSelected(cfg bench.Config, ids []string) error {
 				return err
 			}
 			figs = append(figs, f)
+		case "ablation":
+			fs, err := env.Ablation()
+			if err != nil {
+				return err
+			}
+			figs = fs
+		case "parallelism":
+			fs, err := env.ParallelAblation()
+			if err != nil {
+				return err
+			}
+			figs = fs
 		default:
 			return fmt.Errorf("unknown figure id %q", id)
 		}

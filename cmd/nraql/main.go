@@ -10,7 +10,8 @@
 //
 //	select ...;                 run a query
 //	\strategy <name>            switch strategy (auto | nested-optimized |
-//	                            nested-original | native | reference)
+//	                            nested-original | nested-parallel |
+//	                            native | reference)
 //	\explain select ...;        show the plan instead of running
 //	\tables                     list tables with row counts
 //	\q                          quit
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +33,7 @@ var strategyNames = map[string]nra.Strategy{
 	"auto":             nra.Auto,
 	"nested-optimized": nra.NestedOptimized,
 	"nested-original":  nra.NestedOriginal,
+	"nested-parallel":  nra.NestedParallel,
 	"native":           nra.Native,
 	"reference":        nra.Reference,
 }
@@ -43,12 +46,20 @@ func main() {
 		file  = flag.String("f", "", "execute a ';'-separated SQL script and exit")
 		seed  = flag.Uint64("seed", 42, "TPC-H generator seed")
 		trace = flag.Bool("trace", false, "print the per-operator execution walkthrough")
+		par   = flag.Int("parallelism", -1, "degree of partitioned parallelism for nested strategies (1 = serial, 0 = all CPUs, -1 = strategy default)")
 	)
 	flag.Parse()
 
 	strategy, ok := strategyNames[*strat]
 	if !ok {
 		fail(fmt.Errorf("unknown strategy %q", *strat))
+	}
+	if *par >= 0 {
+		n := *par
+		if n == 0 {
+			n = runtime.NumCPU()
+		}
+		strategy = strategy.WithParallelism(n)
 	}
 	if *trace {
 		strategy = nra.Traced(strategy, os.Stderr)
@@ -125,7 +136,7 @@ func main() {
 					strategy = s
 					fmt.Printf("strategy: %s\n", strategy)
 				} else {
-					fmt.Printf("unknown strategy %q (try: auto, nested-optimized, nested-original, native, reference)\n", name)
+					fmt.Printf("unknown strategy %q (try: auto, nested-optimized, nested-original, nested-parallel, native, reference)\n", name)
 				}
 			case strings.HasPrefix(trimmed, `\explain`):
 				src := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(trimmed, `\explain`)), ";")

@@ -1,0 +1,75 @@
+package algebra
+
+import (
+	"hash/fnv"
+
+	"nra/internal/relation"
+)
+
+// This file states the partition-safety contracts that make the nested
+// relational pipeline embarrassingly parallel, and provides the hash
+// partitioner the parallel executor is built on.
+//
+// The paper reduces every linking operator to the same physical shape:
+// a chain of outer hash joins followed by nest υ_{N1,N2} plus a linking
+// selection. Both halves partition cleanly:
+//
+//   - An equi-join partitions by the join key: tuples with equal keys land
+//     in the same partition, so per-partition build + probe computes the
+//     same matches as a global hash table. NULL join keys match nothing
+//     (SQL equality), so their placement is irrelevant to join results —
+//     only outer-join padding, which is decided per left tuple.
+//   - Nest and the linking selection partition by the nesting key N1:
+//     a group never spans partitions (tuples with identical keys hash
+//     identically — KeyOn's canonical encoding makes NULL keys equal, as
+//     GROUP BY requires), and every linking predicate is PartitionSafe:
+//     its verdict for a group depends only on that group's members.
+
+// PartitionKey returns the partition index in [0,p) for a tuple's key
+// columns. Tuples with identical key values (NULLs compare equal, as in
+// grouping) always map to the same partition.
+func PartitionKey(t relation.Tuple, keys []int, p int) int {
+	h := fnv.New64a()
+	var buf []byte
+	for _, k := range keys {
+		buf = t.Atoms[k].AppendKey(buf[:0])
+		h.Write(buf)
+	}
+	return int(h.Sum64() % uint64(p))
+}
+
+// HashPartition splits r's tuple positions into p partitions by the hash
+// of the given key columns. Within each partition, positions keep the
+// input order — the property that lets a partitioned operator reproduce
+// the serial operator's per-key ordering. The partition assignment itself
+// is computed in a single pass and is deterministic.
+func HashPartition(r *relation.Relation, keys []int, p int) [][]int {
+	parts := make([][]int, p)
+	if p == 1 {
+		parts[0] = make([]int, r.Len())
+		for i := range parts[0] {
+			parts[0][i] = i
+		}
+		return parts
+	}
+	for i, t := range r.Tuples {
+		w := PartitionKey(t, keys, p)
+		parts[w] = append(parts[w], i)
+	}
+	return parts
+}
+
+// PartitionSafe reports whether the linking predicate may be evaluated
+// independently on any partitioning of its input that keeps each nest
+// group whole. This holds for every predicate form of Definition 4 —
+// EXISTS / NOT EXISTS (member counting), IN / NOT IN / θ SOME / θ ALL
+// (3VL OR- and AND-folds over the group's members), and the scalar-
+// aggregate comparisons (aggregate folds) — because each verdict reads
+// only the group's own members and the group's linking attribute; no
+// state crosses group boundaries. The method exists as an explicit
+// contract point: a future predicate form that breaks the property (for
+// example one comparing against a global aggregate) must return false
+// here, and the parallel executor will fall back to serial evaluation.
+func (p LinkPred) PartitionSafe() bool {
+	return true
+}

@@ -1,0 +1,90 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"nra/internal/relation"
+)
+
+func partRel(n int, rng *rand.Rand) *relation.Relation {
+	rows := make([][]any, n)
+	for i := range rows {
+		var k any
+		if rng.Float64() < 0.1 {
+			k = nil
+		} else {
+			k = rng.Intn(31)
+		}
+		rows[i] = []any{k, i}
+	}
+	return relation.MustFromRows("r", []string{"k", "v"}, rows...)
+}
+
+func TestHashPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rel := partRel(2000, rng)
+	keys := []int{0}
+	for _, p := range []int{1, 2, 3, 8} {
+		parts := HashPartition(rel, keys, p)
+		if len(parts) != p {
+			t.Fatalf("p=%d: got %d partitions", p, len(parts))
+		}
+		seen := make([]bool, rel.Len())
+		for pi, idxs := range parts {
+			prev := -1
+			for _, i := range idxs {
+				if seen[i] {
+					t.Fatalf("p=%d: row %d in two partitions", p, i)
+				}
+				seen[i] = true
+				// Order-preserving: index lists must ascend, so per-key
+				// input order survives partitioned processing.
+				if i <= prev {
+					t.Fatalf("p=%d partition %d: indexes not ascending", p, pi)
+				}
+				prev = i
+				// Same key must always land in the same partition.
+				if got := PartitionKey(rel.Tuples[i], keys, p); got != pi {
+					t.Fatalf("p=%d: row %d keyed to %d but placed in %d", p, i, got, pi)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("p=%d: row %d dropped", p, i)
+			}
+		}
+	}
+}
+
+func TestPartitionKeyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := partRel(500, rng)
+	keys := []int{0}
+	for _, tu := range rel.Tuples {
+		a := PartitionKey(tu, keys, 7)
+		b := PartitionKey(tu, keys, 7)
+		if a != b {
+			t.Fatalf("PartitionKey not deterministic for %v", tu)
+		}
+		if a < 0 || a >= 7 {
+			t.Fatalf("PartitionKey out of range: %d", a)
+		}
+	}
+}
+
+func TestLinkPredPartitionSafe(t *testing.T) {
+	preds := []LinkPred{
+		ExistsPred("sub", "pk"),
+		NotExistsPred("sub", "pk"),
+		SomePred("a", 0, "sub", "b", "pk"),
+		AllPred("a", 0, "sub", "b", "pk"),
+		AggPred("a", 0, AggMax, "sub", "b", "pk"),
+	}
+	for _, p := range preds {
+		if !p.PartitionSafe() {
+			t.Errorf("%+v: expected group-local predicate to be partition-safe", p)
+		}
+	}
+}

@@ -9,29 +9,22 @@ import (
 	"nra/internal/sql"
 )
 
-// Ablation measures each §4.2 optimization in isolation on the three
-// workload families, at the largest sweep point — the design-choice
-// benchmarks DESIGN.md calls out. Every configuration's result is
-// verified against the original approach.
-func (e *Env) Ablation() ([]*Figure, error) {
-	configs := []struct {
-		name string
-		opt  core.Options
-	}{
-		{"original", core.Original()},
-		{"fused-4.2.2", core.Options{Fused: true}},
-		{"bottomup-4.2.3", core.Options{BottomUp: true, Fused: true}},
-		{"pushdown-4.2.4", core.Options{NestPushdown: true}},
-		{"positive-4.2.5", core.Options{PositiveRewrite: true}},
-		{"optimized-all", core.Optimized()},
-	}
+// ablationConfig is one Options configuration measured by an ablation run.
+type ablationConfig struct {
+	name string
+	opt  core.Options
+}
 
-	workloads := []struct {
-		id    string
-		title string
-		build func() ([]pointQuery, error)
-	}{
-		{"ablation-q1", "Query 1 (§4.2 options, largest point)", func() ([]pointQuery, error) {
+// ablationWorkload is one query family measured at its largest sweep point.
+type ablationWorkload struct {
+	id    string
+	title string
+	build func() ([]pointQuery, error)
+}
+
+func (e *Env) ablationWorkloads(idPrefix, titleSuffix string) []ablationWorkload {
+	return []ablationWorkload{
+		{idPrefix + "-q1", "Query 1 (" + titleSuffix + ", largest point)", func() ([]pointQuery, error) {
 			x2, err := e.quantile("orders", "o_orderdate", 1.0)
 			if err != nil {
 				return nil, err
@@ -42,21 +35,21 @@ where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
       where l_orderkey = o_orderkey
         and l_commitdate < l_receiptdate and l_shipdate < l_commitdate)`, x2.Text())}}, nil
 		}},
-		{"ablation-q2b", "Query 2b (§4.2 options, largest point)", func() ([]pointQuery, error) {
+		{idPrefix + "-q2b", "Query 2b (" + titleSuffix + ", largest point)", func() ([]pointQuery, error) {
 			pts, err := e.query2("all")
 			if err != nil {
 				return nil, err
 			}
 			return pts[len(pts)-1:], nil
 		}},
-		{"ablation-q3b", "Query 3b(a) (§4.2 options, largest point)", func() ([]pointQuery, error) {
+		{idPrefix + "-q3b", "Query 3b(a) (" + titleSuffix + ", largest point)", func() ([]pointQuery, error) {
 			pts, err := e.query3("all", "not exists", "=", "=")
 			if err != nil {
 				return nil, err
 			}
 			return pts[len(pts)-1:], nil
 		}},
-		{"ablation-q3c", "Query 3c(a) (§4.2 options, largest point)", func() ([]pointQuery, error) {
+		{idPrefix + "-q3c", "Query 3c(a) (" + titleSuffix + ", largest point)", func() ([]pointQuery, error) {
 			pts, err := e.query3("any", "exists", "=", "=")
 			if err != nil {
 				return nil, err
@@ -64,7 +57,13 @@ where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
 			return pts[len(pts)-1:], nil
 		}},
 	}
+}
 
+// runAblation measures every configuration on every workload. The first
+// configuration's result is the reference; strictOrder additionally
+// demands the same tuple order (the parallel determinism guarantee),
+// otherwise set equality suffices.
+func (e *Env) runAblation(workloads []ablationWorkload, configs []ablationConfig, strictOrder bool) ([]*Figure, error) {
 	var figs []*Figure
 	for _, w := range workloads {
 		pts, err := w.build()
@@ -97,8 +96,8 @@ where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
 					}
 					if reference == nil {
 						reference = out
-					} else if !out.EqualSet(reference) {
-						return 0, fmt.Errorf("%s: %s disagrees with original", w.id, c.name)
+					} else if err := sameResult(out, reference, strictOrder); err != nil {
+						return 0, fmt.Errorf("%s: %s disagrees with %s: %w", w.id, c.name, configs[0].name, err)
 					}
 					return out.Len(), nil
 				})
@@ -113,4 +112,57 @@ where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
 		figs = append(figs, fig)
 	}
 	return figs, nil
+}
+
+func sameResult(got, want *relation.Relation, strictOrder bool) error {
+	if !strictOrder {
+		if !got.EqualSet(want) {
+			return fmt.Errorf("result set differs")
+		}
+		return nil
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("%d tuples, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		if got.Tuples[i].Key() != want.Tuples[i].Key() {
+			return fmt.Errorf("tuple %d differs", i)
+		}
+	}
+	return nil
+}
+
+// Ablation measures each §4.2 optimization in isolation on the three
+// workload families, at the largest sweep point — the design-choice
+// benchmarks DESIGN.md calls out. Every configuration's result is
+// verified against the original approach.
+func (e *Env) Ablation() ([]*Figure, error) {
+	configs := []ablationConfig{
+		{"original", core.Original()},
+		{"fused-4.2.2", core.Options{Fused: true}},
+		{"bottomup-4.2.3", core.Options{BottomUp: true, Fused: true}},
+		{"pushdown-4.2.4", core.Options{NestPushdown: true}},
+		{"positive-4.2.5", core.Options{PositiveRewrite: true}},
+		{"optimized-all", core.Optimized()},
+	}
+	return e.runAblation(e.ablationWorkloads("ablation", "§4.2 options"), configs, false)
+}
+
+// ParallelAblation measures the partitioned-parallel operators against
+// the serial ones on the same workload families: serial (P=1) versus
+// P = 2, 4 and 8. Verification is tuple-for-tuple — parallel execution
+// must reproduce the serial output exactly, order included.
+func (e *Env) ParallelAblation() ([]*Figure, error) {
+	par := func(p int) core.Options {
+		opt := core.Optimized()
+		opt.Parallelism = p
+		return opt
+	}
+	configs := []ablationConfig{
+		{"serial-p1", core.Optimized()},
+		{"parallel-p2", par(2)},
+		{"parallel-p4", par(4)},
+		{"parallel-p8", par(8)},
+	}
+	return e.runAblation(e.ablationWorkloads("parallelism", "parallel vs serial"), configs, true)
 }

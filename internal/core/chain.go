@@ -93,7 +93,7 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		joined, err := algebra.LeftOuterJoin(rel, res, cond)
+		joined, err := p.outerJoin(rel, res, cond)
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +109,7 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err = exec.NestLink(joined, p.keys[b.ID], by, spec, nil)
+			res, err = p.nestLink(joined, p.keys[b.ID], by, spec, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -153,7 +153,7 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 			return nil, err
 		}
 		relLen := rel.Len()
-		rel, err = algebra.LeftOuterJoin(rel, tc, cond)
+		rel, err = p.outerJoin(rel, tc, cond)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +172,7 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 		}
 		levels[i] = exec.ChainLevel{KeyCols: p.keys[b.ID], Spec: spec}
 	}
-	out, err := exec.NestLinkChain(rel, levels, p.blockCols(rel, chain[0].ID))
+	out, err := p.nestLinkChain(rel, levels, p.blockCols(rel, chain[0].ID))
 	if err != nil {
 		return nil, err
 	}

@@ -128,7 +128,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		return nil, err
 	}
 	relLen := rel.Len()
-	rel, err = algebra.LeftOuterJoin(rel, tc, cond)
+	rel, err = p.outerJoin(rel, tc, cond)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +158,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		if !strict {
 			pad = p.blockCols(rel, node.ID)
 		}
-		out, err := exec.NestLink(rel, p.pathKeyCols(rel, node, top), by, spec, pad)
+		out, err := p.nestLink(rel, p.pathKeyCols(rel, node, top), by, spec, pad)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +286,7 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 	}
 	outCols := rel.Schema.ColNames()
 	relLen := rel.Len()
-	rel, err = algebra.Join(rel, tc, on)
+	rel, err = p.join(rel, tc, on)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +413,7 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 	}
 	outCols := rel.Schema.ColNames()
 	relLen := rel.Len()
-	rel, err = algebra.LeftOuterJoin(rel, nested, expr.And(onParts...))
+	rel, err = p.outerJoin(rel, nested, expr.And(onParts...))
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 
+	"nra/internal/exec"
 	"nra/internal/iomodel"
 	"nra/internal/relation"
 	"nra/internal/sql"
@@ -48,6 +49,13 @@ type Options struct {
 	// AlwaysPad forces the pseudo-selection σ̄ even where the strict σ
 	// would do; used by the equivalence tests.
 	AlwaysPad bool
+	// Parallelism is the degree of partitioned parallelism for the hash-
+	// join and nest/linking-selection pipeline: joins hash-partition build
+	// and probe across workers, and the fused nest + linking selection
+	// runs per nest-key partition (see docs/PARALLELISM.md). Values ≤ 1
+	// select the serial operators; results are byte-identical at every
+	// degree. exec.DefaultParallelism() is the hardware-sized default.
+	Parallelism int
 	// Meter, when non-nil, accumulates the plan's modeled disk accesses
 	// (sequential scan/write tuples; the nested relational approach never
 	// performs random accesses) — see internal/iomodel.
@@ -64,6 +72,15 @@ func Original() Options { return Options{} }
 // Optimized returns the fully optimized configuration.
 func Optimized() Options {
 	return Options{Fused: true, BottomUp: true, NestPushdown: true, PositiveRewrite: true}
+}
+
+// OptimizedParallel returns the fully optimized configuration with
+// partitioned parallelism at the hardware's degree
+// (exec.DefaultParallelism: NumCPU, overridable via NRA_PARALLELISM).
+func OptimizedParallel() Options {
+	opt := Optimized()
+	opt.Parallelism = exec.DefaultParallelism()
+	return opt
 }
 
 // ErrUnsupported reports a query shape the nested relational planner does

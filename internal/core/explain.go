@@ -38,6 +38,11 @@ func Explain(q *sql.Query, opt Options) (string, error) {
 	if opt.NestPushdown {
 		b.WriteString("  nest pushed below equi-joins on the nesting attributes (§4.2.4)\n")
 	}
+	if par := p.par(); par > 1 {
+		fmt.Fprintf(&b, "parallelism: %d (partitioned hash-join build/probe; nest + linking selection per nest-key partition)\n", par)
+	} else {
+		b.WriteString("parallelism: 1 (serial operators)\n")
+	}
 	return b.String(), nil
 }
 

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"nra/internal/algebra"
+	"nra/internal/exec"
+	"nra/internal/expr"
+	"nra/internal/relation"
+)
+
+// Physical-operator dispatch: every join and fused nest/linking-selection
+// the planner emits goes through these helpers, which select the
+// partitioned-parallel implementations when Options.Parallelism > 1 and
+// the serial ones otherwise. Both implementations produce byte-identical
+// output (the parallel operators merge partitions deterministically), so
+// the degree of parallelism is purely a physical knob.
+
+// par returns the effective degree of parallelism (≥ 1).
+func (p *planner) par() int {
+	if p.opt.Parallelism > 1 {
+		return p.opt.Parallelism
+	}
+	return 1
+}
+
+// join executes l ⋈_on r with the plan's degree of parallelism.
+func (p *planner) join(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	if par := p.par(); par > 1 {
+		return exec.ParallelJoin(l, r, on, false, par)
+	}
+	return algebra.Join(l, r, on)
+}
+
+// outerJoin executes l ⟕_on r with the plan's degree of parallelism.
+func (p *planner) outerJoin(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
+	if par := p.par(); par > 1 {
+		return exec.ParallelJoin(l, r, on, true, par)
+	}
+	return algebra.LeftOuterJoin(l, r, on)
+}
+
+// nestLink executes the fused nest + linking selection with the plan's
+// degree of parallelism (partitioned by the nest key).
+func (p *planner) nestLink(rel *relation.Relation, keyCols, by []string, spec *exec.LinkSpec, pad []string) (*relation.Relation, error) {
+	if par := p.par(); par > 1 {
+		return exec.ParallelNestLink(rel, keyCols, by, spec, pad, par)
+	}
+	return exec.NestLink(rel, keyCols, by, spec, pad)
+}
+
+// nestLinkChain executes the fully fused nest chain with the plan's
+// degree of parallelism (partitioned by the outermost nest key).
+func (p *planner) nestLinkChain(rel *relation.Relation, levels []exec.ChainLevel, outBy []string) (*relation.Relation, error) {
+	if par := p.par(); par > 1 {
+		return exec.ParallelNestLinkChain(rel, levels, outBy, par)
+	}
+	return exec.NestLinkChain(rel, levels, outBy)
+}

@@ -259,7 +259,7 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 			}
 		}
 		preds = rest
-		rel, err = algebra.Join(rel, tblRel, expr.And(on...))
+		rel, err = p.join(rel, tblRel, expr.And(on...))
 		if err != nil {
 			return nil, err
 		}

@@ -223,10 +223,22 @@ func (h *HashJoin) Open() error {
 	if err := h.Left.Open(); err != nil {
 		return err
 	}
-	var err error
-	h.build, err = Drain(h.Right)
-	if err != nil {
+	// Materialise the build side without closing it: Close releases both
+	// inputs, per the iterator contract (an input may own resources —
+	// goroutines, partitions — beyond its tuple stream).
+	if err := h.Right.Open(); err != nil {
 		return err
+	}
+	h.build = relation.New(h.Right.Schema())
+	for {
+		t, ok, err := h.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.build.Append(t)
 	}
 	ls, rs := h.Left.Schema(), h.build.Schema
 	h.schema = &relation.Schema{Name: ls.Name}
@@ -268,7 +280,16 @@ func (h *HashJoin) Open() error {
 	return nil
 }
 
-func (h *HashJoin) Close() error { return h.Left.Close() }
+// Close releases both inputs. The right side is closed here (not when its
+// stream is drained in Open), so inputs that own state past end-of-stream
+// are released exactly once, whether or not Open succeeded in between.
+func (h *HashJoin) Close() error {
+	err := h.Left.Close()
+	if rerr := h.Right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
 
 func (h *HashJoin) Next() (relation.Tuple, bool, error) {
 	for {

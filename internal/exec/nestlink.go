@@ -106,21 +106,40 @@ func (s *quantState) verdict(spec *LinkSpec, attr value.Value) (value.Tri, error
 // and equivalent because keys determine their tuples). by lists the output
 // columns; pad ("" = strict mode) lists columns NULLed on failure.
 func NestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string) (*relation.Relation, error) {
-	keyIdx, err := colIdxs(rel.Schema, keyCols)
+	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
 	if err != nil {
-		return nil, fmt.Errorf("nestlink: %w", err)
-	}
-	byIdx, err := colIdxs(rel.Schema, by)
-	if err != nil {
-		return nil, fmt.Errorf("nestlink: %w", err)
+		return nil, err
 	}
 	sorted := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
 	sorted.SortBy(keyCols...)
-	outSchema := &relation.Schema{Name: rel.Schema.Name}
-	for _, j := range byIdx {
-		outSchema.Cols = append(outSchema.Cols, rel.Schema.Cols[j])
+	return plan.scan(sorted.Tuples)
+}
+
+// nestLinkPlan is the resolved column machinery of one fused nest +
+// linking selection, shared by the serial and the partitioned-parallel
+// executions (the scan over one group-aligned tuple range is identical in
+// both).
+type nestLinkPlan struct {
+	keyIdx, byIdx []int
+	padIdx        []int // positions in the OUTPUT row to pad; nil = strict
+	outSchema     *relation.Schema
+	spec          *LinkSpec
+}
+
+func prepareNestLink(schema *relation.Schema, keyCols, by []string, spec *LinkSpec, pad []string) (*nestLinkPlan, error) {
+	keyIdx, err := colIdxs(schema, keyCols)
+	if err != nil {
+		return nil, fmt.Errorf("nestlink: %w", err)
 	}
-	var padIdx []int // positions in the OUTPUT row to pad
+	byIdx, err := colIdxs(schema, by)
+	if err != nil {
+		return nil, fmt.Errorf("nestlink: %w", err)
+	}
+	outSchema := &relation.Schema{Name: schema.Name}
+	for _, j := range byIdx {
+		outSchema.Cols = append(outSchema.Cols, schema.Cols[j])
+	}
+	var padIdx []int
 	if pad != nil {
 		padIdx = make([]int, 0, len(pad))
 		for _, c := range pad {
@@ -137,8 +156,15 @@ func NestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad 
 			padIdx = append(padIdx, found)
 		}
 	}
+	return &nestLinkPlan{keyIdx: keyIdx, byIdx: byIdx, padIdx: padIdx, outSchema: outSchema, spec: spec}, nil
+}
 
-	out := relation.New(outSchema)
+// scan runs the fused single-pass nest + linking selection over tuples,
+// which must be sorted by the group key and must contain only whole
+// groups (a group never spans two scans).
+func (pl *nestLinkPlan) scan(tuples []relation.Tuple) (*relation.Relation, error) {
+	spec := pl.spec
+	out := relation.New(pl.outSchema)
 	var (
 		state   quantState
 		started bool
@@ -150,26 +176,26 @@ func NestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad 
 		if err != nil {
 			return err
 		}
-		row := relation.Tuple{Atoms: make([]value.Value, len(byIdx))}
-		for i, j := range byIdx {
+		row := relation.Tuple{Atoms: make([]value.Value, len(pl.byIdx))}
+		for i, j := range pl.byIdx {
 			row.Atoms[i] = rep.Atoms[j]
 		}
 		if v.IsTrue() {
 			out.Append(row)
 			return nil
 		}
-		if padIdx == nil {
+		if pl.padIdx == nil {
 			return nil // strict: discard
 		}
-		for _, oi := range padIdx {
+		for _, oi := range pl.padIdx {
 			row.Atoms[oi] = value.Null
 		}
 		out.Append(row)
 		return nil
 	}
 
-	for _, t := range sorted.Tuples {
-		k := t.KeyOn(keyIdx)
+	for _, t := range tuples {
+		k := t.KeyOn(pl.keyIdx)
 		if !started || k != lastKey {
 			if started {
 				if err := emit(); err != nil {
@@ -249,17 +275,37 @@ type ChainLevel struct {
 // conceptual (a higher level groups by a prefix of the lower level's
 // sort key), exactly the observation of §4.2.1.
 func NestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string) (*relation.Relation, error) {
+	plan, err := prepareChain(rel.Schema, levels, outBy)
+	if err != nil {
+		return nil, err
+	}
+	sorted := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
+	sorted.SortBy(plan.sortCols...)
+	return plan.scan(sorted.Tuples)
+}
+
+// chainPlan is the resolved column machinery of a fully fused nest chain,
+// shared by the serial and the partitioned-parallel executions.
+type chainPlan struct {
+	levels    []ChainLevel
+	outIdx    []int
+	sortCols  []string
+	sortIdx   []int
+	outSchema *relation.Schema
+}
+
+func prepareChain(schema *relation.Schema, levels []ChainLevel, outBy []string) (*chainPlan, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("nestlinkchain: no levels")
 	}
 	for i := range levels {
-		idx, err := colIdxs(rel.Schema, levels[i].KeyCols)
+		idx, err := colIdxs(schema, levels[i].KeyCols)
 		if err != nil {
 			return nil, fmt.Errorf("nestlinkchain: %w", err)
 		}
 		levels[i].keyIdx = idx
 	}
-	outIdx, err := colIdxs(rel.Schema, outBy)
+	outIdx, err := colIdxs(schema, outBy)
 	if err != nil {
 		return nil, fmt.Errorf("nestlinkchain: %w", err)
 	}
@@ -267,16 +313,24 @@ func NestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string) 
 	// Sort by the concatenation of all level keys: the single physical
 	// reordering of §4.2.1.
 	var sortCols []string
-	for _, lv := range levels {
-		sortCols = append(sortCols, lv.KeyCols...)
+	var sortIdx []int
+	for i := range levels {
+		sortCols = append(sortCols, levels[i].KeyCols...)
+		sortIdx = append(sortIdx, levels[i].keyIdx...)
 	}
-	sorted := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
-	sorted.SortBy(sortCols...)
 	outSchema := &relation.Schema{Name: "result"}
 	for _, j := range outIdx {
-		outSchema.Cols = append(outSchema.Cols, rel.Schema.Cols[j])
+		outSchema.Cols = append(outSchema.Cols, schema.Cols[j])
 	}
-	out := relation.New(outSchema)
+	return &chainPlan{levels: levels, outIdx: outIdx, sortCols: sortCols, sortIdx: sortIdx, outSchema: outSchema}, nil
+}
+
+// scan evaluates the whole chain over tuples, which must be sorted by the
+// concatenated level keys and must contain only whole outermost-level
+// groups (a level-0 group never spans two scans).
+func (cp *chainPlan) scan(tuples []relation.Tuple) (*relation.Relation, error) {
+	levels, outIdx := cp.levels, cp.outIdx
+	out := relation.New(cp.outSchema)
 
 	n := len(levels)
 	states := make([]quantState, n)   // states[i] accumulates link L_{i+1} of levels[i]
@@ -315,7 +369,7 @@ func NestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string) 
 		return states[i-1].addMember(up, linkAttr(up, reps[i]), linkedVal(up, reps[i]))
 	}
 
-	for _, t := range sorted.Tuples {
+	for _, t := range tuples {
 		// Find the outermost level whose key changed.
 		changed := n
 		if !started {

@@ -1,0 +1,372 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func TestPoolRun(t *testing.T) {
+	pool := NewPool(4)
+	var sum atomic.Int64
+	if err := pool.Run(8, 1000, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.Load(), int64(999*1000/2); got != want {
+		t.Fatalf("sum = %d, want %d (some tasks ran zero or twice)", got, want)
+	}
+
+	boom := fmt.Errorf("boom")
+	err := pool.Run(4, 100, func(i int) error {
+		if i == 37 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// n = 0 and par > n are fine.
+	if err := pool.Run(8, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	if err := pool.Run(64, 1, func(int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("ran=%d err=%v", ran, err)
+	}
+}
+
+// randomRel builds a deterministic pseudo-random relation with duplicate
+// and NULL key values — the shapes that stress partition boundaries.
+func randomRel(name string, cols []string, n int, rng *rand.Rand, nullFrac float64, domain int) *relation.Relation {
+	rows := make([][]any, n)
+	for i := range rows {
+		row := make([]any, len(cols))
+		for j := range row {
+			if rng.Float64() < nullFrac {
+				row[j] = nil
+			} else {
+				row[j] = rng.Intn(domain)
+			}
+		}
+		rows[i] = row
+	}
+	return relation.MustFromRows(name, cols, rows...)
+}
+
+// mustEqualSeq fails unless two relations hold identical tuple sequences
+// (order-sensitive — the determinism guarantee, stronger than EqualSet).
+func mustEqualSeq(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d tuples, want %d", label, got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		if got.Tuples[i].Key() != want.Tuples[i].Key() {
+			t.Fatalf("%s: tuple %d differs:\n got  %v\n want %v", label, i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+func TestParallelSortByMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 10, 257, 2048, 5000} {
+		rel := randomRel("r", []string{"a", "b", "c"}, n, rng, 0.15, 13)
+		idx := []int{0, 1}
+		serial := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
+		serial.SortBy("a", "b")
+		for _, p := range []int{1, 2, 3, 4, 8} {
+			got := parallelSortBy(rel.Tuples, idx, p)
+			mustEqualSeq(t, fmt.Sprintf("n=%d p=%d", n, p),
+				&relation.Relation{Schema: rel.Schema, Tuples: got}, serial)
+		}
+	}
+}
+
+func TestGroupAlignedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := randomRel("r", []string{"k", "v"}, 1000, rng, 0.2, 7)
+	idx := []int{0}
+	sorted := parallelSortBy(rel.Tuples, idx, 4)
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		bounds := groupAlignedBounds(sorted, idx, p)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != len(sorted) {
+			t.Fatalf("p=%d: bounds %v do not cover the input", p, bounds)
+		}
+		for i := 1; i < len(bounds)-1; i++ {
+			b := bounds[i]
+			if b <= bounds[i-1] {
+				t.Fatalf("p=%d: bounds %v not strictly increasing", p, bounds)
+			}
+			if sorted[b].KeyOn(idx) == sorted[b-1].KeyOn(idx) {
+				t.Fatalf("p=%d: boundary %d splits group %q", p, b, sorted[b].KeyOn(idx))
+			}
+		}
+	}
+}
+
+func TestParallelJoinMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := randomRel("l", []string{"a", "x"}, 700, rng, 0.1, 40)
+	r := randomRel("r", []string{"b", "y"}, 900, rng, 0.1, 40)
+
+	equi := expr.Compare(expr.Eq, expr.Col("a"), expr.Col("b"))
+	residual := expr.And(equi, expr.Compare(expr.Lt, expr.Col("x"), expr.Col("y")))
+	theta := expr.Compare(expr.Lt, expr.Col("a"), expr.Col("b")) // no equi conjunct: loop fallback
+
+	cases := []struct {
+		name  string
+		on    expr.Expr
+		outer bool
+	}{
+		{"inner-equi", equi, false},
+		{"outer-equi", equi, true},
+		{"inner-residual", residual, false},
+		{"outer-residual", residual, true},
+		{"inner-theta", theta, false},
+		{"outer-theta", theta, true},
+		{"cross", nil, false},
+	}
+	for _, tc := range cases {
+		var want *relation.Relation
+		var err error
+		if tc.outer {
+			want, err = algebra.LeftOuterJoin(l, r, tc.on)
+		} else {
+			want, err = algebra.Join(l, r, tc.on)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			got, err := ParallelJoin(l, r, tc.on, tc.outer, p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", tc.name, p, err)
+			}
+			mustEqualSeq(t, fmt.Sprintf("%s p=%d", tc.name, p), got, want)
+		}
+	}
+}
+
+// TestParallelJoinNestedGroups covers the §4.2.4 pushdown shape: the
+// build side carries a nested attribute that must survive partitioned
+// build/probe and NULL padding.
+func TestParallelJoinNestedGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	l := randomRel("l", []string{"a", "x"}, 300, rng, 0.1, 25)
+	flat := randomRel("f", []string{"b", "v"}, 400, rng, 0.1, 25)
+	nested, err := algebra.Nest(flat, []string{"b"}, []string{"v"}, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := expr.Compare(expr.Eq, expr.Col("a"), expr.Col("b"))
+	want, err := algebra.LeftOuterJoin(l, nested, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		got, err := ParallelJoin(l, nested, on, true, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualSeq(t, fmt.Sprintf("nested p=%d", p), got, want)
+	}
+}
+
+// nestLinkInput builds a flat relation shaped like an outer-join result:
+// group key k, linking attribute A, inner presence pk (NULL = padding)
+// and linked attribute B.
+func nestLinkInput(n int, rng *rand.Rand) *relation.Relation {
+	rows := make([][]any, n)
+	for i := range rows {
+		var a, pk, b any
+		if rng.Float64() < 0.15 {
+			a = nil
+		} else {
+			a = rng.Intn(9)
+		}
+		if rng.Float64() < 0.2 {
+			pk, b = nil, nil // outer-join padding: empty-group marker
+		} else {
+			pk = i
+			if rng.Float64() < 0.2 {
+				b = nil
+			} else {
+				b = rng.Intn(9)
+			}
+		}
+		rows[i] = []any{rng.Intn(60), a, pk, b}
+	}
+	return relation.MustFromRows("j", []string{"k", "A", "pk", "B"}, rows...)
+}
+
+func linkSpecs() map[string]algebra.LinkPred {
+	return map[string]algebra.LinkPred{
+		"exists":     algebra.ExistsPred("sub", "pk"),
+		"not-exists": algebra.NotExistsPred("sub", "pk"),
+		"in":         algebra.SomePred("A", expr.Eq, "sub", "B", "pk"),
+		"not-in":     algebra.AllPred("A", expr.Ne, "sub", "B", "pk"),
+		"lt-some":    algebra.SomePred("A", expr.Lt, "sub", "B", "pk"),
+		"gt-all":     algebra.AllPred("A", expr.Gt, "sub", "B", "pk"),
+		"gt-max":     algebra.AggPred("A", expr.Gt, algebra.AggMax, "sub", "B", "pk"),
+		"eq-count":   algebra.AggPred("A", expr.Eq, algebra.AggCountStar, "sub", "", "pk"),
+	}
+}
+
+func TestParallelNestLinkMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rel := nestLinkInput(3000, rng)
+	schema := rel.Schema
+	for name, pred := range linkSpecs() {
+		spec := &LinkSpec{
+			Pred:      pred,
+			AttrIdx:   schema.MustColIndex("A"),
+			LinkedIdx: schema.MustColIndex("B"),
+			PresIdx:   schema.MustColIndex("pk"),
+		}
+		if pred.Empty != algebra.NoEmptyTest {
+			spec.AttrIdx, spec.LinkedIdx = -1, -1
+		}
+		if pred.Agg == algebra.AggCountStar {
+			spec.LinkedIdx = -1
+		}
+		for _, pad := range [][]string{nil, {"A"}} {
+			want, err := NestLink(rel, []string{"k"}, []string{"k", "A"}, spec, pad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				got, err := ParallelNestLink(rel, []string{"k"}, []string{"k", "A"}, spec, pad, p)
+				if err != nil {
+					t.Fatalf("%s p=%d: %v", name, p, err)
+				}
+				mustEqualSeq(t, fmt.Sprintf("%s pad=%v p=%d", name, pad, p), got, want)
+			}
+		}
+	}
+}
+
+func TestParallelNestLinkChainMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	// Flat input of a two-link chain: block0 key k0, block1 key k1 (NULL =
+	// level-1 padding), block2 key k2 (NULL = level-2 padding), attrs.
+	n := 4000
+	rows := make([][]any, n)
+	for i := range rows {
+		k0 := rng.Intn(40)
+		var k1, a1, k2, b2 any
+		if rng.Float64() < 0.15 {
+			k1, a1, k2, b2 = nil, nil, nil, nil
+		} else {
+			k1 = rng.Intn(200)
+			if rng.Float64() < 0.2 {
+				a1 = nil
+			} else {
+				a1 = rng.Intn(9)
+			}
+			if rng.Float64() < 0.25 {
+				k2, b2 = nil, nil
+			} else {
+				k2 = i
+				if rng.Float64() < 0.2 {
+					b2 = nil
+				} else {
+					b2 = rng.Intn(9)
+				}
+			}
+		}
+		rows[i] = []any{k0, rng.Intn(9), k1, a1, k2, b2}
+	}
+	rel := relation.MustFromRows("j", []string{"k0", "a0", "k1", "a1", "k2", "b2"}, rows...)
+	schema := rel.Schema
+
+	spec := func(pred algebra.LinkPred, attr, linked, pres string) *LinkSpec {
+		s := &LinkSpec{Pred: pred, AttrIdx: -1, LinkedIdx: -1, PresIdx: schema.MustColIndex(pres)}
+		if attr != "" {
+			s.AttrIdx = schema.MustColIndex(attr)
+		}
+		if linked != "" {
+			s.LinkedIdx = schema.MustColIndex(linked)
+		}
+		return s
+	}
+	combos := []struct {
+		name   string
+		l1, l2 *LinkSpec
+	}{
+		{"all+exists",
+			spec(algebra.AllPred("a0", expr.Ne, "c", "a1", "k1"), "a0", "a1", "k1"),
+			spec(algebra.ExistsPred("c", "k2"), "", "", "k2")},
+		{"some+not-exists",
+			spec(algebra.SomePred("a0", expr.Eq, "c", "a1", "k1"), "a0", "a1", "k1"),
+			spec(algebra.NotExistsPred("c", "k2"), "", "", "k2")},
+		{"all+all",
+			spec(algebra.AllPred("a0", expr.Gt, "c", "a1", "k1"), "a0", "a1", "k1"),
+			spec(algebra.AllPred("a1", expr.Ne, "c", "b2", "k2"), "a1", "b2", "k2")},
+	}
+	for _, c := range combos {
+		mk := func() []ChainLevel {
+			return []ChainLevel{
+				{KeyCols: []string{"k0"}, Spec: c.l1},
+				{KeyCols: []string{"k1"}, Spec: c.l2},
+			}
+		}
+		want, err := NestLinkChain(rel, mk(), []string{"k0", "a0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 4, 8} {
+			got, err := ParallelNestLinkChain(rel, mk(), []string{"k0", "a0"}, p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", c.name, p, err)
+			}
+			mustEqualSeq(t, fmt.Sprintf("%s p=%d", c.name, p), got, want)
+		}
+	}
+}
+
+// TestHashJoinClosesBothInputs guards the iterator contract: Close must
+// release the build side too, not only the probe side.
+func TestHashJoinClosesBothInputs(t *testing.T) {
+	l := relation.MustFromRows("l", []string{"a"}, []any{1}, []any{2})
+	r := relation.MustFromRows("r", []string{"b"}, []any{2}, []any{3})
+	lc := &closeCounter{Iterator: NewScan(l)}
+	rc := &closeCounter{Iterator: NewScan(r)}
+	h := NewHashJoin(lc, rc, expr.Compare(expr.Eq, expr.Col("a"), expr.Col("b")), false)
+	out, err := Drain(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("join returned %d tuples, want 1", out.Len())
+	}
+	if lc.closed == 0 {
+		t.Error("left input never closed")
+	}
+	if rc.closed == 0 {
+		t.Error("right (build) input never closed")
+	}
+}
+
+type closeCounter struct {
+	Iterator
+	closed int
+}
+
+func (c *closeCounter) Close() error {
+	c.closed++
+	return c.Iterator.Close()
+}
+
+// Silence unused-import if value ends up unused in future edits.
+var _ = value.Null

@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+
+	"nra/internal/algebra"
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// ParallelJoin is the partitioned-parallel θ-join l ⋈_on r (outer=false)
+// or left outer join l ⟕_on r (outer=true), semantically identical to
+// algebra.Join / algebra.LeftOuterJoin — including the output order, so
+// serial and parallel plans stay byte-identical:
+//
+//   - build: the right side is hash-partitioned on the equi-key into par
+//     partitions and per-partition hash tables are built concurrently.
+//     Tuples with a NULL key component match nothing under SQL equality
+//     and are left out, exactly as in the serial build.
+//   - probe: the left side is split into contiguous chunks probed
+//     concurrently; each left tuple probes only the partition its key
+//     hashes to. Outer-join NULL padding is decided per left tuple inside
+//     its chunk, so the per-partition evaluation preserves the serial
+//     padding semantics. Chunk outputs are concatenated in chunk order,
+//     which reproduces the serial left-to-right output order (within one
+//     left tuple, match order follows the right side's input order, which
+//     partitioning preserves per key).
+//
+// A condition with no equality conjunct falls back to a chunked
+// nested-loop join; par ≤ 1 delegates to the serial operators.
+func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*relation.Relation, error) {
+	if par > l.Len() {
+		par = l.Len()
+	}
+	if par <= 1 {
+		if outer {
+			return algebra.LeftOuterJoin(l, r, on)
+		}
+		return algebra.Join(l, r, on)
+	}
+	schema, err := parJoinSchema(l.Schema, r.Schema)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, residual := extractEquiKeys(on, l.Schema, r.Schema)
+	var check *expr.Compiled // compiled once; evaluation is read-only
+	if residual != nil {
+		check, err = expr.Compile(residual, schema)
+		if err != nil {
+			return nil, fmt.Errorf("parallel join: %w", err)
+		}
+	}
+	pad := nullNested(r.Schema)
+
+	// Per-chunk probe state; chunk outputs are concatenated in order.
+	bounds := chunkBounds(l.Len(), par)
+	outs := make([]*relation.Relation, len(bounds)-1)
+	probeChunk := func(w int, probe func(lt relation.Tuple, emit func(rt relation.Tuple) (bool, error)) error) error {
+		out := relation.New(schema)
+		outs[w] = out
+		for _, lt := range l.Tuples[bounds[w]:bounds[w+1]] {
+			matched := false
+			emit := func(rt relation.Tuple) (bool, error) {
+				joined := concatNested(lt, rt)
+				if check != nil {
+					tri, err := check.Truth(joined)
+					if err != nil {
+						return false, err
+					}
+					if !tri.IsTrue() {
+						return false, nil
+					}
+				}
+				out.Append(joined)
+				return true, nil
+			}
+			if err := probe(lt, func(rt relation.Tuple) (bool, error) {
+				ok, err := emit(rt)
+				matched = matched || ok
+				return ok, err
+			}); err != nil {
+				return err
+			}
+			if outer && !matched {
+				out.Append(concatNested(lt, pad))
+			}
+		}
+		return nil
+	}
+
+	if len(lk) == 0 {
+		// Nested-loop fallback (non-equi or cross join): chunk the left side.
+		err = Run(par, len(outs), func(w int) error {
+			return probeChunk(w, func(lt relation.Tuple, emit func(relation.Tuple) (bool, error)) error {
+				for _, rt := range r.Tuples {
+					if _, err := emit(rt); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return concatRelations(schema, outs), nil
+	}
+
+	// Build phase: par partition tables over the right side, concurrently.
+	parts := algebra.HashPartition(r, rk, par)
+	tables := make([]map[string][]int, par)
+	err = Run(par, par, func(w int) error {
+		table := make(map[string][]int, len(parts[w]))
+	rows:
+		for _, ri := range parts[w] {
+			t := r.Tuples[ri]
+			for _, k := range rk {
+				if t.Atoms[k].IsNull() {
+					continue rows
+				}
+			}
+			key := t.KeyOn(rk)
+			table[key] = append(table[key], ri)
+		}
+		tables[w] = table
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe phase: contiguous left chunks, each probing the partition its
+	// key belongs to.
+	err = Run(par, len(outs), func(w int) error {
+		return probeChunk(w, func(lt relation.Tuple, emit func(relation.Tuple) (bool, error)) error {
+			for _, k := range lk {
+				if lt.Atoms[k].IsNull() {
+					return nil // NULL key: no match possible
+				}
+			}
+			p := algebra.PartitionKey(lt, lk, par)
+			for _, ri := range tables[p][lt.KeyOn(lk)] {
+				if _, err := emit(r.Tuples[ri]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatRelations(schema, outs), nil
+}
+
+// chunkBounds splits n items into at most p contiguous ranges;
+// bounds[i]:bounds[i+1] is range i.
+func chunkBounds(n, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	if p == 0 {
+		return []int{0, 0}
+	}
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	return bounds
+}
+
+func parJoinSchema(l, r *relation.Schema) (*relation.Schema, error) {
+	out := &relation.Schema{Name: l.Name}
+	out.Cols = append(append([]relation.Column{}, l.Cols...), r.Cols...)
+	out.Subs = append(append([]relation.Sub{}, l.Subs...), r.Subs...)
+	seen := make(map[string]bool, len(out.Cols))
+	for _, c := range out.Cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("parallel join: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return out, nil
+}
+
+// concatNested concatenates two tuples, atoms and nested groups alike.
+func concatNested(l, r relation.Tuple) relation.Tuple {
+	t := relation.Tuple{Atoms: make([]value.Value, 0, len(l.Atoms)+len(r.Atoms))}
+	t.Atoms = append(append(t.Atoms, l.Atoms...), r.Atoms...)
+	if len(l.Groups)+len(r.Groups) > 0 {
+		t.Groups = make([]*relation.Relation, 0, len(l.Groups)+len(r.Groups))
+		t.Groups = append(append(t.Groups, l.Groups...), r.Groups...)
+	}
+	return t
+}
+
+// nullNested is the all-NULL (empty-group) padding tuple for a schema.
+func nullNested(s *relation.Schema) relation.Tuple {
+	t := relation.Tuple{Atoms: make([]value.Value, len(s.Cols))}
+	if len(s.Subs) > 0 {
+		t.Groups = make([]*relation.Relation, len(s.Subs))
+	}
+	return t
+}
+
+// concatRelations concatenates per-chunk outputs in chunk order.
+func concatRelations(schema *relation.Schema, parts []*relation.Relation) *relation.Relation {
+	out := relation.New(schema)
+	n := 0
+	for _, p := range parts {
+		n += p.Len()
+	}
+	out.Tuples = make([]relation.Tuple, 0, n)
+	for _, p := range parts {
+		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"nra/internal/relation"
+)
+
+// Parallel variants of the fused nest + linking-selection operators.
+// Since υ_{N1,N2} groups by N1 and every linking predicate is
+// partition-safe (algebra.LinkPred.PartitionSafe: a group's verdict reads
+// only its own members), the flat input partitions cleanly by the nest
+// key: sort in parallel, then split the sorted run into group-aligned
+// ranges and evaluate each range's groups concurrently. Range outputs
+// concatenate in range order, so the result is byte-identical to the
+// serial operators — `go test` goldens and paper-figure reproductions do
+// not depend on the degree of parallelism.
+
+// ParallelNestLink is NestLink evaluated with up to par workers. The
+// sorted input is split at group boundaries (a group never spans two
+// ranges), each range runs the fused single-pass scan independently, and
+// the per-range outputs are concatenated in key order.
+func ParallelNestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string, par int) (*relation.Relation, error) {
+	if par <= 1 || !spec.Pred.PartitionSafe() {
+		return NestLink(rel, keyCols, by, spec, pad)
+	}
+	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
+	if err != nil {
+		return nil, err
+	}
+	sorted := parallelSortBy(rel.Tuples, plan.keyIdx, par)
+	bounds := groupAlignedBounds(sorted, plan.keyIdx, par)
+	outs := make([]*relation.Relation, len(bounds)-1)
+	err = Run(par, len(outs), func(w int) error {
+		out, err := plan.scan(sorted[bounds[w]:bounds[w+1]])
+		if err != nil {
+			return err
+		}
+		outs[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatRelations(plan.outSchema, outs), nil
+}
+
+// ParallelNestLinkChain is NestLinkChain evaluated with up to par
+// workers: one parallel sort by the concatenated level keys, then
+// concurrent chain scans over ranges aligned on the outermost level's
+// group boundaries (inner levels group by refinements of the outer key,
+// so an outermost-group range contains every inner group whole).
+func ParallelNestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string, par int) (*relation.Relation, error) {
+	safe := true
+	for i := range levels {
+		if !levels[i].Spec.Pred.PartitionSafe() {
+			safe = false
+			break
+		}
+	}
+	if par <= 1 || !safe {
+		return NestLinkChain(rel, levels, outBy)
+	}
+	plan, err := prepareChain(rel.Schema, levels, outBy)
+	if err != nil {
+		return nil, err
+	}
+	sorted := parallelSortBy(rel.Tuples, plan.sortIdx, par)
+	bounds := groupAlignedBounds(sorted, plan.levels[0].keyIdx, par)
+	outs := make([]*relation.Relation, len(bounds)-1)
+	err = Run(par, len(outs), func(w int) error {
+		out, err := plan.scan(sorted[bounds[w]:bounds[w+1]])
+		if err != nil {
+			return err
+		}
+		outs[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatRelations(plan.outSchema, outs), nil
+}
+
+// groupAlignedBounds splits sorted tuples into at most p contiguous
+// ranges whose boundaries fall on group-key changes, so every group is
+// wholly contained in one range. Adjacent equal-key tuples are guaranteed
+// adjacent because the input is sorted by exactly these columns.
+func groupAlignedBounds(tuples []relation.Tuple, keyIdx []int, p int) []int {
+	raw := chunkBounds(len(tuples), p)
+	bounds := []int{0}
+	for _, b := range raw[1 : len(raw)-1] {
+		if b <= bounds[len(bounds)-1] {
+			continue
+		}
+		// Advance b to the next group boundary at or after it.
+		for b < len(tuples) && tuples[b].KeyOn(keyIdx) == tuples[b-1].KeyOn(keyIdx) {
+			b++
+		}
+		if b > bounds[len(bounds)-1] && b < len(tuples) {
+			bounds = append(bounds, b)
+		}
+	}
+	return append(bounds, len(tuples))
+}

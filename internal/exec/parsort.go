@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sort"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// parallelSortBy returns rel's tuples sorted by the given column indexes,
+// in exactly the order Relation.SortBy produces (value.Less with NULLs
+// first, stable). The input slice is not modified.
+//
+// The sort runs as p concurrent chunk sorts followed by log₂(p) rounds of
+// pairwise merges. Stability is obtained by tie-breaking on the original
+// tuple position, which defines the same total order a stable sort does —
+// so the result is deterministic and byte-identical to the serial sort
+// regardless of chunk boundaries or scheduling.
+func parallelSortBy(tuples []relation.Tuple, idx []int, p int) []relation.Tuple {
+	n := len(tuples)
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	less := func(a, b int) bool {
+		ta, tb := tuples[a], tuples[b]
+		for _, i := range idx {
+			va, vb := ta.Atoms[i], tb.Atoms[i]
+			if !value.Identical(va, vb) {
+				return value.Less(va, vb)
+			}
+		}
+		return a < b // stability: original position breaks ties
+	}
+
+	if p > n/minChunk {
+		p = n / minChunk
+	}
+	if p <= 1 {
+		sort.Slice(ord, func(i, j int) bool { return less(ord[i], ord[j]) })
+	} else {
+		// Chunk bounds: runs[i] sorts ord[bounds[i]:bounds[i+1]].
+		bounds := make([]int, p+1)
+		for i := 0; i <= p; i++ {
+			bounds[i] = i * n / p
+		}
+		_ = Run(p, p, func(w int) error {
+			chunk := ord[bounds[w]:bounds[w+1]]
+			sort.Slice(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+			return nil
+		})
+		// Pairwise merge rounds until one run remains.
+		buf := make([]int, n)
+		for len(bounds) > 2 {
+			src, dst := ord, buf
+			pairs := (len(bounds) - 1) / 2
+			nb := make([]int, 0, pairs+2)
+			nb = append(nb, 0)
+			for k := 0; k < pairs; k++ {
+				nb = append(nb, bounds[2*k+2])
+			}
+			if (len(bounds)-1)%2 == 1 { // odd run out: copied through
+				nb = append(nb, bounds[len(bounds)-1])
+			}
+			_ = Run(pairs, pairs, func(k int) error {
+				lo, mid, hi := bounds[2*k], bounds[2*k+1], bounds[2*k+2]
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+				return nil
+			})
+			if (len(bounds)-1)%2 == 1 {
+				lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+				copy(dst[lo:hi], src[lo:hi])
+			}
+			ord, buf = dst, src
+			bounds = nb
+		}
+	}
+
+	out := make([]relation.Tuple, n)
+	for i, j := range ord {
+		out[i] = tuples[j]
+	}
+	return out
+}
+
+// minChunk keeps tiny inputs serial: below this many tuples per worker the
+// goroutine handoff costs more than the sort.
+const minChunk = 256
+
+func mergeRuns(dst, a, b []int, less func(x, y int) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}

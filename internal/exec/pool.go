@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel substrate of the executor: one bounded,
+// process-wide worker pool shared by every partitioned operator
+// (partitioned hash join, parallel nest + linking selection, parallel
+// sort). Operators split their work into independent morsels and submit
+// them through Pool.Run; the pool bounds the number of simultaneously
+// running worker goroutines so concurrent operators never oversubscribe
+// the machine.
+
+// DefaultParallelism is the degree of parallelism used when a caller asks
+// for "as parallel as the hardware allows": runtime.NumCPU(), overridable
+// with the NRA_PARALLELISM environment variable (values < 1 are ignored).
+func DefaultParallelism() int {
+	if s := os.Getenv("NRA_PARALLELISM"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Pool is a counting semaphore bounding the helper goroutines spawned by
+// parallel operators. The zero Pool is not usable; construct with NewPool.
+//
+// The submitting goroutine always participates in its own work, so Run
+// never blocks waiting for pool capacity and nested submissions cannot
+// deadlock: when the pool is saturated an operator simply degrades toward
+// serial execution on the caller's goroutine.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool allowing up to size concurrent helper workers
+// (minimum 1).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{slots: make(chan struct{}, size)}
+}
+
+// sharedPool is the process-wide pool all operators draw from.
+var (
+	sharedPool     *Pool
+	sharedPoolOnce sync.Once
+)
+
+// SharedPool returns the process-wide worker pool, sized by
+// DefaultParallelism at first use.
+func SharedPool() *Pool {
+	sharedPoolOnce.Do(func() { sharedPool = NewPool(DefaultParallelism()) })
+	return sharedPool
+}
+
+// tryAcquire claims a helper slot without blocking.
+func (p *Pool) tryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pool) release() { <-p.slots }
+
+// Run executes task(0) … task(n-1) using at most par concurrent workers:
+// the calling goroutine plus up to par-1 helpers drawn non-blockingly
+// from the pool. Tasks are claimed from a shared counter, so uneven task
+// costs balance automatically (morsel-style scheduling). The first error
+// cancels the remaining tasks (already-running tasks finish) and is
+// returned. Tasks must be independent; they may not assume any ordering.
+func (p *Pool) Run(par, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	worker := func() {
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := task(i); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	for w := 1; w < par; w++ {
+		if !p.tryAcquire() {
+			break // pool saturated: the caller picks up the slack
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.release()
+			worker()
+		}()
+	}
+	worker() // the caller always works too
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return first
+}
+
+// Run executes tasks on the shared pool — see Pool.Run.
+func Run(par, n int, task func(i int) error) error {
+	return SharedPool().Run(par, n, task)
+}

@@ -282,6 +282,10 @@ var (
 	NestedOptimized = Strategy{kind: kindNested, opts: core.Optimized()}
 	// NestedOriginal is the unoptimized Algorithm 1.
 	NestedOriginal = Strategy{kind: kindNested, opts: core.Original()}
+	// NestedParallel is NestedOptimized with the hash-join + nest/linking
+	// pipeline partitioned across all CPUs (see docs/PARALLELISM.md).
+	// Results are byte-identical to NestedOptimized at any degree.
+	NestedParallel = Strategy{kind: kindNested, opts: core.OptimizedParallel()}
 	// Native is the "System A" baseline.
 	Native = Strategy{kind: kindNative}
 	// Reference is the ground-truth tuple-iteration evaluator.
@@ -289,6 +293,22 @@ var (
 )
 
 func (s Strategy) coreOptions() core.Options { return s.opts }
+
+// WithParallelism returns a copy of a nested strategy running the hash-
+// join + nest/linking pipeline with n-way partitioned parallelism (n ≤ 1
+// selects the serial operators; n = 0 is treated as 1). Auto becomes
+// NestedOptimized with the given degree; Native/Reference have no
+// parallel operators and are returned unchanged.
+func (s Strategy) WithParallelism(n int) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	if s.kind == kindAuto {
+		s = NestedOptimized
+	}
+	s.opts.Parallelism = n
+	return s
+}
 
 // Traced returns a copy of a nested strategy that writes a per-operator
 // execution walkthrough (the paper's Temp1→Temp4 narration, with
@@ -315,9 +335,15 @@ func (s Strategy) String() string {
 	case kindReference:
 		return "reference"
 	default:
-		if s.opts == core.Original() {
-			return "nested-original"
+		name := "nested-optimized"
+		base := s.opts
+		base.Parallelism = 0
+		if base == core.Original() {
+			name = "nested-original"
 		}
-		return "nested-optimized"
+		if s.opts.Parallelism > 1 {
+			return fmt.Sprintf("%s (parallelism %d)", name, s.opts.Parallelism)
+		}
+		return name
 	}
 }
