@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	nraql [-tpch 0.001] [-strategy nested-optimized] [-e "select ..."]
+//	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
+//	      [-timeout 30s] [-e "select ..."]
 //
 // Inside the shell:
 //
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +49,8 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "TPC-H generator seed")
 		trace = flag.Bool("trace", false, "print the per-operator execution walkthrough")
 		par   = flag.Int("parallelism", -1, "degree of partitioned parallelism for nested strategies (1 = serial, 0 = all CPUs, -1 = strategy default)")
+		mem   = flag.String("mem", "", "memory budget for operator working state, e.g. 64K, 16M, 1G (empty = unbounded); over-budget operators spill to disk")
+		tmo   = flag.Duration("timeout", 0, "per-query timeout, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,16 @@ func main() {
 			n = runtime.NumCPU()
 		}
 		strategy = strategy.WithParallelism(n)
+	}
+	if *mem != "" {
+		bytes, err := parseBytes(*mem)
+		if err != nil {
+			fail(err)
+		}
+		strategy = strategy.WithMemoryBudget(bytes)
+	}
+	if *tmo > 0 {
+		strategy = strategy.WithTimeout(*tmo)
 	}
 	if *trace {
 		strategy = nra.Traced(strategy, os.Stderr)
@@ -185,6 +199,32 @@ func run(db *nra.DB, s nra.Strategy, src string) error {
 	fmt.Print(res)
 	fmt.Printf("(%d rows, %s, %v)\n", res.NumRows(), s, elapsed.Round(time.Microsecond))
 	return nil
+}
+
+// parseBytes parses a byte count with an optional K/M/G suffix (powers
+// of 1024; lowercase and a trailing "B"/"iB" are accepted).
+func parseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	s = strings.TrimSuffix(s, "IB")
+	s = strings.TrimSuffix(s, "B")
+	shift := 0
+	switch {
+	case strings.HasSuffix(s, "K"):
+		shift, s = 10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		shift, s = 20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		shift, s = 30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -mem value %q (want e.g. 65536, 64K, 16M, 1G)", orig)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("-mem value %q overflows", orig)
+	}
+	return n << shift, nil
 }
 
 func fail(err error) {

@@ -101,7 +101,7 @@ func (e *Env) ProcQ1() (*Figure, error) {
 			PresIdx:   joined.Schema.MustColIndex("l_rowid"),
 		}
 		opt, optRows, err := e.timeIt(func() (int, error) {
-			out, err := exec.NestLink(joined, []string{"o_orderkey"},
+			out, err := exec.NestLink(exec.Background(), joined, []string{"o_orderkey"},
 				[]string{"o_orderkey", "o_totalprice"}, spec, nil)
 			if err != nil {
 				return 0, err
@@ -244,7 +244,7 @@ func (e *Env) ProcQ2() (*Figure, error) {
 			}},
 		}
 		opt, optRows, err := e.timeIt(func() (int, error) {
-			out, err := exec.NestLinkChain(joined, levels, []string{"p_partkey", "p_retailprice"})
+			out, err := exec.NestLinkChain(exec.Background(), joined, levels, []string{"p_partkey", "p_retailprice"})
 			if err != nil {
 				return 0, err
 			}

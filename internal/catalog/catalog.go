@@ -65,12 +65,13 @@ func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table
 		NotNull: map[string]bool{pkName: true},
 		indexes: make(map[string]*index.Index),
 	}
-	c.tables[name] = t
 	// B+-tree indexes on primary keys are "automatically built by System A"
-	// (§5.1); mirror that.
+	// (§5.1); mirror that. Register the table only once the index exists,
+	// so a failed Create leaves no half-built table behind.
 	if _, err := t.CreateIndex(pkName); err != nil {
 		return nil, err
 	}
+	c.tables[name] = t
 	return t, nil
 }
 

@@ -19,9 +19,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"nra/internal/exec"
 	"nra/internal/iomodel"
@@ -64,6 +66,25 @@ type Options struct {
 	// with input/output cardinalities — the paper's Temp1→Temp4
 	// walkthrough for any query.
 	Trace io.Writer
+	// MemoryBudget bounds the bytes of operator working state (hash-join
+	// build sides, pre-nest sort copies) a query may hold in memory;
+	// 0 = unbounded. Operators exceeding it degrade gracefully to spill
+	// files with byte-identical results — see docs/ROBUSTNESS.md.
+	MemoryBudget int64
+	// Timeout aborts the query with context.DeadlineExceeded this long
+	// after Execute starts; 0 = no deadline.
+	Timeout time.Duration
+	// Ctx, when non-nil, cancels the query when the context is cancelled.
+	Ctx context.Context
+	// SpillDir hosts the query's spill files ("" = os.TempDir()); the
+	// per-query spill directory is always removed when Execute returns.
+	SpillDir string
+	// Hooks installs fault-injection interception points in every operator
+	// (see internal/faultinject); nil in production.
+	Hooks *exec.FaultHooks
+	// Stats, when non-nil, receives the query's resource accounting (peak
+	// working-state bytes, spill events/bytes) when Execute returns.
+	Stats *exec.Stats
 }
 
 // Original returns the unoptimized §4.1 configuration.
@@ -92,12 +113,31 @@ func unsupportedf(format string, args ...any) error {
 }
 
 // Execute runs an analyzed query with the nested relational approach.
+// The query runs under a per-query exec.ExecContext built from the
+// options' governance knobs (Ctx/Timeout/MemoryBudget/Hooks); whatever
+// the outcome — success, error, cancellation, panic-turned-error — the
+// context is closed before returning, which stops its goroutines and
+// removes any spill files it created.
 func Execute(q *sql.Query, opt Options) (*relation.Relation, error) {
 	p, err := newPlanner(q, opt)
 	if err != nil {
 		return nil, err
 	}
-	return p.run()
+	ec := exec.NewExecContext(opt.Ctx, exec.Limits{
+		MemoryBudget: opt.MemoryBudget,
+		Timeout:      opt.Timeout,
+		TempDir:      opt.SpillDir,
+		Hooks:        opt.Hooks,
+	})
+	p.ec = ec
+	out, err := p.run()
+	if opt.Stats != nil {
+		*opt.Stats = ec.Stats()
+	}
+	if cerr := ec.Close(); err == nil {
+		err = cerr
+	}
+	return out, err
 }
 
 // Supported reports nil when the planner can evaluate q, or a wrapped

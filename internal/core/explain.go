@@ -43,6 +43,14 @@ func Explain(q *sql.Query, opt Options) (string, error) {
 	} else {
 		b.WriteString("parallelism: 1 (serial operators)\n")
 	}
+	if opt.MemoryBudget > 0 {
+		fmt.Fprintf(&b, "memory budget: %d bytes (hash-join builds degrade to chunked grace joins, pre-nest sorts to external merges, when working state exceeds it; results are identical)\n", opt.MemoryBudget)
+	} else {
+		b.WriteString("memory budget: unbounded (no operator spills)\n")
+	}
+	if opt.Timeout > 0 {
+		fmt.Fprintf(&b, "timeout: %s (cancellation observed at operator boundaries; workers drained, spill files removed)\n", opt.Timeout)
+	}
 	return b.String(), nil
 }
 

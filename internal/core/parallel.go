@@ -24,16 +24,16 @@ func (p *planner) par() int {
 
 // join executes l ⋈_on r with the plan's degree of parallelism.
 func (p *planner) join(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
-	if par := p.par(); par > 1 {
-		return exec.ParallelJoin(l, r, on, false, par)
+	if par := p.par(); par > 1 || p.ec.Governed() {
+		return exec.ParallelJoin(p.ec, l, r, on, false, par)
 	}
 	return algebra.Join(l, r, on)
 }
 
 // outerJoin executes l ⟕_on r with the plan's degree of parallelism.
 func (p *planner) outerJoin(l, r *relation.Relation, on expr.Expr) (*relation.Relation, error) {
-	if par := p.par(); par > 1 {
-		return exec.ParallelJoin(l, r, on, true, par)
+	if par := p.par(); par > 1 || p.ec.Governed() {
+		return exec.ParallelJoin(p.ec, l, r, on, true, par)
 	}
 	return algebra.LeftOuterJoin(l, r, on)
 }
@@ -42,16 +42,16 @@ func (p *planner) outerJoin(l, r *relation.Relation, on expr.Expr) (*relation.Re
 // degree of parallelism (partitioned by the nest key).
 func (p *planner) nestLink(rel *relation.Relation, keyCols, by []string, spec *exec.LinkSpec, pad []string) (*relation.Relation, error) {
 	if par := p.par(); par > 1 {
-		return exec.ParallelNestLink(rel, keyCols, by, spec, pad, par)
+		return exec.ParallelNestLink(p.ec, rel, keyCols, by, spec, pad, par)
 	}
-	return exec.NestLink(rel, keyCols, by, spec, pad)
+	return exec.NestLink(p.ec, rel, keyCols, by, spec, pad)
 }
 
 // nestLinkChain executes the fully fused nest chain with the plan's
 // degree of parallelism (partitioned by the outermost nest key).
 func (p *planner) nestLinkChain(rel *relation.Relation, levels []exec.ChainLevel, outBy []string) (*relation.Relation, error) {
 	if par := p.par(); par > 1 {
-		return exec.ParallelNestLinkChain(rel, levels, outBy, par)
+		return exec.ParallelNestLinkChain(p.ec, rel, levels, outBy, par)
 	}
-	return exec.NestLinkChain(rel, levels, outBy)
+	return exec.NestLinkChain(p.ec, rel, levels, outBy)
 }

@@ -15,6 +15,7 @@ import (
 type planner struct {
 	q   *sql.Query
 	opt Options
+	ec  *exec.ExecContext // per-query governance; Background when unused
 
 	colBlock map[string]int   // qualified column name → owning block ID
 	needed   map[int][]string // block ID → columns that must flow upward
@@ -25,6 +26,7 @@ func newPlanner(q *sql.Query, opt Options) (*planner, error) {
 	p := &planner{
 		q:        q,
 		opt:      opt,
+		ec:       exec.Background(),
 		colBlock: make(map[string]int),
 		needed:   make(map[int][]string),
 		keys:     make(map[int][]string),
@@ -295,7 +297,7 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := exec.Drain(exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
+	out, err := exec.Drain(p.ec, exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
 	if err != nil {
 		return nil, err
 	}

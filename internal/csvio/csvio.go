@@ -98,12 +98,18 @@ func Save(cat *catalog.Catalog, dir string, tables ...string) error {
 	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
 }
 
-func saveTable(path string, rel *relation.Relation) error {
+func saveTable(path string, rel *relation.Relation) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The OS may defer write failures (full disk, quota) to close; a
+	// dropped close error would report a truncated file as saved.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
 	header := make([]string, len(rel.Schema.Cols))
 	for i, c := range rel.Schema.Cols {
@@ -171,9 +177,11 @@ func loadTable(path string, meta TableMeta) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	r := csv.NewReader(f)
 	records, err := r.ReadAll()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %s: %w", path, err)
 	}

@@ -58,7 +58,7 @@ func TestNestLinkMatchesMaterializedStrict(t *testing.T) {
 		[]any{3, 7, nil, nil}, // empty set → ALL true
 		[]any{4, nil, 5, 1},   // NULL attr → unknown
 	)
-	got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), nil)
+	got, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestNestLinkMatchesMaterializedPad(t *testing.T) {
 		[]any{1, 10, 1, 15}, // fails
 		[]any{2, 10, 2, 5},  // passes
 	)
-	got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"a"})
+	got, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"a"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestNestLinkMatchesMaterializedPad(t *testing.T) {
 	if got.Len() != 2 {
 		t.Fatal("pad mode keeps all groups")
 	}
-	if _, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"nope"}); err == nil {
+	if _, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, allPred()), []string{"nope"}); err == nil {
 		t.Fatal("pad column must be an output column")
 	}
 }
@@ -106,7 +106,7 @@ func TestNestLinkExistsForms(t *testing.T) {
 		[]any{2, 0, nil, nil},
 	)
 	ex := algebra.ExistsPred("g", "pk")
-	got, err := NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, ex), nil)
+	got, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok"}, spec(rel, ex), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestNestLinkExistsForms(t *testing.T) {
 		t.Fatalf("EXISTS rows:\n%s", got)
 	}
 	nex := algebra.NotExistsPred("g", "pk")
-	got, err = NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, nex), nil)
+	got, err = NestLink(Background(), rel, []string{"ok"}, []string{"ok"}, spec(rel, nex), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestNestLinkConstAttr(t *testing.T) {
 	five := value.Int(5)
 	p := algebra.LinkPred{Const: &five, Op: expr.Gt, Quant: algebra.All, Sub: "g", Linked: "b", Presence: "pk"}
 	rel := flatJoin([]any{1, 0, 1, 3}, []any{2, 0, 2, 9})
-	got, err := NestLink(rel, []string{"ok"}, []string{"ok"}, spec(rel, p), nil)
+	got, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok"}, spec(rel, p), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,15 +138,15 @@ func TestNestLinkConstAttr(t *testing.T) {
 
 func TestNestLinkErrors(t *testing.T) {
 	rel := flatJoin([]any{1, 0, 1, 3})
-	if _, err := NestLink(rel, []string{"nope"}, []string{"ok"}, spec(rel, allPred()), nil); err == nil {
+	if _, err := NestLink(Background(), rel, []string{"nope"}, []string{"ok"}, spec(rel, allPred()), nil); err == nil {
 		t.Fatal("unknown key column must error")
 	}
-	if _, err := NestLink(rel, []string{"ok"}, []string{"nope"}, spec(rel, allPred()), nil); err == nil {
+	if _, err := NestLink(Background(), rel, []string{"ok"}, []string{"nope"}, spec(rel, allPred()), nil); err == nil {
 		t.Fatal("unknown by column must error")
 	}
 	// Type error inside the comparison surfaces.
 	bad := relation.MustFromRows("j", []string{"ok", "a", "pk", "b"}, []any{1, "str", 1, 3})
-	if _, err := NestLink(bad, []string{"ok"}, []string{"ok"}, spec(bad, allPred()), nil); err == nil {
+	if _, err := NestLink(Background(), bad, []string{"ok"}, []string{"ok"}, spec(bad, allPred()), nil); err == nil {
 		t.Fatal("type mismatch must error")
 	}
 }
@@ -193,7 +193,7 @@ func TestNestLinkQuickEquivalence(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			pad = []string{"a"}
 		}
-		got, err := NestLink(rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, p), pad)
+		got, err := NestLink(Background(), rel, []string{"ok"}, []string{"ok", "a"}, spec(rel, p), pad)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -291,7 +291,7 @@ func TestNestLinkChainMatchesPerLevel(t *testing.T) {
 		}
 
 		// Fused chain: one sort, one scan.
-		chain, err := NestLinkChain(rel,
+		chain, err := NestLinkChain(Background(), rel,
 			[]ChainLevel{
 				{KeyCols: []string{"ak"}, Spec: mkSpec(link1, "aa", "bb", "bk")},
 				{KeyCols: []string{"bk"}, Spec: mkSpec(link2, "bb", "cb", "ck")},
@@ -301,7 +301,7 @@ func TestNestLinkChainMatchesPerLevel(t *testing.T) {
 		}
 
 		// Per-level: inner link first (padding failing B rows), then outer.
-		lvl2, err := NestLink(rel, []string{"ak", "bk"},
+		lvl2, err := NestLink(Background(), rel, []string{"ak", "bk"},
 			[]string{"ak", "aa", "bk", "bb"}, mkSpec(link2, "bb", "cb", "ck"),
 			[]string{"bk", "bb"})
 		if err != nil {
@@ -311,7 +311,7 @@ func TestNestLinkChainMatchesPerLevel(t *testing.T) {
 			AttrIdx:   lvl2.Schema.MustColIndex("aa"),
 			LinkedIdx: lvl2.Schema.MustColIndex("bb"),
 			PresIdx:   lvl2.Schema.MustColIndex("bk")}
-		want, err := NestLink(lvl2, []string{"ak"}, []string{"ak", "aa"}, spec1, nil)
+		want, err := NestLink(Background(), lvl2, []string{"ak"}, []string{"ak", "aa"}, spec1, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -325,15 +325,15 @@ func TestNestLinkChainMatchesPerLevel(t *testing.T) {
 
 func TestNestLinkChainErrors(t *testing.T) {
 	rel := flatJoin([]any{1, 0, 1, 3})
-	if _, err := NestLinkChain(rel, nil, []string{"ok"}); err == nil {
+	if _, err := NestLinkChain(Background(), rel, nil, []string{"ok"}); err == nil {
 		t.Fatal("empty chain must error")
 	}
-	if _, err := NestLinkChain(rel,
+	if _, err := NestLinkChain(Background(), rel,
 		[]ChainLevel{{KeyCols: []string{"nope"}, Spec: spec(rel, allPred())}},
 		[]string{"ok"}); err == nil {
 		t.Fatal("unknown key column must error")
 	}
-	if _, err := NestLinkChain(rel,
+	if _, err := NestLinkChain(Background(), rel,
 		[]ChainLevel{{KeyCols: []string{"ok"}, Spec: spec(rel, allPred())}},
 		[]string{"nope"}); err == nil {
 		t.Fatal("unknown output column must error")

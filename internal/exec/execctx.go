@@ -1,0 +1,419 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// This file is the resource-governance substrate of the executor. Every
+// physical operator runs under a per-query ExecContext carrying
+//
+//   - cancellation: a context.Context (plus an optional deadline) whose
+//     cancellation is observed at operator boundaries — between morsels in
+//     the worker pool, between tuples in probe/scan loops — so an abort
+//     takes effect promptly, drains in-flight workers, and leaks nothing;
+//   - a memory budget: a byte-accounted bound on operator *working state*
+//     (hash-join build tables, sort copies, external-merge run buffers).
+//     When an operator's working state would exceed the budget it degrades
+//     gracefully — grace-hash chunking for joins, external merge for sorts
+//     — spilling to temp files and producing byte-identical output. Inputs
+//     and outputs themselves are not charged: the engine's contract is
+//     materialised *relation.Relation values, so the budget governs the
+//     *extra* state an operator holds, mirroring a work_mem-style knob;
+//   - fault hooks: optional test-only interception points (FaultHooks)
+//     that deterministically inject allocation failures, forced spills,
+//     spill-I/O errors and mid-operator cancellations;
+//   - panic containment: Guard converts an operator or worker panic into a
+//     *QueryError carrying the operator path, so one poisoned tuple cannot
+//     take down the process.
+
+// QueryError is the error type every contained failure surfaces as: a
+// recovered panic, a cancellation observed inside an operator, an injected
+// fault, or a hard budget violation. Op is the operator path (for example
+// "join/probe" or "nestlink/sort/run"). It unwraps, so errors.Is sees
+// context.Canceled, context.DeadlineExceeded and injected sentinels.
+type QueryError struct {
+	Op  string
+	Err error
+}
+
+func (e *QueryError) Error() string { return fmt.Sprintf("exec: %s: %v", e.Op, e.Err) }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// ErrBudget reports that an operator needed memory above the budget in a
+// place that cannot spill (fixed per-operator state). It surfaces only in
+// pathological configurations; spillable state never returns it.
+var ErrBudget = errors.New("memory budget exceeded")
+
+// FaultHooks are the interception points the fault-injection harness
+// (internal/faultinject) installs. All fields are optional; a nil hook
+// costs one pointer check. Hooks may be called concurrently from pool
+// workers and must be safe for concurrent use.
+type FaultHooks struct {
+	// BeforeAlloc runs before each working-state reservation; returning an
+	// error simulates an allocation failure (surfaced as a *QueryError).
+	BeforeAlloc func(op string, bytes int64) error
+	// OnCheck runs at every operator checkpoint (Check); returning an
+	// error injects a failure at that point. It may also cancel the
+	// query's context to exercise mid-Next cancellation.
+	OnCheck func(op string) error
+	// ForceSpill forces the named operator to take its spill path even
+	// when the budget would fit (or is unbounded).
+	ForceSpill func(op string) bool
+	// SpillIO runs before each spill-file operation (create/write/read);
+	// returning an error injects a disk fault.
+	SpillIO func(op string) error
+}
+
+// Limits configures an ExecContext.
+type Limits struct {
+	// MemoryBudget bounds operator working state, in bytes; 0 = unbounded.
+	MemoryBudget int64
+	// Timeout aborts the query this long after NewExecContext; 0 = none.
+	Timeout time.Duration
+	// TempDir hosts spill files ("" = os.TempDir()). Each query creates
+	// one "nra-spill-*" directory under it, removed by Close.
+	TempDir string
+	// Hooks installs fault-injection interception points (tests only).
+	Hooks *FaultHooks
+}
+
+// Stats is a snapshot of an ExecContext's resource accounting.
+type Stats struct {
+	PeakBytes  int64 // high-water mark of reserved working state
+	Spills     int64 // spill events (chunked joins, external sort runs)
+	SpillBytes int64 // bytes written to spill files
+}
+
+// govState is the accounting shared by an ExecContext and every
+// cancellable view derived from it (WithCancel): one budget, one spill
+// ledger, one temp directory per query.
+type govState struct {
+	limits Limits
+
+	used, peak, spills, spillBytes atomic.Int64
+
+	tmpMu  sync.Mutex
+	tmpDir string
+}
+
+// ExecContext is the per-query execution context threaded through the
+// iterator contract and every physical operator. The zero value is not
+// usable; construct with NewExecContext or use Background.
+type ExecContext struct {
+	gov *govState
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    <-chan struct{}       // ctx.Done(), cached at construction
+	aborted atomic.Pointer[error] // cached ctx error, set by the first observer
+	once    sync.Once             // Close idempotence
+	root    bool                  // owns the temp dir (views do not)
+}
+
+// background is the shared ungoverned context: no budget, no deadline, no
+// hooks. Operators invoked through the compatibility wrappers run under it
+// with near-zero overhead (nil checks only).
+var background = &ExecContext{gov: &govState{}, ctx: context.Background()}
+
+// Background returns the shared ungoverned ExecContext. It must not be
+// Closed (Close on it is a no-op).
+func Background() *ExecContext { return background }
+
+// NewExecContext returns a context governed by the given limits. ctx may
+// be nil (context.Background()). Close must be called when the query
+// finishes — it cancels the context, stops internal goroutines and
+// removes the spill directory.
+func NewExecContext(ctx context.Context, limits Limits) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ec := &ExecContext{gov: &govState{limits: limits}, ctx: ctx, root: true}
+	if limits.Timeout > 0 {
+		ec.ctx, ec.cancel = context.WithTimeout(ec.ctx, limits.Timeout)
+	}
+	ec.done = ec.ctx.Done()
+	return ec
+}
+
+// WithCancel returns a cancellable view of ec sharing its budget, spill
+// ledger, hooks and temp directory. Cancelling the view aborts only work
+// running under it — the mechanism operator-scoped teardown (for example
+// ParallelJoinIter.Close) uses to stop its workers without aborting the
+// whole query. Close the view to release its context; the shared state
+// stays with the parent.
+func (ec *ExecContext) WithCancel() (*ExecContext, context.CancelFunc) {
+	child := &ExecContext{gov: ec.gov}
+	child.ctx, child.cancel = context.WithCancel(ec.ctx)
+	child.done = child.ctx.Done()
+	return child, child.cancel
+}
+
+// Close releases the context: it cancels outstanding work and (on the
+// root context) removes the query's spill directory — even after an
+// error or a cancellation, so no temp files outlive the query. Close is
+// idempotent.
+func (ec *ExecContext) Close() error {
+	if ec == background {
+		return nil
+	}
+	var err error
+	ec.once.Do(func() {
+		if ec.cancel != nil {
+			ec.cancel()
+		}
+		if ec.root {
+			ec.gov.tmpMu.Lock()
+			dir := ec.gov.tmpDir
+			ec.gov.tmpDir = ""
+			ec.gov.tmpMu.Unlock()
+			if dir != "" {
+				err = os.RemoveAll(dir)
+			}
+		}
+	})
+	return err
+}
+
+// Context returns the underlying context.Context.
+func (ec *ExecContext) Context() context.Context { return ec.ctx }
+
+// Governed reports whether the context imposes any governance — a budget,
+// possible cancellation, or fault hooks. Ungoverned contexts keep every
+// operator on its zero-overhead in-memory fast path.
+func (ec *ExecContext) Governed() bool {
+	return ec.gov.limits.MemoryBudget > 0 || ec.gov.limits.Hooks != nil || ec.ctx.Done() != nil
+}
+
+// Budget returns the memory budget in bytes (0 = unbounded).
+func (ec *ExecContext) Budget() int64 { return ec.gov.limits.MemoryBudget }
+
+// Err returns the cancellation error, if any, without wrapping. After
+// cancellation the error is cached in an atomic, so the steady state is
+// one load; before it, a non-blocking poll of the done channel makes
+// cancellation deterministic — a cancel that happened-before Err is
+// always observed, never deferred to a background goroutine.
+func (ec *ExecContext) Err() error {
+	if p := ec.aborted.Load(); p != nil {
+		return *p
+	}
+	if ec.done != nil {
+		select {
+		case <-ec.done:
+			err := ec.ctx.Err()
+			ec.aborted.Store(&err)
+			return err
+		default:
+		}
+	}
+	return nil
+}
+
+// Check is the operator checkpoint: it runs the OnCheck fault hook and
+// observes cancellation. Operators call it at loop boundaries; a non-nil
+// return must abort the operator. The error is a *QueryError wrapping the
+// cause, so the operator path survives to the caller.
+func (ec *ExecContext) Check(op string) error {
+	if h := ec.gov.limits.Hooks; h != nil && h.OnCheck != nil {
+		if err := h.OnCheck(op); err != nil {
+			return &QueryError{Op: op, Err: err}
+		}
+	}
+	if err := ec.Err(); err != nil {
+		return &QueryError{Op: op, Err: err}
+	}
+	return nil
+}
+
+// TryReserve reserves n bytes of working state for op. It returns
+// (false, nil) when the reservation would exceed the budget — the caller
+// should degrade to its spill path — and a non-nil error only for an
+// injected allocation failure. The caller must Release what it reserved.
+func (ec *ExecContext) TryReserve(op string, n int64) (bool, error) {
+	if h := ec.gov.limits.Hooks; h != nil && h.BeforeAlloc != nil {
+		if err := h.BeforeAlloc(op, n); err != nil {
+			return false, &QueryError{Op: op, Err: err}
+		}
+	}
+	g := ec.gov
+	if b := g.limits.MemoryBudget; b > 0 {
+		for {
+			cur := g.used.Load()
+			if cur+n > b {
+				return false, nil
+			}
+			if g.used.CompareAndSwap(cur, cur+n) {
+				break
+			}
+		}
+	} else {
+		g.used.Add(n)
+	}
+	for {
+		p, u := g.peak.Load(), g.used.Load()
+		if u <= p || g.peak.CompareAndSwap(p, u) {
+			break
+		}
+	}
+	return true, nil
+}
+
+// Reserve charges n bytes of fixed (non-spillable) per-operator state —
+// bitmaps, merge cursors. It runs the allocation hook and the accounting
+// but never fails on the budget itself, because this state has no disk
+// fallback; it only surfaces ErrBudget when n alone exceeds ten times the
+// whole budget (a configuration error, not memory pressure).
+func (ec *ExecContext) Reserve(op string, n int64) error {
+	if b := ec.gov.limits.MemoryBudget; b > 0 && n > 10*b {
+		return &QueryError{Op: op, Err: ErrBudget}
+	}
+	if h := ec.gov.limits.Hooks; h != nil && h.BeforeAlloc != nil {
+		if err := h.BeforeAlloc(op, n); err != nil {
+			return &QueryError{Op: op, Err: err}
+		}
+	}
+	g := ec.gov
+	g.used.Add(n)
+	for {
+		p, u := g.peak.Load(), g.used.Load()
+		if u <= p || g.peak.CompareAndSwap(p, u) {
+			break
+		}
+	}
+	return nil
+}
+
+// Release returns n reserved bytes.
+func (ec *ExecContext) Release(n int64) { ec.gov.used.Add(-n) }
+
+// ForceSpill reports whether the fault hooks force op onto its spill path.
+func (ec *ExecContext) ForceSpill(op string) bool {
+	h := ec.gov.limits.Hooks
+	return h != nil && h.ForceSpill != nil && h.ForceSpill(op)
+}
+
+// NoteSpill records one spill event of the given size.
+func (ec *ExecContext) NoteSpill(bytes int64) {
+	ec.gov.spills.Add(1)
+	ec.gov.spillBytes.Add(bytes)
+}
+
+// Stats snapshots the resource accounting.
+func (ec *ExecContext) Stats() Stats {
+	return Stats{
+		PeakBytes:  ec.gov.peak.Load(),
+		Spills:     ec.gov.spills.Load(),
+		SpillBytes: ec.gov.spillBytes.Load(),
+	}
+}
+
+// spillChunkBytes is the working-state bound per spill chunk (one join
+// build chunk, one external-sort run): half the budget, so the chunk and
+// its bookkeeping fit together, or a fixed default under forced spills
+// with no budget.
+func (ec *ExecContext) spillChunkBytes() int64 {
+	if b := ec.gov.limits.MemoryBudget; b > 0 {
+		if half := b / 2; half > 0 {
+			return half
+		}
+		return 1
+	}
+	return 1 << 20
+}
+
+// tempFile creates a spill file for op under the query's spill directory,
+// creating the directory on first use. The SpillIO hook runs first.
+func (ec *ExecContext) tempFile(op string) (*os.File, error) {
+	if h := ec.gov.limits.Hooks; h != nil && h.SpillIO != nil {
+		if err := h.SpillIO(op); err != nil {
+			return nil, &QueryError{Op: op, Err: err}
+		}
+	}
+	g := ec.gov
+	g.tmpMu.Lock()
+	defer g.tmpMu.Unlock()
+	if g.tmpDir == "" {
+		dir, err := os.MkdirTemp(g.limits.TempDir, "nra-spill-")
+		if err != nil {
+			return nil, &QueryError{Op: op, Err: err}
+		}
+		g.tmpDir = dir
+	}
+	f, err := os.CreateTemp(g.tmpDir, "chunk-*")
+	if err != nil {
+		return nil, &QueryError{Op: op, Err: err}
+	}
+	return f, nil
+}
+
+// spillIO runs the spill-I/O fault hook for op (no-op without hooks).
+func (ec *ExecContext) spillIO(op string) error {
+	if h := ec.gov.limits.Hooks; h != nil && h.SpillIO != nil {
+		if err := h.SpillIO(op); err != nil {
+			return &QueryError{Op: op, Err: err}
+		}
+	}
+	return nil
+}
+
+// Guard converts a panic in the enclosing function into a *QueryError
+// carrying the operator path. Use as
+//
+//	defer exec.Guard("join/probe", &err)
+//
+// in every operator entry point and pool worker.
+func Guard(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &QueryError{Op: op, Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+	}
+}
+
+// valueBytes is the accounted footprint of one atomic value: the Value
+// struct (kind + int64 + float64 + string header) plus string payload.
+func valueBytes(v value.Value) int64 {
+	n := int64(40)
+	if v.Kind() == value.KindString {
+		n += int64(len(v.Text()))
+	}
+	return n
+}
+
+// TupleBytes is the accounted deep footprint of a tuple: two slice
+// headers, each atom, and nested groups recursively. It deliberately
+// over-counts shared backing arrays — the model charges an operator for
+// every tuple its working state *covers*, which keeps accounting simple,
+// deterministic and conservative.
+func TupleBytes(t relation.Tuple) int64 {
+	n := int64(48)
+	for _, v := range t.Atoms {
+		n += valueBytes(v)
+	}
+	for _, g := range t.Groups {
+		n += 8
+		if g != nil {
+			n += 56 // Relation + schema pointer
+			for _, gt := range g.Tuples {
+				n += TupleBytes(gt)
+			}
+		}
+	}
+	return n
+}
+
+// tuplesBytes sums TupleBytes over a slice.
+func tuplesBytes(ts []relation.Tuple) int64 {
+	var n int64
+	for _, t := range ts {
+		n += TupleBytes(t)
+	}
+	return n
+}

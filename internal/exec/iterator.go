@@ -9,21 +9,35 @@ import (
 )
 
 // Iterator is the classical volcano interface: Open prepares the
-// operator, Next produces one tuple at a time (ok=false at end of
-// stream), Close releases state. Operators compose into pipelines that
-// never materialise intermediate results — the execution style §4.2.2's
-// pipelining argument assumes.
+// operator under a per-query ExecContext (which carries cancellation,
+// the memory budget and fault hooks down the tree), Next produces one
+// tuple at a time (ok=false at end of stream), Close releases state.
+// Operators compose into pipelines that never materialise intermediate
+// results — the execution style §4.2.2's pipelining argument assumes.
+//
+// Contract points every implementation honours:
+//   - Open(ec) passes ec to its inputs' Open and retains it for the
+//     operator's own checkpoints; cancellation is observed at operator
+//     boundaries (between tuples or morsels), never only at end of
+//     stream.
+//   - Close is idempotent, safe before the first Next (even before
+//     Open), and closes *all* inputs exactly once — an input may own
+//     resources (goroutines, spill files) beyond its tuple stream.
+//   - After an error or cancellation, Close still releases everything;
+//     no goroutine or temp file outlives the query's ExecContext.
 type Iterator interface {
-	Open() error
+	Open(ec *ExecContext) error
 	Next() (relation.Tuple, bool, error)
 	Close() error
 	// Schema describes the produced tuples.
 	Schema() *relation.Schema
 }
 
-// Drain runs an iterator to completion and materialises its output.
-func Drain(it Iterator) (*relation.Relation, error) {
-	if err := it.Open(); err != nil {
+// Drain runs an iterator to completion under ec and materialises its
+// output.
+func Drain(ec *ExecContext, it Iterator) (*relation.Relation, error) {
+	if err := it.Open(ec); err != nil {
+		it.Close()
 		return nil, err
 	}
 	defer it.Close()
@@ -44,15 +58,21 @@ func Drain(it Iterator) (*relation.Relation, error) {
 type Scan struct {
 	Rel *relation.Relation
 	pos int
+	ec  *ExecContext
 }
 
 // NewScan returns a scan over rel.
 func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
 
-func (s *Scan) Open() error              { s.pos = 0; return nil }
-func (s *Scan) Close() error             { return nil }
-func (s *Scan) Schema() *relation.Schema { return s.Rel.Schema }
+func (s *Scan) Open(ec *ExecContext) error { s.pos, s.ec = 0, ec; return nil }
+func (s *Scan) Close() error               { return nil }
+func (s *Scan) Schema() *relation.Schema   { return s.Rel.Schema }
 func (s *Scan) Next() (relation.Tuple, bool, error) {
+	if s.pos&255 == 0 {
+		if err := s.ec.Check("scan"); err != nil {
+			return relation.Tuple{}, false, err
+		}
+	}
 	if s.pos >= s.Rel.Len() {
 		return relation.Tuple{}, false, nil
 	}
@@ -73,8 +93,8 @@ type Filter struct {
 // NewFilter wraps in with predicate pred (nil = pass-through).
 func NewFilter(in Iterator, pred expr.Expr) *Filter { return &Filter{In: in, Pred: pred} }
 
-func (f *Filter) Open() error {
-	if err := f.In.Open(); err != nil {
+func (f *Filter) Open(ec *ExecContext) error {
+	if err := f.In.Open(ec); err != nil {
 		return err
 	}
 	if f.Pred == nil {
@@ -121,8 +141,8 @@ type Project struct {
 // NewProject projects in onto cols.
 func NewProject(in Iterator, cols []string) *Project { return &Project{In: in, Cols: cols} }
 
-func (p *Project) Open() error {
-	if err := p.In.Open(); err != nil {
+func (p *Project) Open(ec *ExecContext) error {
+	if err := p.In.Open(ec); err != nil {
 		return err
 	}
 	in := p.In.Schema()
@@ -164,9 +184,9 @@ type Limit struct {
 // NewLimit wraps in with a LIMIT/OFFSET window.
 func NewLimit(in Iterator, n, offset int) *Limit { return &Limit{In: in, N: n, Offset: offset} }
 
-func (l *Limit) Open() error {
+func (l *Limit) Open(ec *ExecContext) error {
 	l.emitted, l.skipped = 0, 0
-	return l.In.Open()
+	return l.In.Open(ec)
 }
 func (l *Limit) Close() error             { return l.In.Close() }
 func (l *Limit) Schema() *relation.Schema { return l.In.Schema() }
@@ -191,17 +211,29 @@ func (l *Limit) Next() (relation.Tuple, bool, error) {
 // HashJoin streams the probe (left) side against a hash table built over
 // the build (right) side on Open — an inner or left-outer equi-join with
 // optional residual predicate, matching algebra.Join/LeftOuterJoin.
+//
+// Under a memory budget, a build side whose tracked footprint exceeds
+// the remaining budget degrades to the grace-style chunked join
+// (joinSpill): the probe side is materialised, the build side processed
+// one budget-sized chunk at a time through spill files, and the merged
+// result — byte-identical to the in-memory join — is streamed from Next.
 type HashJoin struct {
 	Left, Right Iterator
 	On          expr.Expr
 	Outer       bool
 
+	ec       *ExecContext
 	schema   *relation.Schema
 	build    *relation.Relation
 	table    map[string][]int
 	lk, rk   []int
 	residual *expr.Compiled
 	pad      relation.Tuple
+	reserved int64 // build-side bytes charged against the budget
+	closed   bool
+
+	spilled  *relation.Relation // non-nil: stream this instead of probing
+	spillPos int
 
 	cur     relation.Tuple // current probe tuple
 	matches []int
@@ -210,6 +242,7 @@ type HashJoin struct {
 	have    bool
 	loopPos int // nested-loop fallback position
 	useLoop bool
+	steps   int
 }
 
 // NewHashJoin joins left ⋈/⟕ right on the given condition.
@@ -219,14 +252,18 @@ func NewHashJoin(left, right Iterator, on expr.Expr, outer bool) *HashJoin {
 
 func (h *HashJoin) Schema() *relation.Schema { return h.schema }
 
-func (h *HashJoin) Open() error {
-	if err := h.Left.Open(); err != nil {
+func (h *HashJoin) Open(ec *ExecContext) (err error) {
+	defer Guard("hashjoin/open", &err)
+	h.ec = ec
+	h.spilled, h.spillPos, h.reserved, h.steps = nil, 0, 0, 0
+	h.closed = false
+	if err := h.Left.Open(ec); err != nil {
 		return err
 	}
 	// Materialise the build side without closing it: Close releases both
 	// inputs, per the iterator contract (an input may own resources —
 	// goroutines, partitions — beyond its tuple stream).
-	if err := h.Right.Open(); err != nil {
+	if err := h.Right.Open(ec); err != nil {
 		return err
 	}
 	h.build = relation.New(h.Right.Schema())
@@ -261,6 +298,50 @@ func (h *HashJoin) Open() error {
 		}
 		h.residual = c
 	}
+
+	// Budget the build side (tuples + hash table). When it does not fit —
+	// or a fault hook forces the slow path — degrade to the chunked
+	// spill join instead of building the full table.
+	if ec.Governed() {
+		bytes := tuplesBytes(h.build.Tuples)
+		spill := ec.ForceSpill("hashjoin")
+		if !spill {
+			ok, err := ec.TryReserve("hashjoin", bytes)
+			if err != nil {
+				return err
+			}
+			if ok {
+				h.reserved = bytes
+			} else {
+				spill = true
+			}
+		}
+		if spill {
+			probe := relation.New(ls)
+			for {
+				if probe.Len()&255 == 0 {
+					if err := ec.Check("hashjoin/probe"); err != nil {
+						return err
+					}
+				}
+				t, ok, err := h.Left.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				probe.Append(t)
+			}
+			out, err := joinSpill(ec, "hashjoin", probe, h.build, h.lk, h.rk, h.residual, h.schema, h.Outer)
+			if err != nil {
+				return err
+			}
+			h.spilled = out
+			return nil
+		}
+	}
+
 	h.useLoop = len(h.lk) == 0
 	if !h.useLoop {
 		h.table = make(map[string][]int, h.build.Len())
@@ -280,10 +361,20 @@ func (h *HashJoin) Open() error {
 	return nil
 }
 
-// Close releases both inputs. The right side is closed here (not when its
-// stream is drained in Open), so inputs that own state past end-of-stream
-// are released exactly once, whether or not Open succeeded in between.
+// Close releases both inputs and the budget reservation. The right side
+// is closed here (not when its stream is drained in Open), so inputs that
+// own state past end-of-stream are released exactly once, whether or not
+// Open succeeded in between. Close is idempotent and safe before Open or
+// the first Next.
 func (h *HashJoin) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if h.reserved > 0 {
+		h.ec.Release(h.reserved)
+		h.reserved = 0
+	}
 	err := h.Left.Close()
 	if rerr := h.Right.Close(); err == nil {
 		err = rerr
@@ -291,8 +382,23 @@ func (h *HashJoin) Close() error {
 	return err
 }
 
-func (h *HashJoin) Next() (relation.Tuple, bool, error) {
+func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
+	defer Guard("hashjoin/next", &err)
+	if h.spilled != nil {
+		if h.spillPos >= h.spilled.Len() {
+			return relation.Tuple{}, false, nil
+		}
+		t := h.spilled.Tuples[h.spillPos]
+		h.spillPos++
+		return t, true, nil
+	}
 	for {
+		h.steps++
+		if h.steps&255 == 0 {
+			if err := h.ec.Check("hashjoin/next"); err != nil {
+				return relation.Tuple{}, false, err
+			}
+		}
 		if !h.have {
 			t, ok, err := h.Left.Next()
 			if err != nil || !ok {

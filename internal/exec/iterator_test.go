@@ -33,7 +33,7 @@ func TestScanFilterProjectPipeline(t *testing.T) {
 	rel := relation.MustFromRows("t", []string{"t.a", "t.b"},
 		[]any{1, 10}, []any{2, nil}, []any{3, 30}, []any{4, 5})
 	pred := expr.Compare(expr.Gt, expr.Col("t.b"), expr.Val(7))
-	out, err := Drain(NewProject(NewFilter(NewScan(rel), pred), []string{"t.a"}))
+	out, err := Drain(Background(), NewProject(NewFilter(NewScan(rel), pred), []string{"t.a"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,15 +52,15 @@ func TestScanFilterProjectPipeline(t *testing.T) {
 
 func TestIteratorErrors(t *testing.T) {
 	rel := relation.MustFromRows("t", []string{"t.a"}, []any{1})
-	if _, err := Drain(NewFilter(NewScan(rel), expr.Col("nope"))); err == nil {
+	if _, err := Drain(Background(), NewFilter(NewScan(rel), expr.Col("nope"))); err == nil {
 		t.Fatal("unknown filter column must error at Open")
 	}
-	if _, err := Drain(NewProject(NewScan(rel), []string{"nope"})); err == nil {
+	if _, err := Drain(Background(), NewProject(NewScan(rel), []string{"nope"})); err == nil {
 		t.Fatal("unknown projection column must error at Open")
 	}
 	// Runtime type error surfaces from Next.
 	rel2 := relation.MustFromRows("t", []string{"t.a", "t.s"}, []any{1, "x"})
-	if _, err := Drain(NewFilter(NewScan(rel2), expr.Compare(expr.Eq, expr.Col("t.a"), expr.Col("t.s")))); err == nil {
+	if _, err := Drain(Background(), NewFilter(NewScan(rel2), expr.Compare(expr.Eq, expr.Col("t.a"), expr.Col("t.s")))); err == nil {
 		t.Fatal("type mismatch must error")
 	}
 }
@@ -68,22 +68,22 @@ func TestIteratorErrors(t *testing.T) {
 func TestLimitIterator(t *testing.T) {
 	rel := relation.MustFromRows("t", []string{"t.a"},
 		[]any{1}, []any{2}, []any{3}, []any{4}, []any{5})
-	out, err := Drain(NewLimit(NewScan(rel), 2, 1))
+	out, err := Drain(Background(), NewLimit(NewScan(rel), 2, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 2 || out.Tuples[0].Atoms[0].Int64() != 2 || out.Tuples[1].Atoms[0].Int64() != 3 {
 		t.Fatalf("limit window:\n%s", out)
 	}
-	all, _ := Drain(NewLimit(NewScan(rel), -1, 0))
+	all, _ := Drain(Background(), NewLimit(NewScan(rel), -1, 0))
 	if all.Len() != 5 {
 		t.Fatal("unlimited must pass everything")
 	}
-	none, _ := Drain(NewLimit(NewScan(rel), 0, 0))
+	none, _ := Drain(Background(), NewLimit(NewScan(rel), 0, 0))
 	if none.Len() != 0 {
 		t.Fatal("limit 0")
 	}
-	past, _ := Drain(NewLimit(NewScan(rel), 3, 99))
+	past, _ := Drain(Background(), NewLimit(NewScan(rel), 3, 99))
 	if past.Len() != 0 {
 		t.Fatal("offset past end")
 	}
@@ -110,7 +110,7 @@ func TestHashJoinIteratorMatchesAlgebra(t *testing.T) {
 		outer := rng.Intn(2) == 0
 
 		it := NewHashJoin(NewScan(l), NewScan(r), cond, outer)
-		got, err := Drain(it)
+		got, err := Drain(Background(), it)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -134,11 +134,11 @@ func TestHashJoinReopen(t *testing.T) {
 	l := relation.MustFromRows("l", []string{"l.a"}, []any{1}, []any{2})
 	r := relation.MustFromRows("r", []string{"r.a"}, []any{1}, []any{2}, []any{2})
 	it := NewHashJoin(NewScan(l), NewScan(r), expr.Compare(expr.Eq, expr.Col("l.a"), expr.Col("r.a")), false)
-	first, err := Drain(it)
+	first, err := Drain(Background(), it)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := Drain(it) // Drain re-Opens
+	second, err := Drain(Background(), it) // Drain re-Opens
 	if err != nil {
 		t.Fatal(err)
 	}

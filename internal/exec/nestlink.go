@@ -105,14 +105,21 @@ func (s *quantState) verdict(spec *LinkSpec, attr value.Value) (value.Tri, error
 // primary keys of the outer levels — cheaper than comparing all by-cols,
 // and equivalent because keys determine their tuples). by lists the output
 // columns; pad ("" = strict mode) lists columns NULLed on failure.
-func NestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string) (*relation.Relation, error) {
+//
+// The pre-nest sort is the operator's working state: under a memory
+// budget that the sorted copy exceeds, it degrades to the external merge
+// sort (spillSortBy), preserving the exact stable order.
+func NestLink(ec *ExecContext, rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string) (res *relation.Relation, err error) {
+	defer Guard("nestlink", &err)
 	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
 	if err != nil {
 		return nil, err
 	}
-	sorted := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
-	sorted.SortBy(keyCols...)
-	return plan.scan(sorted.Tuples)
+	sorted, _, err := spillSortBy(ec, "nestlink/sort", rel.Tuples, plan.keyIdx, rel.Schema, 1)
+	if err != nil {
+		return nil, err
+	}
+	return plan.scan(ec, sorted)
 }
 
 // nestLinkPlan is the resolved column machinery of one fused nest +
@@ -161,8 +168,9 @@ func prepareNestLink(schema *relation.Schema, keyCols, by []string, spec *LinkSp
 
 // scan runs the fused single-pass nest + linking selection over tuples,
 // which must be sorted by the group key and must contain only whole
-// groups (a group never spans two scans).
-func (pl *nestLinkPlan) scan(tuples []relation.Tuple) (*relation.Relation, error) {
+// groups (a group never spans two scans). Cancellation of ec is observed
+// every few hundred tuples.
+func (pl *nestLinkPlan) scan(ec *ExecContext, tuples []relation.Tuple) (*relation.Relation, error) {
 	spec := pl.spec
 	out := relation.New(pl.outSchema)
 	var (
@@ -194,7 +202,12 @@ func (pl *nestLinkPlan) scan(tuples []relation.Tuple) (*relation.Relation, error
 		return nil
 	}
 
-	for _, t := range tuples {
+	for n, t := range tuples {
+		if n&255 == 0 {
+			if err := ec.Check("nestlink/scan"); err != nil {
+				return nil, err
+			}
+		}
 		k := t.KeyOn(pl.keyIdx)
 		if !started || k != lastKey {
 			if started {
@@ -273,15 +286,19 @@ type ChainLevel struct {
 //
 // Only the sort physically reorders tuples; all higher-level nests are
 // conceptual (a higher level groups by a prefix of the lower level's
-// sort key), exactly the observation of §4.2.1.
-func NestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string) (*relation.Relation, error) {
+// sort key), exactly the observation of §4.2.1. As in NestLink, the sort
+// degrades to an external merge under memory pressure.
+func NestLinkChain(ec *ExecContext, rel *relation.Relation, levels []ChainLevel, outBy []string) (res *relation.Relation, err error) {
+	defer Guard("nestlinkchain", &err)
 	plan, err := prepareChain(rel.Schema, levels, outBy)
 	if err != nil {
 		return nil, err
 	}
-	sorted := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
-	sorted.SortBy(plan.sortCols...)
-	return plan.scan(sorted.Tuples)
+	sorted, _, err := spillSortBy(ec, "nestlink/sort", rel.Tuples, plan.sortIdx, rel.Schema, 1)
+	if err != nil {
+		return nil, err
+	}
+	return plan.scan(ec, sorted)
 }
 
 // chainPlan is the resolved column machinery of a fully fused nest chain,
@@ -327,8 +344,9 @@ func prepareChain(schema *relation.Schema, levels []ChainLevel, outBy []string) 
 
 // scan evaluates the whole chain over tuples, which must be sorted by the
 // concatenated level keys and must contain only whole outermost-level
-// groups (a level-0 group never spans two scans).
-func (cp *chainPlan) scan(tuples []relation.Tuple) (*relation.Relation, error) {
+// groups (a level-0 group never spans two scans). Cancellation of ec is
+// observed every few hundred tuples.
+func (cp *chainPlan) scan(ec *ExecContext, tuples []relation.Tuple) (*relation.Relation, error) {
 	levels, outIdx := cp.levels, cp.outIdx
 	out := relation.New(cp.outSchema)
 
@@ -369,7 +387,12 @@ func (cp *chainPlan) scan(tuples []relation.Tuple) (*relation.Relation, error) {
 		return states[i-1].addMember(up, linkAttr(up, reps[i]), linkedVal(up, reps[i]))
 	}
 
-	for _, t := range tuples {
+	for pos, t := range tuples {
+		if pos&255 == 0 {
+			if err := ec.Check("nestlinkchain/scan"); err != nil {
+				return nil, err
+			}
+		}
 		// Find the outermost level whose key changed.
 		changed := n
 		if !started {

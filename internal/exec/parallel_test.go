@@ -15,7 +15,7 @@ import (
 func TestPoolRun(t *testing.T) {
 	pool := NewPool(4)
 	var sum atomic.Int64
-	if err := pool.Run(8, 1000, func(i int) error {
+	if err := pool.Run(Background(), 8, 1000, func(i int) error {
 		sum.Add(int64(i))
 		return nil
 	}); err != nil {
@@ -26,7 +26,7 @@ func TestPoolRun(t *testing.T) {
 	}
 
 	boom := fmt.Errorf("boom")
-	err := pool.Run(4, 100, func(i int) error {
+	err := pool.Run(Background(), 4, 100, func(i int) error {
 		if i == 37 {
 			return boom
 		}
@@ -37,11 +37,11 @@ func TestPoolRun(t *testing.T) {
 	}
 
 	// n = 0 and par > n are fine.
-	if err := pool.Run(8, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+	if err := pool.Run(Background(), 8, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	ran := 0
-	if err := pool.Run(64, 1, func(int) error { ran++; return nil }); err != nil || ran != 1 {
+	if err := pool.Run(Background(), 64, 1, func(int) error { ran++; return nil }); err != nil || ran != 1 {
 		t.Fatalf("ran=%d err=%v", ran, err)
 	}
 }
@@ -86,7 +86,10 @@ func TestParallelSortByMatchesSerial(t *testing.T) {
 		serial := &relation.Relation{Schema: rel.Schema, Tuples: append([]relation.Tuple(nil), rel.Tuples...)}
 		serial.SortBy("a", "b")
 		for _, p := range []int{1, 2, 3, 4, 8} {
-			got := parallelSortBy(rel.Tuples, idx, p)
+			got, err := parallelSortBy(Background(), rel.Tuples, idx, p)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: %v", n, p, err)
+			}
 			mustEqualSeq(t, fmt.Sprintf("n=%d p=%d", n, p),
 				&relation.Relation{Schema: rel.Schema, Tuples: got}, serial)
 		}
@@ -97,7 +100,10 @@ func TestGroupAlignedBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	rel := randomRel("r", []string{"k", "v"}, 1000, rng, 0.2, 7)
 	idx := []int{0}
-	sorted := parallelSortBy(rel.Tuples, idx, 4)
+	sorted, err := parallelSortBy(Background(), rel.Tuples, idx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []int{1, 2, 3, 7, 16} {
 		bounds := groupAlignedBounds(sorted, idx, p)
 		if bounds[0] != 0 || bounds[len(bounds)-1] != len(sorted) {
@@ -149,7 +155,7 @@ func TestParallelJoinMatchesSerial(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range []int{1, 2, 4, 8} {
-			got, err := ParallelJoin(l, r, tc.on, tc.outer, p)
+			got, err := ParallelJoin(Background(), l, r, tc.on, tc.outer, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", tc.name, p, err)
 			}
@@ -175,7 +181,7 @@ func TestParallelJoinNestedGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []int{2, 4, 8} {
-		got, err := ParallelJoin(l, nested, on, true, p)
+		got, err := ParallelJoin(Background(), l, nested, on, true, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,12 +247,12 @@ func TestParallelNestLinkMatchesSerial(t *testing.T) {
 			spec.LinkedIdx = -1
 		}
 		for _, pad := range [][]string{nil, {"A"}} {
-			want, err := NestLink(rel, []string{"k"}, []string{"k", "A"}, spec, pad)
+			want, err := NestLink(Background(), rel, []string{"k"}, []string{"k", "A"}, spec, pad)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, p := range []int{2, 4, 8} {
-				got, err := ParallelNestLink(rel, []string{"k"}, []string{"k", "A"}, spec, pad, p)
+				got, err := ParallelNestLink(Background(), rel, []string{"k"}, []string{"k", "A"}, spec, pad, p)
 				if err != nil {
 					t.Fatalf("%s p=%d: %v", name, p, err)
 				}
@@ -321,12 +327,12 @@ func TestParallelNestLinkChainMatchesSerial(t *testing.T) {
 				{KeyCols: []string{"k1"}, Spec: c.l2},
 			}
 		}
-		want, err := NestLinkChain(rel, mk(), []string{"k0", "a0"})
+		want, err := NestLinkChain(Background(), rel, mk(), []string{"k0", "a0"})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range []int{2, 4, 8} {
-			got, err := ParallelNestLinkChain(rel, mk(), []string{"k0", "a0"}, p)
+			got, err := ParallelNestLinkChain(Background(), rel, mk(), []string{"k0", "a0"}, p)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", c.name, p, err)
 			}
@@ -343,7 +349,7 @@ func TestHashJoinClosesBothInputs(t *testing.T) {
 	lc := &closeCounter{Iterator: NewScan(l)}
 	rc := &closeCounter{Iterator: NewScan(r)}
 	h := NewHashJoin(lc, rc, expr.Compare(expr.Eq, expr.Col("a"), expr.Col("b")), false)
-	out, err := Drain(h)
+	out, err := Drain(Background(), h)
 	if err != nil {
 		t.Fatal(err)
 	}

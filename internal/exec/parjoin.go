@@ -28,16 +28,25 @@ import (
 //     partitioning preserves per key).
 //
 // A condition with no equality conjunct falls back to a chunked
-// nested-loop join; par ≤ 1 delegates to the serial operators.
-func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*relation.Relation, error) {
+// nested-loop join; par ≤ 1 under an ungoverned context delegates to the
+// serial operators. Under a governed context the partitioned machinery
+// always runs (it is byte-identical at any degree, including 1), because
+// it is the path that observes cancellation between tuples and degrades
+// to the chunked spill join (joinSpill) when the build side's tracked
+// footprint exceeds the memory budget.
+func ParallelJoin(ec *ExecContext, l, r *relation.Relation, on expr.Expr, outer bool, par int) (res *relation.Relation, err error) {
+	defer Guard("join", &err)
 	if par > l.Len() {
 		par = l.Len()
 	}
-	if par <= 1 {
+	if par <= 1 && !ec.Governed() {
 		if outer {
 			return algebra.LeftOuterJoin(l, r, on)
 		}
 		return algebra.Join(l, r, on)
+	}
+	if par < 1 {
+		par = 1
 	}
 	schema, err := parJoinSchema(l.Schema, r.Schema)
 	if err != nil {
@@ -51,6 +60,28 @@ func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*
 			return nil, fmt.Errorf("parallel join: %w", err)
 		}
 	}
+
+	// Budget the build side; degrade to the chunked spill join when it
+	// does not fit (or a fault hook forces the slow path). The spill join
+	// is serial: its working state is one build chunk, which is the point.
+	if ec.Governed() {
+		bytes := tuplesBytes(r.Tuples)
+		spill := ec.ForceSpill("join")
+		if !spill {
+			ok, err := ec.TryReserve("join", bytes)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				defer ec.Release(bytes)
+			} else {
+				spill = true
+			}
+		}
+		if spill {
+			return joinSpill(ec, "join", l, r, lk, rk, check, schema, outer)
+		}
+	}
 	pad := nullNested(r.Schema)
 
 	// Per-chunk probe state; chunk outputs are concatenated in order.
@@ -59,7 +90,12 @@ func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*
 	probeChunk := func(w int, probe func(lt relation.Tuple, emit func(rt relation.Tuple) (bool, error)) error) error {
 		out := relation.New(schema)
 		outs[w] = out
-		for _, lt := range l.Tuples[bounds[w]:bounds[w+1]] {
+		for n, lt := range l.Tuples[bounds[w]:bounds[w+1]] {
+			if n&255 == 0 {
+				if err := ec.Check("join/probe"); err != nil {
+					return err
+				}
+			}
 			matched := false
 			emit := func(rt relation.Tuple) (bool, error) {
 				joined := concatNested(lt, rt)
@@ -91,7 +127,7 @@ func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*
 
 	if len(lk) == 0 {
 		// Nested-loop fallback (non-equi or cross join): chunk the left side.
-		err = Run(par, len(outs), func(w int) error {
+		err = Run(ec, par, len(outs), func(w int) error {
 			return probeChunk(w, func(lt relation.Tuple, emit func(relation.Tuple) (bool, error)) error {
 				for _, rt := range r.Tuples {
 					if _, err := emit(rt); err != nil {
@@ -110,7 +146,7 @@ func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*
 	// Build phase: par partition tables over the right side, concurrently.
 	parts := algebra.HashPartition(r, rk, par)
 	tables := make([]map[string][]int, par)
-	err = Run(par, par, func(w int) error {
+	err = Run(ec, par, par, func(w int) error {
 		table := make(map[string][]int, len(parts[w]))
 	rows:
 		for _, ri := range parts[w] {
@@ -132,7 +168,7 @@ func ParallelJoin(l, r *relation.Relation, on expr.Expr, outer bool, par int) (*
 
 	// Probe phase: contiguous left chunks, each probing the partition its
 	// key belongs to.
-	err = Run(par, len(outs), func(w int) error {
+	err = Run(ec, par, len(outs), func(w int) error {
 		return probeChunk(w, func(lt relation.Tuple, emit func(relation.Tuple) (bool, error)) error {
 			for _, k := range lk {
 				if lt.Atoms[k].IsNull() {

@@ -1,0 +1,129 @@
+package exec
+
+import (
+	"context"
+	"sync"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+)
+
+// ParallelJoinIter adapts the partitioned-parallel join to the volcano
+// contract: Open materialises both inputs and launches the join on a
+// background producer under a cancellable child of the query's
+// ExecContext; Next streams the finished result.
+//
+// Its Close implements the shutdown semantics the pool alone cannot: an
+// early Close — before the first Next, or mid-stream — cancels the child
+// context (workers stop claiming morsels at the next boundary) and then
+// *waits for every in-flight chunk to drain* before closing the inputs
+// and returning, so no worker goroutine outlives the operator and no
+// worker still touches operator state after Close returns. Close is
+// idempotent and safe before Open.
+type ParallelJoinIter struct {
+	Left, Right Iterator
+	On          expr.Expr
+	Outer       bool
+	Par         int
+
+	child  *ExecContext
+	cancel context.CancelFunc
+	schema *relation.Schema
+	wg     sync.WaitGroup
+	resCh  chan parJoinResult
+	out    *relation.Relation
+	err    error
+	got    bool
+	pos    int
+	closed bool
+}
+
+type parJoinResult struct {
+	out *relation.Relation
+	err error
+}
+
+// NewParallelJoinIter joins left ⋈/⟕ right with par-way parallelism.
+func NewParallelJoinIter(left, right Iterator, on expr.Expr, outer bool, par int) *ParallelJoinIter {
+	return &ParallelJoinIter{Left: left, Right: right, On: on, Outer: outer, Par: par}
+}
+
+func (p *ParallelJoinIter) Schema() *relation.Schema { return p.schema }
+
+func (p *ParallelJoinIter) Open(ec *ExecContext) (err error) {
+	defer Guard("parjoin/open", &err)
+	p.closed = false
+	if err := p.Left.Open(ec); err != nil {
+		return err
+	}
+	if err := p.Right.Open(ec); err != nil {
+		return err
+	}
+	drain := func(it Iterator) (*relation.Relation, error) {
+		out := relation.New(it.Schema())
+		for {
+			t, ok, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return out, nil
+			}
+			out.Append(t)
+		}
+	}
+	l, err := drain(p.Left)
+	if err != nil {
+		return err
+	}
+	r, err := drain(p.Right)
+	if err != nil {
+		return err
+	}
+	if p.schema, err = parJoinSchema(l.Schema, r.Schema); err != nil {
+		return err
+	}
+	p.child, p.cancel = ec.WithCancel()
+	p.resCh = make(chan parJoinResult, 1)
+	p.out, p.err, p.got, p.pos = nil, nil, false, 0
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		out, err := ParallelJoin(p.child, l, r, p.On, p.Outer, p.Par)
+		p.resCh <- parJoinResult{out, err}
+	}()
+	return nil
+}
+
+func (p *ParallelJoinIter) Next() (relation.Tuple, bool, error) {
+	if !p.got {
+		res := <-p.resCh
+		p.out, p.err, p.got = res.out, res.err, true
+	}
+	if p.err != nil {
+		return relation.Tuple{}, false, p.err
+	}
+	if p.pos >= p.out.Len() {
+		return relation.Tuple{}, false, nil
+	}
+	t := p.out.Tuples[p.pos]
+	p.pos++
+	return t, true, nil
+}
+
+func (p *ParallelJoinIter) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.cancel != nil {
+		p.cancel()      // stop claiming new morsels
+		p.wg.Wait()     // drain in-flight chunks
+		p.child.Close() // release the child watcher
+	}
+	err := p.Left.Close()
+	if rerr := p.Right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -18,19 +18,23 @@ import (
 // sorted input is split at group boundaries (a group never spans two
 // ranges), each range runs the fused single-pass scan independently, and
 // the per-range outputs are concatenated in key order.
-func ParallelNestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string, par int) (*relation.Relation, error) {
+func ParallelNestLink(ec *ExecContext, rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string, par int) (res *relation.Relation, err error) {
+	defer Guard("nestlink", &err)
 	if par <= 1 || !spec.Pred.PartitionSafe() {
-		return NestLink(rel, keyCols, by, spec, pad)
+		return NestLink(ec, rel, keyCols, by, spec, pad)
 	}
 	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
 	if err != nil {
 		return nil, err
 	}
-	sorted := parallelSortBy(rel.Tuples, plan.keyIdx, par)
+	sorted, _, err := spillSortBy(ec, "nestlink/sort", rel.Tuples, plan.keyIdx, rel.Schema, par)
+	if err != nil {
+		return nil, err
+	}
 	bounds := groupAlignedBounds(sorted, plan.keyIdx, par)
 	outs := make([]*relation.Relation, len(bounds)-1)
-	err = Run(par, len(outs), func(w int) error {
-		out, err := plan.scan(sorted[bounds[w]:bounds[w+1]])
+	err = Run(ec, par, len(outs), func(w int) error {
+		out, err := plan.scan(ec, sorted[bounds[w]:bounds[w+1]])
 		if err != nil {
 			return err
 		}
@@ -48,7 +52,8 @@ func ParallelNestLink(rel *relation.Relation, keyCols, by []string, spec *LinkSp
 // concurrent chain scans over ranges aligned on the outermost level's
 // group boundaries (inner levels group by refinements of the outer key,
 // so an outermost-group range contains every inner group whole).
-func ParallelNestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []string, par int) (*relation.Relation, error) {
+func ParallelNestLinkChain(ec *ExecContext, rel *relation.Relation, levels []ChainLevel, outBy []string, par int) (res *relation.Relation, err error) {
+	defer Guard("nestlinkchain", &err)
 	safe := true
 	for i := range levels {
 		if !levels[i].Spec.Pred.PartitionSafe() {
@@ -57,17 +62,20 @@ func ParallelNestLinkChain(rel *relation.Relation, levels []ChainLevel, outBy []
 		}
 	}
 	if par <= 1 || !safe {
-		return NestLinkChain(rel, levels, outBy)
+		return NestLinkChain(ec, rel, levels, outBy)
 	}
 	plan, err := prepareChain(rel.Schema, levels, outBy)
 	if err != nil {
 		return nil, err
 	}
-	sorted := parallelSortBy(rel.Tuples, plan.sortIdx, par)
+	sorted, _, err := spillSortBy(ec, "nestlink/sort", rel.Tuples, plan.sortIdx, rel.Schema, par)
+	if err != nil {
+		return nil, err
+	}
 	bounds := groupAlignedBounds(sorted, plan.levels[0].keyIdx, par)
 	outs := make([]*relation.Relation, len(bounds)-1)
-	err = Run(par, len(outs), func(w int) error {
-		out, err := plan.scan(sorted[bounds[w]:bounds[w+1]])
+	err = Run(ec, par, len(outs), func(w int) error {
+		out, err := plan.scan(ec, sorted[bounds[w]:bounds[w+1]])
 		if err != nil {
 			return err
 		}

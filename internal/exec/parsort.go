@@ -15,8 +15,9 @@ import (
 // pairwise merges. Stability is obtained by tie-breaking on the original
 // tuple position, which defines the same total order a stable sort does —
 // so the result is deterministic and byte-identical to the serial sort
-// regardless of chunk boundaries or scheduling.
-func parallelSortBy(tuples []relation.Tuple, idx []int, p int) []relation.Tuple {
+// regardless of chunk boundaries or scheduling. Cancellation of ec is
+// observed between rounds (individual chunk sorts run to completion).
+func parallelSortBy(ec *ExecContext, tuples []relation.Tuple, idx []int, p int) ([]relation.Tuple, error) {
 	n := len(tuples)
 	ord := make([]int, n)
 	for i := range ord {
@@ -44,11 +45,13 @@ func parallelSortBy(tuples []relation.Tuple, idx []int, p int) []relation.Tuple 
 		for i := 0; i <= p; i++ {
 			bounds[i] = i * n / p
 		}
-		_ = Run(p, p, func(w int) error {
+		if err := Run(ec, p, p, func(w int) error {
 			chunk := ord[bounds[w]:bounds[w+1]]
 			sort.Slice(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// Pairwise merge rounds until one run remains.
 		buf := make([]int, n)
 		for len(bounds) > 2 {
@@ -62,11 +65,13 @@ func parallelSortBy(tuples []relation.Tuple, idx []int, p int) []relation.Tuple 
 			if (len(bounds)-1)%2 == 1 { // odd run out: copied through
 				nb = append(nb, bounds[len(bounds)-1])
 			}
-			_ = Run(pairs, pairs, func(k int) error {
+			if err := Run(ec, pairs, pairs, func(k int) error {
 				lo, mid, hi := bounds[2*k], bounds[2*k+1], bounds[2*k+2]
 				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], less)
 				return nil
-			})
+			}); err != nil {
+				return nil, err
+			}
 			if (len(bounds)-1)%2 == 1 {
 				lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
 				copy(dst[lo:hi], src[lo:hi])
@@ -80,7 +85,7 @@ func parallelSortBy(tuples []relation.Tuple, idx []int, p int) []relation.Tuple 
 	for i, j := range ord {
 		out[i] = tuples[j]
 	}
-	return out
+	return out, nil
 }
 
 // minChunk keeps tiny inputs serial: below this many tuples per worker the

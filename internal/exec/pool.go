@@ -77,18 +77,32 @@ func (p *Pool) release() { <-p.slots }
 // the calling goroutine plus up to par-1 helpers drawn non-blockingly
 // from the pool. Tasks are claimed from a shared counter, so uneven task
 // costs balance automatically (morsel-style scheduling). The first error
-// cancels the remaining tasks (already-running tasks finish) and is
-// returned. Tasks must be independent; they may not assume any ordering.
-func (p *Pool) Run(par, n int, task func(i int) error) error {
+// cancels the remaining tasks and is returned. Tasks must be independent;
+// they may not assume any ordering.
+//
+// The run is governed by ec: workers stop claiming morsels as soon as ec
+// is cancelled (returning the wrapped cancellation error), a panic inside
+// a task is recovered into a *QueryError instead of killing the process,
+// and — crucially for clean shutdown — Run never returns before every
+// in-flight task has finished, so a caller observing Run's return knows
+// no worker still touches its state.
+func (p *Pool) Run(ec *ExecContext, par, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if par > n {
 		par = n
 	}
+	runTask := func(i int) (err error) {
+		defer Guard("pool/task", &err)
+		return task(i)
+	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
+			if err := ec.Check("pool"); err != nil {
+				return err
+			}
+			if err := runTask(i); err != nil {
 				return err
 			}
 		}
@@ -103,12 +117,12 @@ func (p *Pool) Run(par, n int, task func(i int) error) error {
 		wg     sync.WaitGroup
 	)
 	worker := func() {
-		for !failed.Load() {
+		for !failed.Load() && ec.Err() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			if err := task(i); err != nil {
+			if err := runTask(i); err != nil {
 				mu.Lock()
 				if first == nil {
 					first = err
@@ -130,14 +144,19 @@ func (p *Pool) Run(par, n int, task func(i int) error) error {
 			worker()
 		}()
 	}
-	worker() // the caller always works too
-	wg.Wait()
+	worker()  // the caller always works too
+	wg.Wait() // drain: all in-flight tasks complete before Run returns
 	mu.Lock()
 	defer mu.Unlock()
+	if first == nil {
+		// Cancellation without a task error: surface it, because tasks
+		// were skipped and the results are incomplete.
+		first = ec.Check("pool")
+	}
 	return first
 }
 
 // Run executes tasks on the shared pool — see Pool.Run.
-func Run(par, n int, task func(i int) error) error {
-	return SharedPool().Run(par, n, task)
+func Run(ec *ExecContext, par, n int, task func(i int) error) error {
+	return SharedPool().Run(ec, par, n, task)
 }

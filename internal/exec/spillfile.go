@@ -1,0 +1,276 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Spill-file format. Spilled tuples are encoded exactly — unlike
+// value.AppendKey, which canonicalises integral floats to ints for hash
+// keys, this codec round-trips every value bit-for-bit so a spilled
+// execution is byte-identical to an in-memory one. A file is a sequence
+// of records:
+//
+//	record  = uvarint(tag) payload
+//	tuple   = uvarint(#atoms) atom* uvarint(#groups) group*
+//	atom    = kind:1 payload (int/float: 8 bytes BE; string: uvarint len
+//	          + bytes; bool: 1 byte; null: nothing)
+//	group   = present:1 [uvarint(#tuples) tuple*]
+//
+// The tag is record-type-specific: the external sort writes tag 0, the
+// grace join writes the probe-row index the joined tuple belongs to.
+// Schemas are not serialised — the reader decodes against the schema the
+// operator already holds (nested groups against its Subs).
+
+type spillWriter struct {
+	ec   *ExecContext
+	op   string
+	f    *os.File
+	w    *bufio.Writer
+	n    int64 // bytes written
+	err  error
+	buf  []byte
+	done bool
+}
+
+// newSpillWriter creates one spill file for op under the query temp dir.
+func newSpillWriter(ec *ExecContext, op string) (*spillWriter, error) {
+	f, err := ec.tempFile(op)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{ec: ec, op: op, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *spillWriter) writeByte(b byte) {
+	if s.err == nil {
+		s.err = s.w.WriteByte(b)
+		s.n++
+	}
+}
+
+func (s *spillWriter) write(p []byte) {
+	if s.err == nil {
+		_, s.err = s.w.Write(p)
+		s.n += int64(len(p))
+	}
+}
+
+func (s *spillWriter) writeUvarint(u uint64) {
+	s.buf = binary.AppendUvarint(s.buf[:0], u)
+	s.write(s.buf)
+}
+
+func (s *spillWriter) writeValue(v value.Value) {
+	s.writeByte(byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindNull:
+	case value.KindInt:
+		s.buf = binary.BigEndian.AppendUint64(s.buf[:0], uint64(v.Int64()))
+		s.write(s.buf)
+	case value.KindFloat:
+		s.buf = binary.BigEndian.AppendUint64(s.buf[:0], math.Float64bits(v.Float64()))
+		s.write(s.buf)
+	case value.KindString:
+		t := v.Text()
+		s.writeUvarint(uint64(len(t)))
+		s.write([]byte(t))
+	case value.KindBool:
+		if v.Truth() == value.True {
+			s.writeByte(1)
+		} else {
+			s.writeByte(0)
+		}
+	}
+}
+
+func (s *spillWriter) writeTuple(t relation.Tuple) {
+	s.writeUvarint(uint64(len(t.Atoms)))
+	for _, v := range t.Atoms {
+		s.writeValue(v)
+	}
+	s.writeUvarint(uint64(len(t.Groups)))
+	for _, g := range t.Groups {
+		if g == nil {
+			s.writeByte(0)
+			continue
+		}
+		s.writeByte(1)
+		s.writeUvarint(uint64(len(g.Tuples)))
+		for _, gt := range g.Tuples {
+			s.writeTuple(gt)
+		}
+	}
+}
+
+// writeRecord appends one tagged tuple record. The per-record SpillIO
+// fault hook runs here so injection can hit any individual write.
+func (s *spillWriter) writeRecord(tag uint64, t relation.Tuple) error {
+	if s.err == nil {
+		if err := s.ec.spillIO(s.op); err != nil {
+			s.err = err
+		}
+	}
+	s.writeUvarint(tag)
+	s.writeTuple(t)
+	return s.err
+}
+
+// finish flushes and rewinds the file for reading, returning the byte
+// count written.
+func (s *spillWriter) finish() (int64, error) {
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	if s.err == nil {
+		_, s.err = s.f.Seek(0, io.SeekStart)
+	}
+	if s.err != nil {
+		return s.n, &QueryError{Op: s.op, Err: s.err}
+	}
+	return s.n, nil
+}
+
+// close releases the file handle (the query temp dir owns deletion).
+func (s *spillWriter) close() {
+	if !s.done {
+		s.done = true
+		s.f.Close()
+	}
+}
+
+type spillReader struct {
+	ec     *ExecContext
+	op     string
+	f      *os.File
+	r      *bufio.Reader
+	schema *relation.Schema
+	done   bool
+}
+
+// newSpillReader reads back a file finished by spillWriter, decoding
+// tuples against the given schema (needed to recurse into group schemas).
+func newSpillReader(ec *ExecContext, op string, f *os.File, schema *relation.Schema) *spillReader {
+	return &spillReader{ec: ec, op: op, f: f, r: bufio.NewReaderSize(f, 1<<16), schema: schema}
+}
+
+func (s *spillReader) readValue() (value.Value, error) {
+	k, err := s.r.ReadByte()
+	if err != nil {
+		return value.Null, err
+	}
+	switch value.Kind(k) {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindInt:
+		var b [8]byte
+		if _, err := io.ReadFull(s.r, b[:]); err != nil {
+			return value.Null, err
+		}
+		return value.Int(int64(binary.BigEndian.Uint64(b[:]))), nil
+	case value.KindFloat:
+		var b [8]byte
+		if _, err := io.ReadFull(s.r, b[:]); err != nil {
+			return value.Null, err
+		}
+		return value.Float(math.Float64frombits(binary.BigEndian.Uint64(b[:]))), nil
+	case value.KindString:
+		n, err := binary.ReadUvarint(s.r)
+		if err != nil {
+			return value.Null, err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(s.r, b); err != nil {
+			return value.Null, err
+		}
+		return value.Str(string(b)), nil
+	case value.KindBool:
+		b, err := s.r.ReadByte()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(b != 0), nil
+	}
+	return value.Null, fmt.Errorf("spill: corrupt value kind %d", k)
+}
+
+func (s *spillReader) readTuple(schema *relation.Schema) (relation.Tuple, error) {
+	var t relation.Tuple
+	na, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		return t, err
+	}
+	t.Atoms = make([]value.Value, na)
+	for i := range t.Atoms {
+		if t.Atoms[i], err = s.readValue(); err != nil {
+			return t, err
+		}
+	}
+	ng, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		return t, err
+	}
+	if ng == 0 {
+		return t, nil
+	}
+	t.Groups = make([]*relation.Relation, ng)
+	for i := range t.Groups {
+		present, err := s.r.ReadByte()
+		if err != nil {
+			return t, err
+		}
+		if present == 0 {
+			continue
+		}
+		var sub *relation.Schema
+		if schema != nil && i < len(schema.Subs) {
+			sub = schema.Subs[i].Schema
+		}
+		nt, err := binary.ReadUvarint(s.r)
+		if err != nil {
+			return t, err
+		}
+		g := relation.New(sub)
+		g.Tuples = make([]relation.Tuple, nt)
+		for j := range g.Tuples {
+			if g.Tuples[j], err = s.readTuple(sub); err != nil {
+				return t, err
+			}
+		}
+		t.Groups[i] = g
+	}
+	return t, nil
+}
+
+// readRecord returns the next tagged record, or io.EOF at end of file.
+func (s *spillReader) readRecord() (uint64, relation.Tuple, error) {
+	if err := s.ec.spillIO(s.op); err != nil {
+		return 0, relation.Tuple{}, err
+	}
+	tag, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		if err == io.EOF {
+			return 0, relation.Tuple{}, io.EOF
+		}
+		return 0, relation.Tuple{}, &QueryError{Op: s.op, Err: err}
+	}
+	t, err := s.readTuple(s.schema)
+	if err != nil {
+		return 0, relation.Tuple{}, &QueryError{Op: s.op, Err: fmt.Errorf("truncated spill record: %w", err)}
+	}
+	return tag, t, nil
+}
+
+func (s *spillReader) close() {
+	if !s.done {
+		s.done = true
+		s.f.Close()
+	}
+}

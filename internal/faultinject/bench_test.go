@@ -1,0 +1,48 @@
+package faultinject_test
+
+// BenchmarkGovernance prices the resource-governance machinery: the
+// ungoverned fast path, the accounting overhead under an effectively
+// infinite budget (reservations and checkpoints run, nothing spills),
+// and the spill slowdown at three budgets tight enough to force the
+// chunked join and external sort. EXPERIMENTS.md records the results.
+
+import (
+	"testing"
+
+	"nra/internal/core"
+	"nra/internal/exec"
+)
+
+func BenchmarkGovernance(b *testing.B) {
+	cat := testCatalog(b)
+	q := analyze(b, cat, linkingQueries["not-in"])
+	cases := []struct {
+		name   string
+		budget int64
+	}{
+		{"off", 0},       // ungoverned: zero-overhead path
+		{"inf", 1 << 40}, // accounting on, never spills
+		{"budget-1M", 1 << 20},
+		{"budget-256K", 256 << 10},
+		{"budget-64K", 64 << 10},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			var stats exec.Stats
+			for i := 0; i < b.N; i++ {
+				opt := core.Optimized()
+				opt.MemoryBudget = tc.budget
+				opt.SpillDir = dir
+				opt.Stats = &stats
+				if _, err := core.Execute(q, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Spills), "spills/op")
+			if tc.budget > 1<<30 && stats.Spills > 0 {
+				b.Fatal("infinite budget spilled")
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ func (e *Executor) reduceBlock(b *sql.Block) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.Drain(exec.NewFilter(exec.NewScan(base), local))
+		return exec.Drain(exec.Background(), exec.NewFilter(exec.NewScan(base), local))
 	}
 	var rel *relation.Relation
 	for ti, bt := range b.Tables {

@@ -35,6 +35,7 @@ package nra
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"nra/internal/algebra"
 	"nra/internal/catalog"
@@ -310,6 +311,44 @@ func (s Strategy) WithParallelism(n int) Strategy {
 	return s
 }
 
+// WithMemoryBudget returns a copy of a nested strategy whose queries may
+// hold at most bytes of operator working state (hash-join build sides,
+// pre-nest sort copies) in memory; operators exceeding the budget degrade
+// gracefully to spill files with byte-identical results (bytes ≤ 0 =
+// unbounded). Auto becomes NestedOptimized; Native/Reference are not
+// budget-governed and are returned unchanged. See docs/ROBUSTNESS.md.
+func (s Strategy) WithMemoryBudget(bytes int64) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	if s.kind == kindAuto {
+		s = NestedOptimized
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.opts.MemoryBudget = bytes
+	return s
+}
+
+// WithTimeout returns a copy of a nested strategy whose queries abort
+// with context.DeadlineExceeded after d (d ≤ 0 = no deadline), observed
+// at operator boundaries with workers drained and spill files removed.
+// Auto becomes NestedOptimized; Native/Reference are returned unchanged.
+func (s Strategy) WithTimeout(d time.Duration) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	if s.kind == kindAuto {
+		s = NestedOptimized
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.opts.Timeout = d
+	return s
+}
+
 // Traced returns a copy of a nested strategy that writes a per-operator
 // execution walkthrough (the paper's Temp1→Temp4 narration, with
 // cardinalities) to w. Native/Reference strategies are returned
@@ -337,12 +376,21 @@ func (s Strategy) String() string {
 	default:
 		name := "nested-optimized"
 		base := s.opts
+		// Physical knobs don't change which paper strategy this is.
 		base.Parallelism = 0
+		base.MemoryBudget = 0
+		base.Timeout = 0
 		if base == core.Original() {
 			name = "nested-original"
 		}
 		if s.opts.Parallelism > 1 {
-			return fmt.Sprintf("%s (parallelism %d)", name, s.opts.Parallelism)
+			name = fmt.Sprintf("%s (parallelism %d)", name, s.opts.Parallelism)
+		}
+		if s.opts.MemoryBudget > 0 {
+			name = fmt.Sprintf("%s (mem %d)", name, s.opts.MemoryBudget)
+		}
+		if s.opts.Timeout > 0 {
+			name = fmt.Sprintf("%s (timeout %s)", name, s.opts.Timeout)
 		}
 		return name
 	}

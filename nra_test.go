@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func deptDB(t testing.TB) *DB {
@@ -348,5 +349,59 @@ func TestSaveOpenDirRoundTrip(t *testing.T) {
 	}
 	if _, err := OpenDir(t.TempDir()); err == nil {
 		t.Fatal("empty dir must error")
+	}
+}
+
+func TestGovernedStrategies(t *testing.T) {
+	db := deptDB(t)
+	src := "select name from emp where salary not in (select salary from emp e2 where e2.dept = 20)"
+	want, err := db.QueryWith(src, NestedOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	governed := []Strategy{
+		NestedOptimized.WithMemoryBudget(64 << 10),
+		NestedOptimized.WithMemoryBudget(1 << 20).WithParallelism(4),
+		NestedOptimized.WithTimeout(time.Minute),
+		Auto.WithMemoryBudget(64 << 10), // Auto promotes to NestedOptimized
+	}
+	for _, s := range governed {
+		got, err := db.QueryWith(src, s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: result differs under governance:\n%s\nvs\n%s", s, got, want)
+		}
+	}
+
+	// Expired timeouts abort instead of answering.
+	if _, err := db.QueryWith(src, NestedOptimized.WithTimeout(time.Nanosecond)); err == nil {
+		t.Fatal("nanosecond timeout did not abort")
+	}
+
+	// Native/Reference have no governed operators and are unchanged.
+	if Native.WithMemoryBudget(1) != Native || Reference.WithTimeout(time.Second) != Reference {
+		t.Fatal("WithMemoryBudget/WithTimeout must not alter native/reference strategies")
+	}
+
+	// The knobs are physical: strategy names keep their base identity.
+	s := NestedOptimized.WithMemoryBudget(4096).WithTimeout(time.Second)
+	name := s.String()
+	for _, frag := range []string{"nested-optimized", "mem 4096", "timeout 1s"} {
+		if !strings.Contains(name, frag) {
+			t.Fatalf("String() = %q, missing %q", name, frag)
+		}
+	}
+
+	// EXPLAIN surfaces the budget and timeout behaviour.
+	plan, err := db.Explain(src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"memory budget: 4096 bytes", "timeout: 1s"} {
+		if !strings.Contains(plan, frag) {
+			t.Fatalf("explain missing %q:\n%s", frag, plan)
+		}
 	}
 }
