@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...] [-ablation] [-parallel]
+//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...] [-ablation] [-parallel] [-costbased]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		only     = flag.String("fig", "", "comma-separated figure ids to run (default: all)")
 		ablation = flag.Bool("ablation", false, "also run the §4.2 ablation study")
 		parallel = flag.Bool("parallel", false, "also run the parallel-vs-serial ablation (serial / P=2 / P=4 / P=8)")
+		costb    = flag.Bool("costbased", false, "also run the cost-based vs heuristic planner ablation")
 		noverify = flag.Bool("noverify", false, "skip cross-strategy result verification")
 	)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 		}
 	}
 
-	if *ablation || *parallel {
+	if *ablation || *parallel || *costb {
 		env, err := bench.NewEnv(cfg)
 		if err != nil {
 			fail(err)
@@ -66,6 +67,15 @@ func main() {
 		}
 		if *parallel {
 			figs, err := env.ParallelAblation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
+		}
+		if *costb {
+			figs, err := env.CostAblation()
 			if err != nil {
 				fail(err)
 			}
@@ -146,6 +156,12 @@ func runSelected(cfg bench.Config, ids []string) error {
 			figs = fs
 		case "parallelism":
 			fs, err := env.ParallelAblation()
+			if err != nil {
+				return err
+			}
+			figs = fs
+		case "costbased":
+			fs, err := env.CostAblation()
 			if err != nil {
 				return err
 			}

@@ -10,10 +10,13 @@
 // Inside the shell:
 //
 //	select ...;                 run a query
+//	analyze [table];            collect optimizer statistics
 //	\strategy <name>            switch strategy (auto | nested-optimized |
 //	                            nested-original | nested-parallel |
 //	                            native | reference)
 //	\explain select ...;        show the plan instead of running
+//	\explain analyze select ..; run, then show estimated vs actual rows
+//	\stats <table>              show a table's collected statistics
 //	\tables                     list tables with row counts
 //	\q                          quit
 package main
@@ -51,6 +54,7 @@ func main() {
 		par   = flag.Int("parallelism", -1, "degree of partitioned parallelism for nested strategies (1 = serial, 0 = all CPUs, -1 = strategy default)")
 		mem   = flag.String("mem", "", "memory budget for operator working state, e.g. 64K, 16M, 1G (empty = unbounded); over-budget operators spill to disk")
 		tmo   = flag.Duration("timeout", 0, "per-query timeout, e.g. 30s (0 = none)")
+		anlz  = flag.Bool("analyze", true, "collect optimizer statistics on the loaded tables at startup (enables cost-based planning)")
 	)
 	flag.Parse()
 
@@ -90,6 +94,11 @@ func main() {
 		}
 	} else {
 		db = nra.Open()
+	}
+	if *anlz {
+		if err := db.Analyze(); err != nil {
+			fail(err)
+		}
 	}
 
 	if *eval != "" {
@@ -154,14 +163,29 @@ func main() {
 				}
 			case strings.HasPrefix(trimmed, `\explain`):
 				src := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(trimmed, `\explain`)), ";")
-				out, err := db.Explain(src, strategy)
+				var out string
+				var err error
+				if rest, ok := cutWord(src, "analyze"); ok {
+					out, err = db.ExplainAnalyze(rest, strategy)
+				} else {
+					out, err = db.Explain(src, strategy)
+				}
 				if err != nil {
 					fmt.Println("error:", err)
 				} else {
 					fmt.Print(out)
 				}
+			case strings.HasPrefix(trimmed, `\stats`):
+				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`))
+				if name == "" {
+					fmt.Println(`usage: \stats <table>`)
+				} else if out, err := db.StatsSummary(name); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Print(out)
+				}
 			default:
-				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain`)
+				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain, \stats`)
 			}
 			prompt()
 			continue
@@ -179,9 +203,34 @@ func main() {
 	}
 }
 
+// cutWord strips a leading keyword (case-insensitively) from s, reporting
+// whether it was present.
+func cutWord(s, word string) (string, bool) {
+	t := strings.TrimSpace(s)
+	if len(t) >= len(word) && strings.EqualFold(t[:len(word)], word) &&
+		(len(t) == len(word) || t[len(word)] == ' ' || t[len(word)] == '\t' || t[len(word)] == '\n') {
+		return strings.TrimSpace(t[len(word):]), true
+	}
+	return s, false
+}
+
 func run(db *nra.DB, s nra.Strategy, src string) error {
 	start := time.Now()
 	lead := strings.ToUpper(strings.Fields(strings.TrimSpace(src) + " x")[0])
+	if lead == "ANALYZE" {
+		rest := strings.TrimSpace(src[len("analyze"):])
+		var err error
+		if rest == "" {
+			err = db.Analyze()
+		} else {
+			err = db.Analyze(strings.Fields(rest)...)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(statistics collected, %v)\n", time.Since(start).Round(time.Microsecond))
+		return nil
+	}
 	if lead == "INSERT" || lead == "DELETE" || lead == "UPDATE" || lead == "CREATE" || lead == "DROP" {
 		n, err := db.Exec(src)
 		if err != nil {

@@ -148,6 +148,30 @@ func (e *Env) Ablation() ([]*Figure, error) {
 	return e.runAblation(e.ablationWorkloads("ablation", "§4.2 options"), configs, false)
 }
 
+// CostAblation measures cost-based physical planning against the pure
+// heuristic planner on the same workload families. "heuristic" switches
+// the estimator off; "costbased" runs with fresh statistics collected on
+// every table; the -p4 variants hand both planners four workers and let
+// the cost-based one decide whether the inputs justify them. All four
+// configurations must return the same result set.
+func (e *Env) CostAblation() ([]*Figure, error) {
+	e.Cat.AnalyzeAll()
+	heuristic := core.Optimized()
+	heuristic.UseStats = false
+	heuristic.CostBased = false
+	heuristicP4 := heuristic
+	heuristicP4.Parallelism = 4
+	costP4 := core.Optimized()
+	costP4.Parallelism = 4
+	configs := []ablationConfig{
+		{"heuristic", heuristic},
+		{"costbased", core.Optimized()},
+		{"heuristic-p4", heuristicP4},
+		{"costbased-p4", costP4},
+	}
+	return e.runAblation(e.ablationWorkloads("costbased", "cost-based vs heuristic"), configs, false)
+}
+
 // ParallelAblation measures the partitioned-parallel operators against
 // the serial ones on the same workload families: serial (P=1) versus
 // P = 2, 4 and 8. Verification is tuple-for-tuple — parallel execution

@@ -108,6 +108,26 @@ func TestAblationVerifies(t *testing.T) {
 	}
 }
 
+func TestCostAblationVerifies(t *testing.T) {
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.CostAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("cost ablation workloads = %d", len(figs))
+	}
+	for _, f := range figs {
+		series := f.Series()
+		if len(series) != 4 {
+			t.Fatalf("%s: series = %v", f.ID, series)
+		}
+	}
+}
+
 func TestFig4NotNullAntijoinCompetitive(t *testing.T) {
 	e, err := NewEnv(tinyConfig())
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"nra/internal/index"
 	"nra/internal/relation"
+	"nra/internal/stats"
 )
 
 // Table is a base relation plus metadata.
@@ -20,7 +21,9 @@ type Table struct {
 	PK      string          // primary key column (qualified name)
 	NotNull map[string]bool // columns with a NOT NULL constraint (PK implied)
 
-	indexes map[string]*index.Index // by canonical column-list key
+	indexes    map[string]*index.Index // by canonical column-list key
+	stats      *stats.Table            // last ANALYZE result; nil = never analyzed
+	statsStale bool                    // set by DML; stale stats are treated as absent
 }
 
 // Catalog is a set of tables.
@@ -127,6 +130,46 @@ func (t *Table) IsNotNull(col string) bool {
 		return false
 	}
 	return t.NotNull[t.Rel.Schema.Cols[i].Name]
+}
+
+// Analyze collects fresh statistics over the table's current rows (the
+// ANALYZE pass) and clears any staleness mark.
+func (t *Table) Analyze() *stats.Table {
+	t.stats = stats.Collect(t.Rel)
+	t.statsStale = false
+	return t.stats
+}
+
+// Stats returns the table's statistics, or nil when none were collected
+// or a DML mutation made them stale — the planner must treat stale
+// statistics as absent rather than silently plan with wrong row counts.
+func (t *Table) Stats() *stats.Table {
+	if t.statsStale {
+		return nil
+	}
+	return t.stats
+}
+
+// StatsStale reports whether statistics exist but were invalidated by a
+// mutation since the last ANALYZE.
+func (t *Table) StatsStale() bool { return t.stats != nil && t.statsStale }
+
+// SetStats installs previously collected statistics (a persisted ANALYZE
+// result reloaded by csvio) as fresh.
+func (t *Table) SetStats(s *stats.Table) {
+	t.stats = s
+	t.statsStale = false
+}
+
+// invalidateStats marks the statistics stale; every successful DML
+// mutation calls it.
+func (t *Table) invalidateStats() { t.statsStale = true }
+
+// AnalyzeAll collects statistics for every table in the catalog.
+func (c *Catalog) AnalyzeAll() {
+	for _, t := range c.tables {
+		t.Analyze()
+	}
 }
 
 // CreateIndex builds (or returns an existing) index on the given columns,

@@ -214,3 +214,65 @@ func TestMutations(t *testing.T) {
 		t.Fatal("type violation must fail")
 	}
 }
+
+func TestStatsLifecycle(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("emp", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != nil {
+		t.Fatal("fresh table must have no statistics before ANALYZE")
+	}
+	ts := tbl.Analyze()
+	if ts == nil || tbl.Stats() != ts {
+		t.Fatal("Analyze must install statistics")
+	}
+	if ts.Rows != 3 {
+		t.Fatalf("rows = %d, want 3", ts.Rows)
+	}
+	if sal := ts.Col("salary"); sal == nil || sal.Nulls != 1 {
+		t.Fatalf("salary stats = %+v, want 1 NULL", sal)
+	}
+
+	// Every DML mutation must mark the stats stale, and stale stats read
+	// as absent.
+	if _, err := tbl.InsertRows([][]value.Value{{value.Int(4), value.Int(30), value.Int(90)}}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != nil || !tbl.StatsStale() {
+		t.Fatal("insert must invalidate statistics")
+	}
+	tbl.Analyze()
+	if _, err := tbl.ApplyUpdates([]value.Value{value.Int(4)}, []string{"salary"}, [][]value.Value{{value.Int(95)}}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != nil {
+		t.Fatal("update must invalidate statistics")
+	}
+	tbl.Analyze()
+	if _, err := tbl.DeleteByPK([]value.Value{value.Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != nil {
+		t.Fatal("delete must invalidate statistics")
+	}
+	// A no-op delete leaves them fresh.
+	ts = tbl.Analyze()
+	if _, err := tbl.DeleteByPK([]value.Value{value.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Stats() != ts {
+		t.Fatal("no-op delete must not invalidate statistics")
+	}
+
+	// SetStats installs persisted statistics as fresh.
+	tbl2, err := c.Create("emp2", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2.SetStats(ts)
+	if tbl2.Stats() != ts {
+		t.Fatal("SetStats must install fresh statistics")
+	}
+}

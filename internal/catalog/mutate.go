@@ -49,6 +49,9 @@ func (t *Table) InsertRows(rows [][]value.Value) (int, error) {
 	if err := t.rebuildIndexes(); err != nil {
 		return 0, err
 	}
+	if len(staged) > 0 {
+		t.invalidateStats()
+	}
 	return len(staged), nil
 }
 
@@ -77,6 +80,7 @@ func (t *Table) DeleteByPK(keys []value.Value) (int, error) {
 		if err := t.rebuildIndexes(); err != nil {
 			return 0, err
 		}
+		t.invalidateStats()
 	}
 	return removed, nil
 }
@@ -137,6 +141,7 @@ func (t *Table) ApplyUpdates(keys []value.Value, cols []string, vals [][]value.V
 	if err := t.rebuildIndexes(); err != nil {
 		return 0, err
 	}
+	t.invalidateStats()
 	return updated, nil
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"nra/internal/algebra"
 	"nra/internal/exec"
 	"nra/internal/relation"
@@ -98,6 +100,7 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 			return nil, err
 		}
 		p.seq(rel.Len(), res.Len(), joined.Len())
+		p.note(fmt.Sprintf("outer join T%d (bottom-up §4.2.3)", c.ID+1), -1, joined.Len())
 		subName := "sub"
 		pred, err := p.linkPred(edge, subName, c)
 		if err != nil {
@@ -114,6 +117,7 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 				return nil, err
 			}
 			p.seq(3*joined.Len(), res.Len())
+			p.note(fmt.Sprintf("nest+link L%d (bottom-up)", c.ID+1), p.estAfter(edge), res.Len())
 			continue
 		}
 		keep := p.blockCols(joined, c.ID)
@@ -158,6 +162,7 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 			return nil, err
 		}
 		p.seq(relLen, tc.Len(), rel.Len())
+		p.note(fmt.Sprintf("outer join T%d (fused chain)", c.ID+1), p.estJoined(incomingLink(c)), rel.Len())
 	}
 	levels := make([]exec.ChainLevel, len(chain)-1)
 	for i := 0; i < len(chain)-1; i++ {
@@ -178,5 +183,6 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 	}
 	p.seq(3*rel.Len(), out.Len()) // one sort + one scan for every level
 	p.trace("rel := NestLinkChain(%d levels)  (§4.2.1 fused chain, %d → %d tuples)", len(levels), rel.Len(), out.Len())
+	p.note(fmt.Sprintf("nest+link chain (%d levels, §4.2.1)", len(levels)), p.estAfter(chain[0].Links[0]), out.Len())
 	return out, nil
 }

@@ -51,7 +51,14 @@ func (p *planner) run() (*relation.Relation, error) {
 // or the subtree root during standalone evaluation of a non-correlated
 // subquery).
 func (p *planner) processChildren(node, top *sql.Block, rel *relation.Relation) (*relation.Relation, error) {
-	for _, edge := range node.Links {
+	links := node.Links
+	// Cost-based: evaluate the most selective link first so later links
+	// see fewer tuples. Safe only under the strict σ — the padding σ̄
+	// NULLs node's columns, which a sibling evaluated later observes.
+	if p.costBased() && len(links) > 1 && p.strictOK(node, top) {
+		links = p.orderEdges(links)
+	}
+	for _, edge := range links {
 		var err error
 		rel, err = p.processEdge(node, top, edge, rel)
 		if err != nil {
@@ -80,8 +87,9 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 	}
 
 	// §4.2.5: positive linking operators rewrite to (semi)joins when no
-	// pending negative operator needs the failing tuples kept.
-	if p.opt.PositiveRewrite && edge.Kind.Positive() && strict {
+	// pending negative operator needs the failing tuples kept — and, with
+	// cost-based planning, when the cost model agrees.
+	if p.opt.PositiveRewrite && edge.Kind.Positive() && strict && p.chooseSemijoin(edge) {
 		return p.processEdgePositive(node, top, edge, rel)
 	}
 
@@ -117,7 +125,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 					}
 				}
 			}
-			if usable {
+			if usable && p.choosePushdown(edge) {
 				return p.processEdgePushdown(node, edge, rel, subName, strict, joinCols, outerCols)
 			}
 		}
@@ -134,6 +142,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 	}
 	p.seq(relLen, tc.Len(), rel.Len()) // hash outer join: read both, write out
 	p.trace("rel := rel ⟕ T%d  (%d ⟕ %d → %d tuples)", c.ID+1, relLen, tc.Len(), rel.Len())
+	p.note(fmt.Sprintf("outer join T%d", c.ID+1), p.estJoined(edge), rel.Len())
 	// Recurse: the child's own subqueries are consumed first (bottom-up
 	// computation of the linking predicates).
 	rel, err = p.processChildren(c, top, rel)
@@ -164,6 +173,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		}
 		p.seq(3*rel.Len(), out.Len()) // one sort (two passes) + one scan + write
 		p.trace("rel := NestLink[%s]  (fused υ+σ, %d → %d tuples)", pred, rel.Len(), out.Len())
+		p.note(fmt.Sprintf("nest+link L%d (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
 		return out, nil
 	}
 
@@ -191,6 +201,7 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		mode = "σ̄"
 	}
 	p.trace("rel := %s[%s](rel)  → %d tuples", mode, pred, rel.Len())
+	p.note(fmt.Sprintf("%s L%d (%s)", mode, c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
 	return algebra.DropSub(rel, subName)
 }
 
@@ -215,6 +226,7 @@ func (p *planner) applyLinkOnGroup(node *sql.Block, edge *sql.LinkEdge, rel *rel
 		return nil, err
 	}
 	p.seq(nIn, rel.Len())
+	p.note(fmt.Sprintf("link L%d on shared subquery result (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
 	return algebra.DropSub(rel, subName)
 }
 
@@ -282,6 +294,7 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 		}
 		p.seq(rel.Len(), tc.Len(), out.Len())
 		p.trace("rel := rel ⋉ T%d  (§4.2.5 positive rewrite, %d → %d tuples)", c.ID+1, rel.Len(), out.Len())
+		p.note(fmt.Sprintf("semijoin T%d (§4.2.5, %s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
 		return out, nil
 	}
 	outCols := rel.Schema.ColNames()
@@ -303,6 +316,7 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 	// distinct-by-row, so this restores the pre-join multiset.
 	out := algebra.Distinct(rel)
 	p.seq(rel.Len(), out.Len())
+	p.note(fmt.Sprintf("join+distinct T%d (§4.2.5, %s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
 	return out, nil
 }
 
@@ -407,6 +421,7 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 	}
 	p.seq(tc.Len(), nested.Len()) // pushed-down nest over the small T_c
 	p.trace("υ(T%d) pushed below the join (§4.2.4): %d tuples → %d groups", c.ID+1, tc.Len(), nested.Len())
+	p.note(fmt.Sprintf("nest T%d below join (§4.2.4)", c.ID+1), -1, nested.Len())
 	var onParts []expr.Expr
 	for i := range childCols {
 		onParts = append(onParts, expr.Compare(expr.Eq, expr.Col(outerCols[i]), expr.Col(childCols[i])))
@@ -435,6 +450,7 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 	if err != nil {
 		return nil, err
 	}
+	p.note(fmt.Sprintf("link L%d on pushed-down groups (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
 	// Drop the group and the child-side join columns.
 	rel, err = algebra.DropSub(rel, subName)
 	if err != nil {

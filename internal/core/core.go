@@ -51,6 +51,19 @@ type Options struct {
 	// AlwaysPad forces the pseudo-selection σ̄ even where the strict σ
 	// would do; used by the equivalence tests.
 	AlwaysPad bool
+	// UseStats lets the planner read the catalog's collected statistics
+	// (catalog.Table.Analyze) for cardinality estimation. Estimation is
+	// all-or-nothing: one table with absent or stale statistics disables
+	// it for the whole query, so planning degrades to the heuristics and
+	// reproduces their plans exactly.
+	UseStats bool
+	// CostBased lets the cardinality estimates steer physical decisions:
+	// subquery processing order, the §4.2.5 semijoin and §4.2.4 push-down
+	// gates, the partitioned-parallel degree (1 when the input is too
+	// small to amortise the pool) and planned grace-join / external-sort
+	// spilling against MemoryBudget. No effect without UseStats and fresh
+	// statistics. Every choice is between result-equivalent plans.
+	CostBased bool
 	// Parallelism is the degree of partitioned parallelism for the hash-
 	// join and nest/linking-selection pipeline: joins hash-partition build
 	// and probe across workers, and the fused nest + linking selection
@@ -90,9 +103,12 @@ type Options struct {
 // Original returns the unoptimized §4.1 configuration.
 func Original() Options { return Options{} }
 
-// Optimized returns the fully optimized configuration.
+// Optimized returns the fully optimized configuration. Cost-based
+// planning is on by default; it only takes effect on queries whose
+// tables all carry fresh statistics.
 func Optimized() Options {
-	return Options{Fused: true, BottomUp: true, NestPushdown: true, PositiveRewrite: true}
+	return Options{Fused: true, BottomUp: true, NestPushdown: true, PositiveRewrite: true,
+		UseStats: true, CostBased: true}
 }
 
 // OptimizedParallel returns the fully optimized configuration with
@@ -119,10 +135,35 @@ func unsupportedf(format string, args ...any) error {
 // context is closed before returning, which stops its goroutines and
 // removes any spill files it created.
 func Execute(q *sql.Query, opt Options) (*relation.Relation, error) {
+	out, _, err := executeLogged(q, opt, nil)
+	return out, err
+}
+
+// OpStat is one executed operator with its planned cardinality estimate
+// (EXPLAIN ANALYZE's per-operator row).
+type OpStat struct {
+	Op  string  // operator label, e.g. "reduce T2 (lineitem)"
+	Est float64 // estimated output rows; < 0 when no estimate was available
+	Act int     // actual output rows
+}
+
+// ExecuteAnalyzed runs the query while recording, for every executed
+// operator, its estimated and actual output cardinality, plus the
+// query's resource accounting — the data behind EXPLAIN ANALYZE.
+func ExecuteAnalyzed(q *sql.Query, opt Options) (*relation.Relation, []OpStat, exec.Stats, error) {
+	var log []OpStat
+	var st exec.Stats
+	opt.Stats = &st
+	out, _, err := executeLogged(q, opt, &log)
+	return out, log, st, err
+}
+
+func executeLogged(q *sql.Query, opt Options, log *[]OpStat) (*relation.Relation, *planner, error) {
 	p, err := newPlanner(q, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	p.anz = log
 	ec := exec.NewExecContext(opt.Ctx, exec.Limits{
 		MemoryBudget: opt.MemoryBudget,
 		Timeout:      opt.Timeout,
@@ -130,6 +171,9 @@ func Execute(q *sql.Query, opt Options) (*relation.Relation, error) {
 		Hooks:        opt.Hooks,
 	})
 	p.ec = ec
+	if len(p.spillOps) > 0 {
+		ec.PlanSpill(p.spillOps...)
+	}
 	out, err := p.run()
 	if opt.Stats != nil {
 		*opt.Stats = ec.Stats()
@@ -137,7 +181,7 @@ func Execute(q *sql.Query, opt Options) (*relation.Relation, error) {
 	if cerr := ec.Close(); err == nil {
 		err = cerr
 	}
-	return out, err
+	return out, p, err
 }
 
 // Supported reports nil when the planner can evaluate q, or a wrapped

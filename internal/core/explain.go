@@ -51,7 +51,67 @@ func Explain(q *sql.Query, opt Options) (string, error) {
 	if opt.Timeout > 0 {
 		fmt.Fprintf(&b, "timeout: %s (cancellation observed at operator boundaries; workers drained, spill files removed)\n", opt.Timeout)
 	}
+	if opt.UseStats && p.statsNote != "" {
+		b.WriteString(p.statsNote)
+		b.WriteByte('\n')
+		for _, n := range p.planNotes {
+			fmt.Fprintf(&b, "  cost: %s\n", n)
+		}
+	}
 	return b.String(), nil
+}
+
+// ExplainAnalyze executes the query and renders the EXPLAIN tree followed
+// by a per-operator table joining the planner's cardinality estimates with
+// the actual row counts observed during execution, and the run's resource
+// accounting (peak tracked bytes, spill events).
+func ExplainAnalyze(q *sql.Query, opt Options) (string, error) {
+	plan, err := Explain(q, opt)
+	if err != nil {
+		return "", err
+	}
+	_, ops, st, err := ExecuteAnalyzed(q, opt)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(plan)
+	b.WriteString("analyze:\n")
+	opw := 8
+	for _, o := range ops {
+		if n := len([]rune(o.Op)); n > opw {
+			opw = n
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %10s  %10s  %8s\n", opw, "operator", "est rows", "act rows", "q-error")
+	for _, o := range ops {
+		est, qe := "-", "-"
+		if o.Est >= 0 {
+			est = fmtRows(o.Est)
+			qe = fmt.Sprintf("%.2f", qError(o.Est, o.Act))
+		}
+		fmt.Fprintf(&b, "  %-*s  %10s  %10d  %8s\n", opw, o.Op, est, o.Act, qe)
+	}
+	fmt.Fprintf(&b, "  peak tracked memory: %d bytes; spills: %d (%d bytes)\n",
+		st.PeakBytes, st.Spills, st.SpillBytes)
+	return b.String(), nil
+}
+
+// qError is the symmetric estimation-error factor max(est,act)/min(est,act),
+// with both sides clamped to at least one row.
+func qError(est float64, act int) float64 {
+	e := est
+	if e < 1 {
+		e = 1
+	}
+	a := float64(act)
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
 }
 
 func firstOK[T any](_ T, ok bool) bool { return ok }
@@ -69,15 +129,34 @@ func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
 	if cor := corrStrings(blk.Corr); len(cor) > 0 {
 		fmt.Fprintf(b, "  [C: %s]", strings.Join(cor, " AND "))
 	}
+	if p.est != nil {
+		fmt.Fprintf(b, "  [est %s rows]", fmtRows(p.card[blk.ID]))
+	}
 	b.WriteByte('\n')
 	for _, l := range blk.Links {
 		mode := "σ"
 		if !p.strictOK(blk, p.q.Root) {
 			mode = "σ̄"
 		}
-		fmt.Fprintf(b, "%s  L: %s  (%s)\n", indent, linkString(l), mode)
+		fmt.Fprintf(b, "%s  L: %s  (%s)", indent, linkString(l), mode)
+		if ee, ok := p.estEdge(l); ok {
+			fmt.Fprintf(b, "  [est: ⟕ %s rows, link keeps %.3g → %s rows]",
+				fmtRows(ee.joined), ee.frac, fmtRows(ee.after))
+		}
+		b.WriteByte('\n')
 		p.explainBlock(b, l.Child, depth+1)
 	}
+}
+
+// fmtRows renders an estimated cardinality compactly.
+func fmtRows(f float64) string {
+	if f < 0 {
+		return "?"
+	}
+	if f < 10 {
+		return fmt.Sprintf("%.2g", f)
+	}
+	return fmt.Sprintf("%.0f", f)
 }
 
 func linkString(l *sql.LinkEdge) string {

@@ -4,6 +4,7 @@ import (
 	"nra/internal/algebra"
 	"nra/internal/exec"
 	"nra/internal/expr"
+	"nra/internal/opt"
 	"nra/internal/relation"
 )
 
@@ -14,9 +15,15 @@ import (
 // output (the parallel operators merge partitions deterministically), so
 // the degree of parallelism is purely a physical knob.
 
-// par returns the effective degree of parallelism (≥ 1).
+// par returns the effective degree of parallelism (≥ 1). With cost-based
+// planning active the degree drops to 1 when the estimated peak operator
+// input is too small to amortise the worker pool (opt.ParallelDegree);
+// results are byte-identical either way.
 func (p *planner) par() int {
 	if p.opt.Parallelism > 1 {
+		if p.costBased() {
+			return opt.ParallelDegree(p.opt.Parallelism, p.peakRows)
+		}
 		return p.opt.Parallelism
 	}
 	return 1

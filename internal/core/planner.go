@@ -7,6 +7,7 @@ import (
 	"nra/internal/algebra"
 	"nra/internal/exec"
 	"nra/internal/expr"
+	"nra/internal/opt"
 	"nra/internal/relation"
 	"nra/internal/sql"
 )
@@ -20,6 +21,18 @@ type planner struct {
 	colBlock map[string]int   // qualified column name → owning block ID
 	needed   map[int][]string // block ID → columns that must flow upward
 	keys     map[int][]string // block ID → its tables' PK columns
+
+	// Cost-based planning state (see costbased.go). est is nil unless
+	// Options.UseStats is set and every table has fresh statistics.
+	est       *opt.Estimator
+	card      map[int]float64           // block ID → est reduced cardinality
+	width     map[int]float64           // block ID → est payload bytes per tuple
+	edgeEst   map[*sql.LinkEdge]edgeEst // per-edge join/link estimates
+	peakRows  float64                   // largest estimated operator input
+	statsNote string                    // EXPLAIN line describing stats availability
+	planNotes []string                  // EXPLAIN chosen-because annotations
+	spillOps  []string                  // operators planned onto their spill path
+	anz       *[]OpStat                 // EXPLAIN ANALYZE op log; nil otherwise
 }
 
 func newPlanner(q *sql.Query, opt Options) (*planner, error) {
@@ -38,6 +51,8 @@ func newPlanner(q *sql.Query, opt Options) (*planner, error) {
 	if err := p.computeNeeded(); err != nil {
 		return nil, err
 	}
+	p.buildEstimator()
+	p.estimateQuery()
 	return p, nil
 }
 
@@ -261,7 +276,15 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 			}
 		}
 		preds = rest
-		rel, err = p.join(rel, tblRel, expr.And(on...))
+		// Cost-based build-side choice: the hash join builds on its right
+		// input, so put the smaller relation there (legal for the inner
+		// joins of block reduction — columns are addressed by name).
+		left, right := rel, tblRel
+		if p.costBased() && left.Len() < right.Len() {
+			left, right = right, left
+			p.trace("build side swapped: the %d-row accumulated join builds; %s (%d rows) probes", rel.Len(), bt.Ref.Table, tblRel.Len())
+		}
+		rel, err = p.join(left, right, expr.And(on...))
 		if err != nil {
 			return nil, err
 		}
@@ -285,6 +308,7 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 	}
 	p.seq(out.Len()) // write of the reduced block
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, blockTables(b), out.Len())
+	p.note(fmt.Sprintf("reduce T%d (%s)", b.ID+1, blockTables(b)), p.estCard(b), out.Len())
 	return out, nil
 }
 
@@ -303,6 +327,7 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	}
 	p.seq(base.Len(), out.Len()) // one scan in, reduced block out
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, bt.Ref.Table, out.Len())
+	p.note(fmt.Sprintf("reduce T%d (%s)", b.ID+1, bt.Ref.Table), p.estCard(b), out.Len())
 	return out, nil
 }
 
@@ -506,7 +531,11 @@ func (p *planner) subtreeUncorrelated(c *sql.Block) bool {
 
 // finish applies the root select list, DISTINCT and ORDER BY.
 func (p *planner) finish(rel *relation.Relation) (*relation.Relation, error) {
-	return exec.FinishQuery(rel, p.q)
+	out, err := exec.FinishQuery(rel, p.q)
+	if err == nil {
+		p.note("finish (select list / DISTINCT / ORDER BY)", -1, out.Len())
+	}
+	return out, err
 }
 
 func unqualify(name string) string {

@@ -19,6 +19,7 @@ import (
 
 	"nra/internal/catalog"
 	"nra/internal/relation"
+	"nra/internal/stats"
 	"nra/internal/value"
 )
 
@@ -32,13 +33,16 @@ type Manifest struct {
 	Tables []TableMeta `json:"tables"`
 }
 
-// TableMeta is one table's schema and constraints.
+// TableMeta is one table's schema and constraints. Stats carries the
+// table's last ANALYZE result (fresh statistics only — stale ones are
+// not persisted), so a reloaded session plans cost-based immediately.
 type TableMeta struct {
-	Name    string       `json:"name"`
-	PK      string       `json:"pk"`
-	Columns []ColumnMeta `json:"columns"`
-	NotNull []string     `json:"not_null,omitempty"`
-	Indexes [][]string   `json:"indexes,omitempty"`
+	Name    string           `json:"name"`
+	PK      string           `json:"pk"`
+	Columns []ColumnMeta     `json:"columns"`
+	NotNull []string         `json:"not_null,omitempty"`
+	Indexes [][]string       `json:"indexes,omitempty"`
+	Stats   *stats.TableJSON `json:"stats,omitempty"`
 }
 
 // ColumnMeta is one column's name and declared type.
@@ -85,6 +89,9 @@ func Save(cat *catalog.Catalog, dir string, tables ...string) error {
 				continue // recreated automatically
 			}
 			meta.Indexes = append(meta.Indexes, cols)
+		}
+		if ts := tbl.Stats(); ts != nil {
+			meta.Stats = ts.ToJSON()
 		}
 		man.Tables = append(man.Tables, meta)
 		if err := saveTable(filepath.Join(dir, name+".csv"), tbl.Rel); err != nil {
@@ -167,6 +174,15 @@ func Load(dir string) (*catalog.Catalog, error) {
 			if _, err := tbl.CreateIndex(idx...); err != nil {
 				return nil, err
 			}
+		}
+		// Reattach persisted statistics, but only when they still describe
+		// the data (a hand-edited CSV must not resurrect wrong row counts).
+		if meta.Stats != nil && meta.Stats.Rows == rel.Len() {
+			ts, err := stats.FromJSON(meta.Stats)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: table %s: %w", meta.Name, err)
+			}
+			tbl.SetStats(ts)
 		}
 	}
 	return cat, nil

@@ -191,3 +191,71 @@ func TestLoadErrors(t *testing.T) {
 		t.Fatal("missing table file must error")
 	}
 }
+
+func TestStatsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	tbl, _ := cat.Table("t")
+	tbl.Analyze()
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := back.Table("t")
+	ts := tbl2.Stats()
+	if ts == nil {
+		t.Fatal("statistics must survive a save/load round trip")
+	}
+	orig := tbl.Stats()
+	if ts.Rows != orig.Rows || len(ts.Cols) != len(orig.Cols) {
+		t.Fatalf("stats shape changed: %d rows / %d cols, want %d / %d",
+			ts.Rows, len(ts.Cols), orig.Rows, len(orig.Cols))
+	}
+	name := ts.Col("name")
+	if name == nil || name.Nulls != orig.Col("name").Nulls || name.NDV != orig.Col("name").NDV {
+		t.Fatalf("column stats changed: %+v vs %+v", name, orig.Col("name"))
+	}
+
+	// Stale stats must NOT be persisted.
+	if _, err := tbl.DeleteByPK([]value.Value{value.Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := Save(cat, dir2); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Load(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl3, _ := back2.Table("t")
+	if tbl3.Stats() != nil {
+		t.Fatal("stale statistics must not survive a save")
+	}
+
+	// Stats describing a different row count (hand-edited CSV) are dropped.
+	tbl.Analyze()
+	dir3 := t.TempDir()
+	if err := Save(cat, dir3); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir3, "t.csv")
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csv, append(data, "6,extra,9.9,true\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back3, err := Load(dir3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl4, _ := back3.Table("t")
+	if tbl4.Stats() != nil {
+		t.Fatal("row-count-mismatched statistics must be dropped on load")
+	}
+}

@@ -102,6 +102,12 @@ type govState struct {
 
 	used, peak, spills, spillBytes atomic.Int64
 
+	// planned holds operator names the cost-based planner decided will
+	// exceed the budget: those operators take their spill path from the
+	// start instead of attempting an in-memory build first. Written once
+	// during planning (before operators run), read by workers.
+	planned map[string]bool
+
 	tmpMu  sync.Mutex
 	tmpDir string
 }
@@ -295,8 +301,29 @@ func (ec *ExecContext) Reserve(op string, n int64) error {
 // Release returns n reserved bytes.
 func (ec *ExecContext) Release(n int64) { ec.gov.used.Add(-n) }
 
-// ForceSpill reports whether the fault hooks force op onto its spill path.
+// PlanSpill records the planner's decision that the named operators'
+// working state will not fit the memory budget; they go straight to
+// their spill path (grace join, external sort) rather than building in
+// memory first and degrading mid-flight. Call before execution starts —
+// the set is not synchronised against running operators. Spilled and
+// in-memory paths produce byte-identical results, so a wrong estimate
+// costs only performance.
+func (ec *ExecContext) PlanSpill(ops ...string) {
+	g := ec.gov
+	if g.planned == nil {
+		g.planned = make(map[string]bool, len(ops))
+	}
+	for _, op := range ops {
+		g.planned[op] = true
+	}
+}
+
+// ForceSpill reports whether op must take its spill path: either the
+// cost-based planner decided so (PlanSpill) or the fault hooks force it.
 func (ec *ExecContext) ForceSpill(op string) bool {
+	if ec.gov.planned[op] {
+		return true
+	}
 	h := ec.gov.limits.Hooks
 	return h != nil && h.ForceSpill != nil && h.ForceSpill(op)
 }

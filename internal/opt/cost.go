@@ -1,0 +1,70 @@
+package opt
+
+import "math"
+
+// The cost model prices plans in abstract tuple-touch units — one unit
+// per tuple read or written by an operator, with a constant overhead
+// factor on hash builds. Absolute values are meaningless; only the
+// comparison between two candidate plans for the same query matters, so
+// the constants need to rank alternatives correctly rather than predict
+// wall-clock time.
+const (
+	// HashBuildWeight inflates build-side tuples: inserting into a hash
+	// table costs more than streaming past a probe tuple.
+	HashBuildWeight = 1.5
+	// TupleOverhead mirrors exec.TupleBytes' fixed per-tuple bytes, used
+	// when translating estimated rows into working-state bytes.
+	TupleOverhead = 48
+	// MinParallelRows is the smallest dominant operator input for which
+	// fanning work across a worker pool amortises its startup and merge
+	// cost; below it the planner picks degree 1.
+	MinParallelRows = 8192
+)
+
+// HashJoinCost prices a hash join: build the smaller side, stream the
+// probe side, write the output.
+func HashJoinCost(build, probe, out float64) float64 {
+	return HashBuildWeight*build + probe + out
+}
+
+// SortCost prices an n·log₂(n) comparison sort.
+func SortCost(n float64) float64 {
+	if n < 2 {
+		return n
+	}
+	return n * math.Log2(n)
+}
+
+// NestLinkCost prices the fused nest + linking selection: sort the
+// joined relation by the nest keys, one scan evaluating the linking
+// predicate, write the survivors.
+func NestLinkCost(n, out float64) float64 {
+	return SortCost(n) + n + out
+}
+
+// SemiJoinCost prices the §4.2.5 positive rewrite: a hash semijoin with
+// the reduced child as build side.
+func SemiJoinCost(build, probe, out float64) float64 {
+	return HashJoinCost(build, probe, out)
+}
+
+// EstBytes converts an estimated row count and per-tuple payload width
+// into the working-state bytes the resource governor would account.
+func EstBytes(rows, width float64) float64 {
+	return rows * (width + TupleOverhead)
+}
+
+// ParallelDegree picks the effective partitioned-parallel degree: the
+// requested degree when the dominant operator input is large enough to
+// amortise the pool, otherwise 1 (serial operators, no pool startup or
+// partition merge). Results are byte-identical at every degree, so this
+// is purely a performance decision.
+func ParallelDegree(requested int, peakRows float64) int {
+	if requested <= 1 {
+		return 1
+	}
+	if peakRows < MinParallelRows {
+		return 1
+	}
+	return requested
+}

@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"nra/internal/expr"
+	"nra/internal/sql"
+)
+
+// LinkInput describes one linking edge for selectivity estimation.
+type LinkInput struct {
+	Kind sql.LinkKind
+	Cmp  expr.CmpOp // comparison for IN/NOT IN (Eq/Ne), SOME/ALL, scalar
+
+	MatchFrac float64 // fraction of outer tuples whose nested group is non-empty
+	AvgGroup  float64 // mean group size among outer tuples with a non-empty group
+
+	AttrNull   float64 // NULL fraction of the outer linking attribute
+	LinkedNull float64 // NULL fraction of the inner linked attribute
+	LinkedNDV  float64 // distinct count of the inner linked attribute; ≤0 = unknown
+	ConstAttr  bool    // the linking attribute is a constant (never NULL)
+	CountAgg   bool    // scalar link compares against COUNT (empty group → 0, not NULL)
+
+	// PTheta, when HavePTheta, overrides the default range selectivity
+	// with a histogram-derived P(attr θ member) (see CmpColFraction).
+	// It applies only to range comparisons; Eq/Ne keep the NDV estimate.
+	PTheta     float64
+	HavePTheta bool
+}
+
+// LinkSelectivity estimates the fraction of outer tuples a linking
+// selection keeps, with the paper's three-valued NULL semantics baked
+// in: a NULL linking attribute or an all-NULL inner column makes the
+// quantified comparison unknown, which σ treats as false — except for
+// ALL/NOT IN over an *empty* group, which is vacuously true. The second
+// return value explains the estimate for EXPLAIN.
+func LinkSelectivity(in LinkInput) (float64, string) {
+	match := clamp01(in.MatchFrac)
+	m := math.Max(1, in.AvgGroup)
+	nOut := clamp01(in.AttrNull)
+	if in.ConstAttr {
+		nOut = 0
+	}
+	nIn := clamp01(in.LinkedNull)
+
+	switch in.Kind {
+	case sql.Exists:
+		return match, fmt.Sprintf("P(non-empty group) = %.3g", match)
+	case sql.NotExists:
+		return clamp01(1 - match), fmt.Sprintf("1 − P(non-empty group) = %.3g", 1-match)
+	case sql.In, sql.CmpSome:
+		// One non-NULL member satisfying θ suffices; members are NULL with
+		// probability nIn and satisfy θ with probability pθ.
+		p := in.pThetaFor(someOp(in))
+		f := (1 - nOut) * match * (1 - math.Pow(1-p*(1-nIn), m))
+		return clamp01(f), fmt.Sprintf("(1−%.2g)·%.3g·(1−(1−pθ·(1−%.2g))^%.3g), pθ=%.3g", nOut, match, nIn, m, p)
+	case sql.NotIn, sql.CmpAll:
+		// Empty groups pass vacuously; otherwise the attribute must be
+		// non-NULL and every member non-NULL and satisfying θ. An all-NULL
+		// inner column (nIn = 1) therefore lets only empty-group tuples
+		// through — the paper's NOT IN pitfall.
+		p := in.pThetaFor(allOp(in))
+		f := (1 - match) + match*(1-nOut)*math.Pow(p*(1-nIn), m)
+		return clamp01(f), fmt.Sprintf("(1−%.3g) + %.3g·(1−%.2g)·(pθ·(1−%.2g))^%.3g, pθ=%.3g", match, match, nOut, nIn, m, p)
+	case sql.CmpScalar:
+		p := in.pThetaFor(in.Cmp)
+		empty := 0.0
+		if in.CountAgg {
+			empty = p // COUNT over an empty group is 0, still comparable
+		}
+		f := (1 - nOut) * (match*p + (1-match)*empty)
+		return clamp01(f), fmt.Sprintf("(1−%.2g)·(%.3g·pθ + %.3g·empty), pθ=%.3g", nOut, match, 1-match, p)
+	default:
+		return DefaultSel, "unknown linking operator"
+	}
+}
+
+// someOp returns the member comparison for positive quantification.
+func someOp(in LinkInput) expr.CmpOp {
+	if in.Kind == sql.In {
+		return expr.Eq
+	}
+	return in.Cmp
+}
+
+// allOp returns the member comparison for universal quantification.
+func allOp(in LinkInput) expr.CmpOp {
+	if in.Kind == sql.NotIn {
+		return expr.Ne
+	}
+	return in.Cmp
+}
+
+// pThetaFor resolves the member selectivity, preferring the histogram-
+// derived override for range comparisons.
+func (in LinkInput) pThetaFor(op expr.CmpOp) float64 {
+	if in.HavePTheta {
+		switch op {
+		case expr.Lt, expr.Le, expr.Gt, expr.Ge:
+			return clamp01(in.PTheta)
+		}
+	}
+	return pTheta(op, in.LinkedNDV)
+}
+
+// pTheta is the probability a single non-NULL member pair satisfies θ.
+func pTheta(op expr.CmpOp, ndv float64) float64 {
+	switch op {
+	case expr.Eq:
+		if ndv > 0 {
+			return clamp01(1 / ndv)
+		}
+		return DefaultEq
+	case expr.Ne:
+		if ndv > 0 {
+			return clamp01(1 - 1/ndv)
+		}
+		return 1 - DefaultEq
+	default:
+		return DefaultRange
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"sort"
+
+	"nra/internal/value"
+)
+
+// Histogram is an equi-depth histogram over a column's non-NULL values.
+// Bucket i covers (Bounds[i], Bounds[i+1]] — except bucket 0, which is
+// closed on both ends — and holds Counts[i] rows, so len(Bounds) ==
+// len(Counts)+1. Buckets hold (nearly) equal row counts, which keeps the
+// relative estimation error uniform across skewed distributions.
+type Histogram struct {
+	Bounds []value.Value
+	Counts []int
+	total  int
+}
+
+// BuildHistogram sorts a copy of the non-NULL values (value.Less order)
+// and cuts it into at most buckets equal-depth ranges.
+func BuildHistogram(vals []value.Value, buckets int) *Histogram {
+	n := len(vals)
+	if n == 0 || buckets < 1 {
+		return nil
+	}
+	sorted := make([]value.Value, n)
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return value.Less(sorted[i], sorted[j]) })
+	if buckets > n {
+		buckets = n
+	}
+	h := &Histogram{total: n}
+	h.Bounds = append(h.Bounds, sorted[0])
+	prev := 0
+	for b := 1; b <= buckets; b++ {
+		hi := b * n / buckets // cumulative rank of this bucket's upper bound
+		if hi <= prev {
+			continue
+		}
+		h.Bounds = append(h.Bounds, sorted[hi-1])
+		h.Counts = append(h.Counts, hi-prev)
+		prev = hi
+	}
+	return h
+}
+
+// Total returns the number of values the histogram summarises.
+func (h *Histogram) Total() int { return h.total }
+
+// FracLE estimates the fraction of values ≤ v, interpolating linearly
+// inside the bucket that contains v (numeric columns only; non-numeric
+// buckets assume the half-way point).
+func (h *Histogram) FracLE(v value.Value) float64 {
+	if h == nil || h.total == 0 {
+		return defaultRange
+	}
+	if value.Less(v, h.Bounds[0]) {
+		return 0
+	}
+	cum := 0
+	for i, cnt := range h.Counts {
+		lo, hi := h.Bounds[i], h.Bounds[i+1]
+		if !value.Less(v, hi) { // v >= hi: whole bucket qualifies
+			cum += cnt
+			continue
+		}
+		return (float64(cum) + interpolate(lo, hi, v)*float64(cnt)) / float64(h.total)
+	}
+	return 1
+}
+
+// interpolate returns the fraction of a bucket (lo, hi] that lies ≤ v.
+func interpolate(lo, hi, v value.Value) float64 {
+	l, okL := asFloat(lo)
+	h, okH := asFloat(hi)
+	x, okX := asFloat(v)
+	if !okL || !okH || !okX || h <= l {
+		return 0.5
+	}
+	f := (x - l) / (h - l)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+func asFloat(v value.Value) (float64, bool) {
+	switch v.Kind() {
+	case value.KindInt:
+		return float64(v.Int64()), true
+	case value.KindFloat:
+		return v.Float64(), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import "math"
+
+// kmvK is the sketch size: exact distinct counts up to 1024, ~3% standard
+// error above, 16 KiB of state per column.
+const kmvK = 1024
+
+// kmv is a k-minimum-values distinct-count sketch: it keeps the k
+// smallest distinct 64-bit hashes seen. If fewer than k distinct hashes
+// arrive the count is exact; otherwise the k-th smallest hash's position
+// in the hash space estimates the density of distinct values.
+type kmv struct {
+	k    int
+	heap []uint64            // max-heap of the k smallest hashes
+	in   map[uint64]struct{} // membership, to ignore duplicates
+}
+
+func newKMV(k int) *kmv {
+	return &kmv{k: k, in: make(map[uint64]struct{}, k)}
+}
+
+func (s *kmv) Add(h uint64) {
+	if _, dup := s.in[h]; dup {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.in[h] = struct{}{}
+		s.heapPush(h)
+		return
+	}
+	if h >= s.heap[0] {
+		return // not among the k smallest
+	}
+	delete(s.in, s.heap[0])
+	s.in[h] = struct{}{}
+	s.heap[0] = h
+	s.siftDown(0)
+}
+
+// Estimate returns the estimated number of distinct hashes added.
+func (s *kmv) Estimate() float64 {
+	n := len(s.heap)
+	if n < s.k {
+		return float64(n) // saw fewer than k distinct values: exact
+	}
+	kth := float64(s.heap[0]) / float64(math.MaxUint64) // density of the k smallest
+	if kth <= 0 {
+		return float64(n)
+	}
+	return float64(s.k-1) / kth
+}
+
+func (s *kmv) heapPush(h uint64) {
+	s.heap = append(s.heap, h)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] >= s.heap[i] {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *kmv) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < n && s.heap[l] > s.heap[big] {
+			big = l
+		}
+		if r < n && s.heap[r] > s.heap[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		s.heap[i], s.heap[big] = s.heap[big], s.heap[i]
+		i = big
+	}
+}
+
+// fnv64a hashes canonical value-key bytes (value.AppendKey) with the
+// FNV-64a function — deterministic across runs and platforms, so
+// serialised statistics and fresh ANALYZE passes agree.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,189 @@
+// Package stats collects per-table and per-column statistics — row
+// counts, null fractions, distinct-count estimates, min/max bounds and
+// equi-depth histograms — for the cost-based planner (internal/opt).
+//
+// Collection is a single ANALYZE pass over a flat relation. The sketch
+// behind the distinct-count estimate is a k-minimum-values (KMV) sketch
+// over an FNV-64a hash of each value's canonical key bytes: exact below
+// k distinct values, within a few percent above, using O(k) memory —
+// stdlib-only, no external dependencies. Statistics serialise to JSON so
+// csvio can persist them alongside the CSV tables and an nraql session
+// can reuse a previous ANALYZE.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// DefaultBuckets is the equi-depth histogram resolution used by Collect.
+const DefaultBuckets = 32
+
+// Column holds the statistics of one column. Fractions returned by its
+// estimation helpers are fractions of the column's non-NULL values;
+// callers account for NULLs via NullFrac.
+type Column struct {
+	Name  string      // unqualified column name
+	Rows  int         // rows in the table (including NULLs in this column)
+	Nulls int         // rows where this column is NULL
+	NDV   float64     // estimated distinct non-NULL values
+	Min   value.Value // smallest non-NULL value (Null when column is all-NULL)
+	Max   value.Value // largest non-NULL value
+	Width float64     // avg accounted bytes per value (exec.TupleBytes model)
+	Hist  *Histogram  // equi-depth histogram over non-NULL values; nil if none
+}
+
+// NullFrac returns the fraction of the column's rows that are NULL.
+func (c *Column) NullFrac() float64 {
+	if c == nil || c.Rows == 0 {
+		return 0
+	}
+	return float64(c.Nulls) / float64(c.Rows)
+}
+
+// Table holds the statistics of one base table.
+type Table struct {
+	Rows int
+	Cols []*Column
+
+	byName map[string]*Column
+}
+
+// Col returns the statistics of the named (unqualified) column, or nil.
+func (t *Table) Col(name string) *Column {
+	if t == nil {
+		return nil
+	}
+	return t.byName[name]
+}
+
+// Collect performs the ANALYZE pass over a flat relation and returns its
+// statistics. Column names are stored unqualified so the same statistics
+// serve every alias of the table.
+func Collect(rel *relation.Relation) *Table {
+	t := &Table{Rows: rel.Len(), byName: make(map[string]*Column, len(rel.Schema.Cols))}
+	for ci, sc := range rel.Schema.Cols {
+		c := collectColumn(rel, ci)
+		c.Name = unqualify(sc.Name)
+		t.Cols = append(t.Cols, c)
+		t.byName[c.Name] = c
+	}
+	return t
+}
+
+func collectColumn(rel *relation.Relation, ci int) *Column {
+	c := &Column{Rows: rel.Len(), Min: value.Null, Max: value.Null}
+	sk := newKMV(kmvK)
+	var nonNull []value.Value
+	var key []byte
+	var widthSum float64
+	for _, tp := range rel.Tuples {
+		v := tp.Atoms[ci]
+		if v.IsNull() {
+			c.Nulls++
+			continue
+		}
+		key = v.AppendKey(key[:0])
+		sk.Add(fnv64a(key))
+		// Mirror exec.TupleBytes' per-atom accounting: 40 bytes per atom
+		// plus string payload.
+		widthSum += 40
+		if v.Kind() == value.KindString {
+			widthSum += float64(len(v.Text()))
+		}
+		if c.Min.IsNull() || value.Less(v, c.Min) {
+			c.Min = v
+		}
+		if c.Max.IsNull() || value.Less(c.Max, v) {
+			c.Max = v
+		}
+		nonNull = append(nonNull, v)
+	}
+	if n := len(nonNull); n > 0 {
+		c.Width = widthSum / float64(n)
+		c.NDV = sk.Estimate()
+		if c.NDV > float64(n) {
+			c.NDV = float64(n)
+		}
+		if c.NDV < 1 {
+			c.NDV = 1
+		}
+		c.Hist = BuildHistogram(nonNull, DefaultBuckets)
+	} else {
+		c.Width = 40
+	}
+	return c
+}
+
+// FracEq estimates the fraction of the column's non-NULL values equal to v.
+func (c *Column) FracEq(v value.Value) float64 {
+	if c == nil || c.NDV <= 0 {
+		return defaultEq
+	}
+	if !c.Min.IsNull() && (value.Less(v, c.Min) || value.Less(c.Max, v)) {
+		return 0
+	}
+	return 1 / c.NDV
+}
+
+// FracLE estimates the fraction of non-NULL values ≤ v; FracLT excludes v.
+func (c *Column) FracLE(v value.Value) float64 {
+	if c == nil || c.Hist == nil {
+		return defaultRange
+	}
+	return c.Hist.FracLE(v)
+}
+
+// FracLT estimates the fraction of non-NULL values < v.
+func (c *Column) FracLT(v value.Value) float64 {
+	f := c.FracLE(v) - c.FracEq(v)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Default selectivities used when a histogram or NDV is unavailable
+// (System R's classics).
+const (
+	defaultEq    = 0.1
+	defaultRange = 1.0 / 3
+)
+
+// Summary renders a human-readable table of the statistics (the REPL's
+// \stats output).
+func (t *Table) Summary(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d rows\n", name, t.Rows)
+	fmt.Fprintf(&b, "  %-20s %9s %9s %8s  %-14s %-14s %s\n",
+		"column", "nulls", "ndv", "width", "min", "max", "histogram")
+	for _, c := range t.Cols {
+		hist := "-"
+		if c.Hist != nil {
+			hist = fmt.Sprintf("%d buckets", len(c.Hist.Counts))
+		}
+		fmt.Fprintf(&b, "  %-20s %8.1f%% %9.0f %8.1f  %-14s %-14s %s\n",
+			c.Name, 100*c.NullFrac(), c.NDV, c.Width, short(c.Min), short(c.Max), hist)
+	}
+	return b.String()
+}
+
+func short(v value.Value) string {
+	s := v.String()
+	if len(s) > 14 {
+		s = s[:11] + "..."
+	}
+	return s
+}
+
+func unqualify(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

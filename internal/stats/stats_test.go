@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+func intRel(t *testing.T, name string, vals ...int64) *relation.Relation {
+	t.Helper()
+	schema := &relation.Schema{Name: name, Cols: []relation.Column{{Name: name + ".v", Type: relation.TInt}}}
+	rel := relation.New(schema)
+	for _, v := range vals {
+		rel.Append(relation.Tuple{Atoms: []value.Value{value.Int(v)}})
+	}
+	return rel
+}
+
+func TestCollectBasics(t *testing.T) {
+	schema := &relation.Schema{Name: "t", Cols: []relation.Column{
+		{Name: "t.a", Type: relation.TInt},
+		{Name: "t.s", Type: relation.TString},
+	}}
+	rel := relation.New(schema)
+	for i := 0; i < 100; i++ {
+		a := value.Int(int64(i % 10))
+		s := value.Str(fmt.Sprintf("str%02d", i))
+		if i%4 == 0 {
+			a = value.Null
+		}
+		rel.Append(relation.Tuple{Atoms: []value.Value{a, s}})
+	}
+	ts := Collect(rel)
+	if ts.Rows != 100 {
+		t.Fatalf("rows = %d, want 100", ts.Rows)
+	}
+	a := ts.Col("a")
+	if a == nil {
+		t.Fatal("no stats for column a")
+	}
+	if got := a.NullFrac(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("null fraction = %g, want 0.25", got)
+	}
+	// Values 0..9 minus the multiples of four that were nulled out on
+	// residues 0,4,8 — but every residue still appears for some i, so the
+	// distinct count is exactly 10.
+	if a.NDV != 10 {
+		t.Errorf("ndv = %g, want 10 (exact below sketch size)", a.NDV)
+	}
+	if !value.Identical(a.Min, value.Int(0)) || !value.Identical(a.Max, value.Int(9)) {
+		t.Errorf("min/max = %s/%s, want 0/9", a.Min, a.Max)
+	}
+	s := ts.Col("s")
+	if s.NDV != 100 || s.Nulls != 0 {
+		t.Errorf("string column: ndv=%g nulls=%d, want 100/0", s.NDV, s.Nulls)
+	}
+	if s.Width <= 40 {
+		t.Errorf("string width = %g, want > 40 (payload accounted)", s.Width)
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	// Heavily skewed: 900 copies of 1, then 100 distinct high values.
+	var vals []value.Value
+	for i := 0; i < 900; i++ {
+		vals = append(vals, value.Int(1))
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, value.Int(int64(1000+i)))
+	}
+	h := BuildHistogram(vals, 10)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if got := h.FracLE(value.Int(1)); math.Abs(got-0.9) > 0.05 {
+		t.Errorf("FracLE(1) = %g, want ≈0.9", got)
+	}
+	if got := h.FracLE(value.Int(0)); got != 0 {
+		t.Errorf("FracLE(0) = %g, want 0 (below min)", got)
+	}
+	if got := h.FracLE(value.Int(2000)); got != 1 {
+		t.Errorf("FracLE(2000) = %g, want 1 (above max)", got)
+	}
+	mid := h.FracLE(value.Int(1050))
+	if mid < 0.9 || mid > 1 {
+		t.Errorf("FracLE(1050) = %g, want in [0.9, 1]", mid)
+	}
+}
+
+func TestKMVSketch(t *testing.T) {
+	// Below k: exact.
+	s := newKMV(kmvK)
+	for i := 0; i < 500; i++ {
+		s.Add(fnv64a([]byte(fmt.Sprintf("v%d", i))))
+		s.Add(fnv64a([]byte(fmt.Sprintf("v%d", i)))) // duplicates ignored
+	}
+	if got := s.Estimate(); got != 500 {
+		t.Errorf("estimate = %g, want exactly 500 below sketch size", got)
+	}
+	// Above k: within 10%.
+	s = newKMV(kmvK)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Add(fnv64a([]byte(fmt.Sprintf("key-%d", i))))
+	}
+	got := s.Estimate()
+	if got < 0.9*n || got > 1.1*n {
+		t.Errorf("estimate = %g, want within 10%% of %d", got, n)
+	}
+}
+
+func TestSelectivityHelpers(t *testing.T) {
+	rel := intRel(t, "t")
+	for i := int64(1); i <= 1000; i++ {
+		rel.Append(relation.Tuple{Atoms: []value.Value{value.Int(i)}})
+	}
+	c := Collect(rel).Col("v")
+	if got := c.FracEq(value.Int(500)); math.Abs(got-0.001) > 1e-6 {
+		t.Errorf("FracEq = %g, want 0.001", got)
+	}
+	if got := c.FracEq(value.Int(5000)); got != 0 {
+		t.Errorf("FracEq outside [min,max] = %g, want 0", got)
+	}
+	if got := c.FracLE(value.Int(250)); math.Abs(got-0.25) > 0.05 {
+		t.Errorf("FracLE(250) = %g, want ≈0.25", got)
+	}
+	if got := c.FracLT(value.Int(1)); got > 0.05 {
+		t.Errorf("FracLT(min) = %g, want ≈0", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	schema := &relation.Schema{Name: "t", Cols: []relation.Column{
+		{Name: "t.a", Type: relation.TInt},
+		{Name: "t.s", Type: relation.TString},
+		{Name: "t.f", Type: relation.TFloat},
+		{Name: "t.b", Type: relation.TBool},
+	}}
+	rel := relation.New(schema)
+	for i := 0; i < 200; i++ {
+		rel.Append(relation.Tuple{Atoms: []value.Value{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf(`\weird "str" %d`, i)),
+			value.Float(float64(i) / 7),
+			value.Bool(i%2 == 0),
+		}})
+	}
+	orig := Collect(rel)
+	data, err := json.Marshal(orig.ToJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tj TableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(&tj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != orig.Rows || len(back.Cols) != len(orig.Cols) {
+		t.Fatalf("shape changed: %d/%d cols, %d/%d rows", len(back.Cols), len(orig.Cols), back.Rows, orig.Rows)
+	}
+	for i, oc := range orig.Cols {
+		bc := back.Cols[i]
+		if bc.Name != oc.Name || bc.Nulls != oc.Nulls || bc.NDV != oc.NDV || bc.Width != oc.Width {
+			t.Errorf("column %s changed: %+v vs %+v", oc.Name, bc, oc)
+		}
+		if !value.Identical(bc.Min, oc.Min) || !value.Identical(bc.Max, oc.Max) {
+			t.Errorf("column %s min/max changed", oc.Name)
+		}
+		if (bc.Hist == nil) != (oc.Hist == nil) {
+			t.Fatalf("column %s histogram presence changed", oc.Name)
+		}
+		if oc.Hist != nil {
+			if bc.Hist.Total() != oc.Hist.Total() || len(bc.Hist.Counts) != len(oc.Hist.Counts) {
+				t.Errorf("column %s histogram shape changed", oc.Name)
+			}
+			probe := value.Int(57)
+			if oc.Name == "f" {
+				probe = value.Float(13.37)
+			}
+			if bc.Hist.FracLE(probe) != oc.Hist.FracLE(probe) {
+				t.Errorf("column %s histogram estimate changed after round trip", oc.Name)
+			}
+		}
+	}
+}

@@ -124,6 +124,44 @@ func (db *DB) DropIndex(table string, cols ...string) error {
 	return nil
 }
 
+// Analyze collects optimizer statistics (row counts, NULL fractions,
+// distinct-value estimates, min/max, equi-depth histograms) for the named
+// tables — or for every table when none are named. Fresh statistics enable
+// cost-based physical planning (see docs/OPTIMIZER.md); DML on a table
+// marks its statistics stale, and the planner then falls back to the
+// heuristic defaults until the table is analyzed again.
+func (db *DB) Analyze(tables ...string) error {
+	if len(tables) == 0 {
+		db.cat.AnalyzeAll()
+		return nil
+	}
+	for _, name := range tables {
+		t, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		t.Analyze()
+	}
+	return nil
+}
+
+// StatsSummary renders a table's collected statistics (one line per
+// column), or reports that none are available / they are stale.
+func (db *DB) StatsSummary(table string) (string, error) {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return "", err
+	}
+	if t.StatsStale() {
+		return fmt.Sprintf("%s — statistics stale (run ANALYZE)\n", table), nil
+	}
+	ts := t.Stats()
+	if ts == nil {
+		return fmt.Sprintf("%s — no statistics (run ANALYZE)\n", table), nil
+	}
+	return ts.Summary(table), nil
+}
+
 // Save persists the whole database (data, schema, constraints, indexes)
 // into a directory of CSV files plus a JSON manifest.
 func (db *DB) Save(dir string) error { return csvio.Save(db.cat, dir) }
@@ -245,6 +283,28 @@ func (db *DB) explainQuery(q *sql.Query, s Strategy) (string, error) {
 	}
 }
 
+// ExplainAnalyze executes the query under a nested strategy and renders
+// the EXPLAIN tree followed by a per-operator table joining the planner's
+// cardinality estimates against the actual row counts, plus the run's
+// memory/spill accounting. Only single-SELECT statements are supported;
+// Native/Reference strategies are not instrumented.
+func (db *DB) ExplainAnalyze(src string, s Strategy) (string, error) {
+	if s.kind == kindNative || s.kind == kindReference {
+		return "", fmt.Errorf("nra: EXPLAIN ANALYZE requires a nested strategy")
+	}
+	if s.kind == kindAuto {
+		s = NestedOptimized
+	}
+	st, err := db.analyzeStatement(src)
+	if err != nil {
+		return "", err
+	}
+	if st.Query == nil {
+		return "", fmt.Errorf("nra: EXPLAIN ANALYZE does not support set operations")
+	}
+	return core.ExplainAnalyze(st.Query, s.coreOptions())
+}
+
 func (db *DB) execute(q *sql.Query, s Strategy) (*relation.Relation, error) {
 	switch s.kind {
 	case kindAuto:
@@ -349,6 +409,26 @@ func (s Strategy) WithTimeout(d time.Duration) Strategy {
 	return s
 }
 
+// WithCostBased returns a copy of a nested strategy with cost-based
+// physical planning switched on or off. When on (the NestedOptimized
+// default) and every referenced table carries fresh statistics (see
+// DB.Analyze), the planner uses estimated cardinalities to order linking
+// edges, gate the §4.2.5 and §4.2.4 rewrites, pick the parallel degree,
+// and pre-plan operator spills; without fresh statistics it behaves
+// exactly like the heuristic planner. Auto becomes NestedOptimized;
+// Native/Reference are returned unchanged.
+func (s Strategy) WithCostBased(on bool) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	if s.kind == kindAuto {
+		s = NestedOptimized
+	}
+	s.opts.UseStats = on
+	s.opts.CostBased = on
+	return s
+}
+
 // Traced returns a copy of a nested strategy that writes a per-operator
 // execution walkthrough (the paper's Temp1→Temp4 narration, with
 // cardinalities) to w. Native/Reference strategies are returned
@@ -382,6 +462,13 @@ func (s Strategy) String() string {
 		base.Timeout = 0
 		if base == core.Original() {
 			name = "nested-original"
+		} else if !base.CostBased {
+			heuristic := core.Optimized()
+			heuristic.UseStats = base.UseStats
+			heuristic.CostBased = false
+			if base == heuristic {
+				name = "nested-optimized (heuristic)"
+			}
 		}
 		if s.opts.Parallelism > 1 {
 			name = fmt.Sprintf("%s (parallelism %d)", name, s.opts.Parallelism)
