@@ -24,6 +24,7 @@ import (
 	"nra/internal/bench"
 	"nra/internal/core"
 	"nra/internal/native"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/sql"
 )
@@ -247,6 +248,37 @@ func BenchmarkParallelism(b *testing.B) {
 			b.Run(fig+"/"+c.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := core.Execute(q, c.opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTracing times the observability overhead: the fully optimized
+// configuration untraced versus with a per-query span tracer. Spans are
+// recorded at operator entry/exit and per-morsel claims only, so the
+// traced series must stay within a few percent of the untraced one
+// (cmd/figures -tracing runs the same ablation with verification).
+func BenchmarkTracing(b *testing.B) {
+	configs := []struct {
+		name string
+		mk   func() core.Options
+	}{
+		{"untraced", core.Optimized},
+		{"traced", func() core.Options {
+			opt := core.Optimized()
+			opt.Tracer = obsv.NewTracer()
+			return opt
+		}},
+	}
+	for _, fig := range []string{"fig4", "fig6", "fig8a"} {
+		q := analyzeLargest(b, fig)
+		for _, c := range configs {
+			b.Run(fig+"/"+c.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Execute(q, c.mk()); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...] [-ablation] [-parallel] [-costbased]
+//	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...]
+//	        [-ablation] [-parallel] [-costbased] [-tracing] [-trace]
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 		ablation = flag.Bool("ablation", false, "also run the §4.2 ablation study")
 		parallel = flag.Bool("parallel", false, "also run the parallel-vs-serial ablation (serial / P=2 / P=4 / P=8)")
 		costb    = flag.Bool("costbased", false, "also run the cost-based vs heuristic planner ablation")
+		trace    = flag.Bool("trace", false, "also render a span waterfall for each workload query (Query 1/2b/3b/3c)")
+		tracing  = flag.Bool("tracing", false, "also run the tracing-overhead ablation (untraced vs traced)")
 		noverify = flag.Bool("noverify", false, "skip cross-strategy result verification")
 	)
 	flag.Parse()
@@ -51,7 +54,7 @@ func main() {
 		}
 	}
 
-	if *ablation || *parallel || *costb {
+	if *ablation || *parallel || *costb || *trace || *tracing {
 		env, err := bench.NewEnv(cfg)
 		if err != nil {
 			fail(err)
@@ -81,6 +84,24 @@ func main() {
 			}
 			for _, f := range figs {
 				fmt.Println(f.Format())
+			}
+		}
+		if *tracing {
+			figs, err := env.TracingAblation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
+		}
+		if *trace {
+			tfs, err := env.TraceWaterfalls()
+			if err != nil {
+				fail(err)
+			}
+			for _, tf := range tfs {
+				fmt.Printf("## %s — %s\n\n%s\n%s\n", tf.ID, tf.Title, tf.SQL, tf.Text)
 			}
 		}
 	}

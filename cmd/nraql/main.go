@@ -5,7 +5,8 @@
 // Usage:
 //
 //	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
-//	      [-timeout 30s] [-e "select ..."]
+//	      [-timeout 30s] [-debug-addr localhost:6060] [-slow-query 100ms]
+//	      [-e "select ..."]
 //
 // Inside the shell:
 //
@@ -16,9 +17,14 @@
 //	                            native | reference)
 //	\explain select ...;        show the plan instead of running
 //	\explain analyze select ..; run, then show estimated vs actual rows
+//	\waterfall select ...;      run traced, then draw the span waterfall
 //	\stats <table>              show a table's collected statistics
 //	\tables                     list tables with row counts
 //	\q                          quit
+//
+// -debug-addr serves expvar metrics and net/http/pprof on a private HTTP
+// endpoint; -slow-query/-slow-log write a JSON-lines slow-query log (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"nra"
+	"nra/internal/obsv"
 )
 
 var strategyNames = map[string]nra.Strategy{
@@ -55,6 +62,9 @@ func main() {
 		mem   = flag.String("mem", "", "memory budget for operator working state, e.g. 64K, 16M, 1G (empty = unbounded); over-budget operators spill to disk")
 		tmo   = flag.Duration("timeout", 0, "per-query timeout, e.g. 30s (0 = none)")
 		anlz  = flag.Bool("analyze", true, "collect optimizer statistics on the loaded tables at startup (enables cost-based planning)")
+		dbg   = flag.String("debug-addr", "", "serve the debug HTTP endpoint (expvar metrics + pprof) on this address, e.g. localhost:6060 (empty = off; bind to localhost only — see docs/OBSERVABILITY.md)")
+		slowQ = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
+		slowF = flag.String("slow-log", "", "slow-query log destination file (JSON lines; empty = stderr)")
 	)
 	flag.Parse()
 
@@ -99,6 +109,26 @@ func main() {
 		if err := db.Analyze(); err != nil {
 			fail(err)
 		}
+	}
+	if *dbg != "" {
+		addr, stop, err := obsv.ServeDebug(*dbg, obsv.Default())
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/\n", addr)
+	}
+	if *slowQ >= 0 {
+		w := os.Stderr
+		if *slowF != "" {
+			f, err := os.OpenFile(*slowF, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		db.SetSlowQueryLog(w, *slowQ)
 	}
 
 	if *eval != "" {
@@ -175,6 +205,15 @@ func main() {
 				} else {
 					fmt.Print(out)
 				}
+			case strings.HasPrefix(trimmed, `\waterfall`):
+				src := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(trimmed, `\waterfall`)), ";")
+				if src == "" {
+					fmt.Println(`usage: \waterfall select ...`)
+				} else if _, err := db.QueryWith(src, strategy.WithTracing(true)); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Print(db.LastTrace().Waterfall())
+				}
 			case strings.HasPrefix(trimmed, `\stats`):
 				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`))
 				if name == "" {
@@ -185,7 +224,7 @@ func main() {
 					fmt.Print(out)
 				}
 			default:
-				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain, \stats`)
+				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain, \waterfall, \stats`)
 			}
 			prompt()
 			continue

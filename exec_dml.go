@@ -171,7 +171,7 @@ func (db *DB) selectTargets(table, pk string, setExprs []sql.Expr, where sql.Exp
 	if err != nil {
 		return nil, nil, fmt.Errorf("nra: %w (in rewritten DML query %q)", err, b.String())
 	}
-	rel, err := db.executeStatement(st, Auto)
+	rel, err := db.executeStatement(st, Auto, b.String())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -230,3 +230,45 @@ func TestModeledShapesMatchPaper(t *testing.T) {
 			lnn.Modeled[StratNative], lnn.Modeled[StratNRAOptimized])
 	}
 }
+
+func TestTracingAblationVerifies(t *testing.T) {
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.TracingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("tracing ablation workloads = %d", len(figs))
+	}
+	for _, f := range figs {
+		series := f.Series()
+		if len(series) != 2 {
+			t.Fatalf("%s: series = %v", f.ID, series)
+		}
+	}
+}
+
+func TestTraceWaterfallsRender(t *testing.T) {
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfs, err := e.TraceWaterfalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tfs) != 4 {
+		t.Fatalf("waterfalls = %d, want 4", len(tfs))
+	}
+	for _, tf := range tfs {
+		if !strings.Contains(tf.Text, "query") || !strings.Contains(tf.Text, "operator") {
+			t.Errorf("%s: waterfall missing headers:\n%s", tf.ID, tf.Text)
+		}
+		if !strings.Contains(tf.Text, "#") {
+			t.Errorf("%s: waterfall has no time bars:\n%s", tf.ID, tf.Text)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"nra/internal/algebra"
 	"nra/internal/exec"
 	"nra/internal/relation"
@@ -95,12 +93,13 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := p.begin("outer join T%d (bottom-up §4.2.3)", c.ID+1)
 		joined, err := p.outerJoin(rel, res, cond)
 		if err != nil {
 			return nil, err
 		}
 		p.seq(rel.Len(), res.Len(), joined.Len())
-		p.note(fmt.Sprintf("outer join T%d (bottom-up §4.2.3)", c.ID+1), -1, joined.Len())
+		p.done(sp, -1, joined.Len())
 		subName := "sub"
 		pred, err := p.linkPred(edge, subName, c)
 		if err != nil {
@@ -112,12 +111,13 @@ func (p *planner) runBottomUp(chain []*sql.Block) (*relation.Relation, error) {
 			if err != nil {
 				return nil, err
 			}
+			sp := p.begin("nest+link L%d (bottom-up)", c.ID+1)
 			res, err = p.nestLink(joined, p.keys[b.ID], by, spec, nil)
 			if err != nil {
 				return nil, err
 			}
 			p.seq(3*joined.Len(), res.Len())
-			p.note(fmt.Sprintf("nest+link L%d (bottom-up)", c.ID+1), p.estAfter(edge), res.Len())
+			p.done(sp, p.estAfter(edge), res.Len())
 			continue
 		}
 		keep := p.blockCols(joined, c.ID)
@@ -157,12 +157,13 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 			return nil, err
 		}
 		relLen := rel.Len()
+		sp := p.begin("outer join T%d (fused chain)", c.ID+1)
 		rel, err = p.outerJoin(rel, tc, cond)
 		if err != nil {
 			return nil, err
 		}
 		p.seq(relLen, tc.Len(), rel.Len())
-		p.note(fmt.Sprintf("outer join T%d (fused chain)", c.ID+1), p.estJoined(incomingLink(c)), rel.Len())
+		p.done(sp, p.estJoined(incomingLink(c)), rel.Len())
 	}
 	levels := make([]exec.ChainLevel, len(chain)-1)
 	for i := 0; i < len(chain)-1; i++ {
@@ -177,12 +178,13 @@ func (p *planner) runFusedChain(chain []*sql.Block) (*relation.Relation, error) 
 		}
 		levels[i] = exec.ChainLevel{KeyCols: p.keys[b.ID], Spec: spec}
 	}
+	sp := p.begin("nest+link chain (%d levels, §4.2.1)", len(levels))
 	out, err := p.nestLinkChain(rel, levels, p.blockCols(rel, chain[0].ID))
 	if err != nil {
 		return nil, err
 	}
 	p.seq(3*rel.Len(), out.Len()) // one sort + one scan for every level
 	p.trace("rel := NestLinkChain(%d levels)  (§4.2.1 fused chain, %d → %d tuples)", len(levels), rel.Len(), out.Len())
-	p.note(fmt.Sprintf("nest+link chain (%d levels, §4.2.1)", len(levels)), p.estAfter(chain[0].Links[0]), out.Len())
+	p.done(sp, p.estAfter(chain[0].Links[0]), out.Len())
 	return out, nil
 }

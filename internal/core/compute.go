@@ -136,13 +136,14 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		return nil, err
 	}
 	relLen := rel.Len()
+	sp := p.begin("outer join T%d", c.ID+1)
 	rel, err = p.outerJoin(rel, tc, cond)
 	if err != nil {
 		return nil, err
 	}
 	p.seq(relLen, tc.Len(), rel.Len()) // hash outer join: read both, write out
 	p.trace("rel := rel ⟕ T%d  (%d ⟕ %d → %d tuples)", c.ID+1, relLen, tc.Len(), rel.Len())
-	p.note(fmt.Sprintf("outer join T%d", c.ID+1), p.estJoined(edge), rel.Len())
+	p.done(sp, p.estJoined(edge), rel.Len())
 	// Recurse: the child's own subqueries are consumed first (bottom-up
 	// computation of the linking predicates).
 	rel, err = p.processChildren(c, top, rel)
@@ -167,13 +168,14 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		if !strict {
 			pad = p.blockCols(rel, node.ID)
 		}
+		sp := p.begin("nest+link L%d (%s)", c.ID+1, linkString(edge))
 		out, err := p.nestLink(rel, p.pathKeyCols(rel, node, top), by, spec, pad)
 		if err != nil {
 			return nil, err
 		}
 		p.seq(3*rel.Len(), out.Len()) // one sort (two passes) + one scan + write
 		p.trace("rel := NestLink[%s]  (fused υ+σ, %d → %d tuples)", pred, rel.Len(), out.Len())
-		p.note(fmt.Sprintf("nest+link L%d (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
+		p.done(sp, p.estAfter(edge), out.Len())
 		return out, nil
 	}
 
@@ -187,6 +189,11 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 	p.seq(nIn, nIn) // nest: read the flat input, write the nested form
 	p.trace("rel := υ(rel)  (%d tuples → %d groups)", nIn, rel.Len())
 	nNested := rel.Len()
+	mode := "σ"
+	if !strict {
+		mode = "σ̄"
+	}
+	sp = p.begin("%s L%d (%s)", mode, c.ID+1, linkString(edge))
 	if strict {
 		rel, err = algebra.LinkSelect(rel, pred)
 	} else {
@@ -196,12 +203,8 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		return nil, err
 	}
 	p.seq(nIn, nNested) // linking selection: second pass over the groups
-	mode := "σ"
-	if !strict {
-		mode = "σ̄"
-	}
 	p.trace("rel := %s[%s](rel)  → %d tuples", mode, pred, rel.Len())
-	p.note(fmt.Sprintf("%s L%d (%s)", mode, c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
+	p.done(sp, p.estAfter(edge), rel.Len())
 	return algebra.DropSub(rel, subName)
 }
 
@@ -217,6 +220,7 @@ func (p *planner) applyLinkOnGroup(node *sql.Block, edge *sql.LinkEdge, rel *rel
 	// Standalone sets contain only real tuples; presence filtering is
 	// unnecessary but harmless (kept for uniformity).
 	nIn := rel.Len()
+	sp := p.begin("link L%d on shared subquery result (%s)", c.ID+1, linkString(edge))
 	if strict {
 		rel, err = algebra.LinkSelect(rel, pred)
 	} else {
@@ -226,7 +230,7 @@ func (p *planner) applyLinkOnGroup(node *sql.Block, edge *sql.LinkEdge, rel *rel
 		return nil, err
 	}
 	p.seq(nIn, rel.Len())
-	p.note(fmt.Sprintf("link L%d on shared subquery result (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
+	p.done(sp, p.estAfter(edge), rel.Len())
 	return algebra.DropSub(rel, subName)
 }
 
@@ -288,13 +292,14 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 		return nil, err
 	}
 	if len(c.Links) == 0 {
+		sp := p.begin("semijoin T%d (§4.2.5, %s)", c.ID+1, linkString(edge))
 		out, err := algebra.SemiJoin(rel, tc, on)
 		if err != nil {
 			return nil, err
 		}
 		p.seq(rel.Len(), tc.Len(), out.Len())
 		p.trace("rel := rel ⋉ T%d  (§4.2.5 positive rewrite, %d → %d tuples)", c.ID+1, rel.Len(), out.Len())
-		p.note(fmt.Sprintf("semijoin T%d (§4.2.5, %s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
+		p.done(sp, p.estAfter(edge), out.Len())
 		return out, nil
 	}
 	outCols := rel.Schema.ColNames()
@@ -313,10 +318,13 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 		return nil, err
 	}
 	// The kept primary keys make distinct-by-value identical to
-	// distinct-by-row, so this restores the pre-join multiset.
+	// distinct-by-row, so this restores the pre-join multiset. The span
+	// opens here — after the children's spans closed — so plan spans stay
+	// sequential and the operator log keeps its pre-span order.
+	sp := p.begin("join+distinct T%d (§4.2.5, %s)", c.ID+1, linkString(edge))
 	out := algebra.Distinct(rel)
 	p.seq(rel.Len(), out.Len())
-	p.note(fmt.Sprintf("join+distinct T%d (§4.2.5, %s)", c.ID+1, linkString(edge)), p.estAfter(edge), out.Len())
+	p.done(sp, p.estAfter(edge), out.Len())
 	return out, nil
 }
 
@@ -415,13 +423,14 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 			keep = append(keep, col)
 		}
 	}
+	sp := p.begin("nest T%d below join (§4.2.4)", c.ID+1)
 	nested, err := algebra.Nest(tc, nestBy, keep, subName)
 	if err != nil {
 		return nil, err
 	}
 	p.seq(tc.Len(), nested.Len()) // pushed-down nest over the small T_c
 	p.trace("υ(T%d) pushed below the join (§4.2.4): %d tuples → %d groups", c.ID+1, tc.Len(), nested.Len())
-	p.note(fmt.Sprintf("nest T%d below join (§4.2.4)", c.ID+1), -1, nested.Len())
+	p.done(sp, -1, nested.Len())
 	var onParts []expr.Expr
 	for i := range childCols {
 		onParts = append(onParts, expr.Compare(expr.Eq, expr.Col(outerCols[i]), expr.Col(childCols[i])))
@@ -442,6 +451,7 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 	// column may have been projected away from the group, so presence
 	// filtering is disabled.
 	pred.Presence = ""
+	sp = p.begin("link L%d on pushed-down groups (%s)", c.ID+1, linkString(edge))
 	if strict {
 		rel, err = algebra.LinkSelect(rel, pred)
 	} else {
@@ -450,7 +460,7 @@ func (p *planner) processEdgePushdown(node *sql.Block, edge *sql.LinkEdge, rel *
 	if err != nil {
 		return nil, err
 	}
-	p.note(fmt.Sprintf("link L%d on pushed-down groups (%s)", c.ID+1, linkString(edge)), p.estAfter(edge), rel.Len())
+	p.done(sp, p.estAfter(edge), rel.Len())
 	// Drop the group and the child-side join columns.
 	rel, err = algebra.DropSub(rel, subName)
 	if err != nil {

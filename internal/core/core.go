@@ -27,6 +27,7 @@ import (
 
 	"nra/internal/exec"
 	"nra/internal/iomodel"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/sql"
 )
@@ -98,6 +99,24 @@ type Options struct {
 	// Stats, when non-nil, receives the query's resource accounting (peak
 	// working-state bytes, spill events/bytes) when Execute returns.
 	Stats *exec.Stats
+	// Tracer, when non-nil, records the query's per-operator span tree
+	// (see internal/obsv). Execute finishes the tracer before returning;
+	// read the tree with Tracer.Finish (idempotent). Nil disables tracing
+	// at zero per-tuple cost. Tracing never changes plan or physical-path
+	// decisions. ExecuteAnalyzed and a non-nil SlowLog create a private
+	// tracer when this is nil.
+	Tracer *obsv.Tracer
+	// SlowQuery is the slow-query-log threshold: a query whose wall time
+	// reaches it is recorded to SlowLog. 0 logs every query (when SlowLog
+	// is set).
+	SlowQuery time.Duration
+	// SlowLog, when non-nil, receives a structured JSON-lines entry —
+	// plan, trace tree, est-vs-actual rows, resource stats — for every
+	// query at least SlowQuery slow.
+	SlowLog *obsv.SlowLog
+	// Label identifies the query in the slow-query log (usually its SQL
+	// text).
+	Label string
 }
 
 // Original returns the unoptimized §4.1 configuration.
@@ -163,23 +182,59 @@ func executeLogged(q *sql.Query, opt Options, log *[]OpStat) (*relation.Relation
 	if err != nil {
 		return nil, nil, err
 	}
-	p.anz = log
+	// EXPLAIN ANALYZE and the slow-query log are both span consumers: when
+	// the caller supplied no tracer, they get a private one.
+	tr := opt.Tracer
+	if tr == nil && (log != nil || opt.SlowLog != nil) {
+		tr = obsv.NewTracer()
+	}
+	start := time.Now()
 	ec := exec.NewExecContext(opt.Ctx, exec.Limits{
 		MemoryBudget: opt.MemoryBudget,
 		Timeout:      opt.Timeout,
 		TempDir:      opt.SpillDir,
 		Hooks:        opt.Hooks,
+		Tracer:       tr,
 	})
 	p.ec = ec
 	if len(p.spillOps) > 0 {
 		ec.PlanSpill(p.spillOps...)
 	}
 	out, err := p.run()
+	st := ec.Stats()
 	if opt.Stats != nil {
-		*opt.Stats = ec.Stats()
+		*opt.Stats = st
 	}
 	if cerr := ec.Close(); err == nil {
 		err = cerr
+	}
+	elapsed := time.Since(start)
+	reg := obsv.Default()
+	slow := opt.SlowLog != nil && elapsed >= opt.SlowQuery
+	reg.NoteQuery(elapsed, err, slow)
+	if tr != nil {
+		rec := tr.Finish()
+		reg.ObserveTrace(rec)
+		feedEstimates(rec, reg)
+		if log != nil {
+			*log = planOpStats(rec)
+		}
+		if slow {
+			entry := &obsv.SlowLogEntry{
+				Time:       time.Now(),
+				Query:      opt.Label,
+				DurationMS: float64(elapsed) / float64(time.Millisecond),
+				Plan:       p.explainString(),
+				PeakBytes:  st.PeakBytes,
+				Spills:     st.Spills,
+				SpillBytes: st.SpillBytes,
+				Trace:      rec,
+			}
+			if err != nil {
+				entry.Error = err.Error()
+			}
+			_ = opt.SlowLog.Record(entry)
+		}
 	}
 	return out, p, err
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nra/internal/algebra"
+	"nra/internal/obsv"
 	"nra/internal/opt"
 	"nra/internal/sql"
 	"nra/internal/stats"
@@ -351,10 +352,27 @@ func (p *planner) estCard(b *sql.Block) float64 {
 	return p.card[b.ID]
 }
 
-// note records one executed operator's estimated vs actual output rows
-// for EXPLAIN ANALYZE.
-func (p *planner) note(op string, est float64, act int) {
-	if p.anz != nil {
-		*p.anz = append(*p.anz, OpStat{Op: op, Est: est, Act: act})
+// begin opens a plan-level trace span for one executed operator — the
+// unit EXPLAIN ANALYZE reports one row for. With tracing off it returns
+// nil and skips the label formatting, so the disabled path costs one nil
+// check and zero allocations. Physical operator spans (joins, sorts, the
+// fused nest+link scans) started while a plan span is open nest under it.
+func (p *planner) begin(format string, args ...any) *obsv.Span {
+	if !p.ec.Tracing() {
+		return nil
 	}
+	return p.ec.StartSpan(fmt.Sprintf(format, args...), obsv.KindPlan)
+}
+
+// done closes a plan span with the operator's estimated (est < 0 = no
+// estimate) and actual output rows. Plan spans never nest inside each
+// other — every begin's span is done before the next begin — so walking
+// a trace in start order reproduces the sequential operator log exactly.
+func (p *planner) done(sp *obsv.Span, est float64, act int) {
+	if sp == nil {
+		return
+	}
+	sp.SetEst(est)
+	sp.AddRowsOut(int64(act))
+	sp.End()
 }

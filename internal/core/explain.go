@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nra/internal/algebra"
+	"nra/internal/opt"
 	"nra/internal/sql"
 )
 
@@ -16,6 +17,15 @@ func Explain(q *sql.Query, opt Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return p.explainString(), nil
+}
+
+// explainString renders the EXPLAIN text for an already-constructed
+// planner — shared by Explain and the slow-query log, which captures the
+// executed plan without re-planning.
+func (p *planner) explainString() string {
+	opt := p.opt
+	q := p.q
 	var b strings.Builder
 	b.WriteString("tree expression (§4.1):\n")
 	p.explainBlock(&b, q.Root, 0)
@@ -58,7 +68,7 @@ func Explain(q *sql.Query, opt Options) (string, error) {
 			fmt.Fprintf(&b, "  cost: %s\n", n)
 		}
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 // ExplainAnalyze executes the query and renders the EXPLAIN tree followed
@@ -97,22 +107,9 @@ func ExplainAnalyze(q *sql.Query, opt Options) (string, error) {
 	return b.String(), nil
 }
 
-// qError is the symmetric estimation-error factor max(est,act)/min(est,act),
-// with both sides clamped to at least one row.
-func qError(est float64, act int) float64 {
-	e := est
-	if e < 1 {
-		e = 1
-	}
-	a := float64(act)
-	if a < 1 {
-		a = 1
-	}
-	if e > a {
-		return e / a
-	}
-	return a / e
-}
+// qError is opt.QError: the symmetric estimation-error factor
+// max(est,act)/min(est,act) with both sides clamped to at least one row.
+func qError(est float64, act int) float64 { return opt.QError(est, act) }
 
 func firstOK[T any](_ T, ok bool) bool { return ok }
 

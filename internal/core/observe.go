@@ -1,0 +1,43 @@
+package core
+
+import (
+	"nra/internal/obsv"
+	optpkg "nra/internal/opt"
+)
+
+// This file is the bridge between a finished trace and the planner's
+// introspection surfaces: EXPLAIN ANALYZE's operator table is read back
+// from the trace's plan-level spans, and every estimate-carrying span
+// feeds one q-error observation into the estimator's accuracy histogram
+// (opt.Accuracy) and the process metrics registry.
+
+// planOpStats extracts EXPLAIN ANALYZE's operator rows from a finished
+// trace. Plan spans are recorded strictly sequentially (each one ends
+// before the next begins — see planner.begin/done), so the pre-order
+// walk visits them in execution order and the result matches the
+// operator log the planner produced before spans existed, row for row.
+func planOpStats(rec *obsv.SpanRecord) []OpStat {
+	var out []OpStat
+	rec.Walk(func(s *obsv.SpanRecord) {
+		if s.Kind != obsv.KindPlan {
+			return
+		}
+		out = append(out, OpStat{Op: s.Op, Est: s.EstRows, Act: int(s.RowsOut)})
+	})
+	return out
+}
+
+// feedEstimates closes the estimator's feedback loop: one q-error
+// observation per plan span that carried a cardinality estimate, into
+// both the process-wide opt.Accuracy histogram (the re-ANALYZE drift
+// signal) and the metrics registry.
+func feedEstimates(rec *obsv.SpanRecord, reg *obsv.Registry) {
+	rec.Walk(func(s *obsv.SpanRecord) {
+		if s.Kind != obsv.KindPlan || s.EstRows < 0 {
+			return
+		}
+		qe := optpkg.QError(s.EstRows, int(s.RowsOut))
+		optpkg.Accuracy.Note(qe)
+		reg.ObserveQError(qe)
+	})
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"nra/internal/obsv"
+	"nra/internal/tpch"
+)
+
+// workloadQueries are the paper's three TPC-H workload families (the
+// shapes bench measures as Query 1, 2 and 3) — the span-tree tests
+// trace each one.
+var workloadQueries = []string{
+	// Query 1: one correlated ALL subquery.
+	`select o_orderkey, o_orderpriority from orders
+	 where o_totalprice > all (select l_extendedprice from lineitem
+	     where l_orderkey = o_orderkey)`,
+	// Query 2: a two-level linear chain.
+	`select p_partkey, p_name from part
+	 where p_retailprice < any (select ps_supplycost from partsupp
+	     where ps_partkey = p_partkey
+	       and exists (select * from lineitem
+	           where p_partkey = l_partkey and ps_suppkey = l_suppkey))`,
+	// Query 3: NOT EXISTS over a chain (the antijoin-shaped family).
+	`select c_name from customer
+	 where not exists (select * from orders
+	     where o_custkey = c_custkey and o_totalprice > 100000)`,
+}
+
+// checkSpanTree asserts the structural invariants of a finished trace:
+// one query root; plan spans strictly sequential (never nested in each
+// other); every span's window inside its parent's; physical operator
+// spans present under the plan spans that ran them.
+func checkSpanTree(t *testing.T, rec *obsv.SpanRecord) {
+	t.Helper()
+	if rec == nil || rec.Kind != obsv.KindQuery {
+		t.Fatalf("root span = %+v, want kind %q", rec, obsv.KindQuery)
+	}
+	var plans, physical int
+	var walk func(s *obsv.SpanRecord, inPlan bool)
+	walk = func(s *obsv.SpanRecord, inPlan bool) {
+		for _, c := range s.Children {
+			if c.Start < s.Start {
+				t.Errorf("span %q starts before its parent %q", c.Op, s.Op)
+			}
+			if c.Start+c.Elapsed > s.Start+s.Elapsed+s.Elapsed/8+1 {
+				t.Errorf("span %q (%v+%v) extends past its parent %q (%v+%v)",
+					c.Op, c.Start, c.Elapsed, s.Op, s.Start, s.Elapsed)
+			}
+			switch c.Kind {
+			case obsv.KindQuery:
+				t.Errorf("nested query span %q", c.Op)
+			case obsv.KindPlan:
+				plans++
+				if inPlan {
+					t.Errorf("plan span %q nested inside another plan span", c.Op)
+				}
+				walk(c, true)
+			default:
+				physical++
+				walk(c, inPlan)
+			}
+		}
+	}
+	walk(rec, false)
+	if plans == 0 {
+		t.Error("trace has no plan spans")
+	}
+	if physical == 0 {
+		t.Error("trace has no physical operator spans")
+	}
+}
+
+func TestSpanTreeWorkloadQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H generation in -short mode")
+	}
+	cat, err := tpch.Generate(tpch.Scale(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.AnalyzeAll()
+	for i, src := range workloadQueries {
+		q := analyze(t, cat, src)
+		opt := Optimized()
+		opt.Tracer = obsv.NewTracer()
+		if _, err := Execute(q, opt); err != nil {
+			t.Fatalf("query %d: %v", i+1, err)
+		}
+		rec := opt.Tracer.Finish()
+		checkSpanTree(t, rec)
+		if rec.Find(obsv.KindScan) == nil {
+			t.Errorf("query %d: no scan span in\n%s", i+1, obsv.Waterfall(rec))
+		}
+		if rec.Find(obsv.KindJoin) == nil {
+			t.Errorf("query %d: no join span in\n%s", i+1, obsv.Waterfall(rec))
+		}
+	}
+}
+
+func TestSpanTreeMatchesAnalyzeLog(t *testing.T) {
+	// The EXPLAIN ANALYZE operator log is derived from the trace's plan
+	// spans; their pre-order walk must agree with it op for op.
+	cat := paperCatalog(t)
+	q := analyze(t, cat, queryQ)
+	tr := obsv.NewTracer()
+	opt := Optimized()
+	opt.Tracer = tr
+	_, ops, _, err := ExecuteAnalyzed(q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tr.Finish()
+	checkSpanTree(t, rec)
+	fromTrace := planOpStats(rec)
+	if len(fromTrace) != len(ops) {
+		t.Fatalf("trace has %d plan spans, analyze log has %d", len(fromTrace), len(ops))
+	}
+	for i := range ops {
+		if ops[i] != fromTrace[i] {
+			t.Errorf("op %d: analyze log %+v != trace %+v", i, ops[i], fromTrace[i])
+		}
+	}
+}
+
+func TestTracingDoesNotChangeExecution(t *testing.T) {
+	// Tracing must never alter plan or physical-path decisions: the
+	// operator walkthrough and the output tuples must be identical with
+	// and without a tracer, on every configuration of the matrix.
+	cat := paperCatalog(t)
+	cat.AnalyzeAll()
+	q := analyze(t, cat, queryQ)
+	for name, base := range optionMatrix {
+		var plain, traced strings.Builder
+		optPlain := base
+		optPlain.Trace = &plain
+		want, err := Execute(q, optPlain)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		optTraced := base
+		optTraced.Trace = &traced
+		optTraced.Tracer = obsv.NewTracer()
+		got, err := Execute(q, optTraced)
+		if err != nil {
+			t.Fatalf("%s traced: %v", name, err)
+		}
+		if plain.String() != traced.String() {
+			t.Errorf("%s: tracing changed the operator walkthrough:\nplain:\n%s\ntraced:\n%s",
+				name, plain.String(), traced.String())
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("%s: tracing changed the result size: %d vs %d", name, want.Len(), got.Len())
+		}
+		for i := range want.Tuples {
+			if want.Tuples[i].Key() != got.Tuples[i].Key() {
+				t.Fatalf("%s: tracing changed tuple %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	cat := paperCatalog(t)
+	q := analyze(t, cat, queryQ)
+	var buf bytes.Buffer
+	opt := Optimized()
+	opt.SlowLog = obsv.NewSlowLog(&buf)
+	opt.SlowQuery = 0 // log every query
+	opt.Label = "queryQ"
+	if _, err := Execute(q, opt); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := obsv.DecodeSlowLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("decoded %d slow-log entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Query != "queryQ" || e.Error != "" || e.DurationMS <= 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if !strings.Contains(e.Plan, "tree expression") || !strings.Contains(e.Plan, "strategy:") {
+		t.Errorf("entry plan missing the EXPLAIN tree:\n%s", e.Plan)
+	}
+	if e.Trace == nil || e.Trace.Kind != obsv.KindQuery {
+		t.Fatalf("entry trace = %+v", e.Trace)
+	}
+	checkSpanTree(t, e.Trace)
+
+	// Above-threshold filtering: a generous threshold logs nothing.
+	buf.Reset()
+	opt.SlowLog = obsv.NewSlowLog(&buf)
+	opt.SlowQuery = 10 * time.Second
+	if _, err := Execute(q, opt); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("fast query logged anyway: %s", buf.String())
+	}
+}

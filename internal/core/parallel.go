@@ -4,6 +4,7 @@ import (
 	"nra/internal/algebra"
 	"nra/internal/exec"
 	"nra/internal/expr"
+	"nra/internal/obsv"
 	"nra/internal/opt"
 	"nra/internal/relation"
 )
@@ -34,7 +35,7 @@ func (p *planner) join(l, r *relation.Relation, on expr.Expr) (*relation.Relatio
 	if par := p.par(); par > 1 || p.ec.Governed() {
 		return exec.ParallelJoin(p.ec, l, r, on, false, par)
 	}
-	return algebra.Join(l, r, on)
+	return p.serialJoin(l, r, on, false)
 }
 
 // outerJoin executes l ⟕_on r with the plan's degree of parallelism.
@@ -42,7 +43,31 @@ func (p *planner) outerJoin(l, r *relation.Relation, on expr.Expr) (*relation.Re
 	if par := p.par(); par > 1 || p.ec.Governed() {
 		return exec.ParallelJoin(p.ec, l, r, on, true, par)
 	}
-	return algebra.LeftOuterJoin(l, r, on)
+	return p.serialJoin(l, r, on, true)
+}
+
+// serialJoin runs the serial algebra join under a span of its own, so
+// the trace covers every physical join variant exactly once
+// (exec.ParallelJoin records its own span).
+func (p *planner) serialJoin(l, r *relation.Relation, on expr.Expr, outer bool) (res *relation.Relation, err error) {
+	if p.ec.Tracing() {
+		op := "join"
+		if outer {
+			op = "outer join"
+		}
+		sp := p.ec.StartSpan(op, obsv.KindJoin)
+		sp.AddRowsIn(int64(l.Len() + r.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
+	if outer {
+		return algebra.LeftOuterJoin(l, r, on)
+	}
+	return algebra.Join(l, r, on)
 }
 
 // nestLink executes the fused nest + linking selection with the plan's

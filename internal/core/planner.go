@@ -32,7 +32,6 @@ type planner struct {
 	statsNote string                    // EXPLAIN line describing stats availability
 	planNotes []string                  // EXPLAIN chosen-because annotations
 	spillOps  []string                  // operators planned onto their spill path
-	anz       *[]OpStat                 // EXPLAIN ANALYZE op log; nil otherwise
 }
 
 func newPlanner(q *sql.Query, opt Options) (*planner, error) {
@@ -235,6 +234,7 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 		return true
 	}
 
+	sp := p.begin("reduce T%d (%s)", b.ID+1, blockTables(b))
 	var rel *relation.Relation
 	for ti, bt := range b.Tables {
 		tblRel := &relation.Relation{Schema: bt.Schema, Tuples: bt.Table.Rel.Tuples}
@@ -308,7 +308,7 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 	}
 	p.seq(out.Len()) // write of the reduced block
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, blockTables(b), out.Len())
-	p.note(fmt.Sprintf("reduce T%d (%s)", b.ID+1, blockTables(b)), p.estCard(b), out.Len())
+	p.done(sp, p.estCard(b), out.Len())
 	return out, nil
 }
 
@@ -321,13 +321,14 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := p.begin("reduce T%d (%s)", b.ID+1, bt.Ref.Table)
 	out, err := exec.Drain(p.ec, exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
 	if err != nil {
 		return nil, err
 	}
 	p.seq(base.Len(), out.Len()) // one scan in, reduced block out
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, bt.Ref.Table, out.Len())
-	p.note(fmt.Sprintf("reduce T%d (%s)", b.ID+1, bt.Ref.Table), p.estCard(b), out.Len())
+	p.done(sp, p.estCard(b), out.Len())
 	return out, nil
 }
 
@@ -531,9 +532,12 @@ func (p *planner) subtreeUncorrelated(c *sql.Block) bool {
 
 // finish applies the root select list, DISTINCT and ORDER BY.
 func (p *planner) finish(rel *relation.Relation) (*relation.Relation, error) {
+	sp := p.begin("finish (select list / DISTINCT / ORDER BY)")
 	out, err := exec.FinishQuery(rel, p.q)
 	if err == nil {
-		p.note("finish (select list / DISTINCT / ORDER BY)", -1, out.Len())
+		p.done(sp, -1, out.Len())
+	} else {
+		sp.End()
 	}
 	return out, err
 }

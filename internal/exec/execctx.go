@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/value"
 )
@@ -46,7 +47,10 @@ type QueryError struct {
 	Err error
 }
 
+// Error formats the failure with its operator context.
 func (e *QueryError) Error() string { return fmt.Sprintf("exec: %s: %v", e.Op, e.Err) }
+
+// Unwrap returns the underlying cause (errors.Is/As support).
 func (e *QueryError) Unwrap() error { return e.Err }
 
 // ErrBudget reports that an operator needed memory above the budget in a
@@ -85,6 +89,9 @@ type Limits struct {
 	TempDir string
 	// Hooks installs fault-injection interception points (tests only).
 	Hooks *FaultHooks
+	// Tracer, when non-nil, records a per-operator span tree for the
+	// query. Nil disables tracing at zero per-tuple cost.
+	Tracer *obsv.Tracer
 }
 
 // Stats is a snapshot of an ExecContext's resource accounting.
@@ -203,6 +210,26 @@ func (ec *ExecContext) Governed() bool {
 // Budget returns the memory budget in bytes (0 = unbounded).
 func (ec *ExecContext) Budget() int64 { return ec.gov.limits.MemoryBudget }
 
+// Tracing reports whether the context carries a tracer. Operators use it
+// to skip label formatting; span methods themselves are nil-safe and
+// need no guard.
+func (ec *ExecContext) Tracing() bool { return ec.gov.limits.Tracer != nil }
+
+// StartSpan opens a child span of the innermost open span and makes it
+// current. With tracing disabled it returns nil, on which every Span
+// method is a no-op. Tracing never changes which physical path an
+// operator takes — Governed deliberately ignores the tracer.
+func (ec *ExecContext) StartSpan(op, kind string) *obsv.Span {
+	return ec.gov.limits.Tracer.Start(op, kind)
+}
+
+// CurrentSpan returns the innermost open span (nil with tracing
+// disabled). Pool workers use it to credit morsel claims to whatever
+// operator is running.
+func (ec *ExecContext) CurrentSpan() *obsv.Span {
+	return ec.gov.limits.Tracer.Current()
+}
+
 // Err returns the cancellation error, if any, without wrapping. After
 // cancellation the error is cached in an atomic, so the steady state is
 // one load; before it, a non-blocking poll of the done channel makes
@@ -270,6 +297,9 @@ func (ec *ExecContext) TryReserve(op string, n int64) (bool, error) {
 			break
 		}
 	}
+	if g.limits.Tracer != nil {
+		g.limits.Tracer.Current().AddBytes(n)
+	}
 	return true, nil
 }
 
@@ -294,6 +324,9 @@ func (ec *ExecContext) Reserve(op string, n int64) error {
 		if u <= p || g.peak.CompareAndSwap(p, u) {
 			break
 		}
+	}
+	if g.limits.Tracer != nil {
+		g.limits.Tracer.Current().AddBytes(n)
 	}
 	return nil
 }
@@ -332,6 +365,9 @@ func (ec *ExecContext) ForceSpill(op string) bool {
 func (ec *ExecContext) NoteSpill(bytes int64) {
 	ec.gov.spills.Add(1)
 	ec.gov.spillBytes.Add(bytes)
+	if tr := ec.gov.limits.Tracer; tr != nil {
+		tr.Current().NoteSpill(bytes)
+	}
 }
 
 // Stats snapshots the resource accounting.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nra/internal/expr"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/value"
 )
@@ -59,14 +60,37 @@ type Scan struct {
 	Rel *relation.Relation
 	pos int
 	ec  *ExecContext
+	sp  *obsv.Span
 }
 
 // NewScan returns a scan over rel.
 func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
 
-func (s *Scan) Open(ec *ExecContext) error { s.pos, s.ec = 0, ec; return nil }
-func (s *Scan) Close() error               { return nil }
-func (s *Scan) Schema() *relation.Schema   { return s.Rel.Schema }
+// Open positions the scan at the first tuple and opens its span.
+func (s *Scan) Open(ec *ExecContext) error {
+	s.pos, s.ec = 0, ec
+	if ec.Tracing() {
+		s.sp = ec.StartSpan("scan "+s.Rel.Schema.Name, obsv.KindScan)
+	}
+	return nil
+}
+
+// Close ends the scan's span (rows in = the relation's cardinality,
+// rows out = tuples actually consumed).
+func (s *Scan) Close() error {
+	if s.sp != nil {
+		s.sp.AddRowsIn(int64(s.Rel.Len()))
+		s.sp.AddRowsOut(int64(s.pos))
+		s.sp.End()
+		s.sp = nil
+	}
+	return nil
+}
+
+// Schema returns the scanned relation's schema.
+func (s *Scan) Schema() *relation.Schema { return s.Rel.Schema }
+
+// Next returns the next tuple, checking governance every 256 tuples.
 func (s *Scan) Next() (relation.Tuple, bool, error) {
 	if s.pos&255 == 0 {
 		if err := s.ec.Check("scan"); err != nil {
@@ -93,6 +117,7 @@ type Filter struct {
 // NewFilter wraps in with predicate pred (nil = pass-through).
 func NewFilter(in Iterator, pred expr.Expr) *Filter { return &Filter{In: in, Pred: pred} }
 
+// Open opens the input and compiles the predicate against its schema.
 func (f *Filter) Open(ec *ExecContext) error {
 	if err := f.In.Open(ec); err != nil {
 		return err
@@ -108,8 +133,14 @@ func (f *Filter) Open(ec *ExecContext) error {
 	f.compiled = c
 	return nil
 }
-func (f *Filter) Close() error             { return f.In.Close() }
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Schema returns the input's schema (filtering drops no columns).
 func (f *Filter) Schema() *relation.Schema { return f.In.Schema() }
+
+// Next returns the next input tuple whose predicate is True.
 func (f *Filter) Next() (relation.Tuple, bool, error) {
 	for {
 		t, ok, err := f.In.Next()
@@ -141,6 +172,7 @@ type Project struct {
 // NewProject projects in onto cols.
 func NewProject(in Iterator, cols []string) *Project { return &Project{In: in, Cols: cols} }
 
+// Open opens the input and resolves the projected column indexes.
 func (p *Project) Open(ec *ExecContext) error {
 	if err := p.In.Open(ec); err != nil {
 		return err
@@ -158,8 +190,14 @@ func (p *Project) Open(ec *ExecContext) error {
 	}
 	return nil
 }
-func (p *Project) Close() error             { return p.In.Close() }
+
+// Close closes the input.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Schema returns the projected schema (set by Open).
 func (p *Project) Schema() *relation.Schema { return p.schema }
+
+// Next returns the next input tuple restricted to the projected columns.
 func (p *Project) Next() (relation.Tuple, bool, error) {
 	t, ok, err := p.In.Next()
 	if err != nil || !ok {
@@ -184,12 +222,19 @@ type Limit struct {
 // NewLimit wraps in with a LIMIT/OFFSET window.
 func NewLimit(in Iterator, n, offset int) *Limit { return &Limit{In: in, N: n, Offset: offset} }
 
+// Open resets the window counters and opens the input.
 func (l *Limit) Open(ec *ExecContext) error {
 	l.emitted, l.skipped = 0, 0
 	return l.In.Open(ec)
 }
-func (l *Limit) Close() error             { return l.In.Close() }
+
+// Close closes the input.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// Schema returns the input's schema.
 func (l *Limit) Schema() *relation.Schema { return l.In.Schema() }
+
+// Next returns the next tuple inside the LIMIT/OFFSET window.
 func (l *Limit) Next() (relation.Tuple, bool, error) {
 	for {
 		if l.N >= 0 && l.emitted >= l.N {
@@ -234,6 +279,9 @@ type HashJoin struct {
 
 	spilled  *relation.Relation // non-nil: stream this instead of probing
 	spillPos int
+	sp       *obsv.Span
+	inRows   int64 // probe tuples consumed
+	outRows  int64 // joined tuples produced
 
 	cur     relation.Tuple // current probe tuple
 	matches []int
@@ -250,13 +298,21 @@ func NewHashJoin(left, right Iterator, on expr.Expr, outer bool) *HashJoin {
 	return &HashJoin{Left: left, Right: right, On: on, Outer: outer}
 }
 
+// Schema returns the joined schema (set by Open).
 func (h *HashJoin) Schema() *relation.Schema { return h.schema }
 
+// Open builds the hash table from the build side (spilling to a grace
+// join when over budget) and prepares the probe side.
 func (h *HashJoin) Open(ec *ExecContext) (err error) {
 	defer Guard("hashjoin/open", &err)
 	h.ec = ec
 	h.spilled, h.spillPos, h.reserved, h.steps = nil, 0, 0, 0
+	h.inRows, h.outRows = 0, 0
 	h.closed = false
+	// The span opens before the inputs so their spans nest under it.
+	if ec.Tracing() {
+		h.sp = ec.StartSpan("hashjoin", obsv.KindJoin)
+	}
 	if err := h.Left.Open(ec); err != nil {
 		return err
 	}
@@ -337,6 +393,7 @@ func (h *HashJoin) Open(ec *ExecContext) (err error) {
 			if err != nil {
 				return err
 			}
+			h.inRows = int64(probe.Len())
 			h.spilled = out
 			return nil
 		}
@@ -366,6 +423,8 @@ func (h *HashJoin) Open(ec *ExecContext) (err error) {
 // own state past end-of-stream are released exactly once, whether or not
 // Open succeeded in between. Close is idempotent and safe before Open or
 // the first Next.
+// Close releases the build table, closes both inputs, and ends the
+// join's span.
 func (h *HashJoin) Close() error {
 	if h.closed {
 		return nil
@@ -379,9 +438,20 @@ func (h *HashJoin) Close() error {
 	if rerr := h.Right.Close(); err == nil {
 		err = rerr
 	}
+	if h.sp != nil {
+		if h.build != nil {
+			h.sp.AddRowsIn(int64(h.build.Len()))
+		}
+		h.sp.AddRowsIn(h.inRows)
+		h.sp.AddRowsOut(h.outRows)
+		h.sp.End()
+		h.sp = nil
+	}
 	return err
 }
 
+// Next returns the next joined tuple (or, for an outer join, the next
+// NULL-padded probe tuple with no match).
 func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
 	defer Guard("hashjoin/next", &err)
 	if h.spilled != nil {
@@ -390,6 +460,7 @@ func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
 		}
 		t := h.spilled.Tuples[h.spillPos]
 		h.spillPos++
+		h.outRows++
 		return t, true, nil
 	}
 	for {
@@ -405,6 +476,7 @@ func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
 				return relation.Tuple{}, ok, err
 			}
 			h.cur, h.have, h.matched = t, true, false
+			h.inRows++
 			h.mi, h.loopPos = 0, 0
 			if !h.useLoop {
 				h.matches = nil
@@ -440,6 +512,7 @@ func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
 		if exhausted {
 			h.have = false
 			if h.Outer && !h.matched {
+				h.outRows++
 				return h.concat(h.cur, h.pad), true, nil
 			}
 			continue
@@ -455,6 +528,7 @@ func (h *HashJoin) Next() (t relation.Tuple, ok bool, err error) {
 			}
 		}
 		h.matched = true
+		h.outRows++
 		return joined, true, nil
 	}
 }

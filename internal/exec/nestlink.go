@@ -15,6 +15,7 @@ import (
 
 	"nra/internal/algebra"
 	"nra/internal/expr"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/value"
 )
@@ -111,6 +112,16 @@ func (s *quantState) verdict(spec *LinkSpec, attr value.Value) (value.Tri, error
 // sort (spillSortBy), preserving the exact stable order.
 func NestLink(ec *ExecContext, rel *relation.Relation, keyCols, by []string, spec *LinkSpec, pad []string) (res *relation.Relation, err error) {
 	defer Guard("nestlink", &err)
+	if ec.Tracing() {
+		sp := ec.StartSpan("nestlink", obsv.KindNestLink)
+		sp.AddRowsIn(int64(rel.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
 	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
 	if err != nil {
 		return nil, err
@@ -290,6 +301,16 @@ type ChainLevel struct {
 // degrades to an external merge under memory pressure.
 func NestLinkChain(ec *ExecContext, rel *relation.Relation, levels []ChainLevel, outBy []string) (res *relation.Relation, err error) {
 	defer Guard("nestlinkchain", &err)
+	if ec.Tracing() {
+		sp := ec.StartSpan(fmt.Sprintf("nestlinkchain (%d levels)", len(levels)), obsv.KindChain)
+		sp.AddRowsIn(int64(rel.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
 	plan, err := prepareChain(rel.Schema, levels, outBy)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"nra/internal/algebra"
 	"nra/internal/expr"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/value"
 )
@@ -36,6 +37,22 @@ import (
 // footprint exceeds the memory budget.
 func ParallelJoin(ec *ExecContext, l, r *relation.Relation, on expr.Expr, outer bool, par int) (res *relation.Relation, err error) {
 	defer Guard("join", &err)
+	// The span opens before the serial-delegation check so every physical
+	// variant of this join is covered by exactly one span.
+	if ec.Tracing() {
+		op := "join"
+		if outer {
+			op = "outer join"
+		}
+		sp := ec.StartSpan(op, obsv.KindJoin)
+		sp.AddRowsIn(int64(l.Len() + r.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
 	if par > l.Len() {
 		par = l.Len()
 	}

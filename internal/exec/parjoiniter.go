@@ -48,8 +48,10 @@ func NewParallelJoinIter(left, right Iterator, on expr.Expr, outer bool, par int
 	return &ParallelJoinIter{Left: left, Right: right, On: on, Outer: outer, Par: par}
 }
 
+// Schema returns the joined schema (available after Open).
 func (p *ParallelJoinIter) Schema() *relation.Schema { return p.schema }
 
+// Open materialises both inputs and runs the partitioned-parallel join.
 func (p *ParallelJoinIter) Open(ec *ExecContext) (err error) {
 	defer Guard("parjoin/open", &err)
 	p.closed = false
@@ -95,6 +97,7 @@ func (p *ParallelJoinIter) Open(ec *ExecContext) (err error) {
 	return nil
 }
 
+// Next streams the materialised join result.
 func (p *ParallelJoinIter) Next() (relation.Tuple, bool, error) {
 	if !p.got {
 		res := <-p.resCh
@@ -111,6 +114,7 @@ func (p *ParallelJoinIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// Close releases the materialised result and closes both inputs.
 func (p *ParallelJoinIter) Close() error {
 	if p.closed {
 		return nil

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"fmt"
+
+	"nra/internal/obsv"
 	"nra/internal/relation"
 )
 
@@ -22,6 +25,18 @@ func ParallelNestLink(ec *ExecContext, rel *relation.Relation, keyCols, by []str
 	defer Guard("nestlink", &err)
 	if par <= 1 || !spec.Pred.PartitionSafe() {
 		return NestLink(ec, rel, keyCols, by, spec, pad)
+	}
+	// The serial delegation above records its own span; the parallel fast
+	// path records one here, so each execution is covered exactly once.
+	if ec.Tracing() {
+		sp := ec.StartSpan("nestlink", obsv.KindNestLink)
+		sp.AddRowsIn(int64(rel.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
 	}
 	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
 	if err != nil {
@@ -63,6 +78,16 @@ func ParallelNestLinkChain(ec *ExecContext, rel *relation.Relation, levels []Cha
 	}
 	if par <= 1 || !safe {
 		return NestLinkChain(ec, rel, levels, outBy)
+	}
+	if ec.Tracing() {
+		sp := ec.StartSpan(fmt.Sprintf("nestlinkchain (%d levels)", len(levels)), obsv.KindChain)
+		sp.AddRowsIn(int64(rel.Len()))
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
 	}
 	plan, err := prepareChain(rel.Schema, levels, outBy)
 	if err != nil {

@@ -97,11 +97,16 @@ func (p *Pool) Run(ec *ExecContext, par, n int, task func(i int) error) error {
 		defer Guard("pool/task", &err)
 		return task(i)
 	}
+	// Morsel accounting goes to whichever operator span is open; claims
+	// are per-task, so the tracer lock is off the per-tuple path.
+	sp := ec.CurrentSpan()
 	if par <= 1 {
+		sp.EnsureWorkers(1)
 		for i := 0; i < n; i++ {
 			if err := ec.Check("pool"); err != nil {
 				return err
 			}
+			sp.Morsel(0)
 			if err := runTask(i); err != nil {
 				return err
 			}
@@ -116,12 +121,14 @@ func (p *Pool) Run(ec *ExecContext, par, n int, task func(i int) error) error {
 		first  error
 		wg     sync.WaitGroup
 	)
-	worker := func() {
+	sp.EnsureWorkers(par)
+	worker := func(id int) {
 		for !failed.Load() && ec.Err() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
+			sp.Morsel(id)
 			if err := runTask(i); err != nil {
 				mu.Lock()
 				if first == nil {
@@ -138,13 +145,13 @@ func (p *Pool) Run(ec *ExecContext, par, n int, task func(i int) error) error {
 			break // pool saturated: the caller picks up the slack
 		}
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			defer p.release()
-			worker()
-		}()
+			worker(id)
+		}(w)
 	}
-	worker()  // the caller always works too
+	worker(0) // the caller always works too
 	wg.Wait() // drain: all in-flight tasks complete before Run returns
 	mu.Lock()
 	defer mu.Unlock()

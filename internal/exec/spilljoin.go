@@ -5,6 +5,7 @@ import (
 
 	"nra/internal/algebra"
 	"nra/internal/expr"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 )
 
@@ -30,7 +31,17 @@ import (
 //
 // A nil lk/rk (no equality conjunct) degrades each chunk to a nested-loop
 // scan, mirroring the in-memory fallback.
-func joinSpill(ec *ExecContext, op string, l, r *relation.Relation, lk, rk []int, check *expr.Compiled, schema *relation.Schema, outer bool) (*relation.Relation, error) {
+func joinSpill(ec *ExecContext, op string, l, r *relation.Relation, lk, rk []int, check *expr.Compiled, schema *relation.Schema, outer bool) (out *relation.Relation, err error) {
+	if ec.Tracing() {
+		sp := ec.StartSpan(op+"/grace", obsv.KindGraceJoin)
+		sp.AddRowsIn(int64(l.Len() + r.Len()))
+		defer func() {
+			if out != nil {
+				sp.AddRowsOut(int64(out.Len()))
+			}
+			sp.End()
+		}()
+	}
 	bounds := algebra.SpillChunks(r.Tuples, TupleBytes, ec.spillChunkBytes())
 	readers := make([]*spillReader, 0, len(bounds)-1)
 	defer func() {
@@ -173,7 +184,7 @@ func joinSpill(ec *ExecContext, op string, l, r *relation.Relation, lk, rk []int
 			return nil, err
 		}
 	}
-	out := relation.New(schema)
+	out = relation.New(schema)
 	for li, lt := range l.Tuples {
 		if li&1023 == 0 {
 			if err := ec.Check(op); err != nil {

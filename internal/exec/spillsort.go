@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nra/internal/algebra"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/value"
 )
@@ -29,6 +30,12 @@ import (
 //
 // The second result reports whether the sort spilled.
 func spillSortBy(ec *ExecContext, op string, tuples []relation.Tuple, idx []int, schema *relation.Schema, par int) ([]relation.Tuple, bool, error) {
+	var sp *obsv.Span
+	if ec.Tracing() {
+		sp = ec.StartSpan(op, obsv.KindSort)
+		sp.AddRowsIn(int64(len(tuples)))
+		defer sp.End()
+	}
 	if !ec.ForceSpill(op) {
 		bytes := tuplesBytes(tuples)
 		ok, err := ec.TryReserve(op, bytes)
@@ -38,10 +45,13 @@ func spillSortBy(ec *ExecContext, op string, tuples []relation.Tuple, idx []int,
 		if ok {
 			defer ec.Release(bytes)
 			out, err := parallelSortBy(ec, tuples, idx, par)
+			sp.AddRowsOut(int64(len(out)))
 			return out, false, err
 		}
 	}
+	sp.SetKind(obsv.KindExtSort)
 	out, err := externalSortBy(ec, op, tuples, idx, schema)
+	sp.AddRowsOut(int64(len(out)))
 	return out, true, err
 }
 

@@ -1,0 +1,184 @@
+// Package lint implements the repository's documentation quality gates,
+// using only the standard library: a godoc-coverage checker (every
+// exported identifier in the audited packages must carry a doc comment)
+// and an intra-repository markdown link checker. Both run as ordinary Go
+// tests, so `go test ./internal/lint/` is the CI docs gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MissingDocs parses the Go package in each directory and reports every
+// exported top-level identifier — function, method, type, const, var —
+// that has no doc comment. Test files are skipped. Each finding is
+// "dir: identifier" and the result is sorted; empty means full coverage.
+func MissingDocs(dirs ...string) ([]string, error) {
+	var out []string
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				out = append(out, missingInFile(dir, f)...)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// missingInFile reports the undocumented exported identifiers of one file.
+func missingInFile(dir string, f *ast.File) []string {
+	var out []string
+	report := func(name string) {
+		out = append(out, fmt.Sprintf("%s: %s", dir, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				if rt := receiverName(d.Recv.List[0].Type); rt != "" {
+					if !ast.IsExported(rt) {
+						continue // method on an unexported type
+					}
+					name = rt + "." + name
+				}
+			}
+			report(name)
+		case *ast.GenDecl:
+			if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped decl ("// The built-in
+					// strategies.") covers every name in the group; a
+					// per-spec doc or trailing line comment also counts.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's type name (through pointers and
+// type parameters), or "" when it has none.
+func receiverName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// mdLink matches inline markdown links and images: [text](target). Code
+// fences are stripped before matching (see CheckMarkdownLinks).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// fenceLine matches a code-fence delimiter line.
+var fenceLine = regexp.MustCompile("^\\s*```")
+
+// CheckMarkdownLinks walks every .md file under root and verifies that
+// each relative link target exists on disk (anchors are stripped;
+// absolute URLs and mailto links are ignored). Each finding is
+// "file: broken link target"; empty means every link resolves.
+func CheckMarkdownLinks(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, target := range markdownTargets(string(data)) {
+			if target == "" || strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				rel, rerr := filepath.Rel(root, path)
+				if rerr != nil {
+					rel = path
+				}
+				out = append(out, fmt.Sprintf("%s: broken link %q", rel, target))
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// markdownTargets returns the link targets of a markdown document,
+// skipping fenced code blocks (their bracketed text is not a link).
+func markdownTargets(doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if fenceLine.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}

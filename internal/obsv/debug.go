@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler returns the HTTP mux behind the opt-in debug endpoint:
+// expvar at /debug/vars (including the "nra" registry snapshot), the
+// plain-text registry dump at /debug/metrics, and the standard
+// net/http/pprof profiles under /debug/pprof/. The handlers are
+// registered on a private mux, never on http.DefaultServeMux, so
+// importing this package does not widen the attack surface of any other
+// server in the process.
+func DebugHandler(r *Registry) http.Handler {
+	r.Publish()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, r.MetricsText())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" && req.URL.Path != "/debug/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "nra debug endpoint\n\n/debug/vars\n/debug/metrics\n/debug/pprof/\n")
+	}
+	mux.HandleFunc("/", index)
+	mux.HandleFunc("/debug/", index)
+	return mux
+}
+
+// ServeDebug binds addr and serves the debug endpoint in a background
+// goroutine, returning the bound address (useful with ":0") and a
+// shutdown func. The endpoint exposes profiling data and must only be
+// bound to trusted interfaces — see docs/OBSERVABILITY.md.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

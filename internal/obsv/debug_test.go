@@ -1,0 +1,48 @@
+package obsv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.NoteQuery(time.Millisecond, nil, false)
+	addr, stop, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/metrics"); !strings.Contains(body, "nra_queries 1") {
+		t.Errorf("/debug/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "queries") {
+		t.Errorf("/debug/vars missing registry:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if body := get("/debug/"); !strings.Contains(body, "pprof") {
+		t.Errorf("index page missing links:\n%s", body)
+	}
+}

@@ -1,0 +1,73 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one record of the structured slow-query log: enough
+// context — SQL (or label), plan text, resource stats, and the full
+// trace tree with est-vs-actual rows — to analyse the query offline
+// without re-running it.
+type SlowLogEntry struct {
+	Time       time.Time   `json:"time"`
+	Query      string      `json:"query,omitempty"` // SQL text or caller-supplied label
+	DurationMS float64     `json:"duration_ms"`
+	Error      string      `json:"error,omitempty"`
+	Plan       string      `json:"plan,omitempty"` // EXPLAIN text of the executed plan
+	PeakBytes  int64       `json:"peak_bytes"`
+	Spills     int64       `json:"spills"`
+	SpillBytes int64       `json:"spill_bytes"`
+	Trace      *SpanRecord `json:"trace,omitempty"`
+}
+
+// SlowLog appends JSON-lines entries to a writer, one object per
+// slow query. Record is safe for concurrent use.
+type SlowLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSlowLog returns a slow-query log writing to w.
+func NewSlowLog(w io.Writer) *SlowLog { return &SlowLog{w: w} }
+
+// Record appends one entry as a single JSON line. Encoding or write
+// errors are returned but the log stays usable.
+func (l *SlowLog) Record(e *SlowLogEntry) error {
+	if l == nil || e == nil {
+		return nil
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(data)
+	return err
+}
+
+// DecodeSlowLog parses a JSON-lines slow-query log back into entries —
+// the offline-analysis half of the round trip. Blank lines are skipped;
+// a malformed line aborts with its decode error.
+func DecodeSlowLog(r io.Reader) ([]*SlowLogEntry, error) {
+	var out []*SlowLogEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e := new(SlowLogEntry)
+		if err := json.Unmarshal(line, e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

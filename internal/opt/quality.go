@@ -1,0 +1,29 @@
+package opt
+
+import "nra/internal/stats"
+
+// QError is the symmetric estimation-error factor
+// max(est,act)/min(est,act), with both sides clamped to at least one
+// row, so 1 is a perfect estimate and the value is ≥ 1 regardless of the
+// error's direction.
+func QError(est float64, act int) float64 {
+	e := est
+	if e < 1 {
+		e = 1
+	}
+	a := float64(act)
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// Accuracy is the process-wide q-error histogram the executor feeds one
+// observation into per traced plan operator that carried an estimate —
+// the estimator's live report card. Accuracy.Suspect() reporting true is
+// the signal that the collected statistics have drifted and the operator
+// should re-ANALYZE.
+var Accuracy stats.QErrorHist

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// QErrorBuckets is the resolution of QErrorHist: bucket i counts q-errors
+// in [2^i, 2^(i+1)), with the last bucket absorbing everything larger.
+const QErrorBuckets = 16
+
+// QErrorHist is a concurrency-safe log₂-bucketed histogram of estimator
+// q-errors (the symmetric factor max(est,act)/min(est,act) ≥ 1). The
+// observability layer feeds one observation per executed plan operator
+// that carried an estimate, closing the loop between the cost model's
+// predictions and live traffic: a drifting histogram is the signal to
+// re-ANALYZE. The zero value is ready to use.
+type QErrorHist struct {
+	buckets [QErrorBuckets]atomic.Int64
+	count   atomic.Int64
+	maxBits atomic.Uint64 // math.Float64bits of the largest q-error seen
+}
+
+// Note records one q-error observation (values < 1 are clamped to 1).
+func (h *QErrorHist) Note(q float64) {
+	if h == nil || math.IsNaN(q) {
+		return
+	}
+	if q < 1 {
+		q = 1
+	}
+	b := int(math.Log2(q))
+	if b >= QErrorBuckets {
+		b = QErrorBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.maxBits.Load()
+		if q <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(q)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *QErrorHist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Max returns the largest q-error observed (0 before any observation).
+func (h *QErrorHist) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Buckets returns a copy of the per-bucket counts; bucket i holds
+// q-errors in [2^i, 2^(i+1)).
+func (h *QErrorHist) Buckets() []int64 {
+	out := make([]int64, QErrorBuckets)
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile returns an upper bound (the bucket's right edge) for the p-th
+// quantile of the observed q-errors, or 0 before any observation.
+func (h *QErrorHist) Quantile(p float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < QErrorBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return math.Pow(2, float64(i+1))
+		}
+	}
+	return h.Max()
+}
+
+// Suspect reports whether the accumulated q-errors suggest the
+// statistics have drifted badly enough to warrant a re-ANALYZE: at
+// least 32 observations with a p90 above 64×.
+func (h *QErrorHist) Suspect() bool {
+	return h.Count() >= 32 && h.Quantile(0.9) > 64
+}
+
+// Reset clears the histogram (tests and explicit operator resets).
+func (h *QErrorHist) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.maxBits.Store(0)
+}
+
+// Summary renders the histogram in one line for metrics endpoints and
+// the REPL.
+func (h *QErrorHist) Summary() string {
+	n := h.Count()
+	if n == 0 {
+		return "q-error: no observations"
+	}
+	s := fmt.Sprintf("q-error: n=%d p50≤%.0f p90≤%.0f p99≤%.0f max=%.1f",
+		n, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+	if h.Suspect() {
+		s += " (drift suspected — re-ANALYZE)"
+	}
+	return s
+}

@@ -33,8 +33,10 @@
 package nra
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"nra/internal/algebra"
@@ -43,6 +45,7 @@ import (
 	"nra/internal/csvio"
 	"nra/internal/naive"
 	"nra/internal/native"
+	"nra/internal/obsv"
 	"nra/internal/relation"
 	"nra/internal/sql"
 	"nra/internal/tpch"
@@ -51,6 +54,15 @@ import (
 // DB is an in-memory database: a catalog of tables plus the query engine.
 type DB struct {
 	cat *catalog.Catalog
+
+	// lastTrace holds the span tree of the most recent traced query (see
+	// Strategy.WithTracing and DB.LastTrace).
+	lastTrace atomic.Pointer[QueryTrace]
+
+	// slowLog / slowThreshold configure the structured slow-query log
+	// (see SetSlowQueryLog); nil disables it.
+	slowLog       *obsv.SlowLog
+	slowThreshold time.Duration
 }
 
 // Open returns an empty database.
@@ -202,7 +214,7 @@ func (db *DB) QueryWith(src string, s Strategy) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.executeStatement(st, s)
+	rel, err := db.executeStatement(st, s, src)
 	if err != nil {
 		return nil, err
 	}
@@ -217,15 +229,15 @@ func (db *DB) analyzeStatement(src string) (*sql.Statement, error) {
 	return sql.AnalyzeStatement(parsed, db.cat)
 }
 
-func (db *DB) executeStatement(st *sql.Statement, s Strategy) (*relation.Relation, error) {
+func (db *DB) executeStatement(st *sql.Statement, s Strategy, label string) (*relation.Relation, error) {
 	if st.Query != nil {
-		return db.execute(st.Query, s)
+		return db.execute(st.Query, s, label)
 	}
-	l, err := db.executeStatement(st.L, s)
+	l, err := db.executeStatement(st.L, s, label)
 	if err != nil {
 		return nil, err
 	}
-	r, err := db.executeStatement(st.R, s)
+	r, err := db.executeStatement(st.R, s, label)
 	if err != nil {
 		return nil, err
 	}
@@ -305,26 +317,116 @@ func (db *DB) ExplainAnalyze(src string, s Strategy) (string, error) {
 	return core.ExplainAnalyze(st.Query, s.coreOptions())
 }
 
-func (db *DB) execute(q *sql.Query, s Strategy) (*relation.Relation, error) {
-	switch s.kind {
-	case kindAuto:
+func (db *DB) execute(q *sql.Query, s Strategy, label string) (*relation.Relation, error) {
+	if s.kind == kindAuto {
 		if err := core.Supported(q); err != nil {
 			return naive.Evaluate(q)
 		}
-		return core.Execute(q, core.Optimized())
+		s = NestedOptimized.withTrace(s.trace)
+	}
+	switch s.kind {
 	case kindNative:
 		return native.Execute(q)
 	case kindReference:
 		return naive.Evaluate(q)
 	default:
-		return core.Execute(q, s.coreOptions())
+		opts := s.coreOptions()
+		opts.Label = label
+		if db.slowLog != nil {
+			opts.SlowLog = db.slowLog
+			opts.SlowQuery = db.slowThreshold
+		}
+		var tr *obsv.Tracer
+		if s.trace {
+			tr = obsv.NewTracer()
+			opts.Tracer = tr
+		}
+		out, err := core.Execute(q, opts)
+		if tr != nil {
+			db.lastTrace.Store(&QueryTrace{rec: tr.Finish()})
+		}
+		return out, err
 	}
+}
+
+// QueryTrace is the finished span tree of one traced query (see
+// Strategy.WithTracing and DB.LastTrace).
+type QueryTrace struct {
+	rec *obsv.SpanRecord
+}
+
+// Root returns the trace's root span record (kind "query"); its children
+// are the executed operators in start order.
+func (t *QueryTrace) Root() *obsv.SpanRecord {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Duration returns the traced query's wall time.
+func (t *QueryTrace) Duration() time.Duration {
+	if t == nil || t.rec == nil {
+		return 0
+	}
+	return t.rec.Elapsed
+}
+
+// Waterfall renders the trace as an indented per-operator table with
+// offset-scaled time bars (see internal/obsv.Waterfall).
+func (t *QueryTrace) Waterfall() string {
+	if t == nil {
+		return obsv.Waterfall(nil)
+	}
+	return obsv.Waterfall(t.rec)
+}
+
+// JSON returns the trace serialised as the same JSON object the
+// slow-query log embeds under "trace".
+func (t *QueryTrace) JSON() (string, error) {
+	if t == nil || t.rec == nil {
+		return "", fmt.Errorf("nra: no trace recorded")
+	}
+	b, err := json.Marshal(t.rec)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// LastTrace returns the span tree of the most recent query executed with
+// a tracing strategy (Strategy.WithTracing), or nil if no traced query
+// has run. Concurrent queries each store their own trace; the last one
+// to finish wins.
+func (db *DB) LastTrace() *QueryTrace { return db.lastTrace.Load() }
+
+// SetSlowQueryLog directs a structured slow-query log to w: every query
+// whose wall time reaches threshold is recorded as one JSON line —
+// query text, duration, executed plan, resource accounting, and the full
+// span tree (decode with internal/obsv.DecodeSlowLog's schema, documented
+// in docs/OBSERVABILITY.md). threshold 0 logs every query; w == nil
+// disables the log. Only nested strategies are instrumented.
+func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	if w == nil {
+		db.slowLog = nil
+		db.slowThreshold = 0
+		return
+	}
+	db.slowLog = obsv.NewSlowLog(w)
+	db.slowThreshold = threshold
 }
 
 // Strategy selects an execution engine.
 type Strategy struct {
-	kind int
-	opts core.Options
+	kind  int
+	opts  core.Options
+	trace bool
+}
+
+// withTrace returns a copy with the tracing flag set.
+func (s Strategy) withTrace(on bool) Strategy {
+	s.trace = on
+	return s
 }
 
 const (
@@ -429,6 +531,23 @@ func (s Strategy) WithCostBased(on bool) Strategy {
 	return s
 }
 
+// WithTracing returns a copy of a nested strategy that records a
+// per-operator span tree for every query it executes; read the most
+// recent one with DB.LastTrace. Tracing never changes plan or physical-
+// path decisions, and costs nothing when off. Auto becomes
+// NestedOptimized (the Reference fallback for undecomposable queries is
+// not instrumented); Native/Reference are returned unchanged.
+func (s Strategy) WithTracing(on bool) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	if s.kind == kindAuto && on {
+		s = NestedOptimized
+	}
+	s.trace = on
+	return s
+}
+
 // Traced returns a copy of a nested strategy that writes a per-operator
 // execution walkthrough (the paper's Temp1→Temp4 narration, with
 // cardinalities) to w. Native/Reference strategies are returned
@@ -456,10 +575,15 @@ func (s Strategy) String() string {
 	default:
 		name := "nested-optimized"
 		base := s.opts
-		// Physical knobs don't change which paper strategy this is.
+		// Physical and observability knobs don't change which paper
+		// strategy this is.
 		base.Parallelism = 0
 		base.MemoryBudget = 0
 		base.Timeout = 0
+		base.Tracer = nil
+		base.SlowQuery = 0
+		base.SlowLog = nil
+		base.Label = ""
 		if base == core.Original() {
 			name = "nested-original"
 		} else if !base.CostBased {

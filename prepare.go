@@ -28,7 +28,7 @@ func (s *Stmt) Run() (*Result, error) { return s.RunWith(Auto) }
 
 // RunWith executes the prepared statement with an explicit strategy.
 func (s *Stmt) RunWith(strategy Strategy) (*Result, error) {
-	rel, err := s.db.executeStatement(s.st, strategy)
+	rel, err := s.db.executeStatement(s.st, strategy, s.src)
 	if err != nil {
 		return nil, err
 	}
