@@ -1,0 +1,233 @@
+// Command benchrecord runs the benchmark suites and records a machine-
+// readable result file, failing when modeled cost regresses against a
+// committed baseline.
+//
+// Usage:
+//
+//	benchrecord [-out BENCH_<date>.json] [-dir .] [-baseline auto]
+//	            [-threshold 0.20] [-sf 0.005] [-runs 1] [-seed 42]
+//
+// It executes the paper's figure suite (Figures 4–9 with variants) plus
+// the cost-based, parallelism and 2VL ablations, and emits one JSON
+// record with per-query wall and modeled milliseconds for every series.
+// The regression gate compares *modeled* milliseconds — the
+// deterministic disk-resident cost of the executed plan, immune to
+// machine noise — per (figure, label, series) against the newest
+// committed BENCH_*.json in -dir, and exits non-zero when any entry
+// regresses by more than -threshold (wall times are recorded for
+// information only). With no baseline present it records the first one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"nra/internal/bench"
+)
+
+// entry is one measured (figure, point, series) cell.
+type entry struct {
+	Figure    string  `json:"figure"`
+	Label     string  `json:"label"`
+	Series    string  `json:"series"`
+	Rows      int     `json:"rows"`
+	WallMS    float64 `json:"wall_ms"`
+	ModeledMS float64 `json:"modeled_ms,omitempty"`
+}
+
+// record is the BENCH_<date>.json document.
+type record struct {
+	Date      string  `json:"date"`
+	SF        float64 `json:"sf"`
+	Runs      int     `json:"runs"`
+	Seed      uint64  `json:"seed"`
+	Threshold float64 `json:"threshold"`
+	Entries   []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "directory holding committed BENCH_*.json baselines")
+		out       = flag.String("out", "", "output file (default <dir>/BENCH_<date>.json)")
+		baseline  = flag.String("baseline", "auto", "baseline file, 'auto' (newest BENCH_*.json in -dir), or 'none'")
+		threshold = flag.Float64("threshold", 0.20, "maximum allowed modeled-ms regression, as a fraction")
+		sf        = flag.Float64("sf", 0.005, "TPC-H scale factor")
+		runs      = flag.Int("runs", 1, "timed repetitions per point (minimum is reported)")
+		seed      = flag.Uint64("seed", 42, "deterministic generator seed")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	if *out == "" {
+		*out = filepath.Join(*dir, fmt.Sprintf("BENCH_%s.json", date))
+	}
+
+	rec := record{Date: date, SF: *sf, Runs: *runs, Seed: *seed, Threshold: *threshold}
+	cfg := bench.Config{SF: *sf, Runs: *runs, Seed: *seed, Verify: true}
+
+	figs, err := bench.AllFigures(cfg)
+	if err != nil {
+		fail(fmt.Errorf("figures: %w", err))
+	}
+	rec.Entries = append(rec.Entries, collect(figs)...)
+
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, suite := range []struct {
+		name string
+		run  func() ([]*bench.Figure, error)
+	}{
+		{"cost ablation", env.CostAblation},
+		{"parallel ablation", env.ParallelAblation},
+		{"2VL ablation", env.TwoVLAblation},
+	} {
+		figs, err := suite.run()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", suite.name, err))
+		}
+		rec.Entries = append(rec.Entries, collect(figs)...)
+	}
+
+	sort.Slice(rec.Entries, func(i, j int) bool {
+		a, b := rec.Entries[i], rec.Entries[j]
+		if a.Figure != b.Figure {
+			return a.Figure < b.Figure
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Series < b.Series
+	})
+
+	base, basePath, err := loadBaseline(*baseline, *dir, *out)
+	if err != nil {
+		fail(err)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if parent := filepath.Dir(*out); parent != "." {
+		if err := os.MkdirAll(parent, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchrecord: %d entries written to %s\n", len(rec.Entries), *out)
+
+	if base == nil {
+		fmt.Println("benchrecord: no baseline found — this run is the first baseline")
+		return
+	}
+	regressions := compare(base, &rec, *threshold)
+	if len(regressions) == 0 {
+		fmt.Printf("benchrecord: no modeled regressions > %.0f%% vs %s\n", *threshold*100, basePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: %d modeled regression(s) > %.0f%% vs %s:\n",
+		len(regressions), *threshold*100, basePath)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "  "+r)
+	}
+	os.Exit(1)
+}
+
+// collect flattens figures into entries.
+func collect(figs []*bench.Figure) []entry {
+	var out []entry
+	for _, f := range figs {
+		for _, p := range f.Points {
+			for series, d := range p.Times {
+				e := entry{
+					Figure: f.ID,
+					Label:  p.Label,
+					Series: series,
+					Rows:   p.Rows,
+					WallMS: float64(d) / float64(time.Millisecond),
+				}
+				if m, ok := p.Modeled[series]; ok {
+					e.ModeledMS = float64(m) / float64(time.Millisecond)
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// loadBaseline resolves the baseline record: an explicit path, the
+// newest BENCH_*.json in dir other than the output file, or none.
+func loadBaseline(mode, dir, out string) (*record, string, error) {
+	if mode == "none" {
+		return nil, "", nil
+	}
+	path := mode
+	if mode == "auto" {
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, "", err
+		}
+		outAbs, _ := filepath.Abs(out)
+		var candidates []string
+		for _, m := range matches {
+			if abs, _ := filepath.Abs(m); abs != outAbs {
+				candidates = append(candidates, m)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, "", nil
+		}
+		// BENCH_<ISO date>.json sorts chronologically by name.
+		sort.Strings(candidates)
+		path = candidates[len(candidates)-1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("baseline: %w", err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, "", fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &rec, path, nil
+}
+
+// compare returns one message per (figure, label, series) whose modeled
+// milliseconds regressed beyond the threshold. Entries absent from
+// either record, or without modeled values, are skipped: wall time is
+// too machine-dependent to gate on.
+func compare(base, cur *record, threshold float64) []string {
+	idx := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		if e.ModeledMS > 0 {
+			idx[e.Figure+"\x00"+e.Label+"\x00"+e.Series] = e.ModeledMS
+		}
+	}
+	var out []string
+	for _, e := range cur.Entries {
+		want, ok := idx[e.Figure+"\x00"+e.Label+"\x00"+e.Series]
+		if !ok || e.ModeledMS <= 0 {
+			continue
+		}
+		if e.ModeledMS > want*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s [%s] %s: modeled %.2fms vs baseline %.2fms (+%.0f%%)",
+				e.Figure, e.Label, e.Series, e.ModeledMS, want, (e.ModeledMS/want-1)*100))
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchrecord:", err)
+	os.Exit(1)
+}

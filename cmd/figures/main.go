@@ -8,7 +8,7 @@
 // Usage:
 //
 //	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...]
-//	        [-ablation] [-parallel] [-costbased] [-tracing] [-trace]
+//	        [-ablation] [-parallel] [-costbased] [-twovl] [-tracing] [-trace]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		ablation = flag.Bool("ablation", false, "also run the §4.2 ablation study")
 		parallel = flag.Bool("parallel", false, "also run the parallel-vs-serial ablation (serial / P=2 / P=4 / P=8)")
 		costb    = flag.Bool("costbased", false, "also run the cost-based vs heuristic planner ablation")
+		twovl    = flag.Bool("twovl", false, "also run the 2VL vs 3VL ablation (needs -nulls 0)")
 		trace    = flag.Bool("trace", false, "also render a span waterfall for each workload query (Query 1/2b/3b/3c)")
 		tracing  = flag.Bool("tracing", false, "also run the tracing-overhead ablation (untraced vs traced)")
 		noverify = flag.Bool("noverify", false, "skip cross-strategy result verification")
@@ -54,7 +55,7 @@ func main() {
 		}
 	}
 
-	if *ablation || *parallel || *costb || *trace || *tracing {
+	if *ablation || *parallel || *costb || *twovl || *trace || *tracing {
 		env, err := bench.NewEnv(cfg)
 		if err != nil {
 			fail(err)
@@ -79,6 +80,15 @@ func main() {
 		}
 		if *costb {
 			figs, err := env.CostAblation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
+		}
+		if *twovl {
+			figs, err := env.TwoVLAblation()
 			if err != nil {
 				fail(err)
 			}
@@ -183,6 +193,12 @@ func runSelected(cfg bench.Config, ids []string) error {
 			figs = fs
 		case "costbased":
 			fs, err := env.CostAblation()
+			if err != nil {
+				return err
+			}
+			figs = fs
+		case "twovl":
+			fs, err := env.TwoVLAblation()
 			if err != nil {
 				return err
 			}

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
-//	      [-timeout 30s] [-debug-addr localhost:6060] [-slow-query 100ms]
-//	      [-e "select ..."]
+//	      [-timeout 30s] [-2vl] [-debug-addr localhost:6060]
+//	      [-slow-query 100ms] [-e "select ..."]
 //
 // Inside the shell:
 //
@@ -18,6 +18,8 @@
 //	\explain select ...;        show the plan instead of running
 //	\explain analyze select ..; run, then show estimated vs actual rows
 //	\waterfall select ...;      run traced, then draw the span waterfall
+//	\2vl on|off                 toggle two-valued logic (NULL comparisons
+//	                            are FALSE; negative operators antijoin)
 //	\stats <table>              show a table's collected statistics
 //	\tables                     list tables with row counts
 //	\q                          quit
@@ -61,6 +63,7 @@ func main() {
 		par   = flag.Int("parallelism", -1, "degree of partitioned parallelism for nested strategies (1 = serial, 0 = all CPUs, -1 = strategy default)")
 		mem   = flag.String("mem", "", "memory budget for operator working state, e.g. 64K, 16M, 1G (empty = unbounded); over-budget operators spill to disk")
 		tmo   = flag.Duration("timeout", 0, "per-query timeout, e.g. 30s (0 = none)")
+		twoVL = flag.Bool("2vl", false, "evaluate under two-valued logic: NULL comparisons are FALSE; NOT IN / NOT EXISTS / ALL unnest to antijoins")
 		anlz  = flag.Bool("analyze", true, "collect optimizer statistics on the loaded tables at startup (enables cost-based planning)")
 		dbg   = flag.String("debug-addr", "", "serve the debug HTTP endpoint (expvar metrics + pprof) on this address, e.g. localhost:6060 (empty = off; bind to localhost only — see docs/OBSERVABILITY.md)")
 		slowQ = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
@@ -88,6 +91,9 @@ func main() {
 	}
 	if *tmo > 0 {
 		strategy = strategy.WithTimeout(*tmo)
+	}
+	if *twoVL {
+		strategy = strategy.WithTwoValuedLogic(true)
 	}
 	if *trace {
 		strategy = nra.Traced(strategy, os.Stderr)
@@ -214,6 +220,18 @@ func main() {
 				} else {
 					fmt.Print(db.LastTrace().Waterfall())
 				}
+			case strings.HasPrefix(trimmed, `\2vl`):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\2vl`))
+				switch arg {
+				case "on":
+					strategy = strategy.WithTwoValuedLogic(true)
+					fmt.Printf("strategy: %s\n", strategy)
+				case "off":
+					strategy = strategy.WithTwoValuedLogic(false)
+					fmt.Printf("strategy: %s\n", strategy)
+				default:
+					fmt.Println(`usage: \2vl on|off`)
+				}
 			case strings.HasPrefix(trimmed, `\stats`):
 				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`))
 				if name == "" {
@@ -224,7 +242,7 @@ func main() {
 					fmt.Print(out)
 				}
 			default:
-				fmt.Println(`unknown command; try \q, \tables, \strategy, \explain, \waterfall, \stats`)
+				fmt.Println(`unknown command; try \q, \tables, \strategy, \2vl, \explain, \waterfall, \stats`)
 			}
 			prompt()
 			continue

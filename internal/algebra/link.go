@@ -59,6 +59,14 @@ type LinkPred struct {
 	// exactly why the max/count rewrites of §2 are not equivalent to
 	// quantified predicates.
 	Agg AggFunc
+	// TwoValued evaluates every member (and aggregate) comparison under
+	// 2VL: a comparison involving NULL is False, never Unknown. The
+	// predicate's verdict is then always True or False.
+	TwoValued bool
+	// Negate classically negates the final verdict — how 2VL planners
+	// encode NOT IN (¬ =SOME) and NOT-wrapped quantifiers, whose 3VL
+	// duals are not 2VL-equivalent.
+	Negate bool
 }
 
 // SomePred builds A θ SOME {B}. (IN is =SOME.)
@@ -156,7 +164,34 @@ func (p LinkPred) Bind(s *relation.Schema) (*Bound, error) {
 //   - The emptiness tests (EXISTS / NOT EXISTS) are two-valued.
 //
 // Members whose presence column is NULL are padding, not set elements.
+//
+// With TwoValued set, each member (or aggregate) comparison collapses
+// Unknown to False before the quantifier fold; with Negate set the final
+// verdict is classically negated.
 func (b *Bound) Eval(t relation.Tuple) (value.Tri, error) {
+	tri, err := b.eval(t)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if b.pred.Negate {
+		tri = tri.Not()
+	}
+	return tri, nil
+}
+
+// cmp applies θ to one pair, collapsing Unknown under 2VL.
+func (b *Bound) cmp(a, m value.Value) (value.Tri, error) {
+	tri, err := b.pred.Op.Apply(a, m)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if b.pred.TwoValued && tri == value.Unknown {
+		tri = value.False
+	}
+	return tri, nil
+}
+
+func (b *Bound) eval(t relation.Tuple) (value.Tri, error) {
 	g := t.Groups[b.subIdx]
 	switch b.pred.Empty {
 	case IsEmpty:
@@ -186,7 +221,7 @@ func (b *Bound) Eval(t relation.Tuple) (value.Tri, error) {
 				}
 			}
 		}
-		return b.pred.Op.Apply(a, state.Result())
+		return b.cmp(a, state.Result())
 	}
 	if b.pred.Quant == All {
 		res := value.True
@@ -195,7 +230,7 @@ func (b *Bound) Eval(t relation.Tuple) (value.Tri, error) {
 				if b.presIdx >= 0 && m.Atoms[b.presIdx].IsNull() {
 					continue
 				}
-				tri, err := b.pred.Op.Apply(a, m.Atoms[b.linkedIdx])
+				tri, err := b.cmp(a, m.Atoms[b.linkedIdx])
 				if err != nil {
 					return value.Unknown, err
 				}
@@ -213,7 +248,7 @@ func (b *Bound) Eval(t relation.Tuple) (value.Tri, error) {
 			if b.presIdx >= 0 && m.Atoms[b.presIdx].IsNull() {
 				continue
 			}
-			tri, err := b.pred.Op.Apply(a, m.Atoms[b.linkedIdx])
+			tri, err := b.cmp(a, m.Atoms[b.linkedIdx])
 			if err != nil {
 				return value.Unknown, err
 			}

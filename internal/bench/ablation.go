@@ -172,6 +172,25 @@ func (e *Env) CostAblation() ([]*Figure, error) {
 	return e.runAblation(e.ablationWorkloads("costbased", "cost-based vs heuristic"), configs, false)
 }
 
+// TwoVLAblation measures two-valued logic against standard 3VL on the
+// negative-operator workload families: the same optimized planner, with
+// and without Options.TwoValuedLogic, so the delta is exactly the 2VL
+// antijoin fast path replacing the padding-aware linking operators.
+// Verification (2VL must equal 3VL) is sound only on NULL-free data, so
+// a configuration injecting NULLs is rejected.
+func (e *Env) TwoVLAblation() ([]*Figure, error) {
+	if e.cfg.NullFraction > 0 {
+		return nil, fmt.Errorf("bench: 2VL ablation needs NULL-free data (NullFraction = %g)", e.cfg.NullFraction)
+	}
+	twoVL := core.Optimized()
+	twoVL.TwoValuedLogic = true
+	configs := []ablationConfig{
+		{"threevalued", core.Optimized()},
+		{"twovalued", twoVL},
+	}
+	return e.runAblation(e.ablationWorkloads("twovl", "2VL vs 3VL"), configs, false)
+}
+
 // ParallelAblation measures the partitioned-parallel operators against
 // the serial ones on the same workload families: serial (P=1) versus
 // P = 2, 4 and 8. Verification is tuple-for-tuple — parallel execution

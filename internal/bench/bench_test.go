@@ -128,6 +128,37 @@ func TestCostAblationVerifies(t *testing.T) {
 	}
 }
 
+func TestTwoVLAblationVerifies(t *testing.T) {
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.TwoVLAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("2VL ablation workloads = %d", len(figs))
+	}
+	for _, f := range figs {
+		series := f.Series()
+		if len(series) != 2 {
+			t.Fatalf("%s: series = %v", f.ID, series)
+		}
+	}
+	// NULL-injecting configurations must be rejected: the 2VL-vs-3VL
+	// verification is only sound on NULL-free data.
+	cfg := tinyConfig()
+	cfg.NullFraction = 0.1
+	en, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.TwoVLAblation(); err == nil {
+		t.Fatal("TwoVLAblation accepted a NULL-injecting config")
+	}
+}
+
 func TestFig4NotNullAntijoinCompetitive(t *testing.T) {
 	e, err := NewEnv(tinyConfig())
 	if err != nil {

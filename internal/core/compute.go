@@ -86,6 +86,14 @@ func (p *planner) processEdge(node, top *sql.Block, edge *sql.LinkEdge, rel *rel
 		return p.applyLinkOnGroup(node, edge, algebra.AddGroup(rel, subName, set), subName, strict, rel.Schema)
 	}
 
+	// 2VL: a negative linking operator is ¬∃(match) with a two-valued
+	// match condition — a plain antijoin at strict leaves (Libkin). The
+	// general nest+link path below computes the same verdicts; this is
+	// the collapsed fast path.
+	if p.antijoin2VLOK(node, top, edge) {
+		return p.processEdgeAntijoin(edge, rel)
+	}
+
 	// §4.2.5: positive linking operators rewrite to (semi)joins when no
 	// pending negative operator needs the failing tuples kept — and, with
 	// cost-based planning, when the cost model agrees.
@@ -317,6 +325,16 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 	if err != nil {
 		return nil, err
 	}
+	// Set-semantics output (root DISTINCT, no aggregates anywhere): the
+	// multiset need not be restored — quantified links ignore copies and
+	// the root DISTINCT collapses whatever survives — so the duplicate
+	// elimination is elided (bag/set-aware §4.2.5 gate).
+	if p.setSem {
+		sp := p.begin("join T%d (§4.2.5 set-output, %s)", c.ID+1, linkString(edge))
+		p.trace("§4.2.5 duplicate elimination elided: set-semantics output (%d tuples)", rel.Len())
+		p.done(sp, p.estAfter(edge), rel.Len())
+		return rel, nil
+	}
 	// The kept primary keys make distinct-by-value identical to
 	// distinct-by-row, so this restores the pre-join multiset. The span
 	// opens here — after the children's spans closed — so plan spans stay
@@ -329,7 +347,11 @@ func (p *planner) processEdgePositive(node, top *sql.Block, edge *sql.LinkEdge, 
 }
 
 // positiveLinkCond renders a positive quantified link as a θ join
-// condition (A θ B); EXISTS contributes no condition.
+// condition (A θ B); EXISTS contributes no condition. Match-iff-True
+// makes the bare comparison correct in both logics — except under 2VL
+// for a NOT-folded SOME (edge.SynNeg), whose syntactic form ¬(A θ' ALL)
+// means "some member fails θ' under 2VL": the condition becomes the
+// classical negation of the strict-2VL comparison.
 func (p *planner) positiveLinkCond(edge *sql.LinkEdge, c *sql.Block) (expr.Expr, error) {
 	if edge.Kind == sql.Exists {
 		return nil, nil
@@ -338,24 +360,115 @@ func (p *planner) positiveLinkCond(edge *sql.LinkEdge, c *sql.Block) (expr.Expr,
 	if err != nil {
 		return nil, unsupportedf("%v", err)
 	}
+	left, err := p.leftExpr(edge)
+	if err != nil {
+		return nil, err
+	}
 	op := edge.Cmp
 	if edge.Kind == sql.In {
 		op = expr.Eq
 	}
-	var left expr.Expr
+	if p.opt.TwoValuedLogic && edge.SynNeg && edge.Kind == sql.CmpSome {
+		return expr.Not{E: expr.TwoValuedStrict(expr.Compare(edge.Cmp.Negate(), left, expr.Col(la)))}, nil
+	}
+	return expr.Compare(op, left, expr.Col(la)), nil
+}
+
+// leftExpr lowers the linking attribute (column of an enclosing block, or
+// a constant) into an expression.
+func (p *planner) leftExpr(edge *sql.LinkEdge) (expr.Expr, error) {
 	switch l := edge.Pred.Left.(type) {
 	case *sql.ColRef:
 		r, ok := p.q.Resolve(l)
 		if !ok {
 			return nil, unsupportedf("unresolved linking attribute %s", l)
 		}
-		left = expr.Col(r.Name)
+		return expr.Col(r.Name), nil
 	case *sql.Lit:
-		left = expr.Lit{V: l.V}
-	default:
-		return nil, unsupportedf("linking attribute %q", edge.Pred.Left)
+		return expr.Lit{V: l.V}, nil
 	}
-	return expr.Compare(op, left, expr.Col(la)), nil
+	return nil, unsupportedf("linking attribute %q", edge.Pred.Left)
+}
+
+// antijoin2VL reports whether a linking operator is effectively negative
+// under 2VL — equivalent to ¬∃(two-valued match), i.e. an antijoin.
+// CmpAll covers both syntactic forms: A θ ALL {B} is ¬∃m ¬₂(A θ m), and a
+// NOT-folded SOME (SynNeg) is ¬∃m (A θ' m).
+func antijoin2VL(edge *sql.LinkEdge) bool {
+	switch edge.Kind {
+	case sql.NotExists, sql.NotIn, sql.CmpAll:
+		return true
+	}
+	return false
+}
+
+// antijoin2VLOK gates the 2VL antijoin fast path: a negative operator on
+// a correlated leaf child, in strict position (a failing outer tuple can
+// be discarded outright). Shared with EXPLAIN's plan rendering.
+func (p *planner) antijoin2VLOK(node, top *sql.Block, edge *sql.LinkEdge) bool {
+	return p.opt.TwoValuedLogic && antijoin2VL(edge) &&
+		len(edge.Child.Links) == 0 && !p.subtreeUncorrelated(edge.Child) &&
+		p.strictOK(node, top)
+}
+
+// antijoinCond builds the per-child-row match condition whose
+// non-existence realises a negative 2VL link: the (2VL-rewritten)
+// correlation conjoined with the operator's comparison.
+func (p *planner) antijoinCond(edge *sql.LinkEdge, c *sql.Block) (expr.Expr, error) {
+	cond, err := p.corrCond(c)
+	if err != nil {
+		return nil, err
+	}
+	if edge.Kind == sql.NotExists {
+		return cond, nil
+	}
+	la, err := p.q.LinkedAttr(c)
+	if err != nil {
+		return nil, unsupportedf("%v", err)
+	}
+	left, err := p.leftExpr(edge)
+	if err != nil {
+		return nil, err
+	}
+	var link expr.Expr
+	switch {
+	case edge.Kind == sql.NotIn:
+		// x NOT IN {B} (2VL) = ¬∃m (x = m): match-iff-True already
+		// collapses the NULL comparisons.
+		link = expr.Compare(expr.Eq, left, expr.Col(la))
+	case edge.SynNeg:
+		// NOT (x θ' SOME {B}) = ¬∃m (x θ' m), θ' the syntactic operator.
+		link = expr.Compare(edge.Cmp.Negate(), left, expr.Col(la))
+	default:
+		// x θ ALL {B} (2VL) = ¬∃m ¬₂(x θ m): the inner comparison must be
+		// strictly two-valued, else a NULL member reads as "no match" and
+		// the outer tuple wrongly survives.
+		link = expr.Not{E: expr.TwoValuedStrict(expr.Compare(edge.Cmp, left, expr.Col(la)))}
+	}
+	return expr.And(cond, link), nil
+}
+
+// processEdgeAntijoin executes a negative 2VL link as rel ▷_on T_c — the
+// Libkin collapse: no outer join, no nest, no padding machinery.
+func (p *planner) processEdgeAntijoin(edge *sql.LinkEdge, rel *relation.Relation) (*relation.Relation, error) {
+	c := edge.Child
+	on, err := p.antijoinCond(edge, c)
+	if err != nil {
+		return nil, err
+	}
+	tc, err := p.reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	sp := p.begin("antijoin T%d (2VL)", c.ID+1)
+	out, err := algebra.AntiJoin(rel, tc, on)
+	if err != nil {
+		return nil, err
+	}
+	p.seq(rel.Len(), tc.Len(), out.Len())
+	p.trace("rel := rel ▷ T%d  (2VL antijoin, %d → %d tuples)", c.ID+1, rel.Len(), out.Len())
+	p.done(sp, p.estAfter(edge), out.Len())
+	return out, nil
 }
 
 // pushdownCols checks §4.2.4's applicability: the correlation condition

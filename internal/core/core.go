@@ -52,6 +52,14 @@ type Options struct {
 	// AlwaysPad forces the pseudo-selection σ̄ even where the strict σ
 	// would do; used by the equivalence tests.
 	AlwaysPad bool
+	// TwoValuedLogic evaluates the query under Libkin-style two-valued
+	// logic ("Handling SQL Nulls with Two-Valued Logic"): every comparison
+	// involving a NULL is FALSE, never Unknown, and NOT is classical.
+	// Under 2VL the negative linking operators (NOT EXISTS, NOT IN, θ ALL)
+	// are plain antijoins, which the planner exploits at strict leaves.
+	// On NULL-free data 2VL and 3VL results coincide, except where a
+	// SUM/AVG/MIN/MAX over an empty subquery reintroduces a NULL.
+	TwoValuedLogic bool
 	// UseStats lets the planner read the catalog's collected statistics
 	// (catalog.Table.Analyze) for cardinality estimation. Estimation is
 	// all-or-nothing: one table with absent or stale statistics disables

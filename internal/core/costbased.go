@@ -136,9 +136,15 @@ func (p *planner) estimateChildren(node, top *sql.Block, rel float64) float64 {
 		}
 
 		// §4.2.5 gate: price the semijoin rewrite against the fused
-		// nest + linking-selection path it replaces.
+		// nest + linking-selection path it replaces. Inner blocks pay a
+		// duplicate elimination over the joined relation to restore the
+		// multiset — elided (and not charged) under set-semantics output,
+		// which prices the rewrite cheaper for DISTINCT queries.
 		if p.opt.PositiveRewrite && edge.Kind.Positive() && strict && !uncorr {
 			semi := opt.SemiJoinCost(inner, rel, rel*ee.frac)
+			if len(c.Links) > 0 && !p.setSem {
+				semi += opt.DistinctCost(ee.joined)
+			}
 			nest := opt.HashJoinCost(inner, rel, ee.joined) + opt.NestLinkCost(ee.joined, ee.after)
 			ee.semijoin = semi <= nest
 			verdict := "rewrite to (semi)join"

@@ -42,8 +42,14 @@ func (p *planner) explainString() string {
 		b.WriteString("top-down outer joins + materialised nest, then linking selection (Algorithm 1)")
 	}
 	b.WriteByte('\n')
+	if opt.TwoValuedLogic {
+		b.WriteString("  two-valued logic: NULL comparisons are FALSE; negative operators antijoin at strict leaves\n")
+	}
 	if opt.PositiveRewrite {
 		b.WriteString("  positive linking operators rewritten to (semi)joins where pending operators allow (§4.2.5)\n")
+		if p.setSem {
+			b.WriteString("  set-semantics output (root DISTINCT): §4.2.5 inner-block duplicate elimination elided\n")
+		}
 	}
 	if opt.NestPushdown {
 		b.WriteString("  nest pushed below equi-joins on the nesting attributes (§4.2.4)\n")
@@ -131,6 +137,17 @@ func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
 	}
 	b.WriteByte('\n')
 	for _, l := range blk.Links {
+		if p.antijoin2VLOK(blk, p.q.Root, l) {
+			// The 2VL fast path: no linking operator remains — the edge
+			// executes as a plain antijoin against the reduced child.
+			fmt.Fprintf(b, "%s  ▷ antijoin T%d (2VL)", indent, l.Child.ID+1)
+			if ee, ok := p.estEdge(l); ok {
+				fmt.Fprintf(b, "  [est: keeps %.3g → %s rows]", ee.frac, fmtRows(ee.after))
+			}
+			b.WriteByte('\n')
+			p.explainBlock(b, l.Child, depth+1)
+			continue
+		}
 		mode := "σ"
 		if !p.strictOK(blk, p.q.Root) {
 			mode = "σ̄"

@@ -22,6 +22,15 @@ type planner struct {
 	needed   map[int][]string // block ID → columns that must flow upward
 	keys     map[int][]string // block ID → its tables' PK columns
 
+	// setSem marks a query whose output is a set rather than a bag: root
+	// DISTINCT, no aggregates, no LIMIT/OFFSET, and no scalar-aggregate
+	// link anywhere (aggregates are multiplicity-sensitive). Under set
+	// semantics the §4.2.5 inner-block rewrite may skip its
+	// multiset-restoring duplicate elimination: quantified links are
+	// multiplicity-insensitive, extra copies collapse at the next nest or
+	// at the root DISTINCT.
+	setSem bool
+
 	// Cost-based planning state (see costbased.go). est is nil unless
 	// Options.UseStats is set and every table has fresh statistics.
 	est       *opt.Estimator
@@ -46,6 +55,7 @@ func newPlanner(q *sql.Query, opt Options) (*planner, error) {
 	if err := p.check(); err != nil {
 		return nil, err
 	}
+	p.setSem = p.computeSetSemantics()
 	p.computeColumnOwners()
 	if err := p.computeNeeded(); err != nil {
 		return nil, err
@@ -88,6 +98,28 @@ func (p *planner) check() error {
 		}
 	}
 	return nil
+}
+
+// computeSetSemantics reports whether the query's result is a set — the
+// bag/set distinction of Ricciotti-style mixed semantics. True only when
+// the root SELECT is DISTINCT with plain (non-aggregate) items, there is
+// no LIMIT/OFFSET, and no block carries a scalar-aggregate link (COUNT/
+// SUM/AVG observe member multiplicities, so intermediate duplicates must
+// not be introduced).
+func (p *planner) computeSetSemantics() bool {
+	root := p.q.Root
+	sel := root.Sel
+	if !sel.Distinct || len(root.AggItems) > 0 || sel.Limit >= 0 || sel.Offset > 0 {
+		return false
+	}
+	for _, b := range p.q.Blocks {
+		for _, l := range b.Links {
+			if l.Kind == sql.CmpScalar {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (p *planner) computeColumnOwners() {
@@ -222,6 +254,7 @@ func (p *planner) reduce(b *sql.Block) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		le = p.filterExpr(le)
 		preds = append(preds, pending{e: le, cols: le.Columns(nil)})
 	}
 
@@ -321,6 +354,7 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	local = p.filterExpr(local)
 	sp := p.begin("reduce T%d (%s)", b.ID+1, bt.Ref.Table)
 	out, err := exec.Drain(p.ec, exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
 	if err != nil {
@@ -358,13 +392,31 @@ func (p *planner) corrCond(b *sql.Block) (expr.Expr, error) {
 		}
 		parts = append(parts, e)
 	}
-	return expr.And(parts...), nil
+	return p.filterExpr(expr.And(parts...)), nil
+}
+
+// filterExpr adapts a lowered filter/join predicate to the session logic:
+// under 2VL it applies the filter-context rewrite (which leaves bare
+// comparisons and AND-trees structurally unchanged, so equi-key and
+// push-down pattern matching still fire); under 3VL it is the identity.
+func (p *planner) filterExpr(e expr.Expr) expr.Expr {
+	if !p.opt.TwoValuedLogic || e == nil {
+		return e
+	}
+	return expr.TwoValued(e)
 }
 
 // linkPred converts a link edge into an algebra.LinkPred over the nested
 // attribute subName, with the child's presence column marking padding.
+//
+// Under 2VL the analyzer's 3VL normalisations are unsound and the
+// encoding changes: NOT IN becomes a negated =SOME (x NOT IN {NULL} is
+// True under 2VL, whereas <>ALL over a collapsed <> would say False), and
+// a NOT-folded quantifier or scalar comparison (edge.SynNeg) is undone to
+// its syntactic form and negated classically after the fold.
 func (p *planner) linkPred(edge *sql.LinkEdge, subName string, child *sql.Block) (algebra.LinkPred, error) {
 	pred := algebra.LinkPred{Sub: subName, Presence: child.Presence}
+	twoVL := p.opt.TwoValuedLogic
 	switch edge.Kind {
 	case sql.Exists:
 		pred.Empty = algebra.NotEmpty
@@ -380,6 +432,12 @@ func (p *planner) linkPred(edge *sql.LinkEdge, subName string, child *sql.Block)
 		pred.Agg = agg.Func
 		pred.Linked = agg.Col
 		pred.Op = edge.Cmp
+		if twoVL {
+			pred.TwoValued = true
+			if edge.SynNeg {
+				pred.Op, pred.Negate = edge.Cmp.Negate(), true
+			}
+		}
 		return p.fillLeft(edge, pred)
 	}
 	la, err := p.q.LinkedAttr(child)
@@ -391,12 +449,23 @@ func (p *planner) linkPred(edge *sql.LinkEdge, subName string, child *sql.Block)
 	case sql.In:
 		pred.Op, pred.Quant = expr.Eq, algebra.Some
 	case sql.NotIn:
-		pred.Op, pred.Quant = expr.Ne, algebra.All
+		if twoVL {
+			pred.Op, pred.Quant, pred.Negate = expr.Eq, algebra.Some, true
+		} else {
+			pred.Op, pred.Quant = expr.Ne, algebra.All
+		}
 	case sql.CmpSome:
 		pred.Op, pred.Quant = edge.Cmp, algebra.Some
+		if twoVL && edge.SynNeg {
+			pred.Op, pred.Quant, pred.Negate = edge.Cmp.Negate(), algebra.All, true
+		}
 	case sql.CmpAll:
 		pred.Op, pred.Quant = edge.Cmp, algebra.All
+		if twoVL && edge.SynNeg {
+			pred.Op, pred.Quant, pred.Negate = edge.Cmp.Negate(), algebra.Some, true
+		}
 	}
+	pred.TwoValued = twoVL
 	return p.fillLeft(edge, pred)
 }
 

@@ -68,7 +68,7 @@ func (s *quantState) addMember(spec *LinkSpec, a, b value.Value) error {
 	if spec.Pred.Empty != algebra.NoEmptyTest {
 		return nil
 	}
-	tri, err := spec.Pred.Op.Apply(a, b)
+	tri, err := specCmp(spec, a, b)
 	if err != nil {
 		return err
 	}
@@ -80,12 +80,37 @@ func (s *quantState) addMember(spec *LinkSpec, a, b value.Value) error {
 	return nil
 }
 
-// verdict returns the link predicate's 3VL result for the closed group.
-// attr is the group's linking-attribute value (needed for aggregate
-// links, whose comparison happens once per group).
+// specCmp applies the spec's θ, collapsing Unknown to False under a 2VL
+// predicate (mirrors algebra.Bound).
+func specCmp(spec *LinkSpec, a, b value.Value) (value.Tri, error) {
+	tri, err := spec.Pred.Op.Apply(a, b)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if spec.Pred.TwoValued && tri == value.Unknown {
+		tri = value.False
+	}
+	return tri, nil
+}
+
+// verdict returns the link predicate's result for the closed group —
+// 3VL, or 2VL with classical negation when the spec says so. attr is the
+// group's linking-attribute value (needed for aggregate links, whose
+// comparison happens once per group).
 func (s *quantState) verdict(spec *LinkSpec, attr value.Value) (value.Tri, error) {
+	tri, err := s.rawVerdict(spec, attr)
+	if err != nil {
+		return value.Unknown, err
+	}
+	if spec.Pred.Negate {
+		tri = tri.Not()
+	}
+	return tri, nil
+}
+
+func (s *quantState) rawVerdict(spec *LinkSpec, attr value.Value) (value.Tri, error) {
 	if s.agg != nil {
-		return spec.Pred.Op.Apply(attr, s.agg.Result())
+		return specCmp(spec, attr, s.agg.Result())
 	}
 	switch spec.Pred.Empty {
 	case algebra.IsEmpty:

@@ -1,0 +1,64 @@
+package expr
+
+// Two-valued-logic rewriting, after Libkin & Peterfreund's "Handling SQL
+// Nulls with Two-Valued Logic". Under 2VL every comparison involving a
+// NULL is plain FALSE instead of Unknown, and NOT is classical negation.
+// Rather than threading a logic-mode flag through every evaluator, a 2VL
+// predicate is compiled to an ordinary 3VL expression that provably
+// computes the 2VL truth value.
+//
+// Two rewrites are provided:
+//
+//   - TwoValuedStrict(e) never evaluates to Unknown: its 3VL truth value
+//     IS the 2VL truth value of e. Comparisons gain IS NOT NULL guards on
+//     both operands, so NOT over the result is classical.
+//
+//   - TwoValued(e) is the cheaper filter-context form: its 3VL truth
+//     value agrees with 2VL on True, and is False-or-Unknown exactly when
+//     2VL says False. A filter keeps a tuple iff the predicate is True,
+//     so the two are interchangeable there — and because bare comparisons
+//     and AND-trees are left structurally unchanged, downstream
+//     pattern-matching (equi-key extraction, pushdown analysis) still
+//     fires. Strict guards are inserted only under NOT, where the
+//     False/Unknown distinction becomes observable.
+
+// TwoValued rewrites a predicate for evaluation in filter context under
+// two-valued logic: a tuple passes the rewritten predicate (3VL truth =
+// True) exactly when the original predicate is 2VL-true. Non-negated
+// comparisons and AND/OR structure are preserved verbatim.
+func TwoValued(e Expr) Expr {
+	switch x := e.(type) {
+	case Logic:
+		return Logic{Op: x.Op, L: TwoValued(x.L), R: TwoValued(x.R)}
+	case Not:
+		return Not{E: TwoValuedStrict(x.E)}
+	default:
+		// Cmp: Unknown only when 2VL says False — a filter drops the
+		// tuple either way. IsNull is never Unknown. Scalars pass through.
+		return e
+	}
+}
+
+// TwoValuedStrict rewrites a predicate so that its 3VL truth value equals
+// its 2VL truth value on every tuple — in particular it is never Unknown,
+// making 3VL NOT over the result behave classically. Comparisons become
+//
+//	(L θ R) AND L IS NOT NULL AND R IS NOT NULL
+//
+// which is False (not Unknown) whenever either operand is NULL.
+func TwoValuedStrict(e Expr) Expr {
+	switch x := e.(type) {
+	case Cmp:
+		return And(x, IsNull{E: x.L, Negate: true}, IsNull{E: x.R, Negate: true})
+	case Logic:
+		return Logic{Op: x.Op, L: TwoValuedStrict(x.L), R: TwoValuedStrict(x.R)}
+	case Not:
+		return Not{E: TwoValuedStrict(x.E)}
+	case IsNull:
+		return x
+	default:
+		// A bare value used as a predicate (e.g. a boolean column):
+		// NULL must read as False, not Unknown.
+		return And(e, IsNull{E: e, Negate: true})
+	}
+}

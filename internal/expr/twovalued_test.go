@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"testing"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// twoVLTruth is the ground-truth 2VL semantics, computed directly on the
+// AST: comparisons with any NULL operand are False, NOT is classical.
+func twoVLTruth(t *testing.T, e Expr, s *relation.Schema, tup relation.Tuple) bool {
+	t.Helper()
+	switch x := e.(type) {
+	case Cmp:
+		lv := evalScalar(t, x.L, s, tup)
+		rv := evalScalar(t, x.R, s, tup)
+		if lv.IsNull() || rv.IsNull() {
+			return false
+		}
+		tri, err := x.Op.Apply(lv, rv)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		return tri.IsTrue()
+	case Logic:
+		l := twoVLTruth(t, x.L, s, tup)
+		r := twoVLTruth(t, x.R, s, tup)
+		if x.Op == OpAnd {
+			return l && r
+		}
+		return l || r
+	case Not:
+		return !twoVLTruth(t, x.E, s, tup)
+	case IsNull:
+		v := evalScalar(t, x.E, s, tup)
+		return v.IsNull() != x.Negate
+	}
+	t.Fatalf("twoVLTruth: unhandled %T", e)
+	return false
+}
+
+func evalScalar(t *testing.T, e Expr, s *relation.Schema, tup relation.Tuple) value.Value {
+	t.Helper()
+	c, err := Compile(e, s)
+	if err != nil {
+		t.Fatalf("compile scalar %s: %v", e, err)
+	}
+	v, err := c.Eval(tup)
+	if err != nil {
+		t.Fatalf("eval scalar %s: %v", e, err)
+	}
+	return v
+}
+
+func twoVLCases() (s *relation.Schema, tuples []relation.Tuple, preds []Expr) {
+	s = relation.NewSchema("t",
+		relation.Column{Name: "t.a", Type: relation.TInt},
+		relation.Column{Name: "t.b", Type: relation.TInt},
+	)
+	mk := func(a, b any) relation.Tuple {
+		av, err := relation.ToValue(a)
+		if err != nil {
+			panic(err)
+		}
+		bv, err := relation.ToValue(b)
+		if err != nil {
+			panic(err)
+		}
+		return relation.Tuple{Atoms: []value.Value{av, bv}}
+	}
+	tuples = []relation.Tuple{
+		mk(1, 1), mk(1, 2), mk(nil, 1), mk(1, nil), mk(nil, nil), mk(3, 2),
+	}
+	a, b := Col("t.a"), Col("t.b")
+	cmp := Compare(Eq, a, b)
+	lt := Compare(Lt, a, Val(2))
+	preds = []Expr{
+		cmp,
+		Not{E: cmp},
+		Compare(Ne, a, b),
+		And(cmp, lt),
+		Or(cmp, lt),
+		Not{E: And(cmp, lt)},
+		Not{E: Or(Not{E: cmp}, lt)},
+		And(Not{E: lt}, Compare(Ge, b, Val(1))),
+		IsNull{E: a},
+		Not{E: IsNull{E: a, Negate: true}},
+		Or(Not{E: cmp}, Not{E: Compare(Gt, a, b)}),
+	}
+	return s, tuples, preds
+}
+
+// TestTwoValuedFilterContext checks the filter-context contract: the
+// rewritten predicate is 3VL-True exactly when 2VL semantics say True.
+func TestTwoValuedFilterContext(t *testing.T) {
+	s, tuples, preds := twoVLCases()
+	for _, p := range preds {
+		rw := TwoValued(p)
+		c, err := Compile(rw, s)
+		if err != nil {
+			t.Fatalf("compile %s: %v", rw, err)
+		}
+		for _, tup := range tuples {
+			got, err := c.Truth(tup)
+			if err != nil {
+				t.Fatalf("truth %s: %v", rw, err)
+			}
+			want := twoVLTruth(t, p, s, tup)
+			if got.IsTrue() != want {
+				t.Errorf("TwoValued(%s) on %v: filter-True=%v, want %v", p, tup.Atoms, got.IsTrue(), want)
+			}
+		}
+	}
+}
+
+// TestTwoValuedStrict checks the strict contract: the rewritten predicate
+// is never Unknown and its truth value equals the 2VL truth value.
+func TestTwoValuedStrict(t *testing.T) {
+	s, tuples, preds := twoVLCases()
+	for _, p := range preds {
+		rw := TwoValuedStrict(p)
+		c, err := Compile(rw, s)
+		if err != nil {
+			t.Fatalf("compile %s: %v", rw, err)
+		}
+		for _, tup := range tuples {
+			got, err := c.Truth(tup)
+			if err != nil {
+				t.Fatalf("truth %s: %v", rw, err)
+			}
+			if got == value.Unknown {
+				t.Errorf("TwoValuedStrict(%s) on %v: Unknown, want a definite truth value", p, tup.Atoms)
+				continue
+			}
+			want := twoVLTruth(t, p, s, tup)
+			if got.IsTrue() != want {
+				t.Errorf("TwoValuedStrict(%s) on %v: %v, want %v", p, tup.Atoms, got.IsTrue(), want)
+			}
+		}
+	}
+}
+
+// TestTwoValuedPreservesShape pins that filter-context rewriting leaves
+// bare comparisons and AND-trees structurally unchanged, so equi-key and
+// pushdown pattern-matching in the planner still recognises them.
+func TestTwoValuedPreservesShape(t *testing.T) {
+	a, b := Col("t.a"), Col("u.b")
+	e := And(Compare(Eq, a, b), Compare(Lt, a, Val(5)))
+	if got := TwoValued(e); got.String() != e.String() {
+		t.Errorf("TwoValued changed AND-tree shape: %s -> %s", e, got)
+	}
+}

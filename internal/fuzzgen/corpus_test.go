@@ -1,0 +1,80 @@
+package fuzzgen
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCorpusRegressions replays every checked-in reproducer under the
+// full differential matrix. Each testdata/corpus/*.sql file records the
+// catalog seed and NULL fraction it failed under as header comments; the
+// catalog is regenerated from those parameters, so a corpus entry is a
+// complete, deterministic regression test for a historical failure.
+func TestCorpusRegressions(t *testing.T) {
+	files, err := filepath.Glob("testdata/corpus/*.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty regression corpus: expected testdata/corpus/*.sql")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			seed, nulls, src, err := readCorpusFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.NullFraction = nulls
+			cat, err := NewCatalog(seed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckSQL(src, cat, nulls == 0); err != nil {
+				t.Fatalf("corpus regression (seed %d, nulls %g):\n  %s\n%v", seed, nulls, src, err)
+			}
+		})
+	}
+}
+
+// readCorpusFile parses a corpus entry: "-- seed: N" and "-- nulls: F"
+// headers followed by the SQL text (other "--" lines are free comments).
+func readCorpusFile(path string) (seed int64, nulls float64, src string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	seed = -1
+	var sqlLines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "-- seed:"):
+			seed, err = strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(trimmed, "-- seed:")), 10, 64)
+			if err != nil {
+				return 0, 0, "", err
+			}
+		case strings.HasPrefix(trimmed, "-- nulls:"):
+			nulls, err = strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(trimmed, "-- nulls:")), 64)
+			if err != nil {
+				return 0, 0, "", err
+			}
+		case strings.HasPrefix(trimmed, "--"), trimmed == "":
+			// free comment
+		default:
+			sqlLines = append(sqlLines, trimmed)
+		}
+	}
+	if seed < 0 {
+		return 0, 0, "", errMissingSeed(path)
+	}
+	return seed, nulls, strings.Join(sqlLines, " "), nil
+}
+
+type errMissingSeed string
+
+func (e errMissingSeed) Error() string { return "corpus file missing '-- seed:' header: " + string(e) }

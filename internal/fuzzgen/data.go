@@ -1,0 +1,50 @@
+package fuzzgen
+
+import (
+	"math/rand"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+)
+
+// NewCatalog builds the three-table fuzzing database (A, B, C; columns
+// k, w, x, y with k the row-index primary key) from a seed. Non-key
+// cells are NULL with probability cfg.NullFraction; when cfg.Skew is
+// set, ~35% of the remaining cells land on one hot value so joins see
+// both empty and heavily duplicated match sets. Statistics are collected
+// so the cost-based mode plans from fresh estimates.
+func NewCatalog(seed int64, cfg Config) (*catalog.Catalog, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := catalog.New()
+	if cfg.MaxRows < 3 {
+		cfg.MaxRows = 3
+	}
+	for _, name := range genTables {
+		rows := 3 + rng.Intn(cfg.MaxRows-2)
+		cols := []string{"k", "w", "x", "y"}
+		var data [][]any
+		for r := 0; r < rows; r++ {
+			row := []any{r} // k: unique non-NULL PK
+			for c := 1; c < len(cols); c++ {
+				switch {
+				case rng.Float64() < cfg.NullFraction:
+					row = append(row, nil)
+				case cfg.Skew && rng.Float64() < 0.35:
+					row = append(row, 2) // hot value
+				default:
+					row = append(row, rng.Intn(6))
+				}
+			}
+			data = append(data, row)
+		}
+		rel, err := relation.FromRows(name, cols, data...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cat.Create(name, rel, "k"); err != nil {
+			return nil, err
+		}
+	}
+	cat.AnalyzeAll()
+	return cat, nil
+}

@@ -1,0 +1,252 @@
+// Package fuzzgen is a seeded, grammar-driven generator of random nested
+// SQL queries plus the differential harness that cross-checks every
+// execution engine against the reference evaluator.
+//
+// The generator produces structured query specs — not strings — covering
+// all six linking operators (EXISTS, NOT EXISTS, IN, NOT IN, θ SOME,
+// θ ALL) plus scalar aggregate comparisons, at arbitrary nesting depth,
+// with correlated and uncorrelated children, syntactic NOT wrapping,
+// DISTINCT at the root and under subqueries, over NULL-bearing skewed
+// data. Because specs are trees, a failing query shrinks structurally
+// (see Shrink) to a minimal reproducer identified by its seed.
+//
+// See docs/FUZZING.md for the grammar, the execution-mode matrix, and
+// the corpus workflow for failing seeds.
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generator and the generated data.
+type Config struct {
+	// MaxDepth bounds subquery nesting (1 = a single level of children).
+	MaxDepth int
+	// NullFraction is the probability that a generated non-key cell is
+	// NULL. Zero yields NULL-free data, where 2VL must equal 3VL.
+	NullFraction float64
+	// MaxRows bounds each generated table's cardinality.
+	MaxRows int
+	// Skew concentrates ~35% of non-NULL cells on one hot value, so
+	// joins hit both empty and heavily duplicated match sets.
+	Skew bool
+}
+
+// DefaultConfig is the standard fuzzing configuration: depth ≤ 3,
+// NULL-bearing skewed data.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 3, NullFraction: 0.18, MaxRows: 10, Skew: true}
+}
+
+// Spec is one generated query as a structural tree; SQL renders it.
+type Spec struct {
+	Root *Block
+}
+
+// Block is one query block: a table with local, correlated and linking
+// predicates, and a select list of one column (or an aggregate of it).
+type Block struct {
+	Table    string
+	Alias    string
+	Distinct bool
+	SelCol   string // unqualified select-list column
+	Agg      string // "", "count(*)", "min", "max", "sum", "avg", "count"
+	Star     bool   // SELECT * (children of EXISTS / NOT EXISTS)
+	Locals   []Cond
+	Corrs    []Cond
+	Links    []Link
+}
+
+// Cond is one conjunct: Col θ RHS, where RHS is a literal (Locals) or a
+// qualified outer column (Corrs).
+type Cond struct {
+	Col string
+	Op  string
+	RHS string
+}
+
+// Link is one subquery predicate attached to a block.
+type Link struct {
+	Kind    string // "exists", "not exists", "in", "not in", "some", "all", "scalar"
+	Op      string // comparison operator for some/all/scalar
+	Not     bool   // extra syntactic NOT wrapping the predicate
+	LeftCol string // outer column compared against the child (all but exists)
+	Child   *Block
+}
+
+var (
+	genTables = []string{"A", "B", "C"}
+	genCols   = []string{"w", "x", "y"}
+	genOps    = []string{"=", "<>", "<", "<=", ">", ">="}
+	genAggs   = []string{"count(*)", "min", "max", "sum", "avg", "count"}
+	genKinds  = []string{"exists", "not exists", "in", "not in", "some", "all", "scalar"}
+)
+
+// Gen is a deterministic query generator: the same seed and config
+// always produce the same sequence of specs.
+type Gen struct {
+	rng   *rand.Rand
+	cfg   Config
+	aggs  []string
+	alias int
+}
+
+// NewGen returns a generator for the given seed. When the config is
+// NULL-free, scalar subqueries are restricted to COUNT aggregates:
+// SUM/AVG/MIN/MAX over an *empty* child set yield NULL even on NULL-free
+// base data, which would break the 2VL ≡ 3VL equivalence the NULL-free
+// lane asserts (COUNT of an empty set is 0, never NULL).
+func NewGen(seed int64, cfg Config) *Gen {
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.MaxRows < 3 {
+		cfg.MaxRows = 3
+	}
+	aggs := genAggs
+	if cfg.NullFraction == 0 {
+		aggs = []string{"count(*)", "count"}
+	}
+	return &Gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg, aggs: aggs}
+}
+
+func (g *Gen) nextAlias() string {
+	g.alias++
+	return fmt.Sprintf("t%d", g.alias)
+}
+
+func (g *Gen) col() string { return genCols[g.rng.Intn(len(genCols))] }
+func (g *Gen) op() string  { return genOps[g.rng.Intn(len(genOps))] }
+
+// Query generates one random nested query spec.
+func (g *Gen) Query() *Spec {
+	depth := 1 + g.rng.Intn(g.cfg.MaxDepth)
+	root := g.block(nil, depth)
+	root.Distinct = g.rng.Float64() < 0.4
+	return &Spec{Root: root}
+}
+
+// block generates one query block. outer lists the aliases visible for
+// correlation, nearest enclosing last.
+func (g *Gen) block(outer []string, depth int) *Block {
+	b := &Block{
+		Table:  genTables[g.rng.Intn(len(genTables))],
+		Alias:  g.nextAlias(),
+		SelCol: g.col(),
+	}
+	for i := g.rng.Intn(2); i > 0; i-- {
+		b.Locals = append(b.Locals, Cond{Col: g.col(), Op: g.op(), RHS: fmt.Sprint(g.rng.Intn(5))})
+	}
+	for _, o := range outer {
+		if g.rng.Float64() < 0.6 {
+			// =, <>, < keep join shapes varied without exploding output.
+			b.Corrs = append(b.Corrs, Cond{Col: g.col(), Op: genOps[g.rng.Intn(3)], RHS: o + "." + g.col()})
+		}
+	}
+	if depth > 0 {
+		kids := 1
+		if g.rng.Float64() < 0.25 {
+			kids = 2 // tree query
+		}
+		visible := append(append([]string{}, outer...), b.Alias)
+		for i := 0; i < kids; i++ {
+			b.Links = append(b.Links, g.link(visible, depth-1))
+		}
+	}
+	return b
+}
+
+func (g *Gen) link(outer []string, depth int) Link {
+	l := Link{
+		Kind:    genKinds[g.rng.Intn(len(genKinds))],
+		Op:      g.op(),
+		LeftCol: g.col(),
+		Not:     g.rng.Float64() < 0.25,
+	}
+	l.Child = g.block(outer, depth)
+	switch l.Kind {
+	case "exists", "not exists":
+		l.Child.Star = true
+	case "scalar":
+		// Scalar comparisons need an aggregate child.
+		l.Child.Agg = g.aggs[g.rng.Intn(len(g.aggs))]
+	default:
+		// DISTINCT under a quantified subquery exercises the bag/set gate.
+		l.Child.Distinct = g.rng.Float64() < 0.2
+	}
+	return l
+}
+
+// SQL renders the spec as the normalized SQL the parser accepts.
+func (s *Spec) SQL() string { return s.Root.sql() }
+
+func (b *Block) sql() string {
+	var item string
+	switch {
+	case b.Star:
+		item = "*"
+	case b.Agg == "count(*)":
+		item = "count(*)"
+	case b.Agg != "":
+		item = fmt.Sprintf("%s(%s.%s)", b.Agg, b.Alias, b.SelCol)
+	default:
+		item = b.Alias + "." + b.SelCol
+	}
+	distinct := ""
+	if b.Distinct {
+		distinct = "distinct "
+	}
+	q := fmt.Sprintf("select %s%s from %s %s", distinct, item, b.Table, b.Alias)
+	var conj []string
+	for _, c := range b.Locals {
+		conj = append(conj, fmt.Sprintf("%s.%s %s %s", b.Alias, c.Col, c.Op, c.RHS))
+	}
+	for _, c := range b.Corrs {
+		conj = append(conj, fmt.Sprintf("%s.%s %s %s", b.Alias, c.Col, c.Op, c.RHS))
+	}
+	for _, l := range b.Links {
+		conj = append(conj, l.sql(b.Alias))
+	}
+	if len(conj) > 0 {
+		q += " where " + strings.Join(conj, " and ")
+	}
+	return q
+}
+
+func (l Link) sql(alias string) string {
+	child := l.Child.sql()
+	left := alias + "." + l.LeftCol
+	var s string
+	switch l.Kind {
+	case "exists", "not exists":
+		s = fmt.Sprintf("%s (%s)", l.Kind, child)
+	case "in", "not in":
+		s = fmt.Sprintf("%s %s (%s)", left, l.Kind, child)
+	case "some", "all":
+		s = fmt.Sprintf("%s %s %s (%s)", left, l.Op, l.Kind, child)
+	default: // scalar aggregate comparison
+		s = fmt.Sprintf("%s %s (%s)", left, l.Op, child)
+	}
+	if l.Not {
+		s = "not " + s
+	}
+	return s
+}
+
+// clone deep-copies a block tree (shrinking mutates copies).
+func (b *Block) clone() *Block {
+	c := *b
+	c.Locals = append([]Cond(nil), b.Locals...)
+	c.Corrs = append([]Cond(nil), b.Corrs...)
+	c.Links = make([]Link, len(b.Links))
+	for i, l := range b.Links {
+		l.Child = l.Child.clone()
+		c.Links[i] = l
+	}
+	return &c
+}
+
+// clone deep-copies the spec.
+func (s *Spec) clone() *Spec { return &Spec{Root: s.Root.clone()} }

@@ -1,0 +1,5 @@
+-- seed: 5
+-- nulls: 0.18
+-- Correlated theta-ALL over a possibly-empty child: vacuous truth must
+-- survive the padding-aware linking selection in every mode.
+select t1.y from A t1 where t1.y > all (select t2.x from C t2 where t2.w = t1.w)

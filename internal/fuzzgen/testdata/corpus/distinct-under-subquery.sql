@@ -1,0 +1,6 @@
+-- seed: 17
+-- nulls: 0.18
+-- Root DISTINCT with DISTINCT under the subquery: the bag/set-aware
+-- positive-rewrite gate may elide inner duplicate elimination only when
+-- the output really is a set.
+select distinct t1.x from A t1 where t1.x in (select distinct t2.y from B t2 where t2.w = t1.w and exists (select * from C t3 where t3.x = t2.x))

@@ -1,0 +1,5 @@
+-- seed: 11
+-- nulls: 0.18
+-- NOT (theta ALL) folds to the dual SOME; 2VL must treat it as the
+-- negated universal, not as a strict existential.
+select t1.x from C t1 where not t1.y = all (select t2.w from B t2 where t2.x = t1.x)

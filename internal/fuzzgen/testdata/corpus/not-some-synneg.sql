@@ -1,0 +1,5 @@
+-- seed: 7
+-- nulls: 0.18
+-- NOT (theta SOME): the analyzer folds it to the dual ALL; under 2VL the
+-- fold is unsound without the syntactic-negation parity bit.
+select t1.w from B t1 where not t1.x <= some (select t2.y from A t2 where t2.x = t1.w)

@@ -1,0 +1,7 @@
+-- seed: 5019
+-- nulls: 0.18
+-- Found by the fuzzer (seed 5019, NULL-free lane): SUM over an empty
+-- correlated child is NULL even on NULL-free base data, so
+-- NOT (x > (SELECT SUM ...)) keeps the row under 2VL and drops it under
+-- 3VL. Every engine must still match its own oracle exactly.
+select t1.x from B t1 where not t1.x > (select sum(t2.x) from C t2 where t2.w < t1.y)

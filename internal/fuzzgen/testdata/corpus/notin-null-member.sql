@@ -1,0 +1,5 @@
+-- seed: 3
+-- nulls: 0.18
+-- NOT IN whose child produces NULL members: 3VL must drop the outer
+-- tuple (x <> NULL is UNKNOWN), 2VL must keep it when no member equals.
+select t1.x from A t1 where t1.x not in (select t2.y from B t2)

@@ -1,0 +1,5 @@
+-- seed: 8
+-- nulls: 0
+-- NULL-free database: 2VL and 3VL are the same logic, so the 2VL
+-- antijoin fast path must agree with the 3VL linking operators exactly.
+select t1.y from B t1 where t1.y not in (select t2.x from A t2 where t2.w = t1.w) and not exists (select * from C t3 where t3.y = t1.x)

@@ -1,0 +1,5 @@
+-- seed: 13
+-- nulls: 0.18
+-- Scalar COUNT(*) over an empty correlated child is 0, not NULL: the
+-- comparison must see the zero row every aggregate query produces.
+select t1.w from A t1 where t1.w >= (select count(*) from B t2 where t2.y = t1.x)

@@ -28,6 +28,17 @@ func Evaluate(q *sql.Query) (*relation.Relation, error) {
 	return e.evalRoot()
 }
 
+// EvaluateTwoValued runs the analyzed query under Libkin-style two-valued
+// logic: every comparison involving a NULL is FALSE (never Unknown) and
+// NOT is classical negation. It is the ground truth the planners'
+// Options.TwoValuedLogic mode is differentially checked against. The
+// collapse happens at the comparison atoms — NOT (x = NULL) is True, and
+// x NOT IN {NULL} is True — not merely at the final WHERE verdict.
+func EvaluateTwoValued(q *sql.Query) (*relation.Relation, error) {
+	e := &evaluator{q: q, twoVL: true}
+	return e.evalRoot()
+}
+
 type frame struct {
 	block *sql.Block
 	tuple relation.Tuple
@@ -36,6 +47,15 @@ type frame struct {
 type evaluator struct {
 	q      *sql.Query
 	frames []frame
+	twoVL  bool // collapse Unknown to False at every comparison atom
+}
+
+// collapse maps Unknown to False under 2VL; the identity under 3VL.
+func (e *evaluator) collapse(t value.Tri) value.Tri {
+	if e.twoVL && t == value.Unknown {
+		return value.False
+	}
+	return t
 }
 
 func (e *evaluator) evalRoot() (*relation.Relation, error) {
@@ -247,14 +267,17 @@ func (e *evaluator) lookup(c *sql.ColRef) (value.Value, error) {
 	return value.Null, fmt.Errorf("naive: no frame for block %d (column %s)", res.Block.ID, c)
 }
 
-// truth evaluates a predicate under 3VL.
+// truth evaluates a predicate under the session logic: 3VL, or 2VL where
+// a NULL predicate value reads as False (a bare NULL-valued atom used as
+// a predicate; composite predicates have already collapsed at their
+// comparison atoms).
 func (e *evaluator) truth(x sql.Expr) (value.Tri, error) {
 	v, err := e.evalExpr(x)
 	if err != nil {
 		return value.Unknown, err
 	}
 	if v.IsNull() {
-		return value.Unknown, nil
+		return e.collapse(value.Unknown), nil
 	}
 	if v.Kind() != value.KindBool {
 		return value.Unknown, fmt.Errorf("naive: predicate evaluated to %s", v.Kind())
@@ -372,7 +395,7 @@ func (e *evaluator) evalBinOp(n *sql.BinOp) (value.Value, error) {
 		if err != nil {
 			return value.Null, err
 		}
-		return t.Value(), nil
+		return e.collapse(t).Value(), nil
 	case "+", "-", "*", "/":
 		return arith(n.Op, l, r)
 	}
@@ -396,6 +419,15 @@ func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
 		left = v
 	}
 
+	// NOT IN under 2VL is ¬∃m (x = m): a <>-fold over collapsed members
+	// would wrongly say False for x NOT IN {NULL}. It is refolded as an
+	// existential over collapsed equalities and negated at the end.
+	memberOp := sp.Cmp
+	notInAsNegatedIn := e.twoVL && sp.Kind == sql.NotIn
+	if notInAsNegatedIn {
+		memberOp = expr.Eq
+	}
+
 	// A quantified predicate over an aggregate subquery sees a singleton
 	// set: the one row every aggregate query returns.
 	if _, isAgg := child.Agg(); isAgg && sp.Kind != sql.Exists && sp.Kind != sql.NotExists {
@@ -403,17 +435,30 @@ func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
 		if err != nil {
 			return value.Unknown, err
 		}
-		op := sp.Cmp
+		op := memberOp
 		switch sp.Kind {
 		case sql.In:
 			op = expr.Eq
 		case sql.NotIn:
-			op = expr.Ne
+			if !notInAsNegatedIn {
+				op = expr.Ne
+			}
 		}
-		return op.Apply(left, item)
+		tri, err := op.Apply(left, item)
+		if err != nil {
+			return value.Unknown, err
+		}
+		tri = e.collapse(tri)
+		if notInAsNegatedIn {
+			tri = tri.Not()
+		}
+		return tri, nil
 	}
 
 	res := initialTri(sp.Kind)
+	if notInAsNegatedIn {
+		res = value.False // ∃-fold, negated after the loop
+	}
 
 	done := fmt.Errorf("naive: early out") // sentinel
 	err := e.eachBlockTuple(child, func(t relation.Tuple) error {
@@ -439,17 +484,17 @@ func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
 		if err != nil {
 			return err
 		}
-		cmp, err := sp.Cmp.Apply(left, item)
+		cmp, err := memberOp.Apply(left, item)
 		if err != nil {
 			return err
 		}
-		switch sp.Kind {
-		case sql.In, sql.CmpSome:
+		cmp = e.collapse(cmp)
+		if sp.Kind == sql.In || sp.Kind == sql.CmpSome || notInAsNegatedIn {
 			res = res.Or(cmp)
 			if res == value.True {
 				return done
 			}
-		case sql.NotIn, sql.CmpAll:
+		} else { // NotIn (3VL), CmpAll
 			res = res.And(cmp)
 			if res == value.False {
 				return done
@@ -459,6 +504,9 @@ func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
 	})
 	if err != nil && err != done {
 		return value.Unknown, err
+	}
+	if notInAsNegatedIn {
+		res = res.Not()
 	}
 	return res, nil
 }

@@ -48,6 +48,14 @@ func SemiJoinCost(build, probe, out float64) float64 {
 	return HashJoinCost(build, probe, out)
 }
 
+// DistinctCost prices hash-based duplicate elimination over n tuples:
+// one hash build over the input. The §4.2.5 inner-block rewrite pays it
+// to restore the pre-join multiset — unless the query's output is a set,
+// in which case the planner elides the operator and this cost.
+func DistinctCost(n float64) float64 {
+	return HashBuildWeight * n
+}
+
 // EstBytes converts an estimated row count and per-tuple payload width
 // into the working-state bytes the resource governor would account.
 func EstBytes(rows, width float64) float64 {

@@ -49,6 +49,15 @@ type LinkEdge struct {
 	Kind  LinkKind
 	Cmp   expr.CmpOp
 	Child *Block
+
+	// SynNeg records that (Kind, Cmp) came from folding an odd number of
+	// NOT wrappers via quantifier duality. The duality is only valid in
+	// 3VL; a 2VL planner must recover the syntactic form by undoing the
+	// fold (negateKind is involutive) and negating classically.
+	// Exists/NotExists and In/NotIn pairs need no such recovery — their
+	// duals coincide in both logics — so SynNeg is tracked only for the
+	// quantified-comparison and scalar-comparison operators.
+	SynNeg bool
 }
 
 // Left returns the linking attribute expression (nil for EXISTS forms).
@@ -278,7 +287,7 @@ func (a *analyzer) block(sel *Select, parent *Block) (*Block, error) {
 		if containsAggOutsideSubquery(conj) {
 			return nil, fmt.Errorf("sql: aggregate function in WHERE clause of block %d", b.ID)
 		}
-		if sp, kind, cmp, ok := topLevelSubquery(conj); ok {
+		if sp, kind, cmp, neg, ok := topLevelSubquery(conj); ok {
 			if err := a.resolveScalar(sp.Left, b); err != nil {
 				return nil, err
 			}
@@ -286,11 +295,14 @@ func (a *analyzer) block(sel *Select, parent *Block) (*Block, error) {
 			if err != nil {
 				return nil, err
 			}
-			b.Links = append(b.Links, &LinkEdge{Pred: sp, Kind: kind, Cmp: cmp, Child: child})
+			if kind != CmpSome && kind != CmpAll {
+				neg = false // the fold is 2VL-sound for EXISTS/IN duals
+			}
+			b.Links = append(b.Links, &LinkEdge{Pred: sp, Kind: kind, Cmp: cmp, Child: child, SynNeg: neg})
 			b.Children = append(b.Children, child)
 			continue
 		}
-		if sc, cmp, left, ok := topLevelScalarCmp(conj); ok && !hasSubquery(left) {
+		if sc, cmp, left, neg, ok := topLevelScalarCmp(conj); ok && !hasSubquery(left) {
 			if err := a.resolveExpr(left, b); err != nil {
 				return nil, err
 			}
@@ -302,7 +314,7 @@ func (a *analyzer) block(sel *Select, parent *Block) (*Block, error) {
 				return nil, errf(sc.Pos, "scalar subquery must select exactly one aggregate")
 			}
 			pred := &SubqueryPred{Kind: CmpScalar, Cmp: cmp, Left: left, Sel: sc.Sel, Pos: sc.Pos}
-			b.Links = append(b.Links, &LinkEdge{Pred: pred, Kind: CmpScalar, Cmp: cmp, Child: child})
+			b.Links = append(b.Links, &LinkEdge{Pred: pred, Kind: CmpScalar, Cmp: cmp, Child: child, SynNeg: neg})
 			b.Children = append(b.Children, child)
 			continue
 		}
@@ -338,46 +350,48 @@ func (a *analyzer) block(sel *Select, parent *Block) (*Block, error) {
 // normalising "NOT <subquery-pred>" into the complementary operator
 // (¬(θ SOME) = ¬θ ALL and vice versa — valid in 3VL by quantifier
 // duality). The AST itself is left untouched; only the returned
-// (kind, cmp) pair is normalised.
-func topLevelSubquery(e Expr) (*SubqueryPred, LinkKind, expr.CmpOp, bool) {
+// (kind, cmp) pair is normalised. neg reports NOT-wrapper parity so a
+// 2VL planner can recover the syntactic operator.
+func topLevelSubquery(e Expr) (*SubqueryPred, LinkKind, expr.CmpOp, bool, bool) {
 	switch x := e.(type) {
 	case *SubqueryPred:
-		return x, x.Kind, x.Cmp, true
+		return x, x.Kind, x.Cmp, false, true
 	case *NotExpr:
-		if sp, kind, cmp, ok := topLevelSubquery(x.E); ok {
+		if sp, kind, cmp, neg, ok := topLevelSubquery(x.E); ok {
 			nk, nc := negateKind(kind, cmp)
-			return sp, nk, nc, true
+			return sp, nk, nc, !neg, true
 		}
 	}
-	return nil, 0, 0, false
+	return nil, 0, 0, false, false
 }
 
 // topLevelScalarCmp recognises "expr θ (select agg ...)" (either
 // orientation, optionally NOT-wrapped) as a CmpScalar linking predicate.
 // ¬(a θ s) over a scalar s is a ¬θ s under 3VL (NULLs stay Unknown either
-// way), so negation folds into the operator.
-func topLevelScalarCmp(e Expr) (sc *ScalarSub, cmp expr.CmpOp, left Expr, ok bool) {
+// way), so negation folds into the operator; neg reports the NOT parity
+// for planners where the fold is unsound (2VL).
+func topLevelScalarCmp(e Expr) (sc *ScalarSub, cmp expr.CmpOp, left Expr, neg, ok bool) {
 	switch x := e.(type) {
 	case *NotExpr:
-		if sc, cmp, left, ok = topLevelScalarCmp(x.E); ok {
-			return sc, cmp.Negate(), left, true
+		if sc, cmp, left, neg, ok = topLevelScalarCmp(x.E); ok {
+			return sc, cmp.Negate(), left, !neg, true
 		}
 	case *BinOp:
 		op, isCmp := cmpOps[x.Op]
 		if !isCmp {
-			return nil, 0, nil, false
+			return nil, 0, nil, false, false
 		}
 		if s, isSub := x.R.(*ScalarSub); isSub {
 			if _, both := x.L.(*ScalarSub); both {
-				return nil, 0, nil, false // scalar-vs-scalar: reference only
+				return nil, 0, nil, false, false // scalar-vs-scalar: reference only
 			}
-			return s, op, x.L, true
+			return s, op, x.L, false, true
 		}
 		if s, isSub := x.L.(*ScalarSub); isSub {
-			return s, op.Flip(), x.R, true
+			return s, op.Flip(), x.R, false, true
 		}
 	}
-	return nil, 0, nil, false
+	return nil, 0, nil, false, false
 }
 
 // hasSubquery reports whether e contains any subquery form.

@@ -289,6 +289,9 @@ func (db *DB) explainQuery(q *sql.Query, s Strategy) (string, error) {
 		}
 		return ex.Explain(), nil
 	case kindReference:
+		if s.opts.TwoValuedLogic {
+			return "reference: direct nested-iteration over the AST (two-valued logic)\n", nil
+		}
 		return "reference: direct nested-iteration over the AST\n", nil
 	default:
 		return core.Explain(q, s.coreOptions())
@@ -304,9 +307,7 @@ func (db *DB) ExplainAnalyze(src string, s Strategy) (string, error) {
 	if s.kind == kindNative || s.kind == kindReference {
 		return "", fmt.Errorf("nra: EXPLAIN ANALYZE requires a nested strategy")
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	st, err := db.analyzeStatement(src)
 	if err != nil {
 		return "", err
@@ -320,15 +321,15 @@ func (db *DB) ExplainAnalyze(src string, s Strategy) (string, error) {
 func (db *DB) execute(q *sql.Query, s Strategy, label string) (*relation.Relation, error) {
 	if s.kind == kindAuto {
 		if err := core.Supported(q); err != nil {
-			return naive.Evaluate(q)
+			return db.referenceEval(q, s)
 		}
-		s = NestedOptimized.withTrace(s.trace)
+		s = s.promote()
 	}
 	switch s.kind {
 	case kindNative:
 		return native.Execute(q)
 	case kindReference:
-		return naive.Evaluate(q)
+		return db.referenceEval(q, s)
 	default:
 		opts := s.coreOptions()
 		opts.Label = label
@@ -347,6 +348,15 @@ func (db *DB) execute(q *sql.Query, s Strategy, label string) (*relation.Relatio
 		}
 		return out, err
 	}
+}
+
+// referenceEval runs the ground-truth tuple-iteration evaluator,
+// honouring the strategy's two-valued-logic flag.
+func (db *DB) referenceEval(q *sql.Query, s Strategy) (*relation.Relation, error) {
+	if s.opts.TwoValuedLogic {
+		return naive.EvaluateTwoValued(q)
+	}
+	return naive.Evaluate(q)
 }
 
 // QueryTrace is the finished span tree of one traced query (see
@@ -429,6 +439,20 @@ func (s Strategy) withTrace(on bool) Strategy {
 	return s
 }
 
+// promote resolves Auto into NestedOptimized, carrying over the semantic
+// and observability flags (two-valued logic, tracing) already set on the
+// Auto strategy. Non-Auto strategies are returned unchanged.
+func (s Strategy) promote() Strategy {
+	if s.kind != kindAuto {
+		return s
+	}
+	twoVL := s.opts.TwoValuedLogic
+	s.kind = kindNested
+	s.opts = core.Optimized()
+	s.opts.TwoValuedLogic = twoVL
+	return s
+}
+
 const (
 	kindAuto = iota
 	kindNested
@@ -466,9 +490,7 @@ func (s Strategy) WithParallelism(n int) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	s.opts.Parallelism = n
 	return s
 }
@@ -483,9 +505,7 @@ func (s Strategy) WithMemoryBudget(bytes int64) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -501,9 +521,7 @@ func (s Strategy) WithTimeout(d time.Duration) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	if d < 0 {
 		d = 0
 	}
@@ -523,11 +541,29 @@ func (s Strategy) WithCostBased(on bool) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	s.opts.UseStats = on
 	s.opts.CostBased = on
+	return s
+}
+
+// WithTwoValuedLogic returns a copy of the strategy evaluating the query
+// under two-valued logic: every comparison involving a NULL is FALSE
+// rather than UNKNOWN, and NOT applies classically on top. Under 2VL the
+// negative linking operators lose their NULL traps — x NOT IN S is
+// exactly "no member of S equals x" — and the planner unnests NOT IN /
+// NOT EXISTS / θ ALL leaves into plain antijoins. On NULL-free data 2VL
+// and standard SQL 3VL agree exactly — unless a NULL-producing aggregate
+// (SUM/AVG/MIN/MAX over an empty subquery) reintroduces one. The flag
+// applies to the nested
+// strategies and Reference (which switches to the 2VL reference
+// evaluator); Native models the commercial 3VL baseline and is returned
+// unchanged. Auto keeps its Reference fallback, carrying the flag.
+func (s Strategy) WithTwoValuedLogic(on bool) Strategy {
+	if s.kind == kindNative {
+		return s
+	}
+	s.opts.TwoValuedLogic = on
 	return s
 }
 
@@ -541,8 +577,8 @@ func (s Strategy) WithTracing(on bool) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto && on {
-		s = NestedOptimized
+	if on {
+		s = s.promote()
 	}
 	s.trace = on
 	return s
@@ -556,27 +592,29 @@ func Traced(s Strategy, w io.Writer) Strategy {
 	if s.kind == kindNative || s.kind == kindReference {
 		return s
 	}
-	if s.kind == kindAuto {
-		s = NestedOptimized
-	}
+	s = s.promote()
 	s.opts.Trace = w
 	return s
 }
 
 // String names the strategy.
 func (s Strategy) String() string {
+	twoVL := ""
+	if s.opts.TwoValuedLogic {
+		twoVL = " (2VL)"
+	}
 	switch s.kind {
 	case kindAuto:
-		return "auto"
+		return "auto" + twoVL
 	case kindNative:
 		return "native"
 	case kindReference:
-		return "reference"
+		return "reference" + twoVL
 	default:
 		name := "nested-optimized"
 		base := s.opts
-		// Physical and observability knobs don't change which paper
-		// strategy this is.
+		// Physical, semantic-mode and observability knobs don't change
+		// which paper strategy this is.
 		base.Parallelism = 0
 		base.MemoryBudget = 0
 		base.Timeout = 0
@@ -584,6 +622,7 @@ func (s Strategy) String() string {
 		base.SlowQuery = 0
 		base.SlowLog = nil
 		base.Label = ""
+		base.TwoValuedLogic = false
 		if base == core.Original() {
 			name = "nested-original"
 		} else if !base.CostBased {
@@ -603,6 +642,6 @@ func (s Strategy) String() string {
 		if s.opts.Timeout > 0 {
 			name = fmt.Sprintf("%s (timeout %s)", name, s.opts.Timeout)
 		}
-		return name
+		return name + twoVL
 	}
 }
