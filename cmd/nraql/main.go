@@ -24,6 +24,9 @@
 //	\tables                     list tables with row counts
 //	\q                          quit
 //
+// Ctrl-C cancels the query in flight and returns to the prompt; Ctrl-C
+// at the prompt (or pressed twice) exits the shell.
+//
 // -debug-addr serves expvar metrics and net/http/pprof on a private HTTP
 // endpoint; -slow-query/-slow-log write a JSON-lines slow-query log (see
 // docs/OBSERVABILITY.md).
@@ -31,17 +34,42 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nra"
 	"nra/internal/obsv"
 )
+
+// inflight holds the cancel function of the query currently executing,
+// nil when the shell is idle. The SIGINT handler swaps it out: Ctrl-C
+// during a query cancels that query and returns to the prompt; Ctrl-C
+// at the prompt (or a second Ctrl-C) exits.
+var inflight atomic.Pointer[context.CancelFunc]
+
+func installInterrupt() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if cancel := inflight.Swap(nil); cancel != nil {
+				(*cancel)()
+				fmt.Fprintln(os.Stderr, "\n(query canceled — Ctrl-C again to quit)")
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "\nnraql: interrupted")
+			os.Exit(130)
+		}
+	}()
+}
 
 var strategyNames = map[string]nra.Strategy{
 	"auto":             nra.Auto,
@@ -136,6 +164,8 @@ func main() {
 		}
 		db.SetSlowQueryLog(w, *slowQ)
 	}
+
+	installInterrupt()
 
 	if *eval != "" {
 		if err := run(db, strategy, *eval); err != nil {
@@ -271,7 +301,15 @@ func cutWord(s, word string) (string, bool) {
 	return s, false
 }
 
+// run executes one statement. Queries run under a cancelable context
+// registered with the SIGINT handler, so Ctrl-C aborts the query —
+// not the session.
 func run(db *nra.DB, s nra.Strategy, src string) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inflight.Store(&cancel)
+	defer inflight.Store(nil)
+
 	start := time.Now()
 	lead := strings.ToUpper(strings.Fields(strings.TrimSpace(src) + " x")[0])
 	if lead == "ANALYZE" {
@@ -296,7 +334,7 @@ func run(db *nra.DB, s nra.Strategy, src string) error {
 		fmt.Printf("(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
 		return nil
 	}
-	res, err := db.QueryWith(src, s)
+	res, err := db.QueryWithContext(ctx, src, s)
 	if err != nil {
 		return err
 	}

@@ -8,16 +8,25 @@ import (
 	"nra/internal/relation"
 	"nra/internal/sql"
 	"nra/internal/value"
+	"nra/internal/wal"
 )
 
 // Exec runs a data-modification or data-definition statement — INSERT
 // INTO ... VALUES, DELETE FROM ... WHERE, UPDATE ... SET ... WHERE,
 // CREATE TABLE, DROP TABLE — and returns the number of affected rows
-// (0 for DDL). DELETE and UPDATE WHERE clauses have the full
-// power of the query language (nested subqueries included): the engine
-// first SELECTs the target rows' primary keys, then mutates. SELECT
-// statements are rejected; use Query. Mutations must not run concurrently
-// with queries on the same DB.
+// (0 for DDL). DELETE and UPDATE WHERE clauses have the full power of
+// the query language (nested subqueries included): the engine first
+// SELECTs the target rows' primary keys against the transaction's
+// snapshot, then stages the mutation and commits it atomically.
+//
+// Exec is safe to run concurrently with queries and with other Execs:
+// writers serialise on the catalog's single writer lock, and every
+// statement commits by publishing a new immutable snapshot, so
+// in-flight queries keep reading the version they started on and never
+// observe a partial mutation. In a durable session (OpenDirDurable) the
+// mutation is journaled to the write-ahead log — and fsynced — before
+// it commits, so an acknowledged Exec survives a crash. SELECT
+// statements are rejected; use Query.
 func (db *DB) Exec(src string) (int, error) {
 	parsed, err := sql.ParseStatement(src)
 	if err != nil {
@@ -33,7 +42,7 @@ func (db *DB) Exec(src string) (int, error) {
 	case *sql.CreateTableStmt:
 		return 0, db.execCreateTable(st)
 	case *sql.DropTableStmt:
-		return 0, db.cat.Drop(st.Name)
+		return 0, db.execDropTable(st.Name)
 	default:
 		return 0, fmt.Errorf("nra: Exec expects INSERT/DELETE/UPDATE/CREATE/DROP; use Query for SELECT")
 	}
@@ -49,10 +58,14 @@ func (db *DB) execCreateTable(st *sql.CreateTableStmt) error {
 			pk = c.Name
 		}
 	}
-	tbl, err := db.cat.Create(st.Name, relation.New(schema), pk)
+	tx := db.cat.Begin()
+	defer tx.Rollback()
+	tbl, err := tx.Create(st.Name, relation.New(schema), pk)
 	if err != nil {
 		return err
 	}
+	// The staged table is not yet published, so the construction-time
+	// mutators are safe here.
 	for _, c := range st.Cols {
 		if c.NotNull && !c.PK {
 			if err := tbl.SetNotNull(c.Name); err != nil {
@@ -60,7 +73,26 @@ func (db *DB) execCreateTable(st *sql.CreateTableStmt) error {
 			}
 		}
 	}
-	return nil
+	tx.Commit()
+	return db.checkpointDDL()
+}
+
+func (db *DB) execDropTable(name string) error {
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	return db.checkpointDDL()
+}
+
+// checkpointDDL makes a schema change durable immediately. The WAL
+// journals only DML, so in a durable session CREATE/DROP TABLE force a
+// full save (and WAL checkpoint) right away — DDL is rare enough that
+// an eager checkpoint is simpler and safer than journaled schema ops.
+func (db *DB) checkpointDDL() error {
+	if db.journal == nil {
+		return nil
+	}
+	return db.Save(db.dir)
 }
 
 // MustExec is Exec that panics on error; for tests and examples.
@@ -73,7 +105,9 @@ func (db *DB) MustExec(src string) int {
 }
 
 func (db *DB) execInsert(st *sql.InsertStmt) (int, error) {
-	tbl, err := db.cat.Table(st.Table)
+	tx := db.cat.Begin()
+	defer tx.Rollback()
+	tbl, err := tx.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -118,23 +152,51 @@ func (db *DB) execInsert(st *sql.InsertStmt) (int, error) {
 		}
 		rows = append(rows, full)
 	}
-	return tbl.InsertRows(rows)
+	n, err := tx.Insert(st.Table, rows)
+	if err != nil {
+		return 0, err
+	}
+	if db.journal != nil && n > 0 {
+		cells := make([][]wal.Cell, len(rows))
+		for i, r := range rows {
+			cells[i] = wal.EncodeRow(r)
+		}
+		if err := db.journal.Append(wal.Record{Op: wal.OpInsert, Table: st.Table, Rows: cells}); err != nil {
+			return 0, err
+		}
+	}
+	tx.Commit()
+	return n, nil
 }
 
 func (db *DB) execDelete(st *sql.DeleteStmt) (int, error) {
-	tbl, err := db.cat.Table(st.Table)
+	tx := db.cat.Begin()
+	defer tx.Rollback()
+	tbl, err := tx.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
-	keys, _, err := db.selectTargets(st.Table, tbl.PK, nil, st.Where)
+	keys, _, err := db.selectTargets(tx.Snapshot(), st.Table, tbl.PK, nil, st.Where)
 	if err != nil {
 		return 0, err
 	}
-	return tbl.DeleteByPK(keys)
+	n, err := tx.Delete(st.Table, keys)
+	if err != nil {
+		return 0, err
+	}
+	if db.journal != nil && n > 0 {
+		if err := db.journal.Append(wal.Record{Op: wal.OpDelete, Table: st.Table, Keys: wal.EncodeRow(keys)}); err != nil {
+			return 0, err
+		}
+	}
+	tx.Commit()
+	return n, nil
 }
 
 func (db *DB) execUpdate(st *sql.UpdateStmt) (int, error) {
-	tbl, err := db.cat.Table(st.Table)
+	tx := db.cat.Begin()
+	defer tx.Rollback()
+	tbl, err := tx.Table(st.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -147,17 +209,33 @@ func (db *DB) execUpdate(st *sql.UpdateStmt) (int, error) {
 		cols[i] = sc.Col
 		exprs[i] = sc.Expr
 	}
-	keys, vals, err := db.selectTargets(st.Table, tbl.PK, exprs, st.Where)
+	keys, vals, err := db.selectTargets(tx.Snapshot(), st.Table, tbl.PK, exprs, st.Where)
 	if err != nil {
 		return 0, err
 	}
-	return tbl.ApplyUpdates(keys, cols, vals)
+	n, err := tx.Update(st.Table, keys, cols, vals)
+	if err != nil {
+		return 0, err
+	}
+	if db.journal != nil && n > 0 {
+		cells := make([][]wal.Cell, len(vals))
+		for i, r := range vals {
+			cells[i] = wal.EncodeRow(r)
+		}
+		rec := wal.Record{Op: wal.OpUpdate, Table: st.Table, Keys: wal.EncodeRow(keys), Cols: cols, Vals: cells}
+		if err := db.journal.Append(rec); err != nil {
+			return 0, err
+		}
+	}
+	tx.Commit()
+	return n, nil
 }
 
 // selectTargets runs "SELECT pk[, setExprs...] FROM table [WHERE ...]"
-// through the regular query engine and returns the matched primary keys
-// (and, for UPDATE, the evaluated new values per row).
-func (db *DB) selectTargets(table, pk string, setExprs []sql.Expr, where sql.Expr) ([]value.Value, [][]value.Value, error) {
+// through the regular query engine against the transaction's snapshot
+// and returns the matched primary keys (and, for UPDATE, the evaluated
+// new values per row).
+func (db *DB) selectTargets(snap sql.Resolver, table, pk string, setExprs []sql.Expr, where sql.Expr) ([]value.Value, [][]value.Value, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "select %s", unqualifyName(pk))
 	for _, e := range setExprs {
@@ -167,11 +245,11 @@ func (db *DB) selectTargets(table, pk string, setExprs []sql.Expr, where sql.Exp
 	if where != nil {
 		fmt.Fprintf(&b, " where %s", where)
 	}
-	st, err := db.analyzeStatement(b.String())
+	st, err := analyzeOn(snap, b.String())
 	if err != nil {
 		return nil, nil, fmt.Errorf("nra: %w (in rewritten DML query %q)", err, b.String())
 	}
-	rel, err := db.executeStatement(st, Auto, b.String())
+	rel, err := db.executeStatement(nil, st, Auto, b.String())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,26 @@
 // non-NULL primary key (used by the nested approach to recognise padding
 // tuples), and the native baseline's plan choices depend on NOT NULL
 // constraints and index availability — all of which live here.
+//
+// Concurrency model (snapshot isolation, single writer):
+//
+//   - A Catalog is a sequence of immutable Snapshots published through an
+//     atomic pointer. Readers call Snapshot() (or any read method, which
+//     reads the current snapshot) and never block, never lock.
+//   - Every mutation — DML, DDL, constraint/index/statistics changes —
+//     runs under one writer mutex, builds new *Table versions without
+//     touching the published ones (copy-on-write), and commits by
+//     publishing a new Snapshot with a bumped epoch.
+//   - A *Table obtained from a snapshot is immutable: queries planned
+//     against it (including its statistics, so cost decisions are stable
+//     per query) read a frozen version of the data no matter what
+//     writers commit meanwhile.
+//
+// The Table-level mutating methods (SetNotNull, CreateIndex, Analyze, …)
+// exist for single-threaded catalog construction — generators and
+// loaders that build a catalog before sharing it. Once a catalog is
+// visible to concurrent readers, use the Catalog-level methods (or a Tx),
+// which are copy-on-write.
 package catalog
 
 import (
@@ -12,9 +32,12 @@ import (
 	"nra/internal/index"
 	"nra/internal/relation"
 	"nra/internal/stats"
+	"nra/internal/value"
 )
 
-// Table is a base relation plus metadata.
+// Table is a base relation plus metadata. Tables published in a snapshot
+// are immutable; mutating methods are reserved for single-threaded
+// catalog construction (see the package comment).
 type Table struct {
 	Name    string
 	Rel     *relation.Relation
@@ -26,21 +49,17 @@ type Table struct {
 	statsStale bool                    // set by DML; stale stats are treated as absent
 }
 
-// Catalog is a set of tables.
-type Catalog struct {
-	tables map[string]*Table
+// New returns an empty catalog at epoch 1.
+func New() *Catalog {
+	c := &Catalog{}
+	c.snap.Store(&Snapshot{tables: make(map[string]*Table), epoch: 1})
+	return c
 }
 
-// New returns an empty catalog.
-func New() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
-
-// Create registers a table. The primary key column must exist, be unique
-// and contain no NULLs; this is validated eagerly because both query
-// processing approaches rely on it.
-func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table, error) {
-	if _, dup := c.tables[name]; dup {
-		return nil, fmt.Errorf("catalog: table %q already exists", name)
-	}
+// newTable validates rel against the primary-key contract and builds a
+// fresh Table version (PK index included, mirroring §5.1's automatic
+// primary-key B+-trees).
+func newTable(name string, rel *relation.Relation, pk string) (*Table, error) {
 	if rel.Schema.Depth() != 0 {
 		return nil, fmt.Errorf("catalog: base table %q must be flat", name)
 	}
@@ -68,47 +87,47 @@ func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table
 		NotNull: map[string]bool{pkName: true},
 		indexes: make(map[string]*index.Index),
 	}
-	// B+-tree indexes on primary keys are "automatically built by System A"
-	// (§5.1); mirror that. Register the table only once the index exists,
-	// so a failed Create leaves no half-built table behind.
 	if _, err := t.CreateIndex(pkName); err != nil {
 		return nil, err
 	}
-	c.tables[name] = t
+	return t, nil
+}
+
+// Create registers a table. The primary key column must exist, be unique
+// and contain no NULLs; this is validated eagerly because both query
+// processing approaches rely on it.
+func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table, error) {
+	tx := c.Begin()
+	defer tx.Rollback()
+	t, err := tx.Create(name, rel, pk)
+	if err != nil {
+		return nil, err
+	}
+	tx.Commit()
 	return t, nil
 }
 
 // Drop removes a table; it errors when the table does not exist.
 func (c *Catalog) Drop(name string) error {
-	if _, ok := c.tables[name]; !ok {
-		return fmt.Errorf("catalog: no table %q", name)
+	tx := c.Begin()
+	defer tx.Rollback()
+	if err := tx.Drop(name); err != nil {
+		return err
 	}
-	delete(c.tables, name)
+	tx.Commit()
 	return nil
 }
 
-// Table looks up a table by name.
-func (c *Catalog) Table(name string) (*Table, error) {
-	t, ok := c.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("catalog: no table %q", name)
-	}
-	return t, nil
-}
+// Table looks up a table in the current snapshot.
+func (c *Catalog) Table(name string) (*Table, error) { return c.Snapshot().Table(name) }
 
-// Names returns the sorted table names.
-func (c *Catalog) Names() []string {
-	out := make([]string, 0, len(c.tables))
-	for n := range c.tables {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// Names returns the sorted table names of the current snapshot.
+func (c *Catalog) Names() []string { return c.Snapshot().Names() }
 
 // SetNotNull declares a NOT NULL constraint on a column; the native
 // baseline's planner uses it to decide whether an antijoin is legal for
 // ALL / NOT IN (§5.2). It verifies the data actually satisfies it.
+// Construction-time only; a live catalog uses Catalog.SetNotNull.
 func (t *Table) SetNotNull(col string) error {
 	i := t.Rel.Schema.ColIndex(col)
 	if i < 0 {
@@ -123,6 +142,12 @@ func (t *Table) SetNotNull(col string) error {
 	return nil
 }
 
+// SetNotNull is the copy-on-write form of Table.SetNotNull: it commits a
+// new version of the named table carrying the constraint.
+func (c *Catalog) SetNotNull(table, col string) error {
+	return c.mutateTable(table, func(t *Table) error { return t.SetNotNull(col) })
+}
+
 // IsNotNull reports whether col carries a NOT NULL constraint.
 func (t *Table) IsNotNull(col string) bool {
 	i := t.Rel.Schema.ColIndex(col)
@@ -133,7 +158,8 @@ func (t *Table) IsNotNull(col string) bool {
 }
 
 // Analyze collects fresh statistics over the table's current rows (the
-// ANALYZE pass) and clears any staleness mark.
+// ANALYZE pass) and clears any staleness mark. Construction-time only;
+// a live catalog uses Catalog.AnalyzeTable / Catalog.AnalyzeAll.
 func (t *Table) Analyze() *stats.Table {
 	t.stats = stats.Collect(t.Rel)
 	t.statsStale = false
@@ -155,27 +181,116 @@ func (t *Table) Stats() *stats.Table {
 func (t *Table) StatsStale() bool { return t.stats != nil && t.statsStale }
 
 // SetStats installs previously collected statistics (a persisted ANALYZE
-// result reloaded by csvio) as fresh.
+// result reloaded by csvio) as fresh. Construction-time only.
 func (t *Table) SetStats(s *stats.Table) {
 	t.stats = s
 	t.statsStale = false
 }
 
-// invalidateStats marks the statistics stale; every successful DML
-// mutation calls it.
-func (t *Table) invalidateStats() { t.statsStale = true }
+// AnalyzeTable commits a new version of the named table with freshly
+// collected statistics; readers holding earlier snapshots keep planning
+// from the statistics their snapshot was published with.
+func (c *Catalog) AnalyzeTable(name string) error {
+	return c.mutateTable(name, func(t *Table) error { t.Analyze(); return nil })
+}
 
-// AnalyzeAll collects statistics for every table in the catalog.
+// AnalyzeAll collects statistics for every table and commits them as one
+// new snapshot.
 func (c *Catalog) AnalyzeAll() {
-	for _, t := range c.tables {
-		t.Analyze()
+	tx := c.Begin()
+	defer tx.Rollback()
+	for _, name := range tx.base.Names() {
+		t, err := tx.Table(name)
+		if err != nil {
+			continue
+		}
+		nt := t.clone()
+		nt.Analyze()
+		tx.staged[name] = nt
 	}
+	tx.Commit()
+}
+
+// CreateIndexOn commits a new version of the named table carrying an
+// index on the given columns (a no-op version bump when it exists).
+func (c *Catalog) CreateIndexOn(table string, cols ...string) error {
+	return c.mutateTable(table, func(t *Table) error {
+		_, err := t.CreateIndex(cols...)
+		return err
+	})
+}
+
+// DropIndexOn commits a new version of the named table without the index
+// on the given columns.
+func (c *Catalog) DropIndexOn(table string, cols ...string) error {
+	return c.mutateTable(table, func(t *Table) error { t.DropIndex(cols...); return nil })
+}
+
+// Insert appends rows to the named table as one committed batch,
+// returning the number inserted. On any validation error nothing is
+// committed.
+func (c *Catalog) Insert(table string, rows [][]value.Value) (int, error) {
+	tx := c.Begin()
+	defer tx.Rollback()
+	n, err := tx.Insert(table, rows)
+	if err != nil {
+		return 0, err
+	}
+	tx.Commit()
+	return n, nil
+}
+
+// Delete removes the named table's rows whose primary key is in keys,
+// committing the survivors as a new version; missing keys are not an
+// error.
+func (c *Catalog) Delete(table string, keys []value.Value) (int, error) {
+	tx := c.Begin()
+	defer tx.Rollback()
+	n, err := tx.Delete(table, keys)
+	if err != nil {
+		return 0, err
+	}
+	tx.Commit()
+	return n, nil
+}
+
+// Update rewrites the named columns of the rows identified by keys
+// (keys[i]'s row gets vals[i], parallel to cols) and commits the result
+// as a new version. On error nothing is committed.
+func (c *Catalog) Update(table string, keys []value.Value, cols []string, vals [][]value.Value) (int, error) {
+	tx := c.Begin()
+	defer tx.Rollback()
+	n, err := tx.Update(table, keys, cols, vals)
+	if err != nil {
+		return 0, err
+	}
+	tx.Commit()
+	return n, nil
+}
+
+// mutateTable clones the named table, applies fn to the clone, and
+// commits it as a new snapshot.
+func (c *Catalog) mutateTable(name string, fn func(*Table) error) error {
+	tx := c.Begin()
+	defer tx.Rollback()
+	t, err := tx.Table(name)
+	if err != nil {
+		return err
+	}
+	nt := t.clone()
+	if err := fn(nt); err != nil {
+		return err
+	}
+	tx.staged[name] = nt
+	tx.Commit()
+	return nil
 }
 
 // CreateIndex builds (or returns an existing) index on the given columns,
 // in order. Single- and multi-column indexes are supported, mirroring the
 // paper's combined index on (l_partkey, l_suppkey) versus the single
-// indexes it compares against.
+// indexes it compares against. Construction-time only; a live catalog
+// uses Catalog.CreateIndexOn.
 func (t *Table) CreateIndex(cols ...string) (*index.Index, error) {
 	canonical := make([]string, len(cols))
 	for i, c := range cols {
@@ -212,6 +327,7 @@ func (t *Table) Index(cols ...string) *index.Index {
 
 // DropIndex removes the index on the given column list, if present. The
 // experiments use this to study the native approach's index sensitivity.
+// Construction-time only; a live catalog uses Catalog.DropIndexOn.
 func (t *Table) DropIndex(cols ...string) {
 	canonical := make([]string, len(cols))
 	for i, c := range cols {

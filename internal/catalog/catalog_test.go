@@ -157,58 +157,69 @@ func TestMutations(t *testing.T) {
 	if _, err := tbl.CreateIndex("dept"); err != nil {
 		t.Fatal(err)
 	}
+	cur := func() *Table {
+		t.Helper()
+		tb, err := c.Table("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
 
-	// Insert maintains indexes.
-	n, err := tbl.InsertRows([][]value.Value{
+	// Insert commits a new version with maintained indexes.
+	n, err := c.Insert("emp", [][]value.Value{
 		{value.Int(4), value.Int(10), value.Int(70)},
 	})
 	if err != nil || n != 1 {
 		t.Fatalf("insert: %d %v", n, err)
 	}
-	if rows := tbl.Index("dept").Lookup(value.Int(10)); len(rows) != 3 {
+	if rows := cur().Index("dept").Lookup(value.Int(10)); len(rows) != 3 {
 		t.Fatalf("index after insert: %v", rows)
+	}
+	if tbl.Rel.Len() != 3 {
+		t.Fatalf("insert mutated the pre-insert version: %d rows", tbl.Rel.Len())
 	}
 
 	// Duplicate PK rejected atomically.
-	if _, err := tbl.InsertRows([][]value.Value{
+	if _, err := c.Insert("emp", [][]value.Value{
 		{value.Int(5), value.Int(30), value.Int(1)},
 		{value.Int(4), value.Int(30), value.Int(1)},
 	}); err == nil {
 		t.Fatal("duplicate PK in batch must fail")
 	}
-	if tbl.Rel.Len() != 4 {
-		t.Fatalf("failed batch partially applied: %d rows", tbl.Rel.Len())
+	if cur().Rel.Len() != 4 {
+		t.Fatalf("failed batch partially applied: %d rows", cur().Rel.Len())
 	}
 
 	// Delete by PK.
-	removed, err := tbl.DeleteByPK([]value.Value{value.Int(2), value.Int(99), value.Null})
+	removed, err := c.Delete("emp", []value.Value{value.Int(2), value.Int(99), value.Null})
 	if err != nil || removed != 1 {
 		t.Fatalf("delete: %d %v", removed, err)
 	}
-	if rows := tbl.Index("id").Lookup(value.Int(2)); rows != nil {
+	if rows := cur().Index("id").Lookup(value.Int(2)); rows != nil {
 		t.Fatal("index stale after delete")
 	}
 
 	// Update, including a PK change.
-	updated, err := tbl.ApplyUpdates(
+	updated, err := c.Update("emp",
 		[]value.Value{value.Int(3)}, []string{"id", "salary"},
 		[][]value.Value{{value.Int(30), value.Int(85)}})
 	if err != nil || updated != 1 {
 		t.Fatalf("update: %d %v", updated, err)
 	}
-	if rows := tbl.Index("id").Lookup(value.Int(30)); len(rows) != 1 {
+	if rows := cur().Index("id").Lookup(value.Int(30)); len(rows) != 1 {
 		t.Fatal("index stale after PK update")
 	}
 
 	// PK collision on update rejected.
-	if _, err := tbl.ApplyUpdates(
+	if _, err := c.Update("emp",
 		[]value.Value{value.Int(30)}, []string{"id"},
 		[][]value.Value{{value.Int(1)}}); err == nil {
 		t.Fatal("PK collision must fail")
 	}
 
 	// Type violation.
-	if _, err := tbl.ApplyUpdates(
+	if _, err := c.Update("emp",
 		[]value.Value{value.Int(1)}, []string{"salary"},
 		[][]value.Value{{value.Str("lots")}}); err == nil {
 		t.Fatal("type violation must fail")
@@ -235,34 +246,49 @@ func TestStatsLifecycle(t *testing.T) {
 		t.Fatalf("salary stats = %+v, want 1 NULL", sal)
 	}
 
-	// Every DML mutation must mark the stats stale, and stale stats read
-	// as absent.
-	if _, err := tbl.InsertRows([][]value.Value{{value.Int(4), value.Int(30), value.Int(90)}}); err != nil {
+	// Every DML mutation commits a version with stale stats, and stale
+	// stats read as absent.
+	cur := func() *Table {
+		t.Helper()
+		tb, err := c.Table("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	if _, err := c.Insert("emp", [][]value.Value{{value.Int(4), value.Int(30), value.Int(90)}}); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Stats() != nil || !tbl.StatsStale() {
+	if cur().Stats() != nil || !cur().StatsStale() {
 		t.Fatal("insert must invalidate statistics")
 	}
-	tbl.Analyze()
-	if _, err := tbl.ApplyUpdates([]value.Value{value.Int(4)}, []string{"salary"}, [][]value.Value{{value.Int(95)}}); err != nil {
+	if err := c.AnalyzeTable("emp"); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Stats() != nil {
+	if _, err := c.Update("emp", []value.Value{value.Int(4)}, []string{"salary"}, [][]value.Value{{value.Int(95)}}); err != nil {
+		t.Fatal(err)
+	}
+	if cur().Stats() != nil {
 		t.Fatal("update must invalidate statistics")
 	}
-	tbl.Analyze()
-	if _, err := tbl.DeleteByPK([]value.Value{value.Int(4)}); err != nil {
+	if err := c.AnalyzeTable("emp"); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Stats() != nil {
+	if _, err := c.Delete("emp", []value.Value{value.Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if cur().Stats() != nil {
 		t.Fatal("delete must invalidate statistics")
 	}
 	// A no-op delete leaves them fresh.
-	ts = tbl.Analyze()
-	if _, err := tbl.DeleteByPK([]value.Value{value.Int(99)}); err != nil {
+	if err := c.AnalyzeTable("emp"); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Stats() != ts {
+	ts = cur().Stats()
+	if _, err := c.Delete("emp", []value.Value{value.Int(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if cur().Stats() != ts {
 		t.Fatal("no-op delete must not invalidate statistics")
 	}
 

@@ -8,15 +8,58 @@ import (
 	"nra/internal/value"
 )
 
-// Mutations. The engine is reader-optimised: every mutation validates the
-// post-state (types, NOT NULL, primary-key uniqueness) and then rebuilds
-// the table's indexes, which keeps reads index-consistent at O(n) write
-// cost — the right trade-off for an analytical engine. Mutations are NOT
-// safe to run concurrently with queries on the same DB.
+// Mutations are copy-on-write: each produces a NEW *Table version over a
+// fresh tuple slice, validates the post-state (types, NOT NULL,
+// primary-key uniqueness) and rebuilds the indexes for the new version,
+// leaving the input version — and therefore every published snapshot
+// that references it — untouched. Readers keep scanning their snapshot's
+// version; the new version becomes visible only when a Tx commits it.
+// Index rebuilds keep reads index-consistent at O(n) write cost — the
+// right trade-off for an analytical engine.
 
-// InsertRows appends rows (full table width, schema order) and returns
-// the number inserted. On any validation error nothing is inserted.
-func (t *Table) InsertRows(rows [][]value.Value) (int, error) {
+// clone returns a shallow version copy of t: shared rows and index
+// structures, private metadata maps. Metadata mutations (constraints,
+// indexes, statistics) on the clone never alter the original.
+func (t *Table) clone() *Table {
+	nn := make(map[string]bool, len(t.NotNull))
+	for k, v := range t.NotNull {
+		nn[k] = v
+	}
+	idx := make(map[string]*index.Index, len(t.indexes))
+	for k, v := range t.indexes {
+		idx[k] = v
+	}
+	return &Table{
+		Name:       t.Name,
+		Rel:        t.Rel,
+		PK:         t.PK,
+		NotNull:    nn,
+		indexes:    idx,
+		stats:      t.stats,
+		statsStale: t.statsStale,
+	}
+}
+
+// withTuples builds the successor version of t over a new tuple slice:
+// fresh relation, rebuilt indexes, statistics marked stale.
+func (t *Table) withTuples(tuples []relation.Tuple) (*Table, error) {
+	nt := t.clone()
+	nt.Rel = &relation.Relation{Schema: t.Rel.Schema, Tuples: tuples}
+	for key, idx := range nt.indexes {
+		fresh, err := index.Build(nt.Rel, idx.Columns())
+		if err != nil {
+			return nil, err
+		}
+		nt.indexes[key] = fresh
+	}
+	nt.statsStale = true
+	return nt, nil
+}
+
+// insertRows returns a new version with rows (full table width, schema
+// order) appended, and the number inserted. On any validation error no
+// version is produced.
+func (t *Table) insertRows(rows [][]value.Value) (*Table, int, error) {
 	schema := t.Rel.Schema
 	pkIdx := schema.MustColIndex(t.PK)
 	seen := make(map[string]bool, t.Rel.Len()+len(rows))
@@ -26,38 +69,38 @@ func (t *Table) InsertRows(rows [][]value.Value) (int, error) {
 	staged := make([]relation.Tuple, 0, len(rows))
 	for ri, row := range rows {
 		if len(row) != len(schema.Cols) {
-			return 0, fmt.Errorf("catalog: insert into %s: row %d has %d values, want %d",
+			return nil, 0, fmt.Errorf("catalog: insert into %s: row %d has %d values, want %d",
 				t.Name, ri, len(row), len(schema.Cols))
 		}
 		for ci, v := range row {
 			if err := t.checkCell(schema.Cols[ci], v); err != nil {
-				return 0, fmt.Errorf("catalog: insert into %s row %d: %w", t.Name, ri, err)
+				return nil, 0, fmt.Errorf("catalog: insert into %s row %d: %w", t.Name, ri, err)
 			}
 		}
 		pk := row[pkIdx]
 		if pk.IsNull() {
-			return 0, fmt.Errorf("catalog: insert into %s row %d: NULL primary key", t.Name, ri)
+			return nil, 0, fmt.Errorf("catalog: insert into %s row %d: NULL primary key", t.Name, ri)
 		}
 		key := string(pk.AppendKey(nil))
 		if seen[key] {
-			return 0, fmt.Errorf("catalog: insert into %s row %d: duplicate primary key %s", t.Name, ri, pk)
+			return nil, 0, fmt.Errorf("catalog: insert into %s row %d: duplicate primary key %s", t.Name, ri, pk)
 		}
 		seen[key] = true
 		staged = append(staged, relation.Tuple{Atoms: append([]value.Value(nil), row...)})
 	}
-	t.Rel.Append(staged...)
-	if err := t.rebuildIndexes(); err != nil {
-		return 0, err
+	next := make([]relation.Tuple, 0, t.Rel.Len()+len(staged))
+	next = append(next, t.Rel.Tuples...)
+	next = append(next, staged...)
+	nt, err := t.withTuples(next)
+	if err != nil {
+		return nil, 0, err
 	}
-	if len(staged) > 0 {
-		t.invalidateStats()
-	}
-	return len(staged), nil
+	return nt, len(staged), nil
 }
 
-// DeleteByPK removes the rows whose primary key is in keys; it returns
-// the number removed (missing keys are not an error).
-func (t *Table) DeleteByPK(keys []value.Value) (int, error) {
+// deleteByPK returns a new version without the rows whose primary key is
+// in keys, and the number removed (missing keys are not an error).
+func (t *Table) deleteByPK(keys []value.Value) (*Table, int, error) {
 	pkIdx := t.Rel.Schema.MustColIndex(t.PK)
 	doomed := make(map[string]bool, len(keys))
 	for _, k := range keys {
@@ -66,7 +109,7 @@ func (t *Table) DeleteByPK(keys []value.Value) (int, error) {
 		}
 		doomed[string(k.AppendKey(nil))] = true
 	}
-	kept := t.Rel.Tuples[:0]
+	kept := make([]relation.Tuple, 0, t.Rel.Len())
 	removed := 0
 	for _, tup := range t.Rel.Tuples {
 		if doomed[string(tup.Atoms[pkIdx].AppendKey(nil))] {
@@ -75,34 +118,35 @@ func (t *Table) DeleteByPK(keys []value.Value) (int, error) {
 		}
 		kept = append(kept, tup)
 	}
-	t.Rel.Tuples = kept
-	if removed > 0 {
-		if err := t.rebuildIndexes(); err != nil {
-			return 0, err
-		}
-		t.invalidateStats()
+	if removed == 0 {
+		return t, 0, nil
 	}
-	return removed, nil
+	nt, err := t.withTuples(kept)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nt, removed, nil
 }
 
-// ApplyUpdates rewrites the named columns of the rows identified by keys:
-// keys[i]'s row gets vals[i] (parallel to cols). It validates the full
-// post-state before committing; on error the table is unchanged.
-func (t *Table) ApplyUpdates(keys []value.Value, cols []string, vals [][]value.Value) (int, error) {
+// applyUpdates returns a new version with the named columns of the rows
+// identified by keys rewritten: keys[i]'s row gets vals[i] (parallel to
+// cols). The full post-state is validated before the version is
+// produced; on error no version exists.
+func (t *Table) applyUpdates(keys []value.Value, cols []string, vals [][]value.Value) (*Table, int, error) {
 	schema := t.Rel.Schema
 	pkIdx := schema.MustColIndex(t.PK)
 	colIdx := make([]int, len(cols))
 	for i, c := range cols {
 		j := schema.ColIndex(c)
 		if j < 0 {
-			return 0, fmt.Errorf("catalog: update %s: no column %q", t.Name, c)
+			return nil, 0, fmt.Errorf("catalog: update %s: no column %q", t.Name, c)
 		}
 		colIdx[i] = j
 	}
 	byKey := make(map[string][]value.Value, len(keys))
 	for i, k := range keys {
 		if len(vals[i]) != len(cols) {
-			return 0, fmt.Errorf("catalog: update %s: row %d has %d values, want %d",
+			return nil, 0, fmt.Errorf("catalog: update %s: row %d has %d values, want %d",
 				t.Name, i, len(vals[i]), len(cols))
 		}
 		byKey[string(k.AppendKey(nil))] = vals[i]
@@ -118,31 +162,30 @@ func (t *Table) ApplyUpdates(keys []value.Value, cols []string, vals [][]value.V
 			atoms = append([]value.Value(nil), tup.Atoms...)
 			for vi, j := range colIdx {
 				if err := t.checkCell(schema.Cols[j], newVals[vi]); err != nil {
-					return 0, fmt.Errorf("catalog: update %s: %w", t.Name, err)
+					return nil, 0, fmt.Errorf("catalog: update %s: %w", t.Name, err)
 				}
 				atoms[j] = newVals[vi]
 			}
 		}
 		pk := atoms[pkIdx]
 		if pk.IsNull() {
-			return 0, fmt.Errorf("catalog: update %s: NULL primary key", t.Name)
+			return nil, 0, fmt.Errorf("catalog: update %s: NULL primary key", t.Name)
 		}
 		key := string(pk.AppendKey(nil))
 		if seen[key] {
-			return 0, fmt.Errorf("catalog: update %s: duplicate primary key %s", t.Name, pk)
+			return nil, 0, fmt.Errorf("catalog: update %s: duplicate primary key %s", t.Name, pk)
 		}
 		seen[key] = true
 		next[i] = relation.Tuple{Atoms: atoms}
 	}
 	if updated == 0 {
-		return 0, nil
+		return t, 0, nil
 	}
-	t.Rel.Tuples = next
-	if err := t.rebuildIndexes(); err != nil {
-		return 0, err
+	nt, err := t.withTuples(next)
+	if err != nil {
+		return nil, 0, err
 	}
-	t.invalidateStats()
-	return updated, nil
+	return nt, updated, nil
 }
 
 // checkCell validates one value against a column's declared type and the
@@ -167,18 +210,6 @@ func (t *Table) checkCell(col relation.Column, v value.Value) error {
 	}
 	if !ok {
 		return fmt.Errorf("value %s (%s) does not fit column %s (%s)", v, v.Kind(), col.Name, col.Type)
-	}
-	return nil
-}
-
-// rebuildIndexes recreates every index over the current rows.
-func (t *Table) rebuildIndexes() error {
-	for key, idx := range t.indexes {
-		fresh, err := index.Build(t.Rel, idx.Columns())
-		if err != nil {
-			return err
-		}
-		t.indexes[key] = fresh
 	}
 	return nil
 }

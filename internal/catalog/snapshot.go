@@ -1,0 +1,248 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Catalog is a set of tables behind an atomically published snapshot:
+// readers load the current Snapshot wait-free; writers serialise on one
+// mutex and publish copy-on-write versions. See the package comment.
+type Catalog struct {
+	mu   sync.Mutex // serialises writers; readers never take it
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is one immutable, epoch-stamped version of the catalog. Every
+// query plans and executes against a single snapshot: the tables (rows,
+// constraints, indexes and statistics) it resolves can never change
+// underneath it, no matter what writers commit concurrently.
+type Snapshot struct {
+	tables map[string]*Table
+	epoch  uint64
+}
+
+// Snapshot returns the current published snapshot. It never blocks.
+func (c *Catalog) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Epoch returns the current snapshot's epoch — a counter bumped by every
+// committed mutation. Cached plans keyed on it re-bind exactly when the
+// catalog has changed.
+func (c *Catalog) Epoch() uint64 { return c.Snapshot().epoch }
+
+// Epoch returns the snapshot's epoch stamp.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Table looks up a table by name.
+func (s *Snapshot) Table(name string) (*Table, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialize deep-copies the snapshot into a fresh, independent Catalog:
+// rows are cloned, constraints and indexes recreated, statistics carried
+// over. It is the frozen-copy oracle of the concurrency tests — a query
+// on the materialized catalog must agree byte-for-byte with the same
+// query on the live snapshot — and a general "fork the database" tool.
+func (s *Snapshot) Materialize() (*Catalog, error) {
+	c := New()
+	for _, name := range s.Names() {
+		t := s.tables[name]
+		nt, err := newTable(name, t.Rel.Clone(), unqualifiedPK(t))
+		if err != nil {
+			return nil, err
+		}
+		for col, nn := range t.NotNull {
+			if nn {
+				nt.NotNull[col] = true
+			}
+		}
+		for _, cols := range t.Indexes() {
+			if _, err := nt.CreateIndex(cols...); err != nil {
+				return nil, err
+			}
+		}
+		nt.stats, nt.statsStale = t.stats, t.statsStale
+		tx := c.Begin()
+		tx.staged[name] = nt
+		tx.Commit()
+	}
+	return c, nil
+}
+
+// unqualifiedPK returns the column name of t's primary key without its
+// table qualifier, suitable for re-resolution against a cloned schema.
+func unqualifiedPK(t *Table) string {
+	pk := t.PK
+	for i := len(pk) - 1; i >= 0; i-- {
+		if pk[i] == '.' {
+			return pk[i+1:]
+		}
+	}
+	return pk
+}
+
+// Tx is the single-writer transaction: it holds the catalog's writer
+// mutex from Begin until Commit or Rollback, stages copy-on-write table
+// versions, and publishes them atomically as one new snapshot. Readers
+// are never blocked; they keep resolving the base snapshot until Commit
+// publishes. A Tx's reads (Table, Snapshot) see the base snapshot
+// overlaid with its own staged writes.
+type Tx struct {
+	c       *Catalog
+	base    *Snapshot
+	staged  map[string]*Table
+	dropped map[string]bool
+	done    bool
+}
+
+// Begin acquires the writer lock and opens a transaction over the
+// current snapshot. Exactly one Tx exists at a time; Begin blocks other
+// writers (only) until Commit or Rollback.
+func (c *Catalog) Begin() *Tx {
+	c.mu.Lock()
+	return &Tx{
+		c:       c,
+		base:    c.snap.Load(),
+		staged:  make(map[string]*Table),
+		dropped: make(map[string]bool),
+	}
+}
+
+// Snapshot returns the transaction's base snapshot — the consistent read
+// view its mutations are computed against.
+func (tx *Tx) Snapshot() *Snapshot { return tx.base }
+
+// Table resolves a table in the transaction's view: staged version if
+// any, else the base snapshot's.
+func (tx *Tx) Table(name string) (*Table, error) {
+	if tx.dropped[name] {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	if t, ok := tx.staged[name]; ok {
+		return t, nil
+	}
+	return tx.base.Table(name)
+}
+
+// Create stages a new table (validated exactly like Catalog.Create).
+func (tx *Tx) Create(name string, rel *relation.Relation, pk string) (*Table, error) {
+	if _, err := tx.Table(name); err == nil {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t, err := newTable(name, rel, pk)
+	if err != nil {
+		return nil, err
+	}
+	tx.staged[name] = t
+	delete(tx.dropped, name)
+	return t, nil
+}
+
+// Drop stages a table removal; it errors when the table does not exist
+// in the transaction's view.
+func (tx *Tx) Drop(name string) error {
+	if _, err := tx.Table(name); err != nil {
+		return err
+	}
+	delete(tx.staged, name)
+	tx.dropped[name] = true
+	return nil
+}
+
+// Insert stages an append of rows to the named table, returning the
+// number staged. Validation failures leave the transaction's view
+// unchanged.
+func (tx *Tx) Insert(table string, rows [][]value.Value) (int, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	nt, n, err := t.insertRows(rows)
+	if err != nil {
+		return 0, err
+	}
+	tx.staged[table] = nt
+	return n, nil
+}
+
+// Delete stages removal of the rows whose primary key is in keys,
+// returning the number removed (missing keys are not an error).
+func (tx *Tx) Delete(table string, keys []value.Value) (int, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	nt, n, err := t.deleteByPK(keys)
+	if err != nil {
+		return 0, err
+	}
+	tx.staged[table] = nt
+	return n, nil
+}
+
+// Update stages a rewrite of the named columns of the rows identified by
+// keys (keys[i]'s row gets vals[i], parallel to cols), returning the
+// number updated. The full post-state is validated before staging.
+func (tx *Tx) Update(table string, keys []value.Value, cols []string, vals [][]value.Value) (int, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	nt, n, err := t.applyUpdates(keys, cols, vals)
+	if err != nil {
+		return 0, err
+	}
+	tx.staged[table] = nt
+	return n, nil
+}
+
+// Commit publishes the staged versions as one new snapshot (epoch
+// bumped) and releases the writer lock. Committing an empty transaction
+// still bumps the epoch. Commit after Commit/Rollback is a no-op.
+func (tx *Tx) Commit() {
+	if tx.done {
+		return
+	}
+	next := make(map[string]*Table, len(tx.base.tables)+len(tx.staged))
+	for n, t := range tx.base.tables {
+		if !tx.dropped[n] {
+			next[n] = t
+		}
+	}
+	for n, t := range tx.staged {
+		next[n] = t
+	}
+	tx.c.snap.Store(&Snapshot{tables: next, epoch: tx.base.epoch + 1})
+	tx.done = true
+	tx.c.mu.Unlock()
+}
+
+// Rollback discards the staged versions and releases the writer lock;
+// it is a no-op after Commit or a prior Rollback, so "defer tx.Rollback()"
+// is always safe.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.c.mu.Unlock()
+}

@@ -1,0 +1,214 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nra/internal/value"
+)
+
+// TestSnapshotIsolation pins the core guarantee: a snapshot taken before
+// a mutation keeps resolving the pre-mutation version — rows, indexes
+// and statistics — while the catalog's current snapshot moves on.
+func TestSnapshotIsolation(t *testing.T) {
+	c := New()
+	if _, err := c.Create("emp", sample(), "id"); err != nil {
+		t.Fatal(err)
+	}
+	c.AnalyzeAll()
+	before := c.Snapshot()
+	tBefore, err := before.Table("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tBefore.Stats() == nil {
+		t.Fatal("pre-mutation snapshot should carry fresh statistics")
+	}
+
+	if _, err := c.Insert("emp", [][]value.Value{{value.Int(9), value.Int(30), value.Int(55)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot is frozen.
+	if got, _ := before.Table("emp"); got != tBefore {
+		t.Fatal("snapshot re-resolved a different table version")
+	}
+	if tBefore.Rel.Len() != 3 {
+		t.Fatalf("snapshot version mutated: %d rows", tBefore.Rel.Len())
+	}
+	if tBefore.Stats() == nil {
+		t.Fatal("snapshot's statistics went stale — cost decisions must be per-snapshot")
+	}
+	if rows := tBefore.Index("id").Lookup(value.Int(9)); rows != nil {
+		t.Fatal("snapshot's index sees a later insert")
+	}
+
+	// The current snapshot sees the commit, with stale stats.
+	after := c.Snapshot()
+	tAfter, err := after.Table("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tAfter.Rel.Len() != 4 {
+		t.Fatalf("current version has %d rows, want 4", tAfter.Rel.Len())
+	}
+	if tAfter.Stats() != nil {
+		t.Fatal("current version's statistics should be stale after DML")
+	}
+	if after.Epoch() <= before.Epoch() {
+		t.Fatalf("epoch did not advance: %d -> %d", before.Epoch(), after.Epoch())
+	}
+}
+
+// TestTxAtomicCommit pins that a transaction's staged changes are
+// invisible until Commit and all-or-nothing afterwards, and that
+// Rollback discards them.
+func TestTxAtomicCommit(t *testing.T) {
+	c := New()
+	if _, err := c.Create("emp", sample(), "id"); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Snapshot()
+
+	tx := c.Begin()
+	if _, err := tx.Insert("emp", [][]value.Value{{value.Int(7), value.Int(10), value.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Delete("emp", []value.Value{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Tx reads see both staged writes.
+	tv, err := tx.Table("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.Rel.Len() != 3 {
+		t.Fatalf("tx view has %d rows, want 3", tv.Rel.Len())
+	}
+	// Readers don't (single-writer lock doesn't block snapshots).
+	if cs := c.Snapshot(); cs != pre {
+		t.Fatal("uncommitted transaction published a snapshot")
+	}
+	tx.Commit()
+
+	got, _ := c.Table("emp")
+	if got.Rel.Len() != 3 {
+		t.Fatalf("committed view has %d rows, want 3", got.Rel.Len())
+	}
+
+	tx2 := c.Begin()
+	if err := tx2.Drop("emp"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Rollback()
+	if _, err := c.Table("emp"); err != nil {
+		t.Fatal("rolled-back drop took effect")
+	}
+}
+
+// TestMaterializeAgrees pins the frozen-copy oracle: a materialized
+// snapshot holds an equal, fully independent copy of every table.
+func TestMaterializeAgrees(t *testing.T) {
+	c := New()
+	tbl, err := c.Create("emp", sample(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetNotNull("dept"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("dept"); err != nil {
+		t.Fatal(err)
+	}
+	c.AnalyzeAll()
+
+	snap := c.Snapshot()
+	frozen, err := snap.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live catalog; the frozen copy must not move.
+	if _, err := c.Delete("emp", []value.Value{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := frozen.Table("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := snap.Table("emp")
+	if !ft.Rel.EqualSet(st.Rel) {
+		t.Fatal("materialized rows differ from the snapshot's")
+	}
+	if !ft.IsNotNull("dept") {
+		t.Fatal("materialized copy lost a NOT NULL constraint")
+	}
+	if ft.Index("dept") == nil {
+		t.Fatal("materialized copy lost an index")
+	}
+	if ft.Stats() == nil {
+		t.Fatal("materialized copy lost statistics")
+	}
+}
+
+// TestConcurrentReadersWriters is the package-level race smoke: readers
+// resolve snapshots and scan them while writers commit; under -race this
+// pins that readers never observe a torn version.
+func TestConcurrentReadersWriters(t *testing.T) {
+	c := New()
+	if _, err := c.Create("emp", sample(), "id"); err != nil {
+		t.Fatal(err)
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pk := value.Int(int64(100 + w*10000 + i))
+				if _, err := c.Insert("emp", [][]value.Value{{pk, value.Int(int64(i % 5)), value.Int(1)}}); err != nil {
+					panic(fmt.Sprintf("writer %d: %v", w, err))
+				}
+				if _, err := c.Delete("emp", []value.Value{pk}); err != nil {
+					panic(fmt.Sprintf("writer %d: %v", w, err))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 500; i++ {
+				snap := c.Snapshot()
+				tb, err := snap.Table("emp")
+				if err != nil {
+					panic(err)
+				}
+				n := tb.Rel.Len()
+				// Scan the version twice; an immutable version counts the
+				// same both times.
+				sum1, sum2 := 0, 0
+				for _, tup := range tb.Rel.Tuples {
+					sum1 += int(tup.Atoms[0].Int64())
+				}
+				for _, tup := range tb.Rel.Tuples {
+					sum2 += int(tup.Atoms[0].Int64())
+				}
+				if sum1 != sum2 || tb.Rel.Len() != n {
+					panic("torn read of a snapshot version")
+				}
+			}
+		}()
+	}
+	// Writers churn until every reader finishes its bounded loop.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -143,11 +143,7 @@ func TestStaleStatsFallBack(t *testing.T) {
 		t.Fatal("estimator absent despite fresh stats on all tables")
 	}
 
-	tbl, err := cat.Table("S")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tbl.DeleteByPK([]value.Value{value.Int(1)}); err != nil {
+	if _, err := cat.Delete("S", []value.Value{value.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
 	q2 := analyze(t, cat, queryQ)

@@ -5,14 +5,34 @@
 // including empty strings and literal `\N` text — survives a round trip.
 // Non-string values render via their SQL text form and parse back under
 // the manifest's column types.
+//
+// Crash consistency. A save never overwrites live data in place:
+//
+//  1. Each table's rows are written to a fresh generation-named file
+//     (`<table>.<gen>.csv`) via temp file + fsync + rename, so no file a
+//     manifest references is ever half-written.
+//  2. The manifest — which names the exact files and their CRC32 —
+//     is itself written via temp file + fsync + rename. That rename is
+//     the commit point: before it, a reader (or a reboot) sees the old
+//     manifest and the old generation's files intact; after it, the new.
+//  3. Only after the commit point are the previous generation's files
+//     deleted. A crash anywhere leaves either the old state or the new
+//     state plus, at worst, orphan files that Load sweeps.
+//
+// The manifest's checkpoint number also fences the write-ahead log (see
+// internal/wal): WAL records stamped with an older checkpoint are
+// ignored on replay, so a crash between "manifest committed" and "WAL
+// truncated" cannot re-apply already-persisted mutations.
 package csvio
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -21,6 +41,7 @@ import (
 	"nra/internal/relation"
 	"nra/internal/stats"
 	"nra/internal/value"
+	"nra/internal/vfs"
 )
 
 const (
@@ -28,17 +49,30 @@ const (
 	nullToken    = `\N`
 )
 
-// Manifest describes the saved database.
+// WALName is the file name of the DML journal kept next to the manifest
+// by durable sessions (internal/wal writes it; csvio only needs to know
+// it exists to refuse unsafe partial saves and spare it from sweeps).
+const WALName = "wal.jsonl"
+
+// Manifest describes the saved database. Checkpoint is the save
+// generation: it names the CSV files of this generation and fences WAL
+// replay (only records stamped with this checkpoint apply).
 type Manifest struct {
-	Tables []TableMeta `json:"tables"`
+	Checkpoint uint64      `json:"checkpoint"`
+	Tables     []TableMeta `json:"tables"`
 }
 
 // TableMeta is one table's schema and constraints. Stats carries the
 // table's last ANALYZE result (fresh statistics only — stale ones are
 // not persisted), so a reloaded session plans cost-based immediately.
+// File is the rows' CSV file within the directory and CRC its CRC32
+// (IEEE) — Load refuses a file whose bytes don't match, so a torn or
+// tampered data file can never silently load.
 type TableMeta struct {
 	Name    string           `json:"name"`
 	PK      string           `json:"pk"`
+	File    string           `json:"file,omitempty"`
+	CRC     string           `json:"crc,omitempty"`
 	Columns []ColumnMeta     `json:"columns"`
 	NotNull []string         `json:"not_null,omitempty"`
 	Indexes [][]string       `json:"indexes,omitempty"`
@@ -51,73 +85,190 @@ type ColumnMeta struct {
 	Type string `json:"type"` // INTEGER | FLOAT | VARCHAR | BOOLEAN | ANY
 }
 
-// Save writes the catalog into dir (created if missing). When tables is
-// non-empty, only the named tables are written.
+// Save writes the catalog's current snapshot into dir (created if
+// missing). When tables is non-empty, only the named tables are written;
+// see SaveFS for the exact semantics.
 func Save(cat *catalog.Catalog, dir string, tables ...string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+	_, err := SaveFS(vfs.OS, cat.Snapshot(), dir, tables...)
+	return err
+}
+
+// SaveFS atomically writes snap into dir through fs and returns the new
+// checkpoint number. A full save (no table filter) replaces the
+// directory's contents as one commit. A partial save writes only the
+// named tables but preserves every other table already saved there —
+// the merged manifest keeps their entries and files untouched; it is an
+// export convenience and therefore refuses to run in a directory with a
+// live WAL, where dropping the journal's tables from the commit would
+// corrupt recovery.
+func SaveFS(fs vfs.FS, snap *catalog.Snapshot, dir string, tables ...string) (uint64, error) {
+	if err := fs.MkdirAll(dir); err != nil {
+		return 0, err
+	}
+	prev, err := readManifest(fs, dir) // nil when absent
+	if err != nil {
+		return 0, fmt.Errorf("csvio: pre-save manifest: %w", err)
+	}
+	partial := len(tables) > 0
+	if partial && fs.Exists(filepath.Join(dir, WALName)) {
+		return 0, fmt.Errorf("csvio: partial save into %s: directory has a write-ahead log; save all tables", dir)
+	}
+
+	var man Manifest
+	man.Checkpoint = 1
+	if prev != nil {
+		man.Checkpoint = prev.Checkpoint + 1
 	}
 	want := map[string]bool{}
 	for _, t := range tables {
+		if _, err := snap.Table(t); err != nil {
+			return 0, err
+		}
 		want[t] = true
 	}
-	var man Manifest
-	for _, name := range cat.Names() {
-		if len(want) > 0 && !want[name] {
+	written := map[string]bool{}
+	for _, name := range snap.Names() {
+		if partial && !want[name] {
 			continue
 		}
-		tbl, err := cat.Table(name)
+		tbl, err := snap.Table(name)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		meta := TableMeta{Name: name, PK: unqualify(tbl.PK)}
-		for _, c := range tbl.Rel.Schema.Cols {
-			meta.Columns = append(meta.Columns, ColumnMeta{Name: unqualify(c.Name), Type: c.Type.String()})
-		}
-		for col, nn := range tbl.NotNull {
-			if nn && unqualify(col) != meta.PK {
-				meta.NotNull = append(meta.NotNull, unqualify(col))
-			}
-		}
-		sort.Strings(meta.NotNull)
-		for _, idx := range tbl.Indexes() {
-			cols := make([]string, len(idx))
-			for i, c := range idx {
-				cols[i] = unqualify(c)
-			}
-			if len(cols) == 1 && cols[0] == meta.PK {
-				continue // recreated automatically
-			}
-			meta.Indexes = append(meta.Indexes, cols)
-		}
-		if ts := tbl.Stats(); ts != nil {
-			meta.Stats = ts.ToJSON()
+		meta, err := writeTable(fs, dir, tbl, man.Checkpoint)
+		if err != nil {
+			return 0, err
 		}
 		man.Tables = append(man.Tables, meta)
-		if err := saveTable(filepath.Join(dir, name+".csv"), tbl.Rel); err != nil {
-			return err
-		}
+		written[name] = true
 	}
+	// A partial save carries forward the untouched tables of the previous
+	// manifest so it can never orphan or clobber them.
+	if partial && prev != nil {
+		for _, meta := range prev.Tables {
+			if !written[meta.Name] {
+				man.Tables = append(man.Tables, meta)
+			}
+		}
+		sort.Slice(man.Tables, func(i, j int) bool { return man.Tables[i].Name < man.Tables[j].Name })
+	}
+
+	// Commit point: the manifest rename. Everything before it is invisible
+	// to Load; everything after it is garbage collection.
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), data, 0o644)
+	if err := atomicWrite(fs, dir, manifestName, data); err != nil {
+		return 0, err
+	}
+	sweepOrphans(fs, dir, &man)
+	return man.Checkpoint, nil
 }
 
-func saveTable(path string, rel *relation.Relation) (err error) {
-	f, err := os.Create(path)
+// writeTable persists one table version as `<name>.<gen>.csv` via temp
+// file + fsync + rename and returns its manifest entry.
+func writeTable(fs vfs.FS, dir string, tbl *catalog.Table, gen uint64) (TableMeta, error) {
+	meta := TableMeta{Name: tbl.Name, PK: unqualify(tbl.PK)}
+	for _, c := range tbl.Rel.Schema.Cols {
+		meta.Columns = append(meta.Columns, ColumnMeta{Name: unqualify(c.Name), Type: c.Type.String()})
+	}
+	for col, nn := range tbl.NotNull {
+		if nn && unqualify(col) != meta.PK {
+			meta.NotNull = append(meta.NotNull, unqualify(col))
+		}
+	}
+	sort.Strings(meta.NotNull)
+	for _, idx := range tbl.Indexes() {
+		cols := make([]string, len(idx))
+		for i, c := range idx {
+			cols[i] = unqualify(c)
+		}
+		if len(cols) == 1 && cols[0] == meta.PK {
+			continue // recreated automatically
+		}
+		meta.Indexes = append(meta.Indexes, cols)
+	}
+	if ts := tbl.Stats(); ts != nil {
+		meta.Stats = ts.ToJSON()
+	}
+
+	var buf bytes.Buffer
+	if err := encodeCSV(&buf, tbl.Rel); err != nil {
+		return meta, err
+	}
+	meta.File = fmt.Sprintf("%s.%d.csv", tbl.Name, gen)
+	meta.CRC = fmt.Sprintf("%08x", crc32.ChecksumIEEE(buf.Bytes()))
+	if err := atomicWrite(fs, dir, meta.File, buf.Bytes()); err != nil {
+		return meta, err
+	}
+	return meta, nil
+}
+
+// atomicWrite lands data at dir/name via temp file + fsync + rename +
+// directory sync, so the file is either absent (old content, for the
+// manifest) or complete — never torn.
+func atomicWrite(fs vfs.FS, dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
-	// The OS may defer write failures (full disk, quota) to close; a
-	// dropped close error would report a truncated file as saved.
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// genFile matches generation-named CSV artifacts (`name.<gen>.csv`).
+var genFile = regexp.MustCompile(`\.[0-9]+\.csv$`)
+
+// sweepOrphans removes save artifacts the manifest no longer references:
+// temp files and superseded CSV generations. It runs after the commit
+// point, so failures here can only leave extra files, never lose data;
+// Load performs the same sweep to converge after a crash.
+func sweepOrphans(fs vfs.FS, dir string, man *Manifest) {
+	live := map[string]bool{manifestName: true, WALName: true}
+	for _, meta := range man.Tables {
+		live[meta.csvFile()] = true
+	}
+	names, err := fs.ReadDirNames(dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if live[n] {
+			continue
 		}
-	}()
-	w := csv.NewWriter(f)
+		if strings.HasSuffix(n, ".tmp") || genFile.MatchString(n) {
+			fs.Remove(filepath.Join(dir, n))
+		}
+	}
+}
+
+// csvFile returns the manifest entry's data file, defaulting to the
+// pre-generation layout (`<name>.csv`) for manifests written before
+// checkpointing existed.
+func (m *TableMeta) csvFile() string {
+	if m.File != "" {
+		return m.File
+	}
+	return m.Name + ".csv"
+}
+
+func encodeCSV(buf *bytes.Buffer, rel *relation.Relation) error {
+	w := csv.NewWriter(buf)
 	header := make([]string, len(rel.Schema.Cols))
 	for i, c := range rel.Schema.Cols {
 		header[i] = unqualify(c.Name)
@@ -147,32 +298,42 @@ func saveTable(path string, rel *relation.Relation) (err error) {
 
 // Load reads a directory written by Save into a fresh catalog.
 func Load(dir string) (*catalog.Catalog, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	cat, _, err := LoadFS(vfs.OS, dir)
+	return cat, err
+}
+
+// LoadFS reads a directory written by SaveFS through fs, returning the
+// catalog and the manifest's checkpoint number (for WAL replay). It
+// verifies every data file against the manifest's CRC and sweeps
+// leftover artifacts of an interrupted save, so recovery converges to
+// exactly the last committed state.
+func LoadFS(fs vfs.FS, dir string) (*catalog.Catalog, uint64, error) {
+	man, err := readManifest(fs, dir)
 	if err != nil {
-		return nil, fmt.Errorf("csvio: %w", err)
+		return nil, 0, err
 	}
-	var man Manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, fmt.Errorf("csvio: bad manifest: %w", err)
+	if man == nil {
+		return nil, 0, fmt.Errorf("csvio: %s: no manifest %s", dir, manifestName)
 	}
+	sweepOrphans(fs, dir, man)
 	cat := catalog.New()
 	for _, meta := range man.Tables {
-		rel, err := loadTable(filepath.Join(dir, meta.Name+".csv"), meta)
+		rel, err := loadTable(fs, dir, meta)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		tbl, err := cat.Create(meta.Name, rel, meta.PK)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, col := range meta.NotNull {
 			if err := tbl.SetNotNull(col); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		for _, idx := range meta.Indexes {
 			if _, err := tbl.CreateIndex(idx...); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		// Reattach persisted statistics, but only when they still describe
@@ -180,24 +341,44 @@ func Load(dir string) (*catalog.Catalog, error) {
 		if meta.Stats != nil && meta.Stats.Rows == rel.Len() {
 			ts, err := stats.FromJSON(meta.Stats)
 			if err != nil {
-				return nil, fmt.Errorf("csvio: table %s: %w", meta.Name, err)
+				return nil, 0, fmt.Errorf("csvio: table %s: %w", meta.Name, err)
 			}
 			tbl.SetStats(ts)
 		}
 	}
-	return cat, nil
+	return cat, man.Checkpoint, nil
 }
 
-func loadTable(path string, meta TableMeta) (*relation.Relation, error) {
-	f, err := os.Open(path)
+// readManifest returns the parsed manifest, or (nil, nil) when the
+// directory has none.
+func readManifest(fs vfs.FS, dir string) (*Manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	if !fs.Exists(path) {
+		return nil, nil
+	}
+	data, err := fs.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("csvio: %w", err)
 	}
-	r := csv.NewReader(f)
-	records, err := r.ReadAll()
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("csvio: bad manifest: %w", err)
 	}
+	return &man, nil
+}
+
+func loadTable(fs vfs.FS, dir string, meta TableMeta) (*relation.Relation, error) {
+	path := filepath.Join(dir, meta.csvFile())
+	raw, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if meta.CRC != "" {
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(raw)); got != meta.CRC {
+			return nil, fmt.Errorf("csvio: %s: checksum %s does not match manifest %s (torn or corrupted file)", path, got, meta.CRC)
+		}
+	}
+	records, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %s: %w", path, err)
 	}
@@ -214,7 +395,10 @@ func loadTable(path string, meta TableMeta) (*relation.Relation, error) {
 		if header[i] != c.Name {
 			return nil, fmt.Errorf("csvio: %s: column %d is %q, manifest says %q", path, i, header[i], c.Name)
 		}
-		types[i] = typeByName(c.Type)
+		types[i], err = typeByName(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: table %s column %s: %w", meta.Name, c.Name, err)
+		}
 		schema.Cols = append(schema.Cols, relation.Column{Name: c.Name, Type: types[i]})
 	}
 	rel := relation.New(schema)
@@ -268,19 +452,23 @@ func parseCell(cell string, t relation.Type) (value.Value, error) {
 	}
 }
 
-func typeByName(name string) relation.Type {
+// typeByName maps a manifest type name to a relation type. Unknown names
+// are an error — silently loading such a column as ANY would drop its
+// type checking and mis-parse its cells.
+func typeByName(name string) (relation.Type, error) {
 	switch name {
 	case "INTEGER":
-		return relation.TInt
+		return relation.TInt, nil
 	case "FLOAT":
-		return relation.TFloat
+		return relation.TFloat, nil
 	case "VARCHAR":
-		return relation.TString
+		return relation.TString, nil
 	case "BOOLEAN":
-		return relation.TBool
-	default:
-		return relation.TAny
+		return relation.TBool, nil
+	case "ANY":
+		return relation.TAny, nil
 	}
+	return relation.TAny, fmt.Errorf("unknown type %q in manifest", name)
 }
 
 func unqualify(name string) string {

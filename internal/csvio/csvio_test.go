@@ -1,8 +1,10 @@
 package csvio
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nra/internal/catalog"
@@ -170,6 +172,148 @@ func TestTPCHRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveAfterDrop pins that a full save into the same directory after
+// DROP TABLE removes the dropped table from the manifest AND sweeps its
+// data file — a reload must not resurrect it.
+func TestSaveAfterDrop(t *testing.T) {
+	dir := t.TempDir()
+	cat := catalog.New()
+	if _, err := cat.Create("a", relation.MustFromRows("a", []string{"id"}, []any{1}), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("b", relation.MustFromRows("b", []string{"id"}, []any{2}), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := back.Names(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("tables after drop+save = %v, want [a]", names)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "b.") {
+			t.Fatalf("dropped table's file %s survived the save", e.Name())
+		}
+	}
+}
+
+// TestPartialSavePreserves pins the merge semantics of a partial save
+// into an existing directory: unlisted tables keep their manifest
+// entries and data files — neither orphaned nor clobbered.
+func TestPartialSavePreserves(t *testing.T) {
+	dir := t.TempDir()
+	cat := catalog.New()
+	if _, err := cat.Create("a", relation.MustFromRows("a", []string{"id", "v"}, []any{1, 10}), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("b", relation.MustFromRows("b", []string{"id", "v"}, []any{2, 20}), "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate both tables, then save only "a": the directory must keep b's
+	// ORIGINAL rows (its file untouched) while a's are refreshed.
+	if _, err := cat.Insert("a", [][]value.Value{{value.Int(3), value.Int(30)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Insert("b", [][]value.Value{{value.Int(4), value.Int(40)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir, "a"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := back.Table("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rel.Len() != 2 {
+		t.Fatalf("a has %d rows, want 2 (refreshed)", a.Rel.Len())
+	}
+	b, err := back.Table("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rel.Len() != 1 {
+		t.Fatalf("b has %d rows, want 1 (pinned at the earlier save)", b.Rel.Len())
+	}
+}
+
+// TestPartialSaveRefusesWALDir: a directory with a live write-ahead log
+// only accepts full saves — a partial commit would desynchronise the
+// journal from the manifest.
+func TestPartialSaveRefusesWALDir(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, WALName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Save(cat, dir, "t")
+	if err == nil || !strings.Contains(err.Error(), "write-ahead log") {
+		t.Fatalf("partial save into a WAL directory must be refused, got %v", err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatalf("full save into a WAL directory must still work: %v", err)
+	}
+}
+
+// TestUnknownTypeError: an unknown column type in the manifest must fail
+// with an error naming the table and the column.
+func TestUnknownTypeError(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "catalog.json")
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	man.Tables[0].Columns[2].Type = "DECIMAL" // price
+	raw, err = json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(dir)
+	if err == nil {
+		t.Fatal("unknown column type must fail the load")
+	}
+	for _, want := range []string{"t", "price", "DECIMAL"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := Load(t.TempDir()); err == nil {
 		t.Fatal("missing manifest must error")
@@ -195,8 +339,17 @@ func TestLoadErrors(t *testing.T) {
 func TestStatsPersistence(t *testing.T) {
 	dir := t.TempDir()
 	cat := sampleCatalog(t)
-	tbl, _ := cat.Table("t")
-	tbl.Analyze()
+	if err := cat.AnalyzeTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	cur := func(c *catalog.Catalog) *catalog.Table {
+		t.Helper()
+		tb, err := c.Table("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
 	if err := Save(cat, dir); err != nil {
 		t.Fatal(err)
 	}
@@ -204,12 +357,11 @@ func TestStatsPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl2, _ := back.Table("t")
-	ts := tbl2.Stats()
+	ts := cur(back).Stats()
 	if ts == nil {
 		t.Fatal("statistics must survive a save/load round trip")
 	}
-	orig := tbl.Stats()
+	orig := cur(cat).Stats()
 	if ts.Rows != orig.Rows || len(ts.Cols) != len(orig.Cols) {
 		t.Fatalf("stats shape changed: %d rows / %d cols, want %d / %d",
 			ts.Rows, len(ts.Cols), orig.Rows, len(orig.Cols))
@@ -220,7 +372,7 @@ func TestStatsPersistence(t *testing.T) {
 	}
 
 	// Stale stats must NOT be persisted.
-	if _, err := tbl.DeleteByPK([]value.Value{value.Int(5)}); err != nil {
+	if _, err := cat.Delete("t", []value.Value{value.Int(5)}); err != nil {
 		t.Fatal(err)
 	}
 	dir2 := t.TempDir()
@@ -231,18 +383,20 @@ func TestStatsPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl3, _ := back2.Table("t")
-	if tbl3.Stats() != nil {
+	if cur(back2).Stats() != nil {
 		t.Fatal("stale statistics must not survive a save")
 	}
+}
 
-	// Stats describing a different row count (hand-edited CSV) are dropped.
-	tbl.Analyze()
-	dir3 := t.TempDir()
-	if err := Save(cat, dir3); err != nil {
+// TestTamperedCSVRejected pins the manifest checksum: a hand-edited data
+// file no longer loads silently — the CRC catches it.
+func TestTamperedCSVRejected(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
 		t.Fatal(err)
 	}
-	csv := filepath.Join(dir3, "t.csv")
+	csv := filepath.Join(dir, "t.1.csv")
 	data, err := os.ReadFile(csv)
 	if err != nil {
 		t.Fatal(err)
@@ -250,12 +404,67 @@ func TestStatsPersistence(t *testing.T) {
 	if err := os.WriteFile(csv, append(data, "6,extra,9.9,true\n"...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	back3, err := Load(dir3)
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered CSV must fail the checksum, got %v", err)
+	}
+}
+
+// TestLegacyManifest pins backward compatibility: manifests written
+// before checkpointing existed (no file/crc fields) load via the
+// `<name>.csv` fallback without checksum verification, and statistics
+// describing a different row count are dropped.
+func TestLegacyManifest(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := cat.AnalyzeTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	raw, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl4, _ := back3.Table("t")
-	if tbl4.Stats() != nil {
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, man.Tables[0].File), filepath.Join(dir, "t.csv")); err != nil {
+		t.Fatal(err)
+	}
+	man.Checkpoint = 0
+	man.Tables[0].File = ""
+	man.Tables[0].CRC = ""
+	raw, err = json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-edit the now-unchecksummed CSV: it loads, but the persisted
+	// statistics no longer describe the data and must be dropped.
+	csv := filepath.Join(dir, "t.csv")
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(csv, append(data, "6,extra,9.9,true\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := back.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rel.Len() != 6 {
+		t.Fatalf("legacy load has %d rows, want 6", tbl.Rel.Len())
+	}
+	if tbl.Stats() != nil {
 		t.Fatal("row-count-mismatched statistics must be dropped on load")
 	}
 }

@@ -1,0 +1,139 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nra/internal/catalog"
+	"nra/internal/core"
+	"nra/internal/naive"
+	"nra/internal/sql"
+	"nra/internal/value"
+)
+
+// Mutator applies seeded random DML — inserts, deletes, updates — to
+// the fuzzing catalog through the copy-on-write mutation API. It is the
+// writer side of the concurrent-DML differential mode: each Mutator is
+// deterministic in its seed, uses a disjoint primary-key range for
+// inserts, and only ever generates legal operations (deleting or
+// updating an absent key is a no-op, not an error). Inserts are bounded:
+// once maxLive of a mutator's rows are alive it recycles old ones
+// instead, so tables cannot grow without bound while the (superlinear)
+// reference oracle races it.
+type Mutator struct {
+	rng  *rand.Rand
+	next int      // next fresh insert key
+	live []insKey // rows inserted by this mutator and not yet deleted
+}
+
+// insKey locates one row this mutator inserted.
+type insKey struct {
+	table string
+	k     int
+}
+
+// maxLive caps a mutator's alive inserted rows.
+const maxLive = 25
+
+// NewMutator returns a mutator whose inserts use the PK range
+// [10000·(lane+1), ...) so concurrent mutators never collide.
+func NewMutator(seed int64, lane int) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed)), next: 10_000 * (lane + 1)}
+}
+
+// Step applies one random DML operation to a random fuzz table.
+func (m *Mutator) Step(cat *catalog.Catalog) error {
+	table := genTables[m.rng.Intn(len(genTables))]
+	cell := func() value.Value {
+		if m.rng.Float64() < 0.2 {
+			return value.Null
+		}
+		return value.Int(int64(m.rng.Intn(6)))
+	}
+	op := m.rng.Intn(3)
+	if op == 0 && len(m.live) >= maxLive {
+		op = 1
+	}
+	switch op {
+	case 0: // insert a fresh row
+		row := []value.Value{value.Int(int64(m.next)), cell(), cell(), cell()}
+		if _, err := cat.Insert(table, [][]value.Value{row}); err != nil {
+			return err
+		}
+		m.live = append(m.live, insKey{table, m.next})
+		m.next++
+		return nil
+	case 1: // delete: one of our live inserts, else a base row
+		if len(m.live) > 0 && m.rng.Intn(3) > 0 {
+			i := m.rng.Intn(len(m.live))
+			e := m.live[i]
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			_, err := cat.Delete(e.table, []value.Value{value.Int(int64(e.k))})
+			return err
+		}
+		_, err := cat.Delete(table, []value.Value{value.Int(int64(m.rng.Intn(12)))})
+		return err
+	default: // update one non-key column of a (possibly absent) row
+		col := []string{"w", "x", "y"}[m.rng.Intn(3)]
+		k := value.Int(int64(m.rng.Intn(12)))
+		_, err := cat.Update(table, []value.Value{k}, []string{col}, [][]value.Value{{cell()}})
+		return err
+	}
+}
+
+// CheckSnapshot differentially checks one query against a pinned
+// snapshot while writers may be committing concurrently: the reference
+// evaluator bound to the snapshot is the oracle for every execution
+// mode bound to the same snapshot, and the whole result is re-derived
+// on a Materialize()d deep copy — a frozen database sharing no
+// structures with the live catalog. Divergence from the frozen copy is
+// a snapshot-isolation bug; divergence between modes is an engine bug.
+func CheckSnapshot(src string, snap *catalog.Snapshot) error {
+	q, err := analyzeOn(src, snap)
+	if err != nil {
+		return err
+	}
+	want, err := naive.Evaluate(q)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	for _, m := range Modes() {
+		got, err := core.Execute(q, m.Opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name, err)
+		}
+		if !got.EqualSet(want) {
+			return mismatch(m.Name, want, got)
+		}
+	}
+	frozen, err := snap.Materialize()
+	if err != nil {
+		return fmt.Errorf("materialize: %w", err)
+	}
+	q2, err := analyzeOn(src, frozen)
+	if err != nil {
+		return fmt.Errorf("frozen rebind: %w", err)
+	}
+	oracle, err := naive.Evaluate(q2)
+	if err != nil {
+		return fmt.Errorf("frozen reference: %w", err)
+	}
+	if !oracle.EqualSet(want) {
+		return mismatch("frozen-oracle", oracle, want)
+	}
+	return nil
+}
+
+// analyzeOn parses and binds src against an explicit catalog view (the
+// live catalog, a pinned snapshot, or a frozen copy).
+func analyzeOn(src string, res sql.Resolver) (*sql.Query, error) {
+	sel, err := sql.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	q, err := sql.Analyze(sel, res)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	return q, nil
+}

@@ -1,0 +1,85 @@
+package fuzzgen
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFuzzConcurrentDML is the concurrent-DML differential mode: two
+// seeded mutators commit random inserts/deletes/updates through the
+// copy-on-write catalog API while two readers pin snapshots, run
+// generated nested queries on them across the full execution-mode
+// matrix, and re-derive each result on a frozen (deep-copied) oracle of
+// the same snapshot. Any divergence — a reader seeing a torn mutation,
+// a mode disagreeing with the reference, a snapshot drifting from its
+// frozen copy — fails with the seed and query. Run under -race in CI;
+// NRA_FUZZ_DML_SEEDS scales the number of rounds.
+//
+// Clean-soak note: as of 2026-08-08 this mode has produced no
+// discrepancy across seeds 20000+ at the default and CI settings, so
+// the corpus gains no entry from it yet; a failure here should be
+// minimized by hand (Shrink works on the Spec) and checked into
+// internal/fuzzgen/testdata/corpus/ like any other reproducer.
+func TestFuzzConcurrentDML(t *testing.T) {
+	rounds := envInt("NRA_FUZZ_DML_SEEDS", 4)
+	queriesPerReader := 25
+	if testing.Short() {
+		rounds, queriesPerReader = 1, 10
+	}
+	const (
+		writerCount = 2
+		readerCount = 2
+	)
+	for s := 0; s < rounds; s++ {
+		seed := int64(20_000 + s)
+		cfg := DefaultConfig()
+		cfg.MaxDepth = 2 // the oracle is superlinear in depth and runs 11× per query here
+		cat, err := NewCatalog(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: catalog: %v", seed, err)
+		}
+
+		stop := make(chan struct{})
+		var writers sync.WaitGroup
+		for w := 0; w < writerCount; w++ {
+			writers.Add(1)
+			go func(w int) {
+				defer writers.Done()
+				m := NewMutator(seed*10+int64(w), w)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := m.Step(cat); err != nil {
+						t.Errorf("seed %d writer %d: %v", seed, w, err)
+						return
+					}
+				}
+			}(w)
+		}
+
+		var readers sync.WaitGroup
+		for r := 0; r < readerCount; r++ {
+			readers.Add(1)
+			go func(r int) {
+				defer readers.Done()
+				gen := NewGen(seed+int64(r)*7_919, cfg)
+				for i := 0; i < queriesPerReader; i++ {
+					spec := gen.Query()
+					snap := cat.Snapshot()
+					if err := CheckSnapshot(spec.SQL(), snap); err != nil {
+						t.Errorf("seed %d reader %d epoch %d:\n  %s\n%v",
+							seed, r, snap.Epoch(), spec.SQL(), err)
+						return
+					}
+				}
+			}(r)
+		}
+
+		readers.Wait()
+		close(stop)
+		writers.Wait()
+	}
+}

@@ -168,9 +168,18 @@ func (s *Statement) Leaves() []*Query {
 	return append(s.L.Leaves(), s.R.Leaves()...)
 }
 
+// Resolver is the catalog view the analyzer binds table references
+// against. Both *catalog.Catalog (current snapshot, convenient for
+// single-threaded use) and *catalog.Snapshot (an immutable version —
+// what concurrent query execution must use so a whole statement binds
+// one consistent view) satisfy it.
+type Resolver interface {
+	Table(name string) (*catalog.Table, error)
+}
+
 // AnalyzeStatement resolves a statement tree, checking that set-operation
 // operands have the same output width.
-func AnalyzeStatement(st Stmt, cat *catalog.Catalog) (*Statement, error) {
+func AnalyzeStatement(st Stmt, cat Resolver) (*Statement, error) {
 	switch x := st.(type) {
 	case *Select:
 		q, err := Analyze(x, cat)
@@ -196,7 +205,7 @@ func AnalyzeStatement(st Stmt, cat *catalog.Catalog) (*Statement, error) {
 }
 
 // Analyze resolves a parsed statement against the catalog.
-func Analyze(sel *Select, cat *catalog.Catalog) (*Query, error) {
+func Analyze(sel *Select, cat Resolver) (*Query, error) {
 	q := &Query{res: make(map[*ColRef]ColRes)}
 	a := &analyzer{cat: cat, q: q, prefixes: make(map[string]int)}
 	root, err := a.block(sel, nil)
@@ -208,7 +217,7 @@ func Analyze(sel *Select, cat *catalog.Catalog) (*Query, error) {
 }
 
 type analyzer struct {
-	cat      *catalog.Catalog
+	cat      Resolver
 	q        *Query
 	prefixes map[string]int // alias → use count, for unique prefixes
 }

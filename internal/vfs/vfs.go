@@ -1,0 +1,109 @@
+// Package vfs is the filesystem seam behind the persistence layer
+// (internal/csvio, internal/wal): a minimal interface over the handful
+// of operations durability depends on — create/append/write, fsync,
+// atomic rename, remove — with the real OS implementation in OS.
+//
+// The seam exists so the crash-consistency harness
+// (internal/faultinject.FaultFS) can enumerate every write/sync/rename
+// a save or WAL commit performs and simulate a crash at each one,
+// including torn writes and the loss of un-fsynced data. Production
+// code always uses OS.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle. Write buffers in the OS page cache;
+// only a successful Sync makes previously written bytes durable.
+type File interface {
+	io.Writer
+	// Sync forces written bytes to stable storage (fsync).
+	Sync() error
+	// Close releases the handle. Close does NOT imply durability.
+	Close() error
+}
+
+// FS is the set of filesystem operations the persistence layer uses.
+// Implementations must tolerate forward-slash-joined paths (the layer
+// joins with path/filepath, so the OS implementation sees native paths).
+type FS interface {
+	// MkdirAll creates dir and its parents; existing directories are fine.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it when missing.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns name's full content.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname (POSIX rename).
+	Rename(oldname, newname string) error
+	// Remove deletes name; removing a missing file is an error
+	// (callers gate on Exists).
+	Remove(name string) error
+	// Exists reports whether name exists as a file.
+	Exists(name string) bool
+	// ReadDirNames lists the file names (not paths) in dir, sorted.
+	// A missing directory yields an empty list, not an error.
+	ReadDirNames(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making completed renames and
+	// removals durable on filesystems that need it.
+	SyncDir(dir string) error
+}
+
+// OS is the production implementation backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Exists(name string) bool {
+	st, err := os.Stat(name)
+	return err == nil && !st.IsDir()
+}
+
+func (osFS) ReadDirNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,351 @@
+// Package wal is the append-only DML journal that makes committed
+// INSERT / DELETE / UPDATE statements survive a crash between saves.
+//
+// Format: one JSON object per line, `{"c":<crc32>,"r":<record>}`, where
+// c is the IEEE CRC32 of the record's exact JSON bytes. Values are
+// encoded as tagged cells (kind + strconv-round-trip text) so replay
+// reconstructs them bit-exactly, floats included.
+//
+// Durability contract. A record is appended — and, under the default
+// fsync-on-commit policy, fsynced — before its transaction's commit is
+// acknowledged. Recovery (Replay) reads the journal back:
+//
+//   - a torn final line (the crash hit mid-append) is tolerated and
+//     dropped: that transaction never acknowledged, so losing it keeps
+//     the database on the pre-state of the last committed batch;
+//   - a corrupt record with valid records after it means the file was
+//     damaged at rest, not torn — that is an error, never a silent skip.
+//
+// Checkpoint fencing. Every record is stamped with the checkpoint
+// number of the manifest generation it was logged against. Replay only
+// applies records whose stamp matches the loaded manifest's checkpoint:
+// after a full Save committed (manifest renamed, checkpoint bumped) but
+// crashed before truncating the journal, the stale records are ignored
+// instead of being re-applied to data that already contains them.
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+
+	"nra/internal/catalog"
+	"nra/internal/value"
+	"nra/internal/vfs"
+)
+
+// Op is a journaled DML verb.
+type Op string
+
+const (
+	OpInsert Op = "insert"
+	OpDelete Op = "delete"
+	OpUpdate Op = "update"
+)
+
+// Record is one committed DML batch in replayable, fully resolved form:
+// the rows an INSERT added, the primary keys a DELETE removed, or the
+// keys, columns and per-row values an UPDATE wrote. Logging resolved
+// effects rather than SQL text makes replay deterministic — it cannot
+// re-evaluate expressions against the wrong state.
+type Record struct {
+	Ckpt  uint64   `json:"ckpt"`
+	Op    Op       `json:"op"`
+	Table string   `json:"table"`
+	Rows  [][]Cell `json:"rows,omitempty"` // insert: full rows in schema order
+	Keys  []Cell   `json:"keys,omitempty"` // delete, update: primary keys
+	Cols  []string `json:"cols,omitempty"` // update: columns written
+	Vals  [][]Cell `json:"vals,omitempty"` // update: vals[i] rewrites Keys[i]'s row
+}
+
+// Cell is one value in kind-tagged text form: K is "I" (integer),
+// "F" (float), "S" (string), "B" (boolean) or "N" (NULL, no V).
+type Cell struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+// EncodeCell converts a value to its journal form.
+func EncodeCell(v value.Value) Cell {
+	switch v.Kind() {
+	case value.KindNull:
+		return Cell{K: "N"}
+	case value.KindInt:
+		return Cell{K: "I", V: strconv.FormatInt(v.Int64(), 10)}
+	case value.KindFloat:
+		return Cell{K: "F", V: strconv.FormatFloat(v.Float64(), 'g', -1, 64)}
+	case value.KindBool:
+		return Cell{K: "B", V: strconv.FormatBool(v.Truth() == value.True)}
+	default:
+		return Cell{K: "S", V: v.Text()}
+	}
+}
+
+// DecodeCell converts a journal cell back to a value.
+func DecodeCell(c Cell) (value.Value, error) {
+	switch c.K {
+	case "N":
+		return value.Null, nil
+	case "I":
+		i, err := strconv.ParseInt(c.V, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("wal: bad integer cell %q: %w", c.V, err)
+		}
+		return value.Int(i), nil
+	case "F":
+		f, err := strconv.ParseFloat(c.V, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("wal: bad float cell %q: %w", c.V, err)
+		}
+		return value.Float(f), nil
+	case "B":
+		b, err := strconv.ParseBool(c.V)
+		if err != nil {
+			return value.Null, fmt.Errorf("wal: bad boolean cell %q: %w", c.V, err)
+		}
+		return value.Bool(b), nil
+	case "S":
+		return value.Str(c.V), nil
+	}
+	return value.Null, fmt.Errorf("wal: unknown cell kind %q", c.K)
+}
+
+// EncodeRow converts a row of values.
+func EncodeRow(row []value.Value) []Cell {
+	out := make([]Cell, len(row))
+	for i, v := range row {
+		out[i] = EncodeCell(v)
+	}
+	return out
+}
+
+// DecodeRow converts a journal row back to values.
+func DecodeRow(cells []Cell) ([]value.Value, error) {
+	out := make([]value.Value, len(cells))
+	for i, c := range cells {
+		v, err := DecodeCell(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// envelope is one journal line: the record's JSON bytes plus their CRC.
+type envelope struct {
+	C uint32          `json:"c"`
+	R json.RawMessage `json:"r"`
+}
+
+// SyncPolicy controls when the journal fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncOnCommit fsyncs after every appended record: a commit is
+	// acknowledged only once it is durable. The default.
+	SyncOnCommit SyncPolicy = iota
+	// SyncNever leaves syncing to the OS; committed-but-unsynced records
+	// can be lost by a crash. For bulk loads and tests.
+	SyncNever
+)
+
+// Log is an open journal. Append is not safe for concurrent use; the
+// engine serialises appends under its single-writer commit lock.
+type Log struct {
+	fs     vfs.FS
+	path   string
+	f      vfs.File
+	ckpt   uint64
+	policy SyncPolicy
+}
+
+// Open opens (creating if missing) the journal at path, stamping future
+// records with checkpoint ckpt.
+func Open(fs vfs.FS, path string, ckpt uint64, policy SyncPolicy) (*Log, error) {
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{fs: fs, path: path, f: f, ckpt: ckpt, policy: policy}, nil
+}
+
+// Append journals one record (stamped with the current checkpoint) and,
+// under SyncOnCommit, makes it durable before returning.
+func (l *Log) Append(rec Record) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	rec.Ckpt = l.ckpt
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	line, err := json.Marshal(envelope{C: crc32.ChecksumIEEE(raw), R: raw})
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.policy == SyncOnCommit {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces buffered records to durable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	return l.f.Sync()
+}
+
+// Checkpoint truncates the journal after a full Save committed the
+// manifest for generation ckpt: the journaled mutations are now in the
+// CSVs, so the journal restarts empty, stamping future records with the
+// new checkpoint. Crash-safe — if the truncate never happens, replay's
+// checkpoint fence ignores the stale records.
+func (l *Log) Checkpoint(ckpt uint64) error {
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: checkpoint: %w", err)
+		}
+		l.f = nil
+	}
+	f, err := l.fs.Create(l.path) // Create truncates
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	nf, err := l.fs.OpenAppend(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	l.f = nf
+	l.ckpt = ckpt
+	return nil
+}
+
+// Close closes the journal file; safe after a failed Checkpoint.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Replay reads the journal at path and returns the records stamped with
+// checkpoint ckpt, in append order. A missing file is an empty journal.
+// A torn final line is dropped (see the package comment); corruption
+// followed by further valid data is an error.
+func Replay(fs vfs.FS, path string, ckpt uint64) ([]Record, error) {
+	if !fs.Exists(path) {
+		return nil, nil
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	var recs []Record
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, perr := parseLine(line)
+		if perr != nil {
+			// Only a torn tail is forgivable: every later line must be
+			// empty, otherwise the damage is mid-file corruption.
+			for _, later := range lines[i+1:] {
+				if len(bytes.TrimSpace(later)) != 0 {
+					return nil, fmt.Errorf("wal: %s line %d: %w (valid records follow — file corrupted, not torn)", path, i+1, perr)
+				}
+			}
+			break
+		}
+		if rec.Ckpt == ckpt {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+func parseLine(line []byte) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, fmt.Errorf("bad envelope: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(env.R); got != env.C {
+		return Record{}, fmt.Errorf("crc mismatch: %08x != %08x", got, env.C)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.R, &rec); err != nil {
+		return Record{}, fmt.Errorf("bad record: %w", err)
+	}
+	return rec, nil
+}
+
+// Apply re-executes replayed records against a freshly loaded catalog.
+// Replay is idempotent from the checkpoint's base state but not from
+// any other — the checkpoint fence in Replay guarantees the base is
+// right.
+func Apply(cat *catalog.Catalog, recs []Record) error {
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpInsert:
+			rows := make([][]value.Value, len(rec.Rows))
+			for i, r := range rec.Rows {
+				row, err := DecodeRow(r)
+				if err != nil {
+					return err
+				}
+				rows[i] = row
+			}
+			if _, err := cat.Insert(rec.Table, rows); err != nil {
+				return fmt.Errorf("wal: replay insert into %s: %w", rec.Table, err)
+			}
+		case OpDelete:
+			keys, err := DecodeRow(rec.Keys)
+			if err != nil {
+				return err
+			}
+			if _, err := cat.Delete(rec.Table, keys); err != nil {
+				return fmt.Errorf("wal: replay delete from %s: %w", rec.Table, err)
+			}
+		case OpUpdate:
+			keys, err := DecodeRow(rec.Keys)
+			if err != nil {
+				return err
+			}
+			vals := make([][]value.Value, len(rec.Vals))
+			for i, r := range rec.Vals {
+				row, err := DecodeRow(r)
+				if err != nil {
+					return err
+				}
+				vals[i] = row
+			}
+			if _, err := cat.Update(rec.Table, keys, rec.Cols, vals); err != nil {
+				return fmt.Errorf("wal: replay update %s: %w", rec.Table, err)
+			}
+		default:
+			return fmt.Errorf("wal: unknown op %q", rec.Op)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nra/internal/catalog"
+	"nra/internal/relation"
+	"nra/internal/value"
+	"nra/internal/vfs"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.jsonl")
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	cases := []value.Value{
+		value.Null,
+		value.Int(0), value.Int(-9223372036854775808), value.Int(9223372036854775807),
+		value.Float(0.1), value.Float(-2.5e-308), value.Float(1e308), value.Float(3),
+		value.Bool(true), value.Bool(false),
+		value.Str(""), value.Str(`\N`), value.Str("line\nbreak,comma\tand \"quotes\" ünïcode"),
+	}
+	for _, v := range cases {
+		got, err := DecodeCell(EncodeCell(v))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if v.IsNull() != got.IsNull() {
+			t.Fatalf("round trip %s -> %s", v, got)
+		}
+		if !v.IsNull() {
+			cmp, known, err := value.Compare(v, got)
+			if v.Kind() != got.Kind() || err != nil || !known || cmp != 0 {
+				t.Fatalf("round trip %s (%s) -> %s (%s): cmp=%d known=%v err=%v", v, v.Kind(), got, got.Kind(), cmp, known, err)
+			}
+		}
+	}
+	if _, err := DecodeCell(Cell{K: "?", V: "x"}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := DecodeCell(Cell{K: "I", V: "ten"}); err == nil {
+		t.Fatal("bad integer must error")
+	}
+}
+
+func TestAppendReplayApply(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(vfs.OS, path, 3, SyncOnCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Op: OpInsert, Table: "emp", Rows: [][]Cell{
+			EncodeRow([]value.Value{value.Int(4), value.Int(30), value.Null}),
+			EncodeRow([]value.Value{value.Int(5), value.Int(10), value.Int(12)}),
+		}},
+		{Op: OpUpdate, Table: "emp",
+			Keys: EncodeRow([]value.Value{value.Int(4)}),
+			Cols: []string{"salary"},
+			Vals: [][]Cell{EncodeRow([]value.Value{value.Int(70)})}},
+		{Op: OpDelete, Table: "emp", Keys: EncodeRow([]value.Value{value.Int(1)})},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only checkpoint-3 records replay.
+	got, err := Replay(vfs.OS, path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	if none, err := Replay(vfs.OS, path, 4); err != nil || len(none) != 0 {
+		t.Fatalf("checkpoint fence leaked %d stale records (err %v)", len(none), err)
+	}
+
+	// Applying to the base state reproduces the journaled effects.
+	cat := catalog.New()
+	rel := relation.MustFromRows("emp", []string{"id", "dept", "salary"},
+		[]any{1, 10, 100}, []any{2, 10, nil}, []any{3, 20, 80})
+	if _, err := cat.Create("emp", rel, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(cat, got); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := cat.Table("emp")
+	if tbl.Rel.Len() != 4 { // 3 - 1 deleted + 2 inserted
+		t.Fatalf("rows after replay = %d, want 4", tbl.Rel.Len())
+	}
+	if rows := tbl.Index("id").Lookup(value.Int(1)); rows != nil {
+		t.Fatal("deleted row resurrected")
+	}
+	r4 := tbl.Index("id").Lookup(value.Int(4))
+	if len(r4) != 1 || tbl.Rel.Tuples[r4[0]].Atoms[2].Int64() != 70 {
+		t.Fatal("update lost on replay")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	recs, err := Replay(vfs.OS, walPath(t), 1)
+	if err != nil || recs != nil {
+		t.Fatalf("missing journal should be empty, got %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(vfs.OS, path, 1, SyncOnCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Op: OpDelete, Table: "t", Keys: EncodeRow([]value.Value{value.Int(int64(i))})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-line, as a crash during append would.
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(vfs.OS, path, 1)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want the 2 intact ones", len(recs))
+	}
+}
+
+func TestMidFileCorruptionRejected(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(vfs.OS, path, 1, SyncOnCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Op: OpDelete, Table: "t", Keys: EncodeRow([]value.Value{value.Int(int64(i))})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a byte inside the second record's payload: its CRC now fails,
+	// but an intact record follows.
+	mut := []byte(lines[1])
+	mut[len(mut)/2] ^= 0x20
+	if err := os.WriteFile(path, []byte(lines[0]+string(mut)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(vfs.OS, path, 1); err == nil {
+		t.Fatal("mid-file corruption must be an error, not a silent skip")
+	}
+}
+
+func TestCheckpointTruncates(t *testing.T) {
+	path := walPath(t)
+	l, err := Open(vfs.OS, path, 1, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Op: OpDelete, Table: "t", Keys: EncodeRow([]value.Value{value.Int(1)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("journal not truncated: %d bytes", len(data))
+	}
+	// Appends after a checkpoint carry the new stamp.
+	if err := l.Append(Record{Op: OpDelete, Table: "t", Keys: EncodeRow([]value.Value{value.Int(2)})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Replay(vfs.OS, path, 2)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("post-checkpoint replay = %d recs, err %v", len(recs), err)
+	}
+}

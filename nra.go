@@ -33,9 +33,11 @@
 package nra
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -49,11 +51,28 @@ import (
 	"nra/internal/relation"
 	"nra/internal/sql"
 	"nra/internal/tpch"
+	"nra/internal/vfs"
+	"nra/internal/wal"
 )
 
-// DB is an in-memory database: a catalog of tables plus the query engine.
+// DB is a database: a catalog of tables plus the query engine, and —
+// for sessions opened with OpenDirDurable — a durable directory with a
+// write-ahead log.
+//
+// Concurrency: queries and DML may run concurrently from any number of
+// goroutines. Every query executes against an immutable snapshot of the
+// catalog taken when it starts; DML statements serialise on a single
+// writer lock and commit by atomically publishing a new snapshot, so
+// readers never block and never observe partial mutations. Use
+// DB.Snapshot to pin several queries to one consistent version.
 type DB struct {
 	cat *catalog.Catalog
+
+	// Durable-session state (nil/empty for in-memory databases): the
+	// filesystem seam, the directory, and the open DML journal.
+	fs      vfs.FS
+	dir     string
+	journal *wal.Log
 
 	// lastTrace holds the span tree of the most recent traced query (see
 	// Strategy.WithTracing and DB.LastTrace).
@@ -65,8 +84,8 @@ type DB struct {
 	slowThreshold time.Duration
 }
 
-// Open returns an empty database.
-func Open() *DB { return &DB{cat: catalog.New()} }
+// Open returns an empty in-memory database.
+func Open() *DB { return &DB{cat: catalog.New(), fs: vfs.OS} }
 
 // OpenTPCH returns a database pre-loaded with a deterministic TPC-H
 // instance (see TPCHConfig / TPCHScale).
@@ -75,7 +94,7 @@ func OpenTPCH(cfg TPCHConfig) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{cat: cat}, nil
+	return &DB{cat: cat, fs: vfs.OS}, nil
 }
 
 // TPCHConfig re-exports the generator configuration.
@@ -108,32 +127,18 @@ func (db *DB) MustCreateTable(name string, cols []string, pk string, rows ...[]a
 // SetNotNull declares a NOT NULL constraint (validated against the data).
 // The native strategy needs it to unnest ALL / NOT IN into antijoins.
 func (db *DB) SetNotNull(table, col string) error {
-	t, err := db.cat.Table(table)
-	if err != nil {
-		return err
-	}
-	return t.SetNotNull(col)
+	return db.cat.SetNotNull(table, col)
 }
 
 // CreateIndex builds an index over the given columns (used only by the
 // native strategy; the nested relational approach needs no indexes).
 func (db *DB) CreateIndex(table string, cols ...string) error {
-	t, err := db.cat.Table(table)
-	if err != nil {
-		return err
-	}
-	_, err = t.CreateIndex(cols...)
-	return err
+	return db.cat.CreateIndexOn(table, cols...)
 }
 
 // DropIndex removes an index.
 func (db *DB) DropIndex(table string, cols ...string) error {
-	t, err := db.cat.Table(table)
-	if err != nil {
-		return err
-	}
-	t.DropIndex(cols...)
-	return nil
+	return db.cat.DropIndexOn(table, cols...)
 }
 
 // Analyze collects optimizer statistics (row counts, NULL fractions,
@@ -148,11 +153,9 @@ func (db *DB) Analyze(tables ...string) error {
 		return nil
 	}
 	for _, name := range tables {
-		t, err := db.cat.Table(name)
-		if err != nil {
+		if err := db.cat.AnalyzeTable(name); err != nil {
 			return err
 		}
-		t.Analyze()
 	}
 	return nil
 }
@@ -175,16 +178,93 @@ func (db *DB) StatsSummary(table string) (string, error) {
 }
 
 // Save persists the whole database (data, schema, constraints, indexes)
-// into a directory of CSV files plus a JSON manifest.
-func (db *DB) Save(dir string) error { return csvio.Save(db.cat, dir) }
+// into a directory of CSV files plus a JSON manifest. The save is
+// crash-consistent: data lands via temp file + fsync + atomic rename,
+// and the manifest rename is the commit point — a crash mid-save leaves
+// the previous save fully intact. Saving the durable session's own
+// directory also checkpoints (truncates) the write-ahead log; the save
+// holds the writer lock, so it captures an exact commit boundary.
+func (db *DB) Save(dir string) error {
+	tx := db.cat.Begin()
+	defer tx.Rollback() // lock only; a save publishes no new snapshot
+	snap := tx.Snapshot()
+	if db.journal != nil && dir == db.dir {
+		ckpt, err := csvio.SaveFS(db.fs, snap, dir)
+		if err != nil {
+			return err
+		}
+		return db.journal.Checkpoint(ckpt)
+	}
+	_, err := csvio.SaveFS(db.fsOrOS(), snap, dir)
+	return err
+}
 
-// OpenDir loads a database previously written by Save.
+func (db *DB) fsOrOS() vfs.FS {
+	if db.fs != nil {
+		return db.fs
+	}
+	return vfs.OS
+}
+
+// OpenDir loads a database previously written by Save and replays any
+// write-ahead log left by a durable session, so every acknowledged
+// mutation is visible. The returned session is in-memory: its own
+// mutations are not journaled (use OpenDirDurable for that).
 func OpenDir(dir string) (*DB, error) {
-	cat, err := csvio.Load(dir)
+	db, _, err := openDirFS(vfs.OS, dir)
+	return db, err
+}
+
+// OpenDirDurable opens a saved database as a durable session: the
+// directory's write-ahead log is replayed and kept open, every
+// subsequent DML statement is journaled and fsynced before it commits,
+// and Save(dir) checkpoints the journal. Close releases the journal.
+// At most one durable session may use a directory at a time.
+func OpenDirDurable(dir string) (*DB, error) {
+	return openDirDurableFS(vfs.OS, dir)
+}
+
+func openDirDurableFS(fsys vfs.FS, dir string) (*DB, error) {
+	db, ckpt, err := openDirFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{cat: cat}, nil
+	journal, err := wal.Open(fsys, filepath.Join(dir, csvio.WALName), ckpt, wal.SyncOnCommit)
+	if err != nil {
+		return nil, err
+	}
+	db.dir = dir
+	db.journal = journal
+	return db, nil
+}
+
+// openDirFS performs crash recovery: load the last committed save, then
+// replay the journal's records for that checkpoint.
+func openDirFS(fsys vfs.FS, dir string) (*DB, uint64, error) {
+	cat, ckpt, err := csvio.LoadFS(fsys, dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, err := wal.Replay(fsys, filepath.Join(dir, csvio.WALName), ckpt)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := wal.Apply(cat, recs); err != nil {
+		return nil, 0, err
+	}
+	return &DB{cat: cat, fs: fsys}, ckpt, nil
+}
+
+// Close releases a durable session's journal. In-memory databases need
+// no Close. The database must be idle: in-flight Execs whose journal
+// write races a Close may fail (and roll back) cleanly.
+func (db *DB) Close() error {
+	if db.journal == nil {
+		return nil
+	}
+	err := db.journal.Close()
+	db.journal = nil
+	return err
 }
 
 // Tables lists the table names.
@@ -210,34 +290,55 @@ func (db *DB) Query(src string) (*Result, error) {
 // several SELECTs with UNION / INTERSECT / EXCEPT (each optionally ALL);
 // every leaf SELECT runs under the chosen strategy.
 func (db *DB) QueryWith(src string, s Strategy) (*Result, error) {
+	return db.QueryWithContext(context.Background(), src, s)
+}
+
+// QueryContext is Query with a cancellation context: the query aborts
+// with the context's error at the next operator boundary after ctx is
+// cancelled, with workers drained and spill files removed.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return db.QueryWithContext(ctx, src, Auto)
+}
+
+// QueryWithContext is QueryWith with a cancellation context.
+func (db *DB) QueryWithContext(ctx context.Context, src string, s Strategy) (*Result, error) {
 	st, err := db.analyzeStatement(src)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := db.executeStatement(st, s, src)
+	rel, err := db.executeStatement(ctx, st, s, src)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{rel: rel}, nil
 }
 
+// analyzeStatement binds src against the current snapshot. All the
+// statement's table references resolve in one atomic snapshot read, so
+// even multi-table statements see one consistent schema version.
 func (db *DB) analyzeStatement(src string) (*sql.Statement, error) {
+	return analyzeOn(db.cat.Snapshot(), src)
+}
+
+// analyzeOn parses and binds src against an explicit catalog view — the
+// current catalog, a pinned snapshot, or a transaction's base snapshot.
+func analyzeOn(res sql.Resolver, src string) (*sql.Statement, error) {
 	parsed, err := sql.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
-	return sql.AnalyzeStatement(parsed, db.cat)
+	return sql.AnalyzeStatement(parsed, res)
 }
 
-func (db *DB) executeStatement(st *sql.Statement, s Strategy, label string) (*relation.Relation, error) {
+func (db *DB) executeStatement(ctx context.Context, st *sql.Statement, s Strategy, label string) (*relation.Relation, error) {
 	if st.Query != nil {
-		return db.execute(st.Query, s, label)
+		return db.execute(ctx, st.Query, s, label)
 	}
-	l, err := db.executeStatement(st.L, s, label)
+	l, err := db.executeStatement(ctx, st.L, s, label)
 	if err != nil {
 		return nil, err
 	}
-	r, err := db.executeStatement(st.R, s, label)
+	r, err := db.executeStatement(ctx, st.R, s, label)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +419,12 @@ func (db *DB) ExplainAnalyze(src string, s Strategy) (string, error) {
 	return core.ExplainAnalyze(st.Query, s.coreOptions())
 }
 
-func (db *DB) execute(q *sql.Query, s Strategy, label string) (*relation.Relation, error) {
+func (db *DB) execute(ctx context.Context, q *sql.Query, s Strategy, label string) (*relation.Relation, error) {
+	if ctx != nil && ctx != context.Background() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if s.kind == kindAuto {
 		if err := core.Supported(q); err != nil {
 			return db.referenceEval(q, s)
@@ -333,6 +439,9 @@ func (db *DB) execute(q *sql.Query, s Strategy, label string) (*relation.Relatio
 	default:
 		opts := s.coreOptions()
 		opts.Label = label
+		if ctx != nil && ctx != context.Background() {
+			opts.Ctx = ctx
+		}
 		if db.slowLog != nil {
 			opts.SlowLog = db.slowLog
 			opts.SlowQuery = db.slowThreshold

@@ -1,26 +1,55 @@
 package nra
 
 import (
+	"context"
+	"sync/atomic"
+
 	"nra/internal/sql"
 )
 
 // Stmt is a prepared statement: parsed and analyzed once, executable many
 // times (the analysis — block decomposition, name resolution — is the
-// expensive part for short queries). A Stmt is immutable and safe for
-// concurrent use.
+// expensive part for short queries). A Stmt is safe for concurrent use.
+//
+// The binding is keyed on the catalog epoch: a Run after DML or DDL
+// re-analyzes against the then-current snapshot, so a prepared statement
+// never executes against a stale table version — and never pays for
+// re-analysis while the catalog is unchanged.
 type Stmt struct {
-	db  *DB
-	st  *sql.Statement
-	src string
+	db    *DB
+	src   string
+	bound atomic.Pointer[boundStmt]
+}
+
+// boundStmt pairs an analyzed statement with the epoch of the snapshot
+// it was bound against.
+type boundStmt struct {
+	epoch uint64
+	st    *sql.Statement
 }
 
 // Prepare parses and analyzes a statement for repeated execution.
 func (db *DB) Prepare(src string) (*Stmt, error) {
-	st, err := db.analyzeStatement(src)
+	s := &Stmt{db: db, src: src}
+	if _, err := s.statement(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// statement returns the analyzed statement bound to the current
+// snapshot, re-binding if the catalog moved since the last call.
+func (s *Stmt) statement() (*sql.Statement, error) {
+	snap := s.db.cat.Snapshot()
+	if b := s.bound.Load(); b != nil && b.epoch == snap.Epoch() {
+		return b.st, nil
+	}
+	st, err := analyzeOn(snap, s.src)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, st: st, src: src}, nil
+	s.bound.Store(&boundStmt{epoch: snap.Epoch(), st: st})
+	return st, nil
 }
 
 // Run executes the prepared statement with the default strategy.
@@ -28,7 +57,11 @@ func (s *Stmt) Run() (*Result, error) { return s.RunWith(Auto) }
 
 // RunWith executes the prepared statement with an explicit strategy.
 func (s *Stmt) RunWith(strategy Strategy) (*Result, error) {
-	rel, err := s.db.executeStatement(s.st, strategy, s.src)
+	st, err := s.statement()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.db.executeStatement(context.Background(), st, strategy, s.src)
 	if err != nil {
 		return nil, err
 	}

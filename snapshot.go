@@ -1,0 +1,56 @@
+package nra
+
+import (
+	"context"
+
+	"nra/internal/catalog"
+)
+
+// Snap is a pinned, immutable snapshot of the database: every query run
+// through it sees exactly the table versions — rows, constraints,
+// indexes and statistics — that were current when Snapshot was called,
+// no matter how much concurrent DML commits afterwards. Snaps are cheap
+// (no copying) and safe for concurrent use.
+type Snap struct {
+	db   *DB
+	snap *catalog.Snapshot
+}
+
+// Snapshot pins the current version of the database for repeatable
+// reads across several queries.
+func (db *DB) Snapshot() *Snap {
+	return &Snap{db: db, snap: db.cat.Snapshot()}
+}
+
+// Epoch identifies the pinned version; it increases with every
+// committed mutation.
+func (s *Snap) Epoch() uint64 { return s.snap.Epoch() }
+
+// Query executes src against the pinned snapshot with the default
+// strategy.
+func (s *Snap) Query(src string) (*Result, error) { return s.QueryWith(src, Auto) }
+
+// QueryWith executes src against the pinned snapshot with an explicit
+// strategy.
+func (s *Snap) QueryWith(src string, strategy Strategy) (*Result, error) {
+	st, err := analyzeOn(s.snap, src)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.db.executeStatement(context.Background(), st, strategy, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// Frozen deep-copies the pinned snapshot into a fully independent
+// in-memory database — the oracle the concurrency tests compare
+// against, and a general "fork the database at this instant" tool.
+func (s *Snap) Frozen() (*DB, error) {
+	cat, err := s.snap.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cat: cat}, nil
+}

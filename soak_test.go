@@ -1,0 +1,237 @@
+package nra
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// soakQueries is the read workload of the concurrency soak: a plain
+// scan, a correlated EXISTS, an aggregate, and a negative operator —
+// enough shape diversity to cross every linking-operator path while
+// staying cheap per execution.
+var soakQueries = []string{
+	"select id, bal from acct where bal >= 0",
+	"select a.id from acct a where exists (select * from acct b where b.dept = a.dept and b.bal > a.bal)",
+	"select count(*) from acct",
+	"select a.id from acct a where a.id not in (select b.id from acct b where b.bal < 0)",
+}
+
+// TestReaderWriterSoak runs 4 readers against 2 concurrent writers for
+// at least 10 000 snapshot queries. Every reader pins a snapshot, runs a
+// query on it, then re-runs the same query on the snapshot's Frozen()
+// deep copy — a fully independent database no writer can reach. The two
+// results must be byte-identical: that is snapshot isolation, end to
+// end through the public API. Run with -race; the writers' inserts,
+// updates and deletes overlap every read.
+func TestReaderWriterSoak(t *testing.T) {
+	const (
+		readerCount = 4
+		writerCount = 2
+	)
+	itersPerReader := 2500 // 4 × 2500 = 10k snapshot queries
+	if testing.Short() {
+		itersPerReader = 150
+	}
+
+	db := Open()
+	db.MustCreateTable("acct", []string{"id", "dept", "bal"}, "id")
+	for i := 0; i < 40; i++ {
+		db.MustExec(fmt.Sprintf("insert into acct values (%d, %d, %d)", i, i%5, i*7%83))
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < writerCount; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			next := 1000 + w*1_000_000 // disjoint PK ranges per writer
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := db.Exec(fmt.Sprintf("insert into acct values (%d, %d, %d)", next+i, i%5, i%97)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := db.Exec(fmt.Sprintf("update acct set bal = bal + 1 where id = %d", next+i-1)); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := db.Exec(fmt.Sprintf("delete from acct where id = %d", next+i-2)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < readerCount; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; i < itersPerReader; i++ {
+				src := soakQueries[(r+i)%len(soakQueries)]
+				snap := db.Snapshot()
+				got, err := snap.Query(src)
+				if err != nil {
+					t.Errorf("reader %d: %s: %v", r, src, err)
+					return
+				}
+				oracle, err := snap.Frozen()
+				if err != nil {
+					t.Errorf("reader %d: freeze: %v", r, err)
+					return
+				}
+				want, err := oracle.Query(src)
+				if err != nil {
+					t.Errorf("reader %d: oracle %s: %v", r, src, err)
+					return
+				}
+				got.Sort()
+				want.Sort()
+				if got.String() != want.String() {
+					t.Errorf("reader %d iter %d: snapshot %d diverges from its frozen oracle for %q:\nsnapshot:\n%s\noracle:\n%s",
+						r, i, snap.Epoch(), src, got, want)
+					return
+				}
+			}
+		}(r)
+	}
+
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestDurableSessionRecovery exercises the WAL end to end through the
+// public API: journaled DML survives an abandoned session (a crash
+// without Save), Save checkpoints the journal, and recovery after the
+// checkpoint replays only what came after it.
+func TestDurableSessionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := Open()
+	db.MustCreateTable("kv", []string{"k", "v"}, "k", []any{1, "one"})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 1: journaled DML, then "crash" (no Save, no Close).
+	d1, err := OpenDirDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.MustExec("insert into kv values (2, 'two')")
+	d1.MustExec("update kv set v = 'uno' where k = 1")
+
+	rows := func(db *DB) string {
+		t.Helper()
+		res, err := db.Query("select k, v from kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Sort()
+		return res.String()
+	}
+	want := rows(d1)
+	if err := d1.Close(); err != nil { // release the file handle; the point is: no Save ran
+		t.Fatal(err)
+	}
+
+	// Recovery: the acknowledged mutations come back from the journal.
+	d2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows(d2); got != want {
+		t.Fatalf("recovered state diverges:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Session 2: checkpoint, then more journaled DML, then crash again.
+	d3, err := OpenDirDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3.MustExec("delete from kv where k = 2")
+	if err := d3.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	d3.MustExec("insert into kv values (3, 'three')")
+	want = rows(d3)
+	if err := d3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d4, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows(d4); got != want {
+		t.Fatalf("post-checkpoint recovery diverges:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableDDLCheckpoint: CREATE/DROP TABLE in a durable session are
+// made durable eagerly (full save + WAL checkpoint), so they survive a
+// crash even though the journal records only DML.
+func TestDurableDDLCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := Open()
+	db.MustCreateTable("kv", []string{"k", "v"}, "k", []any{1, "one"})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := OpenDirDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.MustExec("create table extra (id integer primary key, note varchar)")
+	d1.MustExec("insert into extra values (1, 'kept')")
+	d1.MustExec("drop table kv")
+	// Crash: no explicit Save after the last DDL.
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := d2.Tables()
+	if len(tables) != 1 || tables[0] != "extra" {
+		t.Fatalf("recovered tables = %v, want [extra]", tables)
+	}
+	res, err := d2.Query("select note from extra where id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("journaled insert into the new table lost: %d rows", res.NumRows())
+	}
+}
+
+// TestQueryContextCancel: a canceled context aborts the query with the
+// context's error instead of returning rows.
+func TestQueryContextCancel(t *testing.T) {
+	db := dmlDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "select * from emp"); err != context.Canceled {
+		t.Fatalf("canceled query returned %v, want context.Canceled", err)
+	}
+	// A live context still works.
+	res, err := db.QueryContext(context.Background(), "select count(*) from emp")
+	if err != nil || res.NumRows() != 1 {
+		t.Fatalf("live-context query: %v", err)
+	}
+}
