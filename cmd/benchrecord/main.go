@@ -8,7 +8,8 @@
 //	            [-threshold 0.20] [-sf 0.005] [-runs 1] [-seed 42]
 //
 // It executes the paper's figure suite (Figures 4–9 with variants) plus
-// the cost-based, parallelism and 2VL ablations, and emits one JSON
+// the cost-based, parallelism, 2VL and vectorized ablations, and emits
+// one JSON
 // record with per-query wall and modeled milliseconds for every series.
 // The regression gate compares *modeled* milliseconds — the
 // deterministic disk-resident cost of the executed plan, immune to
@@ -87,6 +88,7 @@ func main() {
 		{"cost ablation", env.CostAblation},
 		{"parallel ablation", env.ParallelAblation},
 		{"2VL ablation", env.TwoVLAblation},
+		{"vectorized ablation", env.VecAblation},
 	} {
 		figs, err := suite.run()
 		if err != nil {

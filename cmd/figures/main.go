@@ -8,7 +8,8 @@
 // Usage:
 //
 //	figures [-sf 0.01] [-runs 3] [-seed 42] [-nulls 0] [-fig fig4,...]
-//	        [-ablation] [-parallel] [-costbased] [-twovl] [-tracing] [-trace]
+//	        [-ablation] [-parallel] [-costbased] [-twovl] [-vectorized]
+//	        [-tracing] [-trace]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "also run the parallel-vs-serial ablation (serial / P=2 / P=4 / P=8)")
 		costb    = flag.Bool("costbased", false, "also run the cost-based vs heuristic planner ablation")
 		twovl    = flag.Bool("twovl", false, "also run the 2VL vs 3VL ablation (needs -nulls 0)")
+		vecf     = flag.Bool("vectorized", false, "also run the vectorized (batch-at-a-time) vs row ablation")
 		trace    = flag.Bool("trace", false, "also render a span waterfall for each workload query (Query 1/2b/3b/3c)")
 		tracing  = flag.Bool("tracing", false, "also run the tracing-overhead ablation (untraced vs traced)")
 		noverify = flag.Bool("noverify", false, "skip cross-strategy result verification")
@@ -55,7 +57,7 @@ func main() {
 		}
 	}
 
-	if *ablation || *parallel || *costb || *twovl || *trace || *tracing {
+	if *ablation || *parallel || *costb || *twovl || *vecf || *trace || *tracing {
 		env, err := bench.NewEnv(cfg)
 		if err != nil {
 			fail(err)
@@ -89,6 +91,15 @@ func main() {
 		}
 		if *twovl {
 			figs, err := env.TwoVLAblation()
+			if err != nil {
+				fail(err)
+			}
+			for _, f := range figs {
+				fmt.Println(f.Format())
+			}
+		}
+		if *vecf {
+			figs, err := env.VecAblation()
 			if err != nil {
 				fail(err)
 			}
@@ -199,6 +210,12 @@ func runSelected(cfg bench.Config, ids []string) error {
 			figs = fs
 		case "twovl":
 			fs, err := env.TwoVLAblation()
+			if err != nil {
+				return err
+			}
+			figs = fs
+		case "vectorized":
+			fs, err := env.VecAblation()
 			if err != nil {
 				return err
 			}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
-//	      [-timeout 30s] [-2vl] [-debug-addr localhost:6060]
+//	      [-timeout 30s] [-2vl] [-vectorized] [-debug-addr localhost:6060]
 //	      [-slow-query 100ms] [-e "select ..."]
 //
 // Inside the shell:
@@ -20,6 +20,9 @@
 //	\waterfall select ...;      run traced, then draw the span waterfall
 //	\2vl on|off                 toggle two-valued logic (NULL comparisons
 //	                            are FALSE; negative operators antijoin)
+//	\vec on|off                 toggle vectorized batch-at-a-time
+//	                            execution (identical results; EXPLAIN
+//	                            shows [batch]/[row] per operator)
 //	\stats <table>              show a table's collected statistics
 //	\tables                     list tables with row counts
 //	\q                          quit
@@ -92,6 +95,7 @@ func main() {
 		mem   = flag.String("mem", "", "memory budget for operator working state, e.g. 64K, 16M, 1G (empty = unbounded); over-budget operators spill to disk")
 		tmo   = flag.Duration("timeout", 0, "per-query timeout, e.g. 30s (0 = none)")
 		twoVL = flag.Bool("2vl", false, "evaluate under two-valued logic: NULL comparisons are FALSE; NOT IN / NOT EXISTS / ALL unnest to antijoins")
+		vect  = flag.Bool("vectorized", false, "execute the hot path batch-at-a-time (identical results; serial in-memory path only)")
 		anlz  = flag.Bool("analyze", true, "collect optimizer statistics on the loaded tables at startup (enables cost-based planning)")
 		dbg   = flag.String("debug-addr", "", "serve the debug HTTP endpoint (expvar metrics + pprof) on this address, e.g. localhost:6060 (empty = off; bind to localhost only — see docs/OBSERVABILITY.md)")
 		slowQ = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
@@ -122,6 +126,9 @@ func main() {
 	}
 	if *twoVL {
 		strategy = strategy.WithTwoValuedLogic(true)
+	}
+	if *vect {
+		strategy = strategy.WithVectorized(true)
 	}
 	if *trace {
 		strategy = nra.Traced(strategy, os.Stderr)
@@ -262,6 +269,18 @@ func main() {
 				default:
 					fmt.Println(`usage: \2vl on|off`)
 				}
+			case strings.HasPrefix(trimmed, `\vec`):
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\vec`))
+				switch arg {
+				case "on":
+					strategy = strategy.WithVectorized(true)
+					fmt.Printf("strategy: %s\n", strategy)
+				case "off":
+					strategy = strategy.WithVectorized(false)
+					fmt.Printf("strategy: %s\n", strategy)
+				default:
+					fmt.Println(`usage: \vec on|off`)
+				}
 			case strings.HasPrefix(trimmed, `\stats`):
 				name := strings.TrimSpace(strings.TrimPrefix(trimmed, `\stats`))
 				if name == "" {
@@ -272,7 +291,7 @@ func main() {
 					fmt.Print(out)
 				}
 			default:
-				fmt.Println(`unknown command; try \q, \tables, \strategy, \2vl, \explain, \waterfall, \stats`)
+				fmt.Println(`unknown command; try \q, \tables, \strategy, \2vl, \vec, \explain, \waterfall, \stats`)
 			}
 			prompt()
 			continue

@@ -221,7 +221,19 @@ func (b *Bound) eval(t relation.Tuple) (value.Tri, error) {
 				}
 			}
 		}
-		return b.cmp(a, state.Result())
+		res := state.Result()
+		tri, err := b.pred.Op.Apply(a, res)
+		if err != nil {
+			return value.Unknown, err
+		}
+		// 2VL collapses a NULL comparison to False — except when the NULL
+		// is the aggregate itself (an empty-group SUM/AVG/MIN/MAX), a
+		// value the base data never held. Keeping 3VL's Unknown there
+		// makes 2VL ≡ 3VL on NULL-free data.
+		if b.pred.TwoValued && tri == value.Unknown && !res.IsNull() {
+			tri = value.False
+		}
+		return tri, nil
 	}
 	if b.pred.Quant == All {
 		res := value.True

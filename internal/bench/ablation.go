@@ -191,6 +191,23 @@ func (e *Env) TwoVLAblation() ([]*Figure, error) {
 	return e.runAblation(e.ablationWorkloads("twovl", "2VL vs 3VL"), configs, false)
 }
 
+// VecAblation measures the batch-at-a-time operators against the serial
+// row engine on the same workload families: the same optimized planner,
+// with and without Options.Vectorized, so the delta is exactly the
+// vectorized kernels (columnar scan/filter, batched-probe hash join,
+// typed-sort nest + linking selection) replacing the per-tuple
+// operators. Verification is tuple-for-tuple — the batch operators must
+// reproduce the row engine's output exactly, order included.
+func (e *Env) VecAblation() ([]*Figure, error) {
+	vectorized := core.Optimized()
+	vectorized.Vectorized = true
+	configs := []ablationConfig{
+		{"row-serial", core.Optimized()},
+		{"vectorized", vectorized},
+	}
+	return e.runAblation(e.ablationWorkloads("vectorized", "batch vs row"), configs, true)
+}
+
 // ParallelAblation measures the partitioned-parallel operators against
 // the serial ones on the same workload families: serial (P=1) versus
 // P = 2, 4 and 8. Verification is tuple-for-tuple — parallel execution

@@ -159,6 +159,26 @@ func TestTwoVLAblationVerifies(t *testing.T) {
 	}
 }
 
+func TestVecAblationVerifies(t *testing.T) {
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := e.VecAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("vectorized ablation workloads = %d", len(figs))
+	}
+	for _, f := range figs {
+		series := f.Series()
+		if len(series) != 2 {
+			t.Fatalf("%s: series = %v", f.ID, series)
+		}
+	}
+}
+
 func TestFig4NotNullAntijoinCompetitive(t *testing.T) {
 	e, err := NewEnv(tinyConfig())
 	if err != nil {

@@ -28,11 +28,13 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nra/internal/index"
 	"nra/internal/relation"
 	"nra/internal/stats"
 	"nra/internal/value"
+	"nra/internal/vec"
 )
 
 // Table is a base relation plus metadata. Tables published in a snapshot
@@ -47,6 +49,31 @@ type Table struct {
 	indexes    map[string]*index.Index // by canonical column-list key
 	stats      *stats.Table            // last ANALYZE result; nil = never analyzed
 	statsStale bool                    // set by DML; stale stats are treated as absent
+
+	// vecCols memoizes the columnar form of this version's columns for
+	// the vectorized scan — the table's column-store representation,
+	// built lazily per column on first vectorized access. A version's
+	// rows are immutable (mutations are copy-on-write and produce a
+	// successor version, which starts cold), so entries never go stale.
+	// vecMu guards the map: snapshots are shared across queries.
+	vecMu   sync.Mutex
+	vecCols map[int]*vec.Vector
+}
+
+// VecColumn returns the memoized columnar form of column c, converting
+// and caching it on first access.
+func (t *Table) VecColumn(c int) *vec.Vector {
+	t.vecMu.Lock()
+	defer t.vecMu.Unlock()
+	if v, ok := t.vecCols[c]; ok {
+		return v
+	}
+	if t.vecCols == nil {
+		t.vecCols = make(map[int]*vec.Vector)
+	}
+	v := vec.ColumnVector(t.Rel.Tuples, c)
+	t.vecCols[c] = v
+	return v
 }
 
 // New returns an empty catalog at epoch 1.

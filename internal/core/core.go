@@ -57,8 +57,9 @@ type Options struct {
 	// involving a NULL is FALSE, never Unknown, and NOT is classical.
 	// Under 2VL the negative linking operators (NOT EXISTS, NOT IN, θ ALL)
 	// are plain antijoins, which the planner exploits at strict leaves.
-	// On NULL-free data 2VL and 3VL results coincide, except where a
-	// SUM/AVG/MIN/MAX over an empty subquery reintroduces a NULL.
+	// The one NULL the base data never held — SUM/AVG/MIN/MAX over an
+	// empty subquery — keeps its 3VL Unknown, so on NULL-free data 2VL
+	// and 3VL results coincide unconditionally (fuzzer-checked).
 	TwoValuedLogic bool
 	// UseStats lets the planner read the catalog's collected statistics
 	// (catalog.Table.Analyze) for cardinality estimation. Estimation is
@@ -73,6 +74,20 @@ type Options struct {
 	// spilling against MemoryBudget. No effect without UseStats and fresh
 	// statistics. Every choice is between result-equivalent plans.
 	CostBased bool
+	// Vectorized selects the batch-at-a-time operators (internal/vec)
+	// for the hot path: vectorized scan→filter→project block reduction,
+	// the batched-probe hash join, and the fused nest + linking
+	// selection driven by a typed sort and group-offset arrays. Results
+	// are byte-identical to the serial row operators — the row engine is
+	// the parity oracle, enforced by tests and the differential fuzzer.
+	// The batch operators apply only on the serial in-memory path: with
+	// Parallelism > 1, a MemoryBudget, or fault Hooks the planner keeps
+	// the row operators (batches neither partition nor spill), and any
+	// operator whose shape has no batch kernel — nested inputs, non-equi
+	// join conditions, predicates the kernel compiler rejects — falls
+	// back to its row implementation per operator. EXPLAIN annotates
+	// each operator [batch] or [row: reason].
+	Vectorized bool
 	// Parallelism is the degree of partitioned parallelism for the hash-
 	// join and nest/linking-selection pipeline: joins hash-partition build
 	// and probe across workers, and the fused nest + linking selection

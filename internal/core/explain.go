@@ -59,6 +59,16 @@ func (p *planner) explainString() string {
 	} else {
 		b.WriteString("parallelism: 1 (serial operators)\n")
 	}
+	if opt.Vectorized {
+		if reason := p.vecGate(); reason != "" {
+			fmt.Fprintf(&b, "vectorized: requested but disabled (%s)\n", reason)
+		} else {
+			b.WriteString("vectorized: batch-at-a-time kernels (scan/filter/project, batched-probe hash join, fused nest + linking selection); shapes without a kernel fall back per operator\n")
+			for _, n := range p.vecNotes {
+				fmt.Fprintf(&b, "  vec: %s\n", n)
+			}
+		}
+	}
 	if opt.MemoryBudget > 0 {
 		fmt.Fprintf(&b, "memory budget: %d bytes (hash-join builds degrade to chunked grace joins, pre-nest sorts to external merges, when working state exceeds it; results are identical)\n", opt.MemoryBudget)
 	} else {
@@ -135,6 +145,9 @@ func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
 	if p.est != nil {
 		fmt.Fprintf(b, "  [est %s rows]", fmtRows(p.card[blk.ID]))
 	}
+	if p.opt.Vectorized && p.vecGate() == "" {
+		fmt.Fprintf(b, "  [%s]", p.reduceVecLabel(blk))
+	}
 	b.WriteByte('\n')
 	for _, l := range blk.Links {
 		if p.antijoin2VLOK(blk, p.q.Root, l) {
@@ -156,6 +169,9 @@ func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
 		if ee, ok := p.estEdge(l); ok {
 			fmt.Fprintf(b, "  [est: ⟕ %s rows, link keeps %.3g → %s rows]",
 				fmtRows(ee.joined), ee.frac, fmtRows(ee.after))
+		}
+		if p.opt.Vectorized && p.vecGate() == "" {
+			fmt.Fprintf(b, "  [⟕ %s]", p.linkJoinVecLabel(l.Child))
 		}
 		b.WriteByte('\n')
 		p.explainBlock(b, l.Child, depth+1)

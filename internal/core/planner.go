@@ -10,6 +10,7 @@ import (
 	"nra/internal/opt"
 	"nra/internal/relation"
 	"nra/internal/sql"
+	"nra/internal/vec"
 )
 
 // planner holds per-query planning state.
@@ -41,6 +42,14 @@ type planner struct {
 	statsNote string                    // EXPLAIN line describing stats availability
 	planNotes []string                  // EXPLAIN chosen-because annotations
 	spillOps  []string                  // operators planned onto their spill path
+	vecNotes  []string                  // batch→row fallbacks observed at run time
+
+	// vecCache maps an intermediate relation to its column-vector form,
+	// filled by each batch operator and consumed by the next, so a fully
+	// batchable reduce→join→nest chain converts each column exactly once.
+	// Keyed by relation identity: relations are immutable during query
+	// execution.
+	vecCache map[*relation.Relation]*vec.Batch
 }
 
 func newPlanner(q *sql.Query, opt Options) (*planner, error) {
@@ -356,9 +365,29 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	}
 	local = p.filterExpr(local)
 	sp := p.begin("reduce T%d (%s)", b.ID+1, bt.Ref.Table)
-	out, err := exec.Drain(p.ec, exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
-	if err != nil {
-		return nil, err
+	var out *relation.Relation
+	if p.vecGate() == "" {
+		if !p.vecCostOK(float64(base.Len())) {
+			p.vecNote(fmt.Sprintf("reduce T%d", b.ID+1), "below vectorization threshold")
+		} else {
+			vo, vb, reason, err := exec.VecReduce(p.ec, base, local, p.needed[b.ID], bt.Table.VecColumn)
+			if err != nil {
+				return nil, err
+			}
+			if reason != "" {
+				p.vecNote(fmt.Sprintf("reduce T%d", b.ID+1), reason)
+			} else {
+				out = vo
+				p.vecPut(out, vb)
+			}
+		}
+	}
+	if out == nil {
+		var err error
+		out, err = exec.Drain(p.ec, exec.NewProject(exec.NewFilter(exec.NewScan(base), local), p.needed[b.ID]))
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.seq(base.Len(), out.Len()) // one scan in, reduced block out
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, bt.Ref.Table, out.Len())

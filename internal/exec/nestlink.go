@@ -110,7 +110,20 @@ func (s *quantState) verdict(spec *LinkSpec, attr value.Value) (value.Tri, error
 
 func (s *quantState) rawVerdict(spec *LinkSpec, attr value.Value) (value.Tri, error) {
 	if s.agg != nil {
-		return specCmp(spec, attr, s.agg.Result())
+		res := s.agg.Result()
+		tri, err := spec.Pred.Op.Apply(attr, res)
+		if err != nil {
+			return value.Unknown, err
+		}
+		// 2VL collapses a NULL comparison to False — except when the NULL
+		// is the aggregate itself (SUM/AVG/MIN/MAX over an empty group),
+		// a value the base data never held. Keeping 3VL's Unknown there
+		// makes 2VL ≡ 3VL on NULL-free data (mirrors algebra.Bound and
+		// the reference evaluator).
+		if spec.Pred.TwoValued && tri == value.Unknown && !res.IsNull() {
+			tri = value.False
+		}
+		return tri, nil
 	}
 	switch spec.Pred.Empty {
 	case algebra.IsEmpty:

@@ -1,0 +1,421 @@
+package exec
+
+import (
+	"fmt"
+
+	"nra/internal/expr"
+	"nra/internal/obsv"
+	"nra/internal/relation"
+	"nra/internal/value"
+	"nra/internal/vec"
+)
+
+// BatchSize is the number of rows per batch window. It is a multiple of
+// 64 so NULL-bitmap windows slice on word boundaries.
+const BatchSize = 1024
+
+// BatchIterator is the batch-at-a-time companion of Iterator: NextBatch
+// returns the next window of rows (nil at end of stream). The same
+// Open/Close discipline applies; batches share the underlying column
+// vectors, so a batch is only valid until the relation it views is
+// mutated (relations are immutable during query execution).
+type BatchIterator interface {
+	// Open prepares the iterator under the given execution context.
+	Open(ec *ExecContext) error
+	// NextBatch returns the next batch, or nil at end of stream.
+	NextBatch() (*vec.Batch, error)
+	// Close releases resources; it must be called exactly once after a
+	// successful Open.
+	Close() error
+	// Schema describes the produced columns.
+	Schema() *relation.Schema
+}
+
+// VecScan produces batch windows over a flat materialized relation —
+// the vectorized counterpart of Scan. Construct with NewVecScan.
+type VecScan struct {
+	rel   *relation.Relation
+	batch *vec.Batch
+	pos   int
+	ec    *ExecContext
+	sp    *obsv.Span
+}
+
+// NewVecScan converts rel into column vectors and returns the scan.
+// ok is false when the relation has nested attributes, which the batch
+// representation does not model.
+func NewVecScan(rel *relation.Relation) (s *VecScan, ok bool) {
+	return NewVecScanCols(rel, nil)
+}
+
+// NewVecScanCols is NewVecScan restricted to the columns marked in
+// needed (nil = all): pruned columns stay nil in every batch, so the
+// downstream pipeline must never touch them.
+func NewVecScanCols(rel *relation.Relation, needed []bool) (s *VecScan, ok bool) {
+	b, ok := vec.FromRelationCols(rel, needed)
+	if !ok {
+		return nil, false
+	}
+	return &VecScan{rel: rel, batch: b}, true
+}
+
+// NewVecScanSrc is NewVecScanCols with an external column source:
+// colsrc, when non-nil, supplies each needed column's vector — the
+// catalog's memoized per-version column store — so repeated scans of
+// the same table version skip the row-to-column conversion entirely.
+func NewVecScanSrc(rel *relation.Relation, needed []bool, colsrc func(int) *vec.Vector) (s *VecScan, ok bool) {
+	if colsrc == nil {
+		return NewVecScanCols(rel, needed)
+	}
+	if len(rel.Schema.Subs) > 0 {
+		return nil, false
+	}
+	cols := make([]*vec.Vector, len(rel.Schema.Cols))
+	for c := range cols {
+		if needed == nil || needed[c] {
+			cols[c] = colsrc(c)
+		}
+	}
+	b := &vec.Batch{Schema: rel.Schema, Cols: cols, Start: 0, End: rel.Len()}
+	return &VecScan{rel: rel, batch: b}, true
+}
+
+// Open implements BatchIterator.
+func (s *VecScan) Open(ec *ExecContext) error {
+	s.ec = ec
+	s.pos = 0
+	if ec.Tracing() {
+		s.sp = ec.StartSpan("scan "+s.rel.Schema.Name, obsv.KindScan)
+	}
+	return nil
+}
+
+// NextBatch implements BatchIterator, yielding BatchSize-row windows.
+func (s *VecScan) NextBatch() (*vec.Batch, error) {
+	n := s.rel.Len()
+	if s.pos >= n {
+		return nil, nil
+	}
+	if err := s.ec.Check("scan"); err != nil {
+		return nil, err
+	}
+	end := s.pos + BatchSize
+	if end > n {
+		end = n
+	}
+	w := &vec.Batch{Schema: s.batch.Schema, Cols: s.batch.Cols, Start: s.pos, End: end}
+	s.pos = end
+	s.sp.AddBatches(1)
+	return w, nil
+}
+
+// Close implements BatchIterator.
+func (s *VecScan) Close() error {
+	if s.sp != nil {
+		s.sp.AddRowsIn(int64(s.rel.Len()))
+		s.sp.AddRowsOut(int64(s.pos))
+		s.sp.End()
+		s.sp = nil
+	}
+	return nil
+}
+
+// Schema implements BatchIterator.
+func (s *VecScan) Schema() *relation.Schema { return s.rel.Schema }
+
+// VecFilter narrows each batch's selection vector to the rows where the
+// compiled predicate kernel is True — the vectorized counterpart of
+// Filter. A nil Pred passes batches through unchanged.
+type VecFilter struct {
+	// In is the input batch stream.
+	In BatchIterator
+	// Pred is the compiled predicate kernel; nil = no filtering.
+	Pred *vec.Pred
+}
+
+// Open implements BatchIterator.
+func (f *VecFilter) Open(ec *ExecContext) error { return f.In.Open(ec) }
+
+// NextBatch implements BatchIterator.
+func (f *VecFilter) NextBatch() (*vec.Batch, error) {
+	b, err := f.In.NextBatch()
+	if err != nil || b == nil || f.Pred == nil {
+		return b, err
+	}
+	tv, err := f.Pred.Eval(b.Cols, b.Start, b.End)
+	if err != nil {
+		return nil, fmt.Errorf("filter: %w", err)
+	}
+	sel := make([]int32, 0, b.Rows())
+	if b.Sel == nil {
+		for i := b.Start; i < b.End; i++ {
+			if tv.True.Get(i - b.Start) {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for _, s := range b.Sel {
+			if tv.True.Get(int(s) - b.Start) {
+				sel = append(sel, s)
+			}
+		}
+	}
+	b.Sel = sel
+	return b, nil
+}
+
+// Close implements BatchIterator.
+func (f *VecFilter) Close() error { return f.In.Close() }
+
+// Schema implements BatchIterator.
+func (f *VecFilter) Schema() *relation.Schema { return f.In.Schema() }
+
+// VecProject narrows each batch to the named columns, sharing the
+// underlying vectors — the vectorized counterpart of Project.
+type VecProject struct {
+	// In is the input batch stream.
+	In BatchIterator
+	// Cols names the output columns, resolved against In's schema.
+	Cols []string
+
+	idx    []int
+	schema *relation.Schema
+}
+
+// Open implements BatchIterator, resolving the projection columns.
+func (p *VecProject) Open(ec *ExecContext) error {
+	if err := p.In.Open(ec); err != nil {
+		return err
+	}
+	in := p.In.Schema()
+	p.idx = make([]int, len(p.Cols))
+	p.schema = &relation.Schema{Name: in.Name}
+	for i, c := range p.Cols {
+		j := in.ColIndex(c)
+		if j < 0 {
+			return fmt.Errorf("project: no column %q in %s", c, in)
+		}
+		p.idx[i] = j
+		p.schema.Cols = append(p.schema.Cols, in.Cols[j])
+	}
+	return nil
+}
+
+// NextBatch implements BatchIterator.
+func (p *VecProject) NextBatch() (*vec.Batch, error) {
+	b, err := p.In.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([]*vec.Vector, len(p.idx))
+	for i, j := range p.idx {
+		cols[i] = b.Cols[j]
+	}
+	return &vec.Batch{Schema: p.schema, Cols: cols, Start: b.Start, End: b.End, Sel: b.Sel}, nil
+}
+
+// Close implements BatchIterator.
+func (p *VecProject) Close() error { return p.In.Close() }
+
+// Schema implements BatchIterator.
+func (p *VecProject) Schema() *relation.Schema { return p.schema }
+
+// DrainBatches runs a batch pipeline to completion and materializes the
+// selected rows, preserving order — the batch counterpart of Drain.
+func DrainBatches(ec *ExecContext, it BatchIterator) (*relation.Relation, error) {
+	if err := it.Open(ec); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.New(it.Schema())
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		b.ForEachRow(func(i int) { b.AppendTuple(out, i) })
+	}
+}
+
+// BatchesFromRows adapts a row iterator into a batch stream by pulling
+// up to BatchSize tuples at a time and converting them to columns — the
+// row→batch side of the per-operator adapter pair.
+type BatchesFromRows struct {
+	// In is the row stream to adapt.
+	In Iterator
+
+	ec  *ExecContext
+	eos bool
+}
+
+// Open implements BatchIterator.
+func (a *BatchesFromRows) Open(ec *ExecContext) error {
+	a.ec = ec
+	a.eos = false
+	return a.In.Open(ec)
+}
+
+// NextBatch implements BatchIterator, converting up to BatchSize rows.
+func (a *BatchesFromRows) NextBatch() (*vec.Batch, error) {
+	if a.eos {
+		return nil, nil
+	}
+	buf := relation.New(a.In.Schema())
+	for buf.Len() < BatchSize {
+		t, ok, err := a.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			a.eos = true
+			break
+		}
+		buf.Append(t)
+	}
+	if buf.Len() == 0 {
+		return nil, nil
+	}
+	b, ok := vec.FromRelation(buf)
+	if !ok {
+		return nil, fmt.Errorf("vec: nested input cannot batch")
+	}
+	return b, nil
+}
+
+// Close implements BatchIterator.
+func (a *BatchesFromRows) Close() error { return a.In.Close() }
+
+// Schema implements BatchIterator.
+func (a *BatchesFromRows) Schema() *relation.Schema { return a.In.Schema() }
+
+// RowsFromBatches adapts a batch stream back into a row iterator — the
+// batch→row side of the per-operator adapter pair, letting a row
+// operator consume a vectorized subtree.
+type RowsFromBatches struct {
+	// In is the batch stream to adapt.
+	In BatchIterator
+
+	cur  *vec.Batch
+	rows []int32
+	pos  int
+}
+
+// Open implements Iterator.
+func (a *RowsFromBatches) Open(ec *ExecContext) error { return a.In.Open(ec) }
+
+// Next implements Iterator, boxing one selected row per call.
+func (a *RowsFromBatches) Next() (relation.Tuple, bool, error) {
+	for a.cur == nil || a.pos >= len(a.rows) {
+		b, err := a.In.NextBatch()
+		if err != nil {
+			return relation.Tuple{}, false, err
+		}
+		if b == nil {
+			return relation.Tuple{}, false, nil
+		}
+		a.cur = b
+		a.rows = a.rows[:0]
+		b.ForEachRow(func(i int) { a.rows = append(a.rows, int32(i)) })
+		a.pos = 0
+	}
+	i := int(a.rows[a.pos])
+	a.pos++
+	atoms := make([]value.Value, len(a.cur.Cols))
+	for c, v := range a.cur.Cols {
+		atoms[c] = v.Value(i)
+	}
+	return relation.Tuple{Atoms: atoms}, true, nil
+}
+
+// Close implements Iterator.
+func (a *RowsFromBatches) Close() error { return a.In.Close() }
+
+// Schema implements Iterator.
+func (a *RowsFromBatches) Schema() *relation.Schema { return a.In.Schema() }
+
+// VecReduce is the vectorized single-table block reduction — the batch
+// counterpart of the row engine's scan→filter→project Drain. The
+// surviving rows are gathered into dense typed columns, so no row is
+// boxed until the final materialization; the output batch ob is
+// returned alongside the relation so downstream batch operators can
+// skip re-conversion. A non-empty reason means the batch engine does
+// not apply (nested input, or a predicate with no batch kernel) and the
+// caller must run the row path; out is then nil and err is nil.
+func VecReduce(ec *ExecContext, base *relation.Relation, pred expr.Expr, cols []string, colsrc func(int) *vec.Vector) (out *relation.Relation, ob *vec.Batch, reason string, err error) {
+	defer Guard("reduce", &err)
+	// Convert only the columns the predicate reads or the projection
+	// keeps: base tables are wide, the reduction touches a handful.
+	needed := make([]bool, len(base.Schema.Cols))
+	var vp *vec.Pred
+	if pred != nil {
+		p, ok := vec.CompilePred(pred, base.Schema)
+		if !ok {
+			return nil, nil, "predicate has no batch kernel", nil
+		}
+		vp = p
+		if !vec.MarkCols(pred, base.Schema, needed) {
+			needed = nil // compiled but unmarkable: convert everything
+		}
+	}
+	for _, c := range cols {
+		j := base.Schema.ColIndex(c)
+		if j < 0 || needed == nil {
+			needed = nil
+			break
+		}
+		needed[j] = true
+	}
+	scan, ok := NewVecScanSrc(base, needed, colsrc)
+	if !ok {
+		return nil, nil, "nested input", nil
+	}
+	it := &VecProject{In: &VecFilter{In: scan, Pred: vp}, Cols: cols}
+	if err := it.Open(ec); err != nil {
+		return nil, nil, "", err
+	}
+	defer it.Close()
+	// The projected vectors are the same full-height columns in every
+	// window; accumulate the selected absolute rows across windows.
+	var full []*vec.Vector
+	sel := make([]int32, 0, base.Len())
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if b == nil {
+			break
+		}
+		full = b.Cols
+		if b.Sel != nil {
+			sel = append(sel, b.Sel...)
+		} else {
+			for i := b.Start; i < b.End; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	if full == nil {
+		// Empty input: no window was produced; empty boxed columns keep
+		// the batch well-formed for downstream operators.
+		full = make([]*vec.Vector, len(it.Schema().Cols))
+		for i := range full {
+			full[i] = vec.FromValues(nil)
+		}
+	}
+	if len(sel) == base.Len() && base.Len() > 0 {
+		// Nothing filtered: the projected full-height vectors are the
+		// output as-is.
+		ob = &vec.Batch{Schema: it.Schema(), Cols: full, Start: 0, End: base.Len()}
+	} else {
+		gathered := make([]*vec.Vector, len(full))
+		for i, v := range full {
+			gathered[i] = vec.Gather(v, sel)
+		}
+		ob = &vec.Batch{Schema: it.Schema(), Cols: gathered, Start: 0, End: len(sel)}
+	}
+	return ob.ToRelation(), ob, "", nil
+}

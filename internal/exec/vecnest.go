@@ -1,0 +1,297 @@
+package exec
+
+import (
+	"fmt"
+
+	"nra/internal/obsv"
+	"nra/internal/relation"
+	"nra/internal/value"
+	"nra/internal/vec"
+)
+
+// The vectorized fused nest + linking selection operators. The columnar
+// side replaces what profiling shows dominates the row operators — the
+// boxed multi-key sort and the per-tuple KeyOn string materialization
+// for group-boundary detection — with the typed SortIdx permutation and
+// canonical key equality over vectors. Group members are then folded
+// through the same quantState accumulator as the row scan, reading
+// each member's two or three relevant cells straight out of the column
+// vectors, so verdicts, 2VL collapses, aggregate folds and padding
+// behave identically by construction.
+
+// VecNestLink is the vectorized fused single-level nest + linking
+// selection — the batch counterpart of NestLink, byte-identical in
+// output order. b optionally supplies the already-converted batch of
+// rel (the planner's batch cache); nil converts on the spot. A
+// non-empty reason means the input cannot batch (nested attributes)
+// and the caller must run the row path.
+func VecNestLink(ec *ExecContext, rel *relation.Relation, b *vec.Batch, keyCols, by []string, spec *LinkSpec, pad []string) (res *relation.Relation, reason string, err error) {
+	defer Guard("nestlink", &err)
+	if b == nil {
+		var ok bool
+		if b, ok = vec.FromRelation(rel); !ok {
+			return nil, "nested input", nil
+		}
+	}
+	var sp *obsv.Span
+	if ec.Tracing() {
+		sp = ec.StartSpan("nestlink", obsv.KindNestLink)
+		sp.AddRowsIn(int64(rel.Len()))
+		sp.AddBatches(1)
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
+	plan, err := prepareNestLink(rel.Schema, keyCols, by, spec, pad)
+	if err != nil {
+		return nil, "", err
+	}
+	ord, err := vecSort(ec, "nestlink/sort", b, plan.keyIdx)
+	if err != nil {
+		return nil, "", err
+	}
+	offs := vec.GroupOffsets(b.Cols, ord, plan.keyIdx)
+	b.Offsets = [][]int32{offs}
+
+	out := relation.New(plan.outSchema)
+	var state quantState
+	for g := 0; g+1 < len(offs); g++ {
+		if g&255 == 0 {
+			if err := ec.Check("nestlink/scan"); err != nil {
+				return nil, "", err
+			}
+		}
+		rep := ord[offs[g]]
+		state.reset(spec)
+		for p := offs[g]; p < offs[g+1]; p++ {
+			row := int(ord[p])
+			if b.Cols[spec.PresIdx].IsNull(row) {
+				continue // padding, not a set member
+			}
+			if err := state.addMember(spec, linkAttrVec(spec, b.Cols, row), linkedValVec(spec, b.Cols, row)); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := emitNestLink(out, plan, &state, b.Cols, rep); err != nil {
+			return nil, "", err
+		}
+	}
+	return out, "", nil
+}
+
+// emitNestLink appends one closed group's output row, honoring strict
+// vs padded mode exactly as the row scan does; rep is the group's
+// representative row index.
+func emitNestLink(out *relation.Relation, plan *nestLinkPlan, state *quantState, cols []*vec.Vector, rep int32) error {
+	v, err := state.verdict(plan.spec, linkAttrVec(plan.spec, cols, int(rep)))
+	if err != nil {
+		return err
+	}
+	row := relation.Tuple{Atoms: make([]value.Value, len(plan.byIdx))}
+	for i, j := range plan.byIdx {
+		row.Atoms[i] = cols[j].Value(int(rep))
+	}
+	if v.IsTrue() {
+		out.Append(row)
+		return nil
+	}
+	if plan.padIdx == nil {
+		return nil // strict: discard
+	}
+	for _, oi := range plan.padIdx {
+		row.Atoms[oi] = value.Null
+	}
+	out.Append(row)
+	return nil
+}
+
+// VecNestLinkChain is the vectorized fully fused nest chain — the batch
+// counterpart of NestLinkChain. One typed sort orders the flat input by
+// the concatenated level keys; per-level group-offset arrays drive the
+// same level-close/member-fold logic as the row scan. b optionally
+// supplies the already-converted batch of rel; nil converts on the
+// spot. A non-empty reason means the input cannot batch and the caller
+// must run the row path.
+func VecNestLinkChain(ec *ExecContext, rel *relation.Relation, b *vec.Batch, levels []ChainLevel, outBy []string) (res *relation.Relation, reason string, err error) {
+	defer Guard("nestlinkchain", &err)
+	if b == nil {
+		var ok bool
+		if b, ok = vec.FromRelation(rel); !ok {
+			return nil, "nested input", nil
+		}
+	}
+	var sp *obsv.Span
+	if ec.Tracing() {
+		sp = ec.StartSpan(fmt.Sprintf("nestlinkchain (%d levels)", len(levels)), obsv.KindChain)
+		sp.AddRowsIn(int64(rel.Len()))
+		sp.AddBatches(1)
+		defer func() {
+			if res != nil {
+				sp.AddRowsOut(int64(res.Len()))
+			}
+			sp.End()
+		}()
+	}
+	plan, err := prepareChain(rel.Schema, levels, outBy)
+	if err != nil {
+		return nil, "", err
+	}
+	ord, err := vecSort(ec, "nestlink/sort", b, plan.sortIdx)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// changed[p] is the outermost level whose own group key differs
+	// between sorted positions p-1 and p (len(levels) = no boundary).
+	// A level-l group's identity is the concatenation of keys 0..l, so
+	// a boundary at level i opens new groups at every level >= i —
+	// exactly the "first level whose KeyOn differs, then reset all
+	// deeper levels" logic of the row scan.
+	n := len(plan.levels)
+	changed := make([]int, len(ord))
+	b.Offsets = make([][]int32, n)
+	for l := 0; l < n; l++ {
+		b.Offsets[l] = []int32{0}
+	}
+	for p := range ord {
+		if p == 0 {
+			changed[p] = 0
+			continue
+		}
+		changed[p] = n
+		for l := 0; l < n; l++ {
+			if !vecKeysEqual(b.Cols, plan.levels[l].keyIdx, ord[p-1], ord[p]) {
+				changed[p] = l
+				break
+			}
+		}
+		for l := changed[p]; l < n; l++ {
+			b.Offsets[l] = append(b.Offsets[l], int32(p))
+		}
+	}
+	if len(ord) > 0 {
+		for l := 0; l < n; l++ {
+			b.Offsets[l] = append(b.Offsets[l], int32(len(ord)))
+		}
+	}
+
+	out := relation.New(plan.outSchema)
+	states := make([]quantState, n)
+	reps := make([]int32, n)
+	started := false
+
+	closeLevel := func(i int) error {
+		rep := int(reps[i])
+		v, err := states[i].verdict(plan.levels[i].Spec, linkAttrVec(plan.levels[i].Spec, b.Cols, rep))
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			if v.IsTrue() {
+				row := relation.Tuple{Atoms: make([]value.Value, len(plan.outIdx))}
+				for oi, j := range plan.outIdx {
+					row.Atoms[oi] = b.Cols[j].Value(int(reps[0]))
+				}
+				out.Append(row)
+			}
+			return nil
+		}
+		up := plan.levels[i-1].Spec
+		if !v.IsTrue() {
+			return nil
+		}
+		if b.Cols[up.PresIdx].IsNull(rep) {
+			return nil
+		}
+		return states[i-1].addMember(up, linkAttrVec(up, b.Cols, rep), linkedValVec(up, b.Cols, rep))
+	}
+
+	deep := plan.levels[n-1].Spec
+	for pos, row := range ord {
+		if pos&255 == 0 {
+			if err := ec.Check("nestlinkchain/scan"); err != nil {
+				return nil, "", err
+			}
+		}
+		if ch := changed[pos]; ch < n {
+			if started {
+				for i := n - 1; i >= ch; i-- {
+					if err := closeLevel(i); err != nil {
+						return nil, "", err
+					}
+				}
+			}
+			for i := ch; i < n; i++ {
+				states[i].reset(plan.levels[i].Spec)
+				reps[i] = row
+			}
+			started = true
+		}
+		if !b.Cols[deep.PresIdx].IsNull(int(row)) {
+			if err := states[n-1].addMember(deep, linkAttrVec(deep, b.Cols, int(row)), linkedValVec(deep, b.Cols, int(row))); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	if started {
+		for i := n - 1; i >= 0; i-- {
+			if err := closeLevel(i); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	return out, "", nil
+}
+
+// linkAttrVec is linkAttr reading from column vectors: the linking
+// attribute of the group representative (or the predicate's constant).
+func linkAttrVec(spec *LinkSpec, cols []*vec.Vector, row int) value.Value {
+	if spec.Pred.Const != nil {
+		return *spec.Pred.Const
+	}
+	if spec.AttrIdx < 0 {
+		return value.Null
+	}
+	return cols[spec.AttrIdx].Value(row)
+}
+
+// linkedValVec is linkedVal reading from column vectors: the member's
+// linked attribute B.
+func linkedValVec(spec *LinkSpec, cols []*vec.Vector, row int) value.Value {
+	if spec.LinkedIdx < 0 {
+		return value.Null
+	}
+	return cols[spec.LinkedIdx].Value(row)
+}
+
+// vecKeysEqual reports canonical key equality between rows a and b over
+// the given key columns — the test KeyOn string comparison performs.
+func vecKeysEqual(cols []*vec.Vector, keyIdx []int, a, b int32) bool {
+	for _, k := range keyIdx {
+		if !vec.KeyEqualAt(cols[k], int(a), cols[k], int(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// vecSort runs the typed sort-index kernel under the same span shape as
+// the row operators' spillSortBy, so traces keep their structure.
+func vecSort(ec *ExecContext, op string, b *vec.Batch, keyIdx []int) ([]int32, error) {
+	if err := ec.Check(op); err != nil {
+		return nil, err
+	}
+	var sp *obsv.Span
+	if ec.Tracing() {
+		sp = ec.StartSpan(op, obsv.KindSort)
+		sp.AddRowsIn(int64(b.End))
+		defer func() {
+			sp.AddRowsOut(int64(b.End))
+			sp.End()
+		}()
+	}
+	return vec.SortIdx(b.Cols, b.End, keyIdx), nil
+}

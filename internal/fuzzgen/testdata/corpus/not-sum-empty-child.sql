@@ -1,7 +1,9 @@
 -- seed: 5019
--- nulls: 0.18
+-- nulls: 0
 -- Found by the fuzzer (seed 5019, NULL-free lane): SUM over an empty
--- correlated child is NULL even on NULL-free base data, so
--- NOT (x > (SELECT SUM ...)) keeps the row under 2VL and drops it under
--- 3VL. Every engine must still match its own oracle exactly.
+-- correlated child is NULL even on NULL-free base data. 2VL now keeps
+-- 3VL's Unknown for comparisons against that empty-aggregate NULL (the
+-- one NULL the base data never held), so NOT (x > (SELECT SUM ...))
+-- drops the row under both logics and 2VL ≡ 3VL holds unconditionally
+-- on NULL-free data — which the nulls: 0 lane asserts.
 select t1.x from B t1 where not t1.x > (select sum(t2.x) from C t2 where t2.w < t1.y)

@@ -267,17 +267,18 @@ func (e *evaluator) lookup(c *sql.ColRef) (value.Value, error) {
 	return value.Null, fmt.Errorf("naive: no frame for block %d (column %s)", res.Block.ID, c)
 }
 
-// truth evaluates a predicate under the session logic: 3VL, or 2VL where
-// a NULL predicate value reads as False (a bare NULL-valued atom used as
-// a predicate; composite predicates have already collapsed at their
-// comparison atoms).
+// truth evaluates a predicate's three-valued result. Under 2VL the
+// collapse has already happened at the comparison atoms (evalBinOp,
+// evalSubquery), so a NULL reaching here is either a bare NULL-valued
+// atom or a deliberately preserved empty-aggregate Unknown — both read
+// as Unknown, which NOT then carries through (matching 3VL).
 func (e *evaluator) truth(x sql.Expr) (value.Tri, error) {
 	v, err := e.evalExpr(x)
 	if err != nil {
 		return value.Unknown, err
 	}
 	if v.IsNull() {
-		return e.collapse(value.Unknown), nil
+		return value.Unknown, nil
 	}
 	if v.Kind() != value.KindBool {
 		return value.Unknown, fmt.Errorf("naive: predicate evaluated to %s", v.Kind())
@@ -364,6 +365,15 @@ func (e *evaluator) aggregateBlock(child *sql.Block) (value.Value, error) {
 	return state.Result(), nil
 }
 
+// aggNull reports a NULL produced by a scalar aggregate subquery — the
+// one place a NULL appears that the base data never held (SUM/AVG/MIN/
+// MAX over an empty qualifying set). 2VL preserves 3VL semantics for
+// comparisons against it.
+func aggNull(x sql.Expr, v value.Value) bool {
+	_, ok := x.(*sql.ScalarSub)
+	return ok && v.IsNull()
+}
+
 func (e *evaluator) evalBinOp(n *sql.BinOp) (value.Value, error) {
 	switch n.Op {
 	case "AND", "OR":
@@ -395,7 +405,13 @@ func (e *evaluator) evalBinOp(n *sql.BinOp) (value.Value, error) {
 		if err != nil {
 			return value.Null, err
 		}
-		return e.collapse(t).Value(), nil
+		// 2VL keeps 3VL's Unknown when the NULL operand is an empty
+		// scalar-aggregate subquery (a value the base data never held),
+		// so 2VL ≡ 3VL on NULL-free data.
+		if !aggNull(n.L, l) && !aggNull(n.R, r) {
+			t = e.collapse(t)
+		}
+		return t.Value(), nil
 	case "+", "-", "*", "/":
 		return arith(n.Op, l, r)
 	}
@@ -448,7 +464,11 @@ func (e *evaluator) evalSubquery(sp *sql.SubqueryPred) (value.Tri, error) {
 		if err != nil {
 			return value.Unknown, err
 		}
-		tri = e.collapse(tri)
+		// An empty-group SUM/AVG/MIN/MAX keeps its 3VL Unknown under 2VL
+		// (see evalBinOp); the 2VL collapse applies to every other NULL.
+		if !item.IsNull() {
+			tri = e.collapse(tri)
+		}
 		if notInAsNegatedIn {
 			tri = tri.Not()
 		}

@@ -65,6 +65,7 @@ type Span struct {
 
 	est                float64 // estimated output rows; < 0 = none
 	rowsIn, rowsOut    int64
+	batches            int64 // batches processed by a vectorized operator
 	bytes              int64 // working-state bytes reserved under this span
 	spills, spillBytes int64
 	morsels            []int64 // tasks claimed per worker (index = worker id)
@@ -187,6 +188,7 @@ func snap(s *Span, now time.Duration) *SpanRecord {
 		EstRows:    s.est,
 		RowsIn:     s.rowsIn,
 		RowsOut:    s.rowsOut,
+		Batches:    s.batches,
 		Bytes:      s.bytes,
 		Spills:     s.spills,
 		SpillBytes: s.spillBytes,
@@ -252,6 +254,20 @@ func (s *Span) AddRowsOut(n int64) {
 	}
 	s.tr.mu.Lock()
 	s.rowsOut += n
+	s.tr.mu.Unlock()
+}
+
+// AddBatches adds to the span's processed-batch count. Row counts stay
+// in rows_in/rows_out; a vectorized operator additionally accounts the
+// batches it moved, so traces show batch granularity separately from
+// row volume. Like every Span method it is a no-op on a nil receiver,
+// preserving the zero-allocation disabled path.
+func (s *Span) AddBatches(n int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.batches += n
 	s.tr.mu.Unlock()
 }
 

@@ -18,6 +18,7 @@ type SpanRecord struct {
 	EstRows    float64       `json:"est_rows"`   // planner estimate; < 0 = none
 	RowsIn     int64         `json:"rows_in"`
 	RowsOut    int64         `json:"rows_out"`
+	Batches    int64         `json:"batches,omitempty"`     // batches moved by a vectorized operator
 	Bytes      int64         `json:"bytes,omitempty"`       // working-state bytes reserved
 	Spills     int64         `json:"spills,omitempty"`      // spill events under this span
 	SpillBytes int64         `json:"spill_bytes,omitempty"` // bytes written to spill files
@@ -92,6 +93,9 @@ func Waterfall(root *SpanRecord) string {
 		label := strings.Repeat("  ", depth) + r.Op
 		fmt.Fprintf(&b, "%-*s  %10s  %10s  |%s|", opw, label, rows,
 			fmtDuration(r.Elapsed), bar(r.Start, r.Elapsed, total))
+		if r.Batches > 0 {
+			fmt.Fprintf(&b, " %d batches", r.Batches)
+		}
 		if r.Spills > 0 {
 			fmt.Fprintf(&b, " %d spills (%d B)", r.Spills, r.SpillBytes)
 		}

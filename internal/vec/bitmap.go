@@ -1,0 +1,95 @@
+// Package vec implements batch-at-a-time execution primitives: typed
+// column vectors (int64 / float64 / dictionary string / bool) with NULL
+// bitmaps, a Batch type carrying selection vectors and group-offset
+// arrays, and the vectorized kernels — comparison predicates under 3VL
+// and 2VL, key hashing, multi-key sorting and group-boundary detection —
+// that the executor's batch operators are built from.
+//
+// Every kernel is written to be observationally identical to the row
+// engine's tuple-at-a-time semantics: comparisons mirror value.Compare,
+// grouping mirrors value.Identical, sort order mirrors the row engine's
+// in-memory sort (value.Less with original-position tie-break), and key
+// equality mirrors the canonical value.AppendKey encoding. Tuple-for-
+// tuple parity with the row operators is the package's oracle; see
+// docs/VECTORIZATION.md.
+package vec
+
+import (
+	"math/bits"
+
+	"nra/internal/value"
+)
+
+// Bitmap is a dense bitset over row positions: bit i lives in word i/64
+// at bit i%64. The zero value of a word is all-clear; slack bits past
+// the row count are kept zero by every constructor in this package.
+type Bitmap []uint64
+
+// NewBitmap returns an all-clear bitmap over n rows.
+func NewBitmap(n int) Bitmap { return make(Bitmap, value.NullWords(n)) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// And intersects o into b word-wise.
+func (b Bitmap) And(o Bitmap) {
+	for w := range b {
+		b[w] &= o[w]
+	}
+}
+
+// Or unions o into b word-wise.
+func (b Bitmap) Or(o Bitmap) {
+	for w := range b {
+		b[w] |= o[w]
+	}
+}
+
+// AndNot clears every bit of b that is set in o.
+func (b Bitmap) AndNot(o Bitmap) {
+	for w := range b {
+		b[w] &^= o[w]
+	}
+}
+
+// Not returns the complement of b over n rows, with slack bits clear.
+func (b Bitmap) Not(n int) Bitmap {
+	r := NewBitmap(n)
+	for w := range r {
+		r[w] = ^b[w]
+	}
+	r.Mask(n)
+	return r
+}
+
+// Mask clears the slack bits past row n in the final word.
+func (b Bitmap) Mask(n int) {
+	if rem := uint(n) & 63; rem != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b Bitmap) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

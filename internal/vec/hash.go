@@ -1,0 +1,103 @@
+package vec
+
+import (
+	"math"
+
+	"nra/internal/value"
+)
+
+// FNV-1a constants, used word-at-a-time over the canonical key classes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mix64 folds one 64-bit lane into the running hash.
+func mix64(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime
+	return h
+}
+
+// hashString hashes a string payload FNV-1a byte-wise.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return mix64(h, uint64(len(s)))
+}
+
+// HashRows writes one 64-bit hash per row of rows [start, end) over the
+// key columns into out[0 .. end-start). The hash is canonical with
+// value.AppendKey: two rows whose key tuples have equal encodings (the
+// row engine's hash-table equality) always hash equal, so KeyEqualAt
+// can verify candidates within a bucket.
+func HashRows(cols []*Vector, keyIdx []int, start, end int, out []uint64) {
+	for i := range out[:end-start] {
+		out[i] = fnvOffset
+	}
+	for _, k := range keyIdx {
+		v := cols[k]
+		switch v.Kind {
+		case value.KindInt:
+			for i := start; i < end; i++ {
+				if v.Nulls.Get(i) {
+					out[i-start] = mix64(mix64(out[i-start], 0), 0)
+					continue
+				}
+				h := mix64(out[i-start], 1)
+				out[i-start] = mix64(h, uint64(v.Ints[i]))
+			}
+		case value.KindBool:
+			for i := start; i < end; i++ {
+				if v.Nulls.Get(i) {
+					out[i-start] = mix64(mix64(out[i-start], 0), 0)
+					continue
+				}
+				h := mix64(out[i-start], 4)
+				out[i-start] = mix64(h, uint64(v.Ints[i]))
+			}
+		case value.KindFloat:
+			for i := start; i < end; i++ {
+				if v.Nulls.Get(i) {
+					out[i-start] = mix64(mix64(out[i-start], 0), 0)
+					continue
+				}
+				h := out[i-start]
+				if f := v.Floats[i]; f == math.Trunc(f) && f >= math.MinInt64 && f < math.MaxInt64 {
+					h = mix64(mix64(h, 1), uint64(int64(f)))
+				} else {
+					h = mix64(mix64(h, 2), math.Float64bits(f))
+				}
+				out[i-start] = h
+			}
+		case value.KindString:
+			// Hash each dictionary entry once, then fan out by code.
+			dictHash := make([]uint64, len(v.Dict))
+			for c, s := range v.Dict {
+				dictHash[c] = hashString(3, s)
+			}
+			for i := start; i < end; i++ {
+				if v.Nulls.Get(i) {
+					out[i-start] = mix64(mix64(out[i-start], 0), 0)
+					continue
+				}
+				out[i-start] = mix64(out[i-start], dictHash[v.Codes[i]])
+			}
+		default:
+			for i := start; i < end; i++ {
+				out[i-start] = hashValue(out[i-start], v.Vals[i])
+			}
+		}
+	}
+}
+
+// hashValue folds one boxed value into h using its canonical key class.
+func hashValue(h uint64, x value.Value) uint64 {
+	tag, payload := keyClass(x)
+	if tag == 3 {
+		return mix64(h, hashString(3, x.Text()))
+	}
+	return mix64(mix64(h, uint64(tag)), payload)
+}

@@ -1,0 +1,460 @@
+package vec
+
+import (
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// Pred is a predicate compiled to batch kernels, evaluating whole row
+// windows to a TriVec instead of one tuple to a Tri.
+//
+// The kernels are eager: both sides of a conjunction/disjunction are
+// evaluated even where the row engine's short-circuit would skip one.
+// On well-typed inputs this is unobservable; a query whose predicate
+// raises a type error only on short-circuited rows can surface that
+// error here where the row engine would not. Grammar- and
+// catalog-typed queries never hit this case.
+type Pred struct {
+	root predNode
+}
+
+// predNode evaluates rows [start, end) of cols to a window-relative
+// TriVec (bit i ↔ row start+i). start is 64-aligned by the callers so
+// NULL bitmaps slice on word boundaries.
+type predNode interface {
+	eval(cols []*Vector, start, end int) (TriVec, error)
+}
+
+// CompilePred compiles e against a flat schema. ok is false when some
+// node of e has no batch kernel (correlated subexpressions, arithmetic,
+// unresolvable columns) — the caller then falls back to the row engine,
+// which also surfaces any compile error the row path would raise.
+func CompilePred(e expr.Expr, s *relation.Schema) (*Pred, bool) {
+	n, ok := compileNode(e, s)
+	if !ok {
+		return nil, false
+	}
+	return &Pred{root: n}, true
+}
+
+// Eval evaluates rows [start, end) of cols; start must be 64-aligned
+// (or the window must end at the column height) so bitmap windows stay
+// word-aligned.
+func (p *Pred) Eval(cols []*Vector, start, end int) (TriVec, error) {
+	return p.root.eval(cols, start, end)
+}
+
+// MarkCols marks in needed the index of every column e reads, resolved
+// against s. It reports false when e contains a node CompilePred would
+// reject, in which case the marks are meaningless and the caller should
+// convert every column.
+func MarkCols(e expr.Expr, s *relation.Schema, needed []bool) bool {
+	switch n := e.(type) {
+	case expr.Cmp:
+		return MarkCols(n.L, s, needed) && MarkCols(n.R, s, needed)
+	case expr.Logic:
+		return MarkCols(n.L, s, needed) && MarkCols(n.R, s, needed)
+	case expr.Not:
+		return MarkCols(n.E, s, needed)
+	case expr.IsNull:
+		return MarkCols(n.E, s, needed)
+	case expr.Column:
+		ci := s.ColIndex(n.Name)
+		if ci < 0 {
+			return false
+		}
+		needed[ci] = true
+		return true
+	case expr.Lit:
+		return true
+	}
+	return false
+}
+
+// compileNode lowers one expression node; ok=false means "no kernel".
+func compileNode(e expr.Expr, s *relation.Schema) (predNode, bool) {
+	switch n := e.(type) {
+	case expr.Cmp:
+		return compileCmp(n, s)
+	case expr.Logic:
+		l, ok := compileNode(n.L, s)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileNode(n.R, s)
+		if !ok {
+			return nil, false
+		}
+		return &logicNode{and: n.Op == expr.OpAnd, l: l, r: r}, true
+	case expr.Not:
+		k, ok := compileNode(n.E, s)
+		if !ok {
+			return nil, false
+		}
+		return &notNode{kid: k}, true
+	case expr.IsNull:
+		switch operand := n.E.(type) {
+		case expr.Column:
+			ci := s.ColIndex(operand.Name)
+			if ci < 0 {
+				return nil, false
+			}
+			return &isNullNode{ci: ci, negate: n.Negate}, true
+		case expr.Lit:
+			return &constNode{tri: value.TriOf(operand.V.IsNull() != n.Negate)}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// compileCmp lowers a comparison whose operands are columns or
+// literals, flipping literal-first comparisons into column-first form.
+func compileCmp(c expr.Cmp, s *relation.Schema) (predNode, bool) {
+	switch l := c.L.(type) {
+	case expr.Column:
+		li := s.ColIndex(l.Name)
+		if li < 0 {
+			return nil, false
+		}
+		switch r := c.R.(type) {
+		case expr.Column:
+			ri := s.ColIndex(r.Name)
+			if ri < 0 {
+				return nil, false
+			}
+			return &cmpColsNode{op: c.Op, li: li, ri: ri}, true
+		case expr.Lit:
+			return &cmpConstNode{op: c.Op, ci: li, c: r.V}, true
+		}
+	case expr.Lit:
+		switch r := c.R.(type) {
+		case expr.Column:
+			ri := s.ColIndex(r.Name)
+			if ri < 0 {
+				return nil, false
+			}
+			// lit op col  ≡  col op.Flip() lit
+			return &cmpConstNode{op: c.Op.Flip(), ci: ri, c: l.V}, true
+		case expr.Lit:
+			return &cmpLitsNode{op: c.Op, l: l.V, r: r.V}, true
+		}
+	}
+	return nil, false
+}
+
+// verbOf maps expr's comparison operators onto value's kernel verbs
+// (the two enums share order; this keeps the mapping explicit).
+func verbOf(op expr.CmpOp) value.CmpVerb {
+	switch op {
+	case expr.Eq:
+		return value.VerbEq
+	case expr.Ne:
+		return value.VerbNe
+	case expr.Lt:
+		return value.VerbLt
+	case expr.Le:
+		return value.VerbLe
+	case expr.Gt:
+		return value.VerbGt
+	case expr.Ge:
+		return value.VerbGe
+	}
+	panic("vec: invalid comparison operator")
+}
+
+// nullWindow slices the word-aligned window of a NULL bitmap.
+func nullWindow(b Bitmap, start, end int) []uint64 {
+	return b[start>>6 : (end+63)>>6]
+}
+
+// orInto unions src into dst word-wise.
+func orInto(dst Bitmap, src []uint64) {
+	for w, x := range src {
+		dst[w] |= x
+	}
+}
+
+// andNotInto clears dst bits set in src.
+func andNotInto(dst Bitmap, src []uint64) {
+	for w, x := range src {
+		dst[w] &^= x
+	}
+}
+
+// cmpConstNode is column θ literal.
+type cmpConstNode struct {
+	op expr.CmpOp
+	ci int
+	c  value.Value
+}
+
+func (n *cmpConstNode) eval(cols []*Vector, start, end int) (TriVec, error) {
+	rows := end - start
+	tv := NewTriVec(rows)
+	if n.c.IsNull() {
+		// NULL θ anything is Unknown for every non-error row; the row
+		// engine also never errors here because Compare returns early
+		// on NULL operands.
+		for w := range tv.Unknown {
+			tv.Unknown[w] = ^uint64(0)
+		}
+		tv.Unknown.Mask(rows)
+		return tv, nil
+	}
+	v := cols[n.ci]
+	verb := verbOf(n.op)
+	fast := true
+	switch v.Kind {
+	case value.KindInt:
+		switch n.c.Kind() {
+		case value.KindInt:
+			value.CmpInt64Const(verb, v.Ints[start:end], n.c.Int64(), tv.True)
+		case value.KindFloat:
+			value.CmpInt64AsFloat64Const(verb, v.Ints[start:end], n.c.Float64(), tv.True)
+		default:
+			fast = false
+		}
+	case value.KindFloat:
+		switch n.c.Kind() {
+		case value.KindInt, value.KindFloat:
+			value.CmpFloat64Const(verb, v.Floats[start:end], n.c.Float64(), tv.True)
+		default:
+			fast = false
+		}
+	case value.KindString:
+		if n.c.Kind() == value.KindString {
+			// Decide each dictionary entry once, then fan out by code.
+			cs := n.c.Text()
+			verdict := make([]bool, len(v.Dict))
+			for code, s := range v.Dict {
+				verdict[code] = holdsString(verb, s, cs)
+			}
+			for i := start; i < end; i++ {
+				if verdict[v.Codes[i]] {
+					tv.True.Set(i - start)
+				}
+			}
+		} else {
+			fast = false
+		}
+	default:
+		fast = false
+	}
+	if !fast {
+		// Generic path: boxed compare per row, reproducing the row
+		// engine's type errors (first failing row in scan order).
+		for i := start; i < end; i++ {
+			av := v.Value(i)
+			cmp, known, err := value.Compare(av, n.c)
+			if err != nil {
+				return TriVec{}, err
+			}
+			if !known {
+				tv.Unknown.Set(i - start)
+				continue
+			}
+			if verb.Holds(cmp) {
+				tv.True.Set(i - start)
+			}
+		}
+		return tv, nil
+	}
+	nw := nullWindow(v.Nulls, start, end)
+	andNotInto(tv.True, nw)
+	orInto(tv.Unknown, nw)
+	return tv, nil
+}
+
+// holdsString applies a verb to one ordered string pair.
+func holdsString(verb value.CmpVerb, a, b string) bool {
+	switch {
+	case a == b:
+		return verb.Holds(0)
+	case a < b:
+		return verb.Holds(-1)
+	default:
+		return verb.Holds(1)
+	}
+}
+
+// cmpColsNode is column θ column.
+type cmpColsNode struct {
+	op     expr.CmpOp
+	li, ri int
+}
+
+func (n *cmpColsNode) eval(cols []*Vector, start, end int) (TriVec, error) {
+	rows := end - start
+	tv := NewTriVec(rows)
+	l, r := cols[n.li], cols[n.ri]
+	verb := verbOf(n.op)
+	fast := true
+	switch {
+	case l.Kind == value.KindInt && r.Kind == value.KindInt:
+		value.CmpInt64s(verb, l.Ints[start:end], r.Ints[start:end], tv.True)
+	case l.Kind == value.KindFloat && r.Kind == value.KindFloat:
+		value.CmpFloat64s(verb, l.Floats[start:end], r.Floats[start:end], tv.True)
+	case l.Kind == value.KindInt && r.Kind == value.KindFloat:
+		for i := start; i < end; i++ {
+			if verb.Holds(cmpFloat(float64(l.Ints[i]), r.Floats[i])) {
+				tv.True.Set(i - start)
+			}
+		}
+	case l.Kind == value.KindFloat && r.Kind == value.KindInt:
+		for i := start; i < end; i++ {
+			if verb.Holds(cmpFloat(l.Floats[i], float64(r.Ints[i]))) {
+				tv.True.Set(i - start)
+			}
+		}
+	case l.Kind == value.KindString && r.Kind == value.KindString:
+		for i := start; i < end; i++ {
+			if holdsString(verb, l.Dict[l.Codes[i]], r.Dict[r.Codes[i]]) {
+				tv.True.Set(i - start)
+			}
+		}
+	default:
+		fast = false
+	}
+	if !fast {
+		for i := start; i < end; i++ {
+			cmp, known, err := value.Compare(l.Value(i), r.Value(i))
+			if err != nil {
+				return TriVec{}, err
+			}
+			if !known {
+				tv.Unknown.Set(i - start)
+				continue
+			}
+			if verb.Holds(cmp) {
+				tv.True.Set(i - start)
+			}
+		}
+		return tv, nil
+	}
+	lw, rw := nullWindow(l.Nulls, start, end), nullWindow(r.Nulls, start, end)
+	andNotInto(tv.True, lw)
+	andNotInto(tv.True, rw)
+	orInto(tv.Unknown, lw)
+	orInto(tv.Unknown, rw)
+	return tv, nil
+}
+
+// cmpFloat orders two non-NULL floats the way value.Compare does: NaN
+// is neither less nor greater, so it lands in the equal branch.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cmpLitsNode is literal θ literal, broadcast over the window; kept
+// lazy so an incompatible-kind error only surfaces when rows exist,
+// exactly as the row engine's per-tuple evaluation does.
+type cmpLitsNode struct {
+	op   expr.CmpOp
+	l, r value.Value
+}
+
+func (n *cmpLitsNode) eval(_ []*Vector, start, end int) (TriVec, error) {
+	rows := end - start
+	tv := NewTriVec(rows)
+	if rows == 0 {
+		return tv, nil
+	}
+	t, err := n.op.Apply(n.l, n.r)
+	if err != nil {
+		return TriVec{}, err
+	}
+	switch t {
+	case value.True:
+		for w := range tv.True {
+			tv.True[w] = ^uint64(0)
+		}
+		tv.True.Mask(rows)
+	case value.Unknown:
+		for w := range tv.Unknown {
+			tv.Unknown[w] = ^uint64(0)
+		}
+		tv.Unknown.Mask(rows)
+	}
+	return tv, nil
+}
+
+// constNode broadcasts a compile-time truth value.
+type constNode struct{ tri value.Tri }
+
+func (n *constNode) eval(_ []*Vector, start, end int) (TriVec, error) {
+	rows := end - start
+	tv := NewTriVec(rows)
+	var target Bitmap
+	switch n.tri {
+	case value.True:
+		target = tv.True
+	case value.Unknown:
+		target = tv.Unknown
+	default:
+		return tv, nil
+	}
+	for w := range target {
+		target[w] = ^uint64(0)
+	}
+	target.Mask(rows)
+	return tv, nil
+}
+
+// isNullNode is column IS [NOT] NULL.
+type isNullNode struct {
+	ci     int
+	negate bool
+}
+
+func (n *isNullNode) eval(cols []*Vector, start, end int) (TriVec, error) {
+	rows := end - start
+	tv := NewTriVec(rows)
+	copy(tv.True, nullWindow(cols[n.ci].Nulls, start, end))
+	if n.negate {
+		neg := tv.True.Not(rows)
+		tv.True = neg
+	}
+	return tv, nil
+}
+
+// logicNode is Kleene AND/OR over two kernels.
+type logicNode struct {
+	and  bool
+	l, r predNode
+}
+
+func (n *logicNode) eval(cols []*Vector, start, end int) (TriVec, error) {
+	lv, err := n.l.eval(cols, start, end)
+	if err != nil {
+		return TriVec{}, err
+	}
+	rv, err := n.r.eval(cols, start, end)
+	if err != nil {
+		return TriVec{}, err
+	}
+	rows := end - start
+	if n.and {
+		return lv.And(rv, rows), nil
+	}
+	return lv.Or(rv, rows), nil
+}
+
+// notNode is Kleene negation.
+type notNode struct{ kid predNode }
+
+func (n *notNode) eval(cols []*Vector, start, end int) (TriVec, error) {
+	kv, err := n.kid.eval(cols, start, end)
+	if err != nil {
+		return TriVec{}, err
+	}
+	return kv.Not(end - start), nil
+}

@@ -1,0 +1,151 @@
+package vec
+
+import (
+	"math"
+	"sort"
+
+	"nra/internal/value"
+)
+
+// Three-way comparison outcomes of one key column.
+const (
+	cmpEqual   = 0  // value.Identical: fall through to the next key
+	cmpLess    = -1 // value.Less(a, b): a sorts first
+	cmpNotLess = 1  // decided, a does not sort first
+)
+
+// colCmp compares one key column between absolute rows a and b.
+type colCmp func(a, b int32) int
+
+// SortIdx returns the permutation ord of rows 0..n-1 that sorts the
+// vectors by the given key columns, reproducing the row engine's
+// in-memory sort order exactly: per key column value.Identical falls
+// through and value.Less decides, with the original row position as the
+// final tie-break (= stability).
+func SortIdx(cols []*Vector, n int, keyIdx []int) []int32 {
+	cmps := make([]colCmp, len(keyIdx))
+	for i, k := range keyIdx {
+		cmps[i] = makeColCmp(cols[k])
+	}
+	ord := make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := ord[i], ord[j]
+		for _, c := range cmps {
+			switch c(a, b) {
+			case cmpLess:
+				return true
+			case cmpNotLess:
+				return false
+			}
+		}
+		return a < b
+	})
+	return ord
+}
+
+// makeColCmp compiles the Identical/Less comparison for one vector.
+// NULL ordering matches value.Less: NULL (kind tag 0) sorts before
+// every typed value.
+func makeColCmp(v *Vector) colCmp {
+	switch v.Kind {
+	case value.KindInt, value.KindBool:
+		data, nulls := v.Ints, v.Nulls
+		return func(a, b int32) int {
+			an, bn := nulls.Get(int(a)), nulls.Get(int(b))
+			if an || bn {
+				return nullCmp(an, bn)
+			}
+			x, y := data[a], data[b]
+			if x == y {
+				return cmpEqual
+			}
+			if x < y {
+				return cmpLess
+			}
+			return cmpNotLess
+		}
+	case value.KindFloat:
+		data, nulls := v.Floats, v.Nulls
+		return func(a, b int32) int {
+			an, bn := nulls.Get(int(a)), nulls.Get(int(b))
+			if an || bn {
+				return nullCmp(an, bn)
+			}
+			x, y := data[a], data[b]
+			if x == y || (math.IsNaN(x) && math.IsNaN(y)) {
+				return cmpEqual
+			}
+			if x < y {
+				return cmpLess
+			}
+			return cmpNotLess
+		}
+	case value.KindString:
+		// Rank the dictionary once so the n·log n comparisons are integer
+		// compares instead of string compares: the dictionary is small
+		// (unique values), the row count is not.
+		codes, nulls := v.Codes, v.Nulls
+		rank := dictRanks(v.Dict)
+		return func(a, b int32) int {
+			an, bn := nulls.Get(int(a)), nulls.Get(int(b))
+			if an || bn {
+				return nullCmp(an, bn)
+			}
+			ra, rb := rank[codes[a]], rank[codes[b]]
+			if ra == rb {
+				return cmpEqual
+			}
+			if ra < rb {
+				return cmpLess
+			}
+			return cmpNotLess
+		}
+	default:
+		return func(a, b int32) int {
+			x, y := v.Value(int(a)), v.Value(int(b))
+			if value.Identical(x, y) {
+				return cmpEqual
+			}
+			if value.Less(x, y) {
+				return cmpLess
+			}
+			return cmpNotLess
+		}
+	}
+}
+
+// dictRanks returns the sort rank of each dictionary code: equal strings
+// (should the dictionary ever hold duplicates) share a rank, so rank
+// comparison is exactly string comparison.
+func dictRanks(dict []string) []int32 {
+	byStr := make([]int32, len(dict))
+	for i := range byStr {
+		byStr[i] = int32(i)
+	}
+	sort.Slice(byStr, func(i, j int) bool { return dict[byStr[i]] < dict[byStr[j]] })
+	rank := make([]int32, len(dict))
+	r := int32(0)
+	for i, c := range byStr {
+		if i > 0 && dict[c] != dict[byStr[i-1]] {
+			r++
+		}
+		rank[c] = r
+	}
+	return rank
+}
+
+// nullCmp resolves a comparison where at least one side is NULL, per
+// value.Identical / value.Less (NULL first, NULLs identical).
+func nullCmp(an, bn bool) int {
+	switch {
+	case an && bn:
+		return cmpEqual
+	case an:
+		return cmpLess
+	default:
+		return cmpNotLess
+	}
+}

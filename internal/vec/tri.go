@@ -1,0 +1,74 @@
+package vec
+
+import "nra/internal/value"
+
+// TriVec is the columnar three-valued truth vector: row i is True when
+// bit i of True is set, Unknown when bit i of Unknown is set, and False
+// otherwise. The two bitmaps are disjoint by construction.
+type TriVec struct {
+	// True holds the rows where the predicate is definitely true.
+	True Bitmap
+	// Unknown holds the rows where the predicate is SQL Unknown.
+	Unknown Bitmap
+}
+
+// NewTriVec returns an all-False truth vector over n rows.
+func NewTriVec(n int) TriVec {
+	return TriVec{True: NewBitmap(n), Unknown: NewBitmap(n)}
+}
+
+// Get returns the truth value at row i.
+func (t TriVec) Get(i int) value.Tri {
+	if t.True.Get(i) {
+		return value.True
+	}
+	if t.Unknown.Get(i) {
+		return value.Unknown
+	}
+	return value.False
+}
+
+// And returns the Kleene conjunction over n rows: True when both True,
+// False when either False, Unknown otherwise.
+func (t TriVec) And(o TriVec, n int) TriVec {
+	r := NewTriVec(n)
+	for w := range r.True {
+		aT, aU, bT, bU := t.True[w], t.Unknown[w], o.True[w], o.Unknown[w]
+		aF, bF := ^(aT | aU), ^(bT | bU)
+		r.True[w] = aT & bT
+		r.Unknown[w] = (aU | bU) &^ (aF | bF)
+	}
+	return r
+}
+
+// Or returns the Kleene disjunction over n rows: True when either True,
+// False when both False, Unknown otherwise.
+func (t TriVec) Or(o TriVec, n int) TriVec {
+	r := NewTriVec(n)
+	for w := range r.True {
+		aT, aU, bT, bU := t.True[w], t.Unknown[w], o.True[w], o.Unknown[w]
+		r.True[w] = aT | bT
+		r.Unknown[w] = (aU | bU) &^ (aT | bT)
+	}
+	return r
+}
+
+// Not returns the Kleene negation over n rows: True↔False, Unknown
+// fixed.
+func (t TriVec) Not(n int) TriVec {
+	r := NewTriVec(n)
+	for w := range r.True {
+		r.True[w] = ^(t.True[w] | t.Unknown[w])
+		r.Unknown[w] = t.Unknown[w]
+	}
+	r.True.Mask(n)
+	return r
+}
+
+// Collapse2VL applies the Libkin two-valued collapse in place:
+// Unknown → False.
+func (t TriVec) Collapse2VL() {
+	for w := range t.Unknown {
+		t.Unknown[w] = 0
+	}
+}

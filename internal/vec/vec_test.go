@@ -1,0 +1,348 @@
+package vec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// randTriVec fills a TriVec over n rows from the seeded source and
+// returns the per-row truth values for reference computation.
+func randTriVec(t *testing.T, rng *rand.Rand, n int) (TriVec, []value.Tri) {
+	t.Helper()
+	tv := NewTriVec(n)
+	ref := make([]value.Tri, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			tv.True.Set(i)
+			ref[i] = value.True
+		case 1:
+			tv.Unknown.Set(i)
+			ref[i] = value.Unknown
+		default:
+			ref[i] = value.False
+		}
+	}
+	return tv, ref
+}
+
+// TestTriVecKleene checks the word-parallel three-valued And/Or/Not
+// against the scalar Kleene operators, on a length that is not a
+// multiple of 64 so the tail masking is exercised.
+func TestTriVecKleene(t *testing.T) {
+	const n = 197
+	rng := rand.New(rand.NewSource(1))
+	a, aref := randTriVec(t, rng, n)
+	b, bref := randTriVec(t, rng, n)
+	and, or, not := a.And(b, n), a.Or(b, n), a.Not(n)
+	for i := 0; i < n; i++ {
+		if got, want := and.Get(i), aref[i].And(bref[i]); got != want {
+			t.Fatalf("And row %d: got %v want %v (%v, %v)", i, got, want, aref[i], bref[i])
+		}
+		if got, want := or.Get(i), aref[i].Or(bref[i]); got != want {
+			t.Fatalf("Or row %d: got %v want %v (%v, %v)", i, got, want, aref[i], bref[i])
+		}
+		if got, want := not.Get(i), aref[i].Not(); got != want {
+			t.Fatalf("Not row %d: got %v want %v (%v)", i, got, want, aref[i])
+		}
+	}
+	// Not must not set bits beyond row n-1: a second negation of an
+	// all-False vector stays within the mask.
+	if bits := NewTriVec(n).Not(n).True.Count(); bits != n {
+		t.Fatalf("Not(all-False) has %d true bits, want %d", bits, n)
+	}
+	// The 2VL collapse erases exactly the Unknowns.
+	a.Collapse2VL()
+	for i := 0; i < n; i++ {
+		want := aref[i]
+		if want == value.Unknown {
+			want = value.False
+		}
+		if got := a.Get(i); got != want {
+			t.Fatalf("Collapse2VL row %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestBitmapAlgebra checks the bitmap operations against a boolean-slice
+// reference across a word boundary.
+func TestBitmapAlgebra(t *testing.T) {
+	const n = 131
+	rng := rand.New(rand.NewSource(2))
+	a, b := NewBitmap(n), NewBitmap(n)
+	aref, bref := make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Set(i)
+			aref[i] = true
+		}
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+			bref[i] = true
+		}
+	}
+	check := func(op string, got Bitmap, want func(i int) bool) {
+		t.Helper()
+		count := 0
+		for i := 0; i < n; i++ {
+			w := want(i)
+			if got.Get(i) != w {
+				t.Fatalf("%s row %d: got %v want %v", op, i, got.Get(i), w)
+			}
+			if w {
+				count++
+			}
+		}
+		if got.Count() != count {
+			t.Fatalf("%s Count: got %d want %d", op, got.Count(), count)
+		}
+		if got.Any() != (count > 0) {
+			t.Fatalf("%s Any: got %v want %v", op, got.Any(), count > 0)
+		}
+	}
+	and := append(Bitmap(nil), a...)
+	and.And(b)
+	check("And", and, func(i int) bool { return aref[i] && bref[i] })
+	or := append(Bitmap(nil), a...)
+	or.Or(b)
+	check("Or", or, func(i int) bool { return aref[i] || bref[i] })
+	andNot := append(Bitmap(nil), a...)
+	andNot.AndNot(b)
+	check("AndNot", andNot, func(i int) bool { return aref[i] && !bref[i] })
+	check("Not", a.Not(n), func(i int) bool { return !aref[i] })
+	// Not must mask the tail: no bits at or beyond n.
+	if not := a.Not(n); not.Count() != n-a.Count() {
+		t.Fatalf("Not leaks tail bits: %d + %d != %d", not.Count(), a.Count(), n)
+	}
+	a.Clear(5)
+	if a.Get(5) {
+		t.Fatal("Clear(5) left the bit set")
+	}
+}
+
+// mixedRelation builds a flat relation exercising every column
+// representation: typed int/float/string/bool columns with NULLs, a
+// mixed-kind column (boxed fallback) and an all-NULL column.
+func mixedRelation(n int) *relation.Relation {
+	s := &relation.Schema{Name: "t", Cols: []relation.Column{
+		{Name: "i"}, {Name: "f"}, {Name: "s"}, {Name: "b"}, {Name: "mixed"}, {Name: "nul"},
+	}}
+	rel := relation.New(s)
+	words := []string{"ash", "birch", "cedar"}
+	for r := 0; r < n; r++ {
+		row := []value.Value{
+			value.Int(int64(r % 7)),
+			value.Float(float64(r) / 3),
+			value.Str(words[r%len(words)]),
+			value.Bool(r%2 == 0),
+			value.Int(int64(r)),
+			value.Null,
+		}
+		if r%5 == 0 {
+			row[0] = value.Null
+		}
+		if r%4 == 0 {
+			row[1] = value.Null
+		}
+		if r%6 == 0 {
+			row[2] = value.Null
+		}
+		if r%3 == 0 {
+			row[4] = value.Str("boxed") // mixed kinds: boxed column
+		}
+		rel.Append(relation.NewTuple(row...))
+	}
+	return rel
+}
+
+// TestBatchRoundTrip converts a relation to a batch and back and demands
+// value-identical tuples, for the full window and for a selection
+// vector.
+func TestBatchRoundTrip(t *testing.T) {
+	rel := mixedRelation(130)
+	b, ok := FromRelation(rel)
+	if !ok {
+		t.Fatal("FromRelation failed on a flat relation")
+	}
+	checkRows := func(out *relation.Relation, rows []int) {
+		t.Helper()
+		if out.Len() != len(rows) {
+			t.Fatalf("round trip: %d rows, want %d", out.Len(), len(rows))
+		}
+		for j, r := range rows {
+			for c := range rel.Schema.Cols {
+				got, want := out.Tuples[j].Atoms[c], rel.Tuples[r].Atoms[c]
+				if !value.Identical(got, want) {
+					t.Fatalf("row %d col %d: got %v want %v", r, c, got, want)
+				}
+			}
+		}
+	}
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	checkRows(b.ToRelation(), all)
+
+	// A selection vector narrows the materialized window, in order.
+	sel := []int32{3, 4, 64, 65, 127}
+	bSel := &Batch{Schema: b.Schema, Cols: b.Cols, Start: 0, End: rel.Len(), Sel: sel}
+	if bSel.Rows() != len(sel) {
+		t.Fatalf("Rows with Sel: got %d want %d", bSel.Rows(), len(sel))
+	}
+	checkRows(bSel.ToRelation(), []int{3, 4, 64, 65, 127})
+
+	// An empty non-nil Sel means no rows — distinct from nil (all rows).
+	bEmpty := &Batch{Schema: b.Schema, Cols: b.Cols, Start: 0, End: rel.Len(), Sel: []int32{}}
+	checkRows(bEmpty.ToRelation(), nil)
+}
+
+// TestFromRelationColsPruning checks that pruned columns stay nil and
+// the converted ones match FromRelation's.
+func TestFromRelationColsPruning(t *testing.T) {
+	rel := mixedRelation(70)
+	needed := []bool{true, false, true, false, false, false}
+	b, ok := FromRelationCols(rel, needed)
+	if !ok {
+		t.Fatal("FromRelationCols failed")
+	}
+	for c, v := range b.Cols {
+		if needed[c] == (v == nil) {
+			t.Fatalf("col %d: needed=%v but vector nil=%v", c, needed[c], v == nil)
+		}
+	}
+	for r := 0; r < rel.Len(); r++ {
+		for _, c := range []int{0, 2} {
+			if !value.Identical(b.Cols[c].Value(r), rel.Tuples[r].Atoms[c]) {
+				t.Fatalf("pruned conversion differs at row %d col %d", r, c)
+			}
+		}
+	}
+}
+
+// TestGather checks the typed gather: values follow the index vector,
+// -1 produces NULL (the outer-join padding row), and string gathers
+// share the source dictionary.
+func TestGather(t *testing.T) {
+	rel := mixedRelation(50)
+	b, _ := FromRelation(rel)
+	idx := []int32{7, -1, 0, 49, 7, -1}
+	for c := range b.Cols {
+		g := Gather(b.Cols[c], idx)
+		if g.Len() != len(idx) {
+			t.Fatalf("col %d: gathered length %d, want %d", c, g.Len(), len(idx))
+		}
+		for j, r := range idx {
+			want := value.Null
+			if r >= 0 {
+				want = b.Cols[c].Value(int(r))
+			}
+			if !value.Identical(g.Value(j), want) {
+				t.Fatalf("col %d row %d: got %v want %v", c, j, g.Value(j), want)
+			}
+		}
+	}
+	sv, _ := FromRelation(rel)
+	g := Gather(sv.Cols[2], idx)
+	if len(g.Dict) != 0 && &g.Dict[0] != &sv.Cols[2].Dict[0] {
+		t.Fatal("string gather copied the dictionary instead of sharing it")
+	}
+}
+
+// TestSortIdxStable checks that SortIdx orders rows like the row
+// engine's value comparison (NULLs first) and preserves input order
+// within equal keys (stability), including string columns, whose
+// comparisons go through dictionary ranks.
+func TestSortIdxStable(t *testing.T) {
+	rel := mixedRelation(120)
+	b, _ := FromRelation(rel)
+	keyIdx := []int{2, 0} // string then int, both with NULLs
+	ord := SortIdx(b.Cols, b.End, keyIdx)
+	if len(ord) != rel.Len() {
+		t.Fatalf("ord has %d entries, want %d", len(ord), rel.Len())
+	}
+	want := make([]int32, rel.Len())
+	for i := range want {
+		want[i] = int32(i)
+	}
+	cmpVals := func(a, b value.Value) int {
+		an, bn := a.IsNull(), b.IsNull()
+		if an || bn {
+			if an && bn {
+				return 0
+			}
+			if an {
+				return -1
+			}
+			return 1
+		}
+		c, _, err := value.Compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sort.SliceStable(want, func(x, y int) bool {
+		a, b := want[x], want[y]
+		for _, k := range keyIdx {
+			if c := cmpVals(rel.Tuples[a].Atoms[k], rel.Tuples[b].Atoms[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for i := range ord {
+		if ord[i] != want[i] {
+			t.Fatalf("position %d: got row %d, want row %d", i, ord[i], want[i])
+		}
+	}
+}
+
+// TestGroupOffsets checks the group-boundary invariants on sorted
+// input: offsets start at 0, end at len(ord), strictly increase, rows
+// within a group are key-equal and rows across a boundary are not.
+// NULL keys form groups of their own (canonical key equality, not SQL
+// equality).
+func TestGroupOffsets(t *testing.T) {
+	rel := mixedRelation(90)
+	b, _ := FromRelation(rel)
+	keyIdx := []int{0}
+	ord := SortIdx(b.Cols, b.End, keyIdx)
+	offs := GroupOffsets(b.Cols, ord, keyIdx)
+	if offs[0] != 0 || offs[len(offs)-1] != int32(len(ord)) {
+		t.Fatalf("offsets not bracketed: %v", offs)
+	}
+	keyEq := func(x, y int32) bool {
+		return KeyEqualAt(b.Cols[0], int(x), b.Cols[0], int(y))
+	}
+	for g := 0; g+1 < len(offs); g++ {
+		if offs[g+1] <= offs[g] {
+			t.Fatalf("empty or reversed group %d: %v", g, offs)
+		}
+		for p := offs[g] + 1; p < offs[g+1]; p++ {
+			if !keyEq(ord[p-1], ord[p]) {
+				t.Fatalf("group %d rows %d and %d differ in key", g, ord[p-1], ord[p])
+			}
+		}
+		if g > 0 && keyEq(ord[offs[g]-1], ord[offs[g]]) {
+			t.Fatalf("boundary %d separates equal keys", g)
+		}
+	}
+	// NULL keys must be one group: count distinct keys the same way.
+	distinct := 1
+	for p := 1; p < len(ord); p++ {
+		if !keyEq(ord[p-1], ord[p]) {
+			distinct++
+		}
+	}
+	if got := len(offs) - 1; got != distinct {
+		t.Fatalf("got %d groups, want %d", got, distinct)
+	}
+	if got := GroupOffsets(b.Cols, nil, keyIdx); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty ord: got %v, want [0]", got)
+	}
+}

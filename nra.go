@@ -656,15 +656,35 @@ func (s Strategy) WithCostBased(on bool) Strategy {
 	return s
 }
 
+// WithVectorized returns a copy of a nested strategy executing the hot
+// path batch-at-a-time (internal/vec): vectorized scan→filter→project
+// block reduction, the batched-probe hash join, and the fused nest +
+// linking selection driven by a typed sort and group-offset arrays.
+// Results are byte-identical to the row operators — the row engine is
+// the parity oracle, enforced by the differential fuzzer. The batch
+// operators apply on the serial in-memory path only (parallelism ≤ 1,
+// no memory budget); operators whose shape has no batch kernel fall
+// back to their row implementations per operator, visible in EXPLAIN
+// as [batch] / [row: reason] annotations. Auto becomes NestedOptimized;
+// Native/Reference are returned unchanged.
+func (s Strategy) WithVectorized(on bool) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	s = s.promote()
+	s.opts.Vectorized = on
+	return s
+}
+
 // WithTwoValuedLogic returns a copy of the strategy evaluating the query
 // under two-valued logic: every comparison involving a NULL is FALSE
 // rather than UNKNOWN, and NOT applies classically on top. Under 2VL the
 // negative linking operators lose their NULL traps — x NOT IN S is
 // exactly "no member of S equals x" — and the planner unnests NOT IN /
-// NOT EXISTS / θ ALL leaves into plain antijoins. On NULL-free data 2VL
-// and standard SQL 3VL agree exactly — unless a NULL-producing aggregate
-// (SUM/AVG/MIN/MAX over an empty subquery) reintroduces one. The flag
-// applies to the nested
+// NOT EXISTS / θ ALL leaves into plain antijoins. The one NULL the base
+// data never held — SUM/AVG/MIN/MAX over an empty subquery — keeps its
+// 3VL Unknown, so on NULL-free data 2VL and standard SQL 3VL agree
+// exactly (fuzzer-checked). The flag applies to the nested
 // strategies and Reference (which switches to the 2VL reference
 // evaluator); Native models the commercial 3VL baseline and is returned
 // unchanged. Auto keeps its Reference fallback, carrying the flag.
@@ -727,6 +747,7 @@ func (s Strategy) String() string {
 		base.Parallelism = 0
 		base.MemoryBudget = 0
 		base.Timeout = 0
+		base.Vectorized = false
 		base.Tracer = nil
 		base.SlowQuery = 0
 		base.SlowLog = nil
@@ -741,6 +762,9 @@ func (s Strategy) String() string {
 			if base == heuristic {
 				name = "nested-optimized (heuristic)"
 			}
+		}
+		if s.opts.Vectorized {
+			name += " (vectorized)"
 		}
 		if s.opts.Parallelism > 1 {
 			name = fmt.Sprintf("%s (parallelism %d)", name, s.opts.Parallelism)
