@@ -28,7 +28,9 @@ import (
 	"sort"
 	"time"
 
+	"nra"
 	"nra/internal/bench"
+	"nra/internal/service"
 )
 
 // entry is one measured (figure, point, series) cell.
@@ -60,6 +62,7 @@ func main() {
 		sf        = flag.Float64("sf", 0.005, "TPC-H scale factor")
 		runs      = flag.Int("runs", 1, "timed repetitions per point (minimum is reported)")
 		seed      = flag.Uint64("seed", 42, "deterministic generator seed")
+		qps       = flag.Bool("qps", true, "run the service throughput sweep (P50/P99 at several concurrency levels, plan cache on and off)")
 	)
 	flag.Parse()
 
@@ -95,6 +98,14 @@ func main() {
 			fail(fmt.Errorf("%s: %w", suite.name, err))
 		}
 		rec.Entries = append(rec.Entries, collect(figs)...)
+	}
+
+	if *qps {
+		qpsEntries, err := runQPS(*sf, *seed)
+		if err != nil {
+			fail(fmt.Errorf("qps sweep: %w", err))
+		}
+		rec.Entries = append(rec.Entries, qpsEntries...)
 	}
 
 	sort.Slice(rec.Entries, func(i, j int) bool {
@@ -142,6 +153,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "  "+r)
 	}
 	os.Exit(1)
+}
+
+// runQPS sweeps service-path throughput on a TPC-H instance: two
+// correlated subqueries driven through sessions, admission and the plan
+// cache at several concurrency levels, cache on and off. Latencies are
+// wall time, so the entries carry no modeled milliseconds and are
+// recorded for information, not gated.
+func runQPS(sf float64, seed uint64) ([]entry, error) {
+	cfg := nra.TPCHScale(sf)
+	cfg.Seed = seed
+	db, err := nra.OpenTPCH(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Analyze(); err != nil {
+		return nil, err
+	}
+	pts, err := service.RunQPS(db, service.QPSConfig{
+		Queries: []string{
+			`select o_orderkey from orders where o_totalprice > all
+			   (select l_extendedprice from lineitem where l_orderkey = o_orderkey)`,
+			`select c_custkey from customer where exists
+			   (select * from orders where o_custkey = c_custkey)`,
+		},
+		Concurrency: []int{1, 4, 16},
+		PerWorker:   25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	for _, p := range pts {
+		series := "cache-off"
+		if p.CacheOn {
+			series = "cache-on"
+		}
+		label := fmt.Sprintf("C=%d", p.Concurrency)
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		out = append(out,
+			entry{Figure: "service-qps", Label: label, Series: series + " p50", Rows: p.Queries, WallMS: ms(p.P50)},
+			entry{Figure: "service-qps", Label: label, Series: series + " p99", Rows: p.Queries, WallMS: ms(p.P99)},
+			entry{Figure: "service-qps", Label: label, Series: series + " mean", Rows: p.Queries, WallMS: 1e3 * float64(p.Concurrency) / p.QPS},
+		)
+	}
+	return out, nil
 }
 
 // collect flattens figures into entries.

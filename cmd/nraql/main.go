@@ -7,6 +7,13 @@
 //	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
 //	      [-timeout 30s] [-2vl] [-vectorized] [-debug-addr localhost:6060]
 //	      [-slow-query 100ms] [-e "select ..."]
+//	nraql -connect host:port [-e "select ..."]
+//
+// With -connect the shell speaks the nrad line protocol instead of
+// embedding the engine: statements execute in a server-side session,
+// and \strategy, \set, \2vl, \vec, \explain, \waterfall, \stats,
+// \tables, \pin and \unpin operate on that session remotely (see
+// docs/SERVICE.md).
 //
 // Inside the shell:
 //
@@ -100,8 +107,14 @@ func main() {
 		dbg   = flag.String("debug-addr", "", "serve the debug HTTP endpoint (expvar metrics + pprof) on this address, e.g. localhost:6060 (empty = off; bind to localhost only — see docs/OBSERVABILITY.md)")
 		slowQ = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
 		slowF = flag.String("slow-log", "", "slow-query log destination file (JSON lines; empty = stderr)")
+		conn  = flag.String("connect", "", "connect to an nrad server's line protocol at host:port instead of embedding the engine")
 	)
 	flag.Parse()
+
+	if *conn != "" {
+		remoteMain(*conn, *eval)
+		return
+	}
 
 	strategy, ok := strategyNames[*strat]
 	if !ok {

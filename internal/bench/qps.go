@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"sort"
+	"time"
+)
+
+// QPSPoint is one cell of a throughput sweep: a concurrency level and
+// cache setting with the measured rate and tail latencies. The service
+// layer produces these (internal/service.RunQPS); this package holds
+// the shape and the percentile arithmetic so cmd/benchrecord can record
+// them beside the figure entries.
+type QPSPoint struct {
+	// Concurrency is the number of concurrent sessions driving load.
+	Concurrency int
+	// CacheOn reports whether the shared plan cache was enabled.
+	CacheOn bool
+	// Queries is the total number of statements executed.
+	Queries int
+	// QPS is the aggregate throughput in queries per second.
+	QPS float64
+	// P50 and P99 are the per-query latency percentiles.
+	P50, P99 time.Duration
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of samples by the
+// nearest-rank method; it returns 0 for an empty slice. The input is
+// not modified.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -108,6 +108,12 @@ type Options struct {
 	// 0 = unbounded. Operators exceeding it degrade gracefully to spill
 	// files with byte-identical results — see docs/ROBUSTNESS.md.
 	MemoryBudget int64
+	// MemPool, when non-nil, charges the query's working-state
+	// reservations against a budget shared with other concurrent queries
+	// (the serving layer's pooled admission control) in addition to any
+	// per-query MemoryBudget; reservations the pool refuses take the
+	// spill path. See exec.MemPool and docs/SERVICE.md.
+	MemPool *exec.MemPool
 	// Timeout aborts the query with context.DeadlineExceeded this long
 	// after Execute starts; 0 = no deadline.
 	Timeout time.Duration
@@ -140,6 +146,14 @@ type Options struct {
 	// Label identifies the query in the slow-query log (usually its SQL
 	// text).
 	Label string
+	// SessionID and QueryID attribute the query to a serving-layer
+	// session and its monotonically increasing per-session query counter.
+	// They tag the trace's root span and the slow-query-log entry, so
+	// concurrent queries' records stay attributable; zero values leave
+	// the records untagged.
+	SessionID string
+	// QueryID is the per-session monotonic query counter (see SessionID).
+	QueryID uint64
 }
 
 // Original returns the unoptimized §4.1 configuration.
@@ -212,12 +226,16 @@ func executeLogged(q *sql.Query, opt Options, log *[]OpStat) (*relation.Relation
 		tr = obsv.NewTracer()
 	}
 	start := time.Now()
+	if tr != nil && (opt.SessionID != "" || opt.QueryID != 0) {
+		tr.Tag(opt.SessionID, opt.QueryID)
+	}
 	ec := exec.NewExecContext(opt.Ctx, exec.Limits{
 		MemoryBudget: opt.MemoryBudget,
 		Timeout:      opt.Timeout,
 		TempDir:      opt.SpillDir,
 		Hooks:        opt.Hooks,
 		Tracer:       tr,
+		MemPool:      opt.MemPool,
 	})
 	p.ec = ec
 	if len(p.spillOps) > 0 {
@@ -246,6 +264,8 @@ func executeLogged(q *sql.Query, opt Options, log *[]OpStat) (*relation.Relation
 			entry := &obsv.SlowLogEntry{
 				Time:       time.Now(),
 				Query:      opt.Label,
+				Session:    opt.SessionID,
+				QueryID:    opt.QueryID,
 				DurationMS: float64(elapsed) / float64(time.Millisecond),
 				Plan:       p.explainString(),
 				PeakBytes:  st.PeakBytes,

@@ -32,6 +32,8 @@ func (p *planner) vecGate() string {
 		return "partitioned parallelism requested"
 	case p.opt.MemoryBudget > 0:
 		return "memory budget set (batch operators do not spill)"
+	case p.opt.MemPool != nil:
+		return "pooled memory budget set (batch operators do not spill)"
 	case p.opt.Hooks != nil:
 		return "fault hooks installed"
 	}

@@ -92,6 +92,12 @@ type Limits struct {
 	// Tracer, when non-nil, records a per-operator span tree for the
 	// query. Nil disables tracing at zero per-tuple cost.
 	Tracer *obsv.Tracer
+	// MemPool, when non-nil, additionally charges every working-state
+	// reservation against a budget shared with other concurrent queries
+	// (the serving layer's admission pool). A reservation the pool
+	// refuses degrades the operator to its spill path, exactly like a
+	// per-query budget refusal. Close returns any outstanding charge.
+	MemPool *MemPool
 }
 
 // Stats is a snapshot of an ExecContext's resource accounting.
@@ -108,6 +114,11 @@ type govState struct {
 	limits Limits
 
 	used, peak, spills, spillBytes atomic.Int64
+
+	// poolCharged tracks how many bytes this query currently holds from
+	// the shared MemPool, so the root Close can return anything an error
+	// path failed to Release — the pool must never leak across queries.
+	poolCharged atomic.Int64
 
 	// planned holds operator names the cost-based planner decided will
 	// exceed the budget: those operators take their spill path from the
@@ -185,6 +196,11 @@ func (ec *ExecContext) Close() error {
 			ec.cancel()
 		}
 		if ec.root {
+			if p := ec.gov.limits.MemPool; p != nil {
+				if rem := ec.gov.poolCharged.Swap(0); rem > 0 {
+					p.Release(rem)
+				}
+			}
 			ec.gov.tmpMu.Lock()
 			dir := ec.gov.tmpDir
 			ec.gov.tmpDir = ""
@@ -200,11 +216,13 @@ func (ec *ExecContext) Close() error {
 // Context returns the underlying context.Context.
 func (ec *ExecContext) Context() context.Context { return ec.ctx }
 
-// Governed reports whether the context imposes any governance — a budget,
-// possible cancellation, or fault hooks. Ungoverned contexts keep every
-// operator on its zero-overhead in-memory fast path.
+// Governed reports whether the context imposes any governance — a budget
+// (per-query or pooled), possible cancellation, or fault hooks.
+// Ungoverned contexts keep every operator on its zero-overhead in-memory
+// fast path.
 func (ec *ExecContext) Governed() bool {
-	return ec.gov.limits.MemoryBudget > 0 || ec.gov.limits.Hooks != nil || ec.ctx.Done() != nil
+	return ec.gov.limits.MemoryBudget > 0 || ec.gov.limits.MemPool != nil ||
+		ec.gov.limits.Hooks != nil || ec.ctx.Done() != nil
 }
 
 // Budget returns the memory budget in bytes (0 = unbounded).
@@ -291,6 +309,13 @@ func (ec *ExecContext) TryReserve(op string, n int64) (bool, error) {
 	} else {
 		g.used.Add(n)
 	}
+	if p := g.limits.MemPool; p != nil {
+		if !p.TryReserve(n) {
+			g.used.Add(-n)
+			return false, nil
+		}
+		g.poolCharged.Add(n)
+	}
 	for {
 		p, u := g.peak.Load(), g.used.Load()
 		if u <= p || g.peak.CompareAndSwap(p, u) {
@@ -319,6 +344,10 @@ func (ec *ExecContext) Reserve(op string, n int64) error {
 	}
 	g := ec.gov
 	g.used.Add(n)
+	if p := g.limits.MemPool; p != nil {
+		p.Reserve(n)
+		g.poolCharged.Add(n)
+	}
 	for {
 		p, u := g.peak.Load(), g.used.Load()
 		if u <= p || g.peak.CompareAndSwap(p, u) {
@@ -331,8 +360,14 @@ func (ec *ExecContext) Reserve(op string, n int64) error {
 	return nil
 }
 
-// Release returns n reserved bytes.
-func (ec *ExecContext) Release(n int64) { ec.gov.used.Add(-n) }
+// Release returns n reserved bytes (to the shared pool too, when wired).
+func (ec *ExecContext) Release(n int64) {
+	ec.gov.used.Add(-n)
+	if p := ec.gov.limits.MemPool; p != nil {
+		p.Release(n)
+		ec.gov.poolCharged.Add(-n)
+	}
+}
 
 // PlanSpill records the planner's decision that the named operators'
 // working state will not fit the memory budget; they go straight to

@@ -1,0 +1,128 @@
+package exec
+
+import "sync/atomic"
+
+// MemPool is a shared, byte-accounted memory budget pooled across
+// concurrent queries: every governed ExecContext wired to the pool
+// (Limits.MemPool) charges its working-state reservations against the
+// pool *in addition to* its own per-query budget, so N in-flight queries
+// together never hold more spillable state in memory than the pool's
+// capacity. A reservation the pool refuses makes the operator take its
+// spill path — exactly the graceful degradation a per-query budget
+// triggers, but driven by aggregate pressure instead of a per-query
+// assumption that the whole machine is available.
+//
+// A MemPool is safe for concurrent use. A nil *MemPool imposes no bound;
+// every method is safe on it.
+type MemPool struct {
+	cap     int64
+	used    atomic.Int64
+	peak    atomic.Int64
+	denials atomic.Int64
+	forced  atomic.Int64
+}
+
+// NewMemPool returns a pool with the given capacity in bytes. bytes ≤ 0
+// returns nil — the unbounded pool.
+func NewMemPool(bytes int64) *MemPool {
+	if bytes <= 0 {
+		return nil
+	}
+	return &MemPool{cap: bytes}
+}
+
+// TryReserve attempts to reserve n bytes, reporting success. On refusal
+// nothing is charged and the denial counter is bumped — the caller
+// should degrade to its spill path.
+func (p *MemPool) TryReserve(n int64) bool {
+	if p == nil {
+		return true
+	}
+	for {
+		cur := p.used.Load()
+		if cur+n > p.cap {
+			p.denials.Add(1)
+			return false
+		}
+		if p.used.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	p.notePeak()
+	return true
+}
+
+// Reserve charges n bytes unconditionally — fixed, non-spillable
+// operator state (bitmaps, merge cursors) that has no disk fallback.
+// Like ExecContext.Reserve it may overshoot the capacity; the overshoot
+// is bounded because per-query Reserve already refuses pathological
+// single allocations.
+func (p *MemPool) Reserve(n int64) {
+	if p == nil {
+		return
+	}
+	p.used.Add(n)
+	p.forced.Add(n)
+	p.notePeak()
+}
+
+// Release returns n reserved bytes to the pool.
+func (p *MemPool) Release(n int64) {
+	if p == nil {
+		return
+	}
+	p.used.Add(-n)
+}
+
+func (p *MemPool) notePeak() {
+	for {
+		pk, u := p.peak.Load(), p.used.Load()
+		if u <= pk || p.peak.CompareAndSwap(pk, u) {
+			return
+		}
+	}
+}
+
+// Cap returns the pool capacity in bytes (0 for the nil pool).
+func (p *MemPool) Cap() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.cap
+}
+
+// Used returns the bytes currently reserved from the pool.
+func (p *MemPool) Used() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.used.Load()
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (p *MemPool) Peak() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.peak.Load()
+}
+
+// Denials returns how many reservations the pool refused (each one a
+// spill decision induced by aggregate memory pressure).
+func (p *MemPool) Denials() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.denials.Load()
+}
+
+// Forced returns the cumulative bytes charged unconditionally (fixed,
+// non-spillable state via Reserve). Spillable reservations are granted
+// only under the capacity, so Peak ≤ Cap + Forced always holds — Forced
+// bounds how far fixed state can push the pool past its cap.
+func (p *MemPool) Forced() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.forced.Load()
+}

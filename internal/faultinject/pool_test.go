@@ -1,0 +1,148 @@
+package faultinject_test
+
+// Pooled-governor harness: the budget-equivalence and fault-injection
+// machinery pointed at the serving layer's shared memory pool
+// (exec.Limits.MemPool). Concurrent queries charge one pool; aggregate
+// pressure must induce spills (pool denials) without changing a single
+// tuple, the pool's high-water mark must respect its capacity, and
+// error paths — including injected allocation failures — must return
+// every charged byte.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nra/internal/core"
+	"nra/internal/exec"
+)
+
+// TestPooledBudgetEquivalence runs all six linking operators
+// concurrently against one small shared pool and asserts results
+// identical tuple-for-tuple to the unbounded serial run, with the
+// aggregate pressure provably inducing pool denials and the pool left
+// empty.
+func TestPooledBudgetEquivalence(t *testing.T) {
+	cat := testCatalog(t)
+	baseline := runtime.NumGoroutine()
+
+	pool := exec.NewMemPool(256 << 10) // far below the queries' aggregate appetite
+	dir := t.TempDir()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(linkingQueries)*3)
+	for round := 0; round < 3; round++ {
+		for name, src := range linkingQueries {
+			wg.Add(1)
+			go func(name, src string) {
+				defer wg.Done()
+				q := analyze(t, cat, src)
+				opt := core.Optimized()
+				opt.MemPool = pool
+				opt.SpillDir = dir
+				got, err := core.Execute(q, opt)
+				if err != nil {
+					errc <- fmt.Errorf("%s pooled: %w", name, err)
+					return
+				}
+				want, err := core.Execute(q, core.Optimized())
+				if err != nil {
+					errc <- err
+					return
+				}
+				if got.Len() != want.Len() {
+					errc <- fmt.Errorf("%s pooled: %d tuples, want %d", name, got.Len(), want.Len())
+					return
+				}
+				for i := range want.Tuples {
+					if got.Tuples[i].Key() != want.Tuples[i].Key() {
+						errc <- fmt.Errorf("%s pooled: tuple %d differs under shared pool", name, i)
+						return
+					}
+				}
+			}(name, src)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Spillable reservations are granted only under the cap; any
+	// overshoot comes from fixed (non-spillable) state, which the pool
+	// accounts as forced bytes.
+	if pool.Peak() > pool.Cap()+pool.Forced() {
+		t.Errorf("pool peak %d exceeded cap %d + forced %d — spillable state broke the bound",
+			pool.Peak(), pool.Cap(), pool.Forced())
+	}
+	if pool.Denials() == 0 {
+		t.Error("shared pool induced no spill decisions — pressure test is vacuous")
+	}
+	if pool.Used() != 0 {
+		t.Errorf("pool leaked %d bytes after all queries closed", pool.Used())
+	}
+	mustLeaveNoFiles(t, dir)
+	mustNotLeakGoroutines(t, baseline)
+}
+
+// TestPooledAllocFaults injects allocation failures into pooled queries
+// at every interception point in turn and asserts the pool is returned
+// to empty regardless of where the query died — the serving layer's
+// guarantee that one failed statement can never strand shared budget.
+func TestPooledAllocFaults(t *testing.T) {
+	cat := testCatalog(t)
+	injected := errors.New("injected allocation failure")
+	for name, src := range linkingQueries {
+		t.Run(name, func(t *testing.T) {
+			q := analyze(t, cat, src)
+			// First pass: count allocation sites under the pool.
+			pool := exec.NewMemPool(1 << 30)
+			var sites atomic.Int64
+			opt := core.Optimized()
+			opt.MemPool = pool
+			opt.SpillDir = t.TempDir()
+			opt.Hooks = &exec.FaultHooks{BeforeAlloc: func(string, int64) error {
+				sites.Add(1)
+				return nil
+			}}
+			if _, err := core.Execute(q, opt); err != nil {
+				t.Fatal(err)
+			}
+			if pool.Used() != 0 {
+				t.Fatalf("clean pooled run left %d bytes charged", pool.Used())
+			}
+			n := sites.Load()
+			if n == 0 {
+				t.Skip("no allocation sites to fault")
+			}
+			// Fault every k-th site; the pool must come back empty each time.
+			for k := int64(1); k <= n; k += (n + 9) / 10 {
+				pool := exec.NewMemPool(1 << 30)
+				var seen atomic.Int64
+				opt := core.Optimized()
+				opt.MemPool = pool
+				opt.SpillDir = t.TempDir()
+				opt.Hooks = &exec.FaultHooks{BeforeAlloc: func(string, int64) error {
+					if seen.Add(1) == k {
+						return injected
+					}
+					return nil
+				}}
+				_, err := core.Execute(q, opt)
+				if err == nil {
+					t.Fatalf("fault at site %d/%d not surfaced", k, n)
+				}
+				var qe *exec.QueryError
+				if !errors.As(err, &qe) {
+					t.Fatalf("fault at site %d surfaced uncontained: %v", k, err)
+				}
+				if pool.Used() != 0 {
+					t.Fatalf("fault at site %d stranded %d pooled bytes", k, pool.Used())
+				}
+			}
+		})
+	}
+}

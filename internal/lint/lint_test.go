@@ -13,6 +13,7 @@ var auditedPackages = []string{
 	"../stats",
 	"../obsv",
 	"../lint",
+	"../service",
 	"../..", // the public nra package
 }
 

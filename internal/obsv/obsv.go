@@ -80,6 +80,12 @@ type Tracer struct {
 	t0   time.Time
 	root *Span
 	cur  *Span
+
+	// session / queryID label the trace's root record so concurrent
+	// queries' slow-log entries and span trees stay attributable — see
+	// Tag.
+	session string
+	queryID uint64
 }
 
 // NewTracer returns a tracer whose clock starts now, with an open root
@@ -166,6 +172,19 @@ func (t *Tracer) Finish() *SpanRecord {
 	return t.Snapshot()
 }
 
+// Tag labels the trace with the owning session ID and the session's
+// monotonically increasing query ID. The tag lands on the root record of
+// every later Snapshot/Finish, keeping concurrent queries' span trees
+// attributable to the session that ran them. Safe on a nil tracer.
+func (t *Tracer) Tag(session string, queryID uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.session, t.queryID = session, queryID
+}
+
 // Snapshot renders the span tree as exported, JSON-serialisable records.
 // Open spans report their elapsed time so far. Returns nil on a nil
 // tracer.
@@ -176,7 +195,9 @@ func (t *Tracer) Snapshot() *SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := time.Since(t.t0)
-	return snap(t.root, now)
+	r := snap(t.root, now)
+	r.Session, r.QueryID = t.session, t.queryID
+	return r
 }
 
 func snap(s *Span, now time.Duration) *SpanRecord {

@@ -24,6 +24,13 @@ type SpanRecord struct {
 	SpillBytes int64         `json:"spill_bytes,omitempty"` // bytes written to spill files
 	Morsels    []int64       `json:"morsels,omitempty"`     // tasks claimed per worker
 	Children   []*SpanRecord `json:"children,omitempty"`
+
+	// Session and QueryID label the root record of a tagged trace (see
+	// Tracer.Tag): the serving layer's session ID and its monotonically
+	// increasing per-session query counter, so interleaved concurrent
+	// queries stay attributable. Zero values on untagged or child spans.
+	Session string `json:"session,omitempty"`
+	QueryID uint64 `json:"query_id,omitempty"`
 }
 
 // Walk visits the record and every descendant in pre-order (which is

@@ -29,12 +29,22 @@ type Registry struct {
 	spillBytes    atomic.Int64
 	queryNanos    atomic.Int64
 
-	mu  sync.Mutex
-	ops map[string]*OpMetrics
+	mu     sync.Mutex
+	ops    map[string]*OpMetrics
+	gauges []gauge
 
 	qerr stats.QErrorHist
 
 	publishOnce sync.Once
+}
+
+// gauge is a registered callback metric: subsystems with their own state
+// (the serving layer's plan cache, admission queue, session table) expose
+// point-in-time values through it instead of double-accounting into the
+// registry's counters.
+type gauge struct {
+	name string
+	fn   func() int64
 }
 
 // OpMetrics is the cumulative per-operator-kind aggregate exported by
@@ -119,6 +129,26 @@ func (r *Registry) ObserveQError(q float64) {
 // QErrors exposes the registry's q-error histogram (read-only use).
 func (r *Registry) QErrors() *stats.QErrorHist { return &r.qerr }
 
+// RegisterGauge adds a named callback metric to the registry: fn is
+// polled on every Snapshot / MetricsText and its value exported as
+// "nra_<name>". fn must be safe for concurrent use and must not call
+// back into the registry. Registering a name twice replaces the earlier
+// callback (the serving layer re-registers across restarts in tests).
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i].fn = fn
+			return
+		}
+	}
+	r.gauges = append(r.gauges, gauge{name: name, fn: fn})
+}
+
 // Snapshot returns the registry's state as a JSON-friendly map — the
 // value served at /debug/vars under the "nra" key.
 func (r *Registry) Snapshot() map[string]any {
@@ -143,7 +173,13 @@ func (r *Registry) Snapshot() map[string]any {
 	for k, m := range r.ops {
 		ops[k] = *m
 	}
+	gauges := append([]gauge(nil), r.gauges...)
 	r.mu.Unlock()
+	// Poll gauges outside the lock: their callbacks reach into other
+	// subsystems' state and must not nest under the registry mutex.
+	for _, g := range gauges {
+		out[g.name] = g.fn()
+	}
 	out["operators"] = ops
 	return out
 }

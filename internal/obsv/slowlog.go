@@ -14,7 +14,9 @@ import (
 // without re-running it.
 type SlowLogEntry struct {
 	Time       time.Time   `json:"time"`
-	Query      string      `json:"query,omitempty"` // SQL text or caller-supplied label
+	Query      string      `json:"query,omitempty"`    // SQL text or caller-supplied label
+	Session    string      `json:"session,omitempty"`  // owning session ID (serving layer)
+	QueryID    uint64      `json:"query_id,omitempty"` // per-session monotonic query counter
 	DurationMS float64     `json:"duration_ms"`
 	Error      string      `json:"error,omitempty"`
 	Plan       string      `json:"plan,omitempty"` // EXPLAIN text of the executed plan

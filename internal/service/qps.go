@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"nra"
+	"nra/internal/bench"
+)
+
+// QPSConfig parameterises a throughput sweep (RunQPS).
+type QPSConfig struct {
+	// Queries is the statement mix; each worker cycles through it.
+	Queries []string
+	// Concurrency lists the session counts to sweep (default 1, 4, 16).
+	Concurrency []int
+	// PerWorker is the number of statements each session issues per cell
+	// (default 25).
+	PerWorker int
+	// CacheModes lists the plan-cache settings to sweep (default
+	// on and off).
+	CacheModes []bool
+	// MemPoolBytes configures the cells' shared memory pool
+	// (0 = unbounded).
+	MemPoolBytes int64
+}
+
+// RunQPS sweeps service throughput over db: for every (cache mode,
+// concurrency) cell it builds a fresh Server, opens that many sessions,
+// and drives the query mix through the full service path — admission,
+// session strategy build, plan cache, execution — measuring per-query
+// latency in-process (no network, so the numbers isolate service and
+// engine cost). Every cell cross-checks that each query's result equals
+// the serial baseline, so a throughput win can never hide a wrong
+// answer.
+func RunQPS(db *nra.DB, cfg QPSConfig) ([]bench.QPSPoint, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("service: qps sweep needs at least one query")
+	}
+	if len(cfg.Concurrency) == 0 {
+		cfg.Concurrency = []int{1, 4, 16}
+	}
+	if cfg.PerWorker <= 0 {
+		cfg.PerWorker = 25
+	}
+	if len(cfg.CacheModes) == 0 {
+		cfg.CacheModes = []bool{true, false}
+	}
+
+	// Each cell's Server re-wires the database's plan cache; leave the
+	// database unwired when the sweep is done.
+	defer db.SetPlanCache(nil)
+
+	// Serial baselines, one per query, for the correctness cross-check.
+	baselines := make([][][]any, len(cfg.Queries))
+	for i, q := range cfg.Queries {
+		res, err := db.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("service: qps baseline %q: %w", q, err)
+		}
+		res.Sort()
+		baselines[i] = res.Rows()
+	}
+
+	var points []bench.QPSPoint
+	for _, cacheOn := range cfg.CacheModes {
+		for _, c := range cfg.Concurrency {
+			pt, err := runQPSCell(db, cfg, baselines, cacheOn, c)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// runQPSCell measures one (cache mode, concurrency) cell.
+func runQPSCell(db *nra.DB, cfg QPSConfig, baselines [][][]any, cacheOn bool, concurrency int) (bench.QPSPoint, error) {
+	size := 0 // default cache
+	if !cacheOn {
+		size = -1
+	}
+	srv := New(Config{
+		DB:            db,
+		MaxInFlight:   concurrency,
+		PlanCacheSize: size,
+		MemPoolBytes:  cfg.MemPoolBytes,
+	})
+	defer srv.Drain(context.Background())
+
+	latencies := make([][]time.Duration, concurrency)
+	errs := make([]error, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := srv.OpenSession()
+			defer srv.CloseSession(sess)
+			for i := 0; i < cfg.PerWorker; i++ {
+				qi := (w + i) % len(cfg.Queries)
+				t0 := time.Now()
+				resp := srv.Do(context.Background(), sess, Request{Op: OpQuery, SQL: cfg.Queries[qi]})
+				if resp.Error != nil {
+					errs[w] = fmt.Errorf("service: qps worker %d: %s", w, resp.Error.Message)
+					return
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+				if !sameRows(resp.Rows, baselines[qi]) {
+					errs[w] = fmt.Errorf("service: qps worker %d: query %d diverged from serial baseline", w, qi)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return bench.QPSPoint{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	return bench.QPSPoint{
+		Concurrency: concurrency,
+		CacheOn:     cacheOn,
+		Queries:     len(all),
+		QPS:         float64(len(all)) / wall.Seconds(),
+		P50:         bench.Percentile(all, 0.50),
+		P99:         bench.Percentile(all, 0.99),
+	}, nil
+}
+
+// sameRows compares a wire result (canonically sorted) with a baseline
+// result's rows. Wire rows have passed through JSON-free in-process
+// rendering, so values compare directly.
+func sameRows(got [][]any, want [][]any) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -82,6 +82,10 @@ type DB struct {
 	// (see SetSlowQueryLog); nil disables it.
 	slowLog       *obsv.SlowLog
 	slowThreshold time.Duration
+
+	// planCache, when non-nil, caches analyzed statements keyed on
+	// normalized AST + snapshot epoch (see SetPlanCache).
+	planCache *PlanCache
 }
 
 // Open returns an empty in-memory database.
@@ -313,11 +317,12 @@ func (db *DB) QueryWithContext(ctx context.Context, src string, s Strategy) (*Re
 	return &Result{rel: rel}, nil
 }
 
-// analyzeStatement binds src against the current snapshot. All the
-// statement's table references resolve in one atomic snapshot read, so
-// even multi-table statements see one consistent schema version.
+// analyzeStatement binds src against the current snapshot, consulting
+// the plan cache when one is installed. All the statement's table
+// references resolve in one atomic snapshot read, so even multi-table
+// statements see one consistent schema version.
 func (db *DB) analyzeStatement(src string) (*sql.Statement, error) {
-	return analyzeOn(db.cat.Snapshot(), src)
+	return analyzeCached(db.planCache, db.cat.Snapshot(), src)
 }
 
 // analyzeOn parses and binds src against an explicit catalog view — the
@@ -746,12 +751,15 @@ func (s Strategy) String() string {
 		// which paper strategy this is.
 		base.Parallelism = 0
 		base.MemoryBudget = 0
+		base.MemPool = nil
 		base.Timeout = 0
 		base.Vectorized = false
 		base.Tracer = nil
 		base.SlowQuery = 0
 		base.SlowLog = nil
 		base.Label = ""
+		base.SessionID = ""
+		base.QueryID = 0
 		base.TwoValuedLogic = false
 		if base == core.Original() {
 			name = "nested-original"

@@ -38,13 +38,16 @@ func (db *DB) Prepare(src string) (*Stmt, error) {
 }
 
 // statement returns the analyzed statement bound to the current
-// snapshot, re-binding if the catalog moved since the last call.
+// snapshot, re-binding if the catalog moved since the last call. The
+// re-bind goes through the database's shared plan cache when one is
+// installed, so prepared statements across many sessions share one
+// analysis per (normalized AST, epoch).
 func (s *Stmt) statement() (*sql.Statement, error) {
 	snap := s.db.cat.Snapshot()
 	if b := s.bound.Load(); b != nil && b.epoch == snap.Epoch() {
 		return b.st, nil
 	}
-	st, err := analyzeOn(snap, s.src)
+	st, err := analyzeCached(s.db.planCache, snap, s.src)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +60,18 @@ func (s *Stmt) Run() (*Result, error) { return s.RunWith(Auto) }
 
 // RunWith executes the prepared statement with an explicit strategy.
 func (s *Stmt) RunWith(strategy Strategy) (*Result, error) {
+	return s.RunWithContext(context.Background(), strategy)
+}
+
+// RunWithContext is RunWith with a cancellation context: the run aborts
+// with the context's error at the next operator boundary after ctx is
+// cancelled.
+func (s *Stmt) RunWithContext(ctx context.Context, strategy Strategy) (*Result, error) {
 	st, err := s.statement()
 	if err != nil {
 		return nil, err
 	}
-	rel, err := s.db.executeStatement(context.Background(), st, strategy, s.src)
+	rel, err := s.db.executeStatement(ctx, st, strategy, s.src)
 	if err != nil {
 		return nil, err
 	}

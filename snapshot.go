@@ -33,11 +33,21 @@ func (s *Snap) Query(src string) (*Result, error) { return s.QueryWith(src, Auto
 // QueryWith executes src against the pinned snapshot with an explicit
 // strategy.
 func (s *Snap) QueryWith(src string, strategy Strategy) (*Result, error) {
-	st, err := analyzeOn(s.snap, src)
+	return s.QueryWithContext(context.Background(), src, strategy)
+}
+
+// QueryWithContext is QueryWith with a cancellation context: the query
+// aborts with the context's error at the next operator boundary after
+// ctx is cancelled. The statement binds against the pinned snapshot
+// (through the database's plan cache, when one is installed — the cache
+// key includes the snapshot's epoch, so a pinned session shares entries
+// only with sessions on the same version).
+func (s *Snap) QueryWithContext(ctx context.Context, src string, strategy Strategy) (*Result, error) {
+	st, err := analyzeCached(s.db.planCache, s.snap, src)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := s.db.executeStatement(context.Background(), st, strategy, src)
+	rel, err := s.db.executeStatement(ctx, st, strategy, src)
 	if err != nil {
 		return nil, err
 	}
