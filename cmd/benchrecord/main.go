@@ -30,7 +30,10 @@ import (
 
 	"nra"
 	"nra/internal/bench"
+	"nra/internal/catalog"
+	"nra/internal/csvio"
 	"nra/internal/service"
+	"nra/internal/tpch"
 )
 
 // entry is one measured (figure, point, series) cell.
@@ -63,6 +66,7 @@ func main() {
 		runs      = flag.Int("runs", 1, "timed repetitions per point (minimum is reported)")
 		seed      = flag.Uint64("seed", 42, "deterministic generator seed")
 		qps       = flag.Bool("qps", true, "run the service throughput sweep (P50/P99 at several concurrency levels, plan cache on and off)")
+		coldload  = flag.Bool("coldload", true, "run the storage cold-start suite (load milliseconds and bytes on disk, columnar vs CSV)")
 	)
 	flag.Parse()
 
@@ -106,6 +110,14 @@ func main() {
 			fail(fmt.Errorf("qps sweep: %w", err))
 		}
 		rec.Entries = append(rec.Entries, qpsEntries...)
+	}
+
+	if *coldload {
+		loadEntries, err := runColstoreLoad(*sf, *seed, *runs)
+		if err != nil {
+			fail(fmt.Errorf("colstore-load suite: %w", err))
+		}
+		rec.Entries = append(rec.Entries, loadEntries...)
 	}
 
 	sort.Slice(rec.Entries, func(i, j int) bool {
@@ -198,6 +210,88 @@ func runQPS(sf float64, seed uint64) ([]entry, error) {
 		)
 	}
 	return out, nil
+}
+
+// runColstoreLoad measures the cold-start cost of the two on-disk
+// table formats. One deterministic TPC-H catalog is saved twice — as
+// binary columnar segments and as CSV — and each directory is timed
+// through a fresh load (minimum over -runs repetitions). Bytes on disk
+// are recorded alongside so the size/speed trade-off lands in the same
+// record. Load times are wall time, so like the qps sweep these
+// entries carry no modeled milliseconds and are not gated.
+func runColstoreLoad(sf float64, seed uint64, runs int) ([]entry, error) {
+	cfg := tpch.Scale(sf)
+	cfg.Seed = seed
+	cat, err := tpch.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := 0
+	for _, name := range cat.Names() {
+		tbl, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		rows += tbl.Rel.Len()
+	}
+
+	root, err := os.MkdirTemp("", "benchrecord-colstore-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	var out []entry
+	for _, fc := range []struct {
+		label string
+		save  func(*catalog.Catalog, string, ...string) error
+	}{
+		{"columnar", csvio.Save},
+		{"csv", csvio.SaveCSV},
+	} {
+		dir := filepath.Join(root, fc.label)
+		if err := fc.save(cat, dir); err != nil {
+			return nil, err
+		}
+		bytes, err := dirBytes(dir)
+		if err != nil {
+			return nil, err
+		}
+		best := time.Duration(0)
+		for r := 0; r < runs || r == 0; r++ {
+			start := time.Now()
+			if _, err := csvio.Load(dir); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		out = append(out,
+			entry{Figure: "colstore-load", Label: fc.label, Series: "cold-start",
+				Rows: rows, WallMS: float64(best) / float64(time.Millisecond)},
+			entry{Figure: "colstore-load", Label: fc.label, Series: "bytes-on-disk",
+				Rows: int(bytes)},
+		)
+	}
+	return out, nil
+}
+
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
 }
 
 // collect flattens figures into entries.

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	nrad [-addr localhost:7432] [-line-addr localhost:7433]
-//	     [-dir data/] [-tpch 0.001] [-seed 42] [-analyze]
+//	     [-dir data/] [-storage columnar|csv] [-tpch 0.001] [-seed 42] [-analyze]
 //	     [-max-inflight 16] [-queue-depth 64] [-queue-timeout 5s]
 //	     [-mem-pool 256M] [-workers 8] [-plan-cache 256]
 //	     [-debug-addr localhost:6060] [-slow-query 100ms] [-slow-log f]
@@ -55,6 +55,7 @@ func main() {
 		memPool  = flag.String("mem-pool", "", "shared memory pool for operator working state across all statements, e.g. 256M (empty = unbounded)")
 		workers  = flag.Int("workers", 0, "aggregate intra-query parallelism budget (0 = GOMAXPROCS)")
 		planC    = flag.Int("plan-cache", 256, "shared plan cache capacity in statements (negative = off)")
+		storage  = flag.String("storage", "columnar", "on-disk table format for saves/checkpoints: columnar or csv")
 		dbg      = flag.String("debug-addr", "", "serve the debug HTTP endpoint (expvar metrics + pprof) on this address (empty = off; bind to localhost)")
 		slowQ    = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
 		slowF    = flag.String("slow-log", "", "slow-query log destination file (JSON lines; empty = stderr)")
@@ -67,6 +68,9 @@ func main() {
 		fail(err)
 	}
 	defer db.Close()
+	if err := db.SetStorageFormat(*storage); err != nil {
+		fail(err)
+	}
 	if *anlz && len(db.Tables()) > 0 {
 		if err := db.Analyze(); err != nil {
 			fail(err)

@@ -7,7 +7,12 @@
 //	nraql [-tpch 0.001] [-strategy nested-optimized] [-mem 64M]
 //	      [-timeout 30s] [-2vl] [-vectorized] [-debug-addr localhost:6060]
 //	      [-slow-query 100ms] [-e "select ..."]
+//	nraql -open data/ [-save data/] [-storage columnar|csv] ...
 //	nraql -connect host:port [-e "select ..."]
+//
+// -open loads a database directory written by -save or nrad -dir;
+// -save writes the database out on exit, as binary columnar segments
+// by default (-storage csv exports portable CSV; see docs/STORAGE.md).
 //
 // With -connect the shell speaks the nrad line protocol instead of
 // embedding the engine: statements execute in a server-side session,
@@ -108,6 +113,9 @@ func main() {
 		slowQ = flag.Duration("slow-query", -1, "log queries at least this slow to the slow-query log (0 = every query, negative = off)")
 		slowF = flag.String("slow-log", "", "slow-query log destination file (JSON lines; empty = stderr)")
 		conn  = flag.String("connect", "", "connect to an nrad server's line protocol at host:port instead of embedding the engine")
+		open  = flag.String("open", "", "load a database directory written by -save (or nrad -dir) instead of generating TPC-H")
+		save  = flag.String("save", "", "save the database to this directory before exiting")
+		store = flag.String("storage", "columnar", "on-disk table format for -save: columnar or csv")
 	)
 	flag.Parse()
 
@@ -148,7 +156,14 @@ func main() {
 	}
 
 	var db *nra.DB
-	if *sf > 0 {
+	switch {
+	case *open != "":
+		var err error
+		db, err = nra.OpenDir(*open)
+		if err != nil {
+			fail(err)
+		}
+	case *sf > 0:
 		cfg := nra.TPCHScale(*sf)
 		cfg.Seed = *seed
 		var err error
@@ -156,8 +171,20 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-	} else {
+	default:
 		db = nra.Open()
+	}
+	if err := db.SetStorageFormat(*store); err != nil {
+		fail(err)
+	}
+	saveOnExit := func() {
+		if *save == "" {
+			return
+		}
+		if err := db.Save(*save); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved to %s (%s format)\n", *save, *store)
 	}
 	if *anlz {
 		if err := db.Analyze(); err != nil {
@@ -191,6 +218,7 @@ func main() {
 		if err := run(db, strategy, *eval); err != nil {
 			fail(err)
 		}
+		saveOnExit()
 		return
 	}
 	if *file != "" {
@@ -207,6 +235,7 @@ func main() {
 				fail(fmt.Errorf("%s: %w", stmt, err))
 			}
 		}
+		saveOnExit()
 		return
 	}
 
@@ -233,6 +262,7 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
 			switch {
 			case trimmed == `\q` || trimmed == `\quit`:
+				saveOnExit()
 				return
 			case trimmed == `\tables`:
 				for _, t := range db.Tables() {
@@ -320,6 +350,7 @@ func main() {
 		}
 		prompt()
 	}
+	saveOnExit()
 }
 
 // cutWord strips a leading keyword (case-insensitively) from s, reporting

@@ -1,0 +1,259 @@
+// Command storagebench runs the storage-format ablation recorded in
+// EXPERIMENTS.md: one deterministic TPC-H instance is saved both as
+// binary columnar segments and as CSV, then each directory is measured
+// for bytes on disk, cold-start load time, and the wall latency of the
+// paper's Query 1 / Query 2b / Query 3b(a) workloads plus a selective
+// primary-key range probe — CSV vs columnar, and on the columnar
+// database with zone-map pruning on vs off
+// (Strategy.WithZoneMapPruning). Every timed cell is verified to return
+// the same multiset of rows as the CSV baseline before it is reported.
+//
+// Usage:
+//
+//	storagebench [-sf 0.01,0.1] [-runs 7] [-seed 42]
+//
+// See docs/STORAGE.md for the format and pruning semantics, and
+// cmd/benchrecord's colstore-load suite for the machine-readable
+// cold-start series gated in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nra"
+)
+
+func main() {
+	var (
+		sfs  = flag.String("sf", "0.01,0.1", "comma-separated TPC-H scale factors")
+		runs = flag.Int("runs", 7, "timed repetitions per cell (minimum reported)")
+		seed = flag.Uint64("seed", 42, "deterministic generator seed")
+	)
+	flag.Parse()
+
+	for _, f := range strings.Split(*sfs, ",") {
+		sf, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fail(err)
+		}
+		if err := ablate(sf, *seed, *runs); err != nil {
+			fail(fmt.Errorf("sf %g: %w", sf, err))
+		}
+	}
+}
+
+// ablate measures one scale factor end to end.
+func ablate(sf float64, seed uint64, runs int) error {
+	root, err := os.MkdirTemp("", "storagebench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	cfg := nra.TPCHScale(sf)
+	cfg.Seed = seed
+	gen, err := nra.OpenTPCH(cfg)
+	if err != nil {
+		return err
+	}
+	dirs := map[string]string{
+		"columnar": filepath.Join(root, "columnar"),
+		"csv":      filepath.Join(root, "csv"),
+	}
+	for format, dir := range dirs {
+		if err := gen.SetStorageFormat(format); err != nil {
+			return err
+		}
+		if err := gen.Save(dir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("== sf %g (seed %d, min of %d runs) ==\n", sf, seed, runs)
+	for _, format := range []string{"csv", "columnar"} {
+		bytes, err := dirBytes(dirs[format])
+		if err != nil {
+			return err
+		}
+		cold, err := coldStart(dirs[format], runs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %9.2f MB on disk   cold start %8.1f ms\n",
+			format, float64(bytes)/(1<<20), ms(cold))
+	}
+
+	dbCSV, err := nra.OpenDir(dirs["csv"])
+	if err != nil {
+		return err
+	}
+	dbCol, err := nra.OpenDir(dirs["columnar"])
+	if err != nil {
+		return err
+	}
+
+	queries, err := workloads(dbCol)
+	if err != nil {
+		return err
+	}
+	vec := nra.NestedOptimized.WithVectorized(true)
+	cells := []struct {
+		name string
+		db   *nra.DB
+		s    nra.Strategy
+	}{
+		{"csv", dbCSV, vec},
+		{"columnar-noprune", dbCol, vec.WithZoneMapPruning(false)},
+		{"columnar", dbCol, vec},
+	}
+	for _, q := range queries {
+		fmt.Printf("%s:\n", q.name)
+		var baseline *nra.Result
+		for _, c := range cells {
+			best := time.Duration(0)
+			var res *nra.Result
+			for r := 0; r < runs; r++ {
+				start := time.Now()
+				res, err = c.db.QueryWith(q.sql, c.s)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", q.name, c.name, err)
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			if baseline == nil {
+				baseline = res
+			} else if !res.Equal(baseline) {
+				return fmt.Errorf("%s: %s diverged from the CSV baseline", q.name, c.name)
+			}
+			fmt.Printf("  %-18s %8.2f ms  (%d rows)\n", c.name, ms(best), res.NumRows())
+		}
+	}
+	return nil
+}
+
+// query is one timed workload.
+type query struct{ name, sql string }
+
+// workloads builds the largest-point Query 1 / 2b / 3b(a) sweeps from
+// EXPERIMENTS.md (cuts derived from the loaded data, like the figure
+// harness) plus the selective primary-key range probe that exercises
+// zone-map pruning on the clustered o_orderkey column.
+func workloads(db *nra.DB) ([]query, error) {
+	dateHi, err := quantile(db, "orders", "o_orderdate", 1.0)
+	if err != nil {
+		return nil, err
+	}
+	sizeHi, err := quantile(db, "part", "p_size", 1.0)
+	if err != nil {
+		return nil, err
+	}
+	availY, err := quantile(db, "partsupp", "ps_availqty", 0.5)
+	if err != nil {
+		return nil, err
+	}
+	keyCut, err := quantile(db, "orders", "o_orderkey", 0.05)
+	if err != nil {
+		return nil, err
+	}
+	q23 := `select p_partkey, p_name from part
+where p_size >= 1 and p_size <= %s
+  and p_retailprice < all (select ps_supplycost from partsupp
+      where ps_partkey = p_partkey and ps_availqty < %s
+        and %s (select * from lineitem
+            where %s = l_partkey and ps_suppkey = l_suppkey
+              and l_quantity = 25))`
+	return []query{
+		{"Q1 (fig4, largest point)", fmt.Sprintf(`select o_orderkey, o_orderpriority from orders
+where o_orderdate >= '1992-01-01' and o_orderdate < '%s'
+  and o_totalprice > all (select l_extendedprice from lineitem
+      where l_orderkey = o_orderkey
+        and l_commitdate < l_receiptdate and l_shipdate < l_commitdate)`, dateHi)},
+		{"Q2b (fig6, largest point)", fmt.Sprintf(q23, sizeHi, availY, "not exists", "ps_partkey")},
+		{"Q3b(a) (fig8a, largest point)", fmt.Sprintf(q23, sizeHi, availY, "not exists", "p_partkey")},
+		{"PK range probe (5% of orders)", fmt.Sprintf(`select o_orderkey, o_orderpriority from orders
+where o_orderkey < %s
+  and o_totalprice > all (select l_extendedprice from lineitem
+      where l_orderkey = o_orderkey)`, keyCut)},
+	}, nil
+}
+
+// quantile returns the frac-quantile of a column as SQL literal text.
+func quantile(db *nra.DB, table, col string, frac float64) (string, error) {
+	res, err := db.Query(fmt.Sprintf("select %s from %s", col, table))
+	if err != nil {
+		return "", err
+	}
+	var vals []any
+	for _, row := range res.Rows() {
+		if row[0] != nil {
+			vals = append(vals, row[0])
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return lessAny(vals[i], vals[j]) })
+	k := int(frac * float64(len(vals)))
+	if k >= len(vals) {
+		k = len(vals) - 1
+	}
+	return fmt.Sprintf("%v", vals[k]), nil
+}
+
+func lessAny(a, b any) bool {
+	switch x := a.(type) {
+	case int64:
+		return x < b.(int64)
+	case float64:
+		return x < b.(float64)
+	case string:
+		return x < b.(string)
+	default:
+		return false
+	}
+}
+
+// coldStart times nra.OpenDir on a saved directory.
+func coldStart(dir string, runs int) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		if _, err := nra.OpenDir(dir); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "storagebench:", err)
+	os.Exit(1)
+}

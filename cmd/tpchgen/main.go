@@ -1,10 +1,13 @@
 // Command tpchgen generates the deterministic TPC-H database used by the
-// experiments and writes it as CSV files plus a JSON manifest, loadable
-// back with nra.OpenDir (or inspectable with any CSV tool).
+// experiments and writes it as binary columnar segments (or CSV files
+// with -format csv) plus a JSON manifest, loadable back with
+// nra.OpenDir — CSV output is additionally inspectable with any CSV
+// tool. See docs/STORAGE.md for the two formats.
 //
 // Usage:
 //
-//	tpchgen [-sf 0.01] [-seed 42] [-nulls 0] [-o dir] [-tables lineitem,orders]
+//	tpchgen [-sf 0.01] [-seed 42] [-nulls 0] [-o dir] [-format columnar|csv]
+//	        [-tables lineitem,orders]
 package main
 
 import (
@@ -24,8 +27,14 @@ func main() {
 		nulls  = flag.Float64("nulls", 0, "NULL fraction in measure columns")
 		outDir = flag.String("o", "tpch-data", "output directory")
 		tables = flag.String("tables", "", "comma-separated table subset (default: all)")
+		format = flag.String("format", "columnar", "on-disk table format: columnar or csv")
 	)
 	flag.Parse()
+
+	ff, err := csvio.ParseFormat(*format)
+	if err != nil {
+		fail(err)
+	}
 
 	cfg := tpch.Scale(*sf)
 	cfg.Seed = *seed
@@ -41,7 +50,13 @@ func main() {
 			subset = append(subset, strings.TrimSpace(t))
 		}
 	}
-	if err := csvio.Save(cat, *outDir, subset...); err != nil {
+	saveAs := csvio.Save
+	ext := "seg"
+	if ff == csvio.FormatCSV {
+		saveAs = csvio.SaveCSV
+		ext = "csv"
+	}
+	if err := saveAs(cat, *outDir, subset...); err != nil {
 		fail(err)
 	}
 	for _, name := range cat.Names() {
@@ -49,7 +64,7 @@ func main() {
 			continue
 		}
 		tbl, _ := cat.Table(name)
-		fmt.Printf("%-12s %8d rows -> %s/%s.csv\n", name, tbl.Rel.Len(), *outDir, name)
+		fmt.Printf("%-12s %8d rows -> %s/%s.%s\n", name, tbl.Rel.Len(), *outDir, name, ext)
 	}
 }
 

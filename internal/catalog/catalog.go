@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"nra/internal/colstore"
 	"nra/internal/index"
 	"nra/internal/relation"
 	"nra/internal/stats"
@@ -46,7 +47,16 @@ type Table struct {
 	PK      string          // primary key column (qualified name)
 	NotNull map[string]bool // columns with a NOT NULL constraint (PK implied)
 
+	// indexes holds the built indexes by canonical column-list key;
+	// lazyIdx holds column lists that are declared (they appear in
+	// Indexes() and persist with the manifest) but not built yet —
+	// trusted loads declare every index and Index() builds on first
+	// lookup, so cold start never pays for indexes no query uses.
+	// idxMu guards both maps: lazy promotion mutates a published
+	// version, which is otherwise immutable.
+	idxMu      sync.Mutex
 	indexes    map[string]*index.Index // by canonical column-list key
+	lazyIdx    map[string][]string     // declared, unbuilt; canonical cols by key
 	stats      *stats.Table            // last ANALYZE result; nil = never analyzed
 	statsStale bool                    // set by DML; stale stats are treated as absent
 
@@ -55,18 +65,61 @@ type Table struct {
 	// built lazily per column on first vectorized access. A version's
 	// rows are immutable (mutations are copy-on-write and produce a
 	// successor version, which starts cold), so entries never go stale.
-	// vecMu guards the map: snapshots are shared across queries.
+	// vecMu guards both maps: snapshots are shared across queries.
+	// segDecs holds the per-column segment decoders of a segment-backed
+	// version; they fill group-at-a-time, so pruned scans never decode
+	// the bytes of skipped row groups.
 	vecMu   sync.Mutex
 	vecCols map[int]*vec.Vector
+	segDecs map[int]*colstore.ColumnDecoder
+
+	// segs is the columnar segment this version was loaded from, when
+	// the durable format is columnar (internal/colstore via csvio).
+	// VecColumn then decodes columns from segment bytes instead of
+	// re-converting the row store, and the planner prunes row groups
+	// against the segment's zone maps. Mutations drop it: a successor
+	// version's rows no longer match the segment (the next checkpoint
+	// writes a fresh one).
+	segs *colstore.Reader
 }
 
-// VecColumn returns the memoized columnar form of column c, converting
-// and caching it on first access.
+// AttachSegments installs the columnar segment reader backing this
+// table version's rows. The caller (csvio.LoadFS) guarantees the
+// segment holds exactly Rel's rows in Rel's column order.
+func (t *Table) AttachSegments(r *colstore.Reader) { t.segs = r }
+
+// Segments returns the columnar segment reader backing this version,
+// or nil when the version is not segment-backed (CSV-loaded tables and
+// post-mutation versions).
+func (t *Table) Segments() *colstore.Reader { return t.segs }
+
+// VecColumn returns the memoized columnar form of column c — decoded
+// from the backing segment when one is attached, converted from the row
+// store otherwise — converting and caching it on first access.
 func (t *Table) VecColumn(c int) *vec.Vector {
+	return t.VecColumnPruned(c, nil)
+}
+
+// VecColumnPruned is VecColumn for a scan that will skip the row
+// groups marked in skip (the zone-map prune set; see
+// colstore.PruneGroups): on a segment-backed version only the
+// remaining groups are decoded, and the skipped regions of the shared
+// vector stay undecoded until some later scan needs them. The scan
+// must not read rows of skipped groups — exec.VecScan's SegPrune
+// windows guarantee that. skip is ignored for row-store tables.
+func (t *Table) VecColumnPruned(c int, skip []bool) *vec.Vector {
 	t.vecMu.Lock()
 	defer t.vecMu.Unlock()
 	if v, ok := t.vecCols[c]; ok {
 		return v
+	}
+	if t.segs != nil {
+		if v := t.segColumn(c, skip); v != nil {
+			return v
+		}
+		// The segment passed its checksums at load, so a decode error
+		// here means a bug, not corruption; fall back to the row store
+		// rather than fail the query.
 	}
 	if t.vecCols == nil {
 		t.vecCols = make(map[int]*vec.Vector)
@@ -74,6 +127,29 @@ func (t *Table) VecColumn(c int) *vec.Vector {
 	v := vec.ColumnVector(t.Rel.Tuples, c)
 	t.vecCols[c] = v
 	return v
+}
+
+// segColumn ensures column c's decoder exists and its non-skipped
+// groups are decoded, returning the shared vector (nil on decode
+// error). Caller holds vecMu; a group decodes at most once per table
+// version, and the mutex hand-off publishes the decoded region to
+// every scan that asks for it afterwards.
+func (t *Table) segColumn(c int, skip []bool) *vec.Vector {
+	dec, ok := t.segDecs[c]
+	if !ok {
+		var err error
+		if dec, err = t.segs.NewColumnDecoder(c); err != nil {
+			return nil
+		}
+		if t.segDecs == nil {
+			t.segDecs = make(map[int]*colstore.ColumnDecoder)
+		}
+		t.segDecs[c] = dec
+	}
+	if err := dec.EnsureGroups(skip); err != nil {
+		return nil
+	}
+	return dec.Vector()
 }
 
 // New returns an empty catalog at epoch 1.
@@ -85,8 +161,12 @@ func New() *Catalog {
 
 // newTable validates rel against the primary-key contract and builds a
 // fresh Table version (PK index included, mirroring §5.1's automatic
-// primary-key B+-trees).
-func newTable(name string, rel *relation.Relation, pk string) (*Table, error) {
+// primary-key B+-trees). When trusted is set — loaders replaying a
+// checksummed committed save, whose bytes provably round-trip a catalog
+// that already enforced the contract — the uniqueness scan is skipped
+// and the PK index is declared lazily instead of built, so cold start
+// pays for neither.
+func newTable(name string, rel *relation.Relation, pk string, trusted bool) (*Table, error) {
 	if rel.Schema.Depth() != 0 {
 		return nil, fmt.Errorf("catalog: base table %q must be flat", name)
 	}
@@ -95,17 +175,19 @@ func newTable(name string, rel *relation.Relation, pk string) (*Table, error) {
 		return nil, fmt.Errorf("catalog: table %q has no column %q for primary key", name, pk)
 	}
 	pkName := rel.Schema.Cols[pkIdx].Name
-	seen := make(map[string]struct{}, rel.Len())
-	for i, t := range rel.Tuples {
-		v := t.Atoms[pkIdx]
-		if v.IsNull() {
-			return nil, fmt.Errorf("catalog: table %q row %d: NULL primary key", name, i)
+	if !trusted {
+		seen := make(map[string]struct{}, rel.Len())
+		for i, t := range rel.Tuples {
+			v := t.Atoms[pkIdx]
+			if v.IsNull() {
+				return nil, fmt.Errorf("catalog: table %q row %d: NULL primary key", name, i)
+			}
+			k := string(v.AppendKey(nil))
+			if _, dup := seen[k]; dup {
+				return nil, fmt.Errorf("catalog: table %q row %d: duplicate primary key %s", name, i, v)
+			}
+			seen[k] = struct{}{}
 		}
-		k := string(v.AppendKey(nil))
-		if _, dup := seen[k]; dup {
-			return nil, fmt.Errorf("catalog: table %q row %d: duplicate primary key %s", name, i, v)
-		}
-		seen[k] = struct{}{}
 	}
 	t := &Table{
 		Name:    name,
@@ -113,6 +195,10 @@ func newTable(name string, rel *relation.Relation, pk string) (*Table, error) {
 		PK:      pkName,
 		NotNull: map[string]bool{pkName: true},
 		indexes: make(map[string]*index.Index),
+	}
+	if trusted {
+		t.lazyIdx = map[string][]string{indexKey([]string{pkName}): {pkName}}
+		return t, nil
 	}
 	if _, err := t.CreateIndex(pkName); err != nil {
 		return nil, err
@@ -127,6 +213,20 @@ func (c *Catalog) Create(name string, rel *relation.Relation, pk string) (*Table
 	tx := c.Begin()
 	defer tx.Rollback()
 	t, err := tx.Create(name, rel, pk)
+	if err != nil {
+		return nil, err
+	}
+	tx.Commit()
+	return t, nil
+}
+
+// CreateLoaded registers a table from a loader replaying a checksummed
+// committed save — see Tx.CreateLoaded for the trust contract: no
+// primary-key re-validation, PK index declared lazily.
+func (c *Catalog) CreateLoaded(name string, rel *relation.Relation, pk string) (*Table, error) {
+	tx := c.Begin()
+	defer tx.Rollback()
+	t, err := tx.CreateLoaded(name, rel, pk)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +288,14 @@ func (t *Table) IsNotNull(col string) bool {
 // ANALYZE pass) and clears any staleness mark. Construction-time only;
 // a live catalog uses Catalog.AnalyzeTable / Catalog.AnalyzeAll.
 func (t *Table) Analyze() *stats.Table {
-	t.stats = stats.Collect(t.Rel)
+	if t.segs != nil {
+		// Segment-backed versions seed the min/max/null pass from the
+		// zone maps collected at write time; the result is identical to
+		// an unseeded Collect, just cheaper.
+		t.stats = stats.CollectSeeded(t.Rel, t.segs.Seeds())
+	} else {
+		t.stats = stats.Collect(t.Rel)
+	}
 	t.statsStale = false
 	return t.stats
 }
@@ -328,6 +435,41 @@ func (t *Table) CreateIndex(cols ...string) (*index.Index, error) {
 		canonical[i] = t.Rel.Schema.Cols[j].Name
 	}
 	key := indexKey(canonical)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	return t.buildIndex(key, canonical)
+}
+
+// DeclareIndex registers an index on the given columns without building
+// it: the column list persists with the manifest and the index is built
+// on the first Index lookup that asks for it. Loaders use it so cold
+// start never pays for indexes no query uses.
+func (t *Table) DeclareIndex(cols ...string) error {
+	canonical := make([]string, len(cols))
+	for i, c := range cols {
+		j := t.Rel.Schema.ColIndex(c)
+		if j < 0 {
+			return fmt.Errorf("catalog: table %q has no column %q", t.Name, c)
+		}
+		canonical[i] = t.Rel.Schema.Cols[j].Name
+	}
+	key := indexKey(canonical)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if _, ok := t.indexes[key]; ok {
+		return nil
+	}
+	if t.lazyIdx == nil {
+		t.lazyIdx = make(map[string][]string)
+	}
+	t.lazyIdx[key] = canonical
+	return nil
+}
+
+// buildIndex returns the built index for key, promoting a lazy
+// declaration or building a fresh index over canonical. Caller holds
+// idxMu.
+func (t *Table) buildIndex(key string, canonical []string) (*index.Index, error) {
 	if idx, ok := t.indexes[key]; ok {
 		return idx, nil
 	}
@@ -336,10 +478,14 @@ func (t *Table) CreateIndex(cols ...string) (*index.Index, error) {
 		return nil, err
 	}
 	t.indexes[key] = idx
+	delete(t.lazyIdx, key)
 	return idx, nil
 }
 
 // Index returns the index on exactly the given column list, or nil.
+// A declared-but-unbuilt index (trusted loads defer building) is built
+// here on first lookup; the promotion is synchronized, so snapshots
+// stay safe to share across queries.
 func (t *Table) Index(cols ...string) *index.Index {
 	canonical := make([]string, len(cols))
 	for i, c := range cols {
@@ -349,7 +495,20 @@ func (t *Table) Index(cols ...string) *index.Index {
 		}
 		canonical[i] = t.Rel.Schema.Cols[j].Name
 	}
-	return t.indexes[indexKey(canonical)]
+	key := indexKey(canonical)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if idx, ok := t.indexes[key]; ok {
+		return idx
+	}
+	if spec, ok := t.lazyIdx[key]; ok {
+		idx, err := t.buildIndex(key, spec)
+		if err != nil {
+			return nil
+		}
+		return idx
+	}
+	return nil
 }
 
 // DropIndex removes the index on the given column list, if present. The
@@ -364,21 +523,35 @@ func (t *Table) DropIndex(cols ...string) {
 		}
 		canonical[i] = t.Rel.Schema.Cols[j].Name
 	}
-	delete(t.indexes, indexKey(canonical))
+	key := indexKey(canonical)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	delete(t.indexes, key)
+	delete(t.lazyIdx, key)
 }
 
-// Indexes lists the column sets of all indexes, sorted.
+// Indexes lists the column sets of all indexes — built and declared —
+// sorted.
 func (t *Table) Indexes() [][]string {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	var keys []string
-	byKey := make(map[string]*index.Index, len(t.indexes))
+	byKey := make(map[string][]string, len(t.indexes)+len(t.lazyIdx))
 	for k, v := range t.indexes {
 		keys = append(keys, k)
-		byKey[k] = v
+		byKey[k] = v.Columns()
+	}
+	for k, cols := range t.lazyIdx {
+		if _, ok := byKey[k]; ok {
+			continue
+		}
+		keys = append(keys, k)
+		byKey[k] = cols
 	}
 	sort.Strings(keys)
 	out := make([][]string, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, byKey[k].Columns())
+		out = append(out, byKey[k])
 	}
 	return out
 }

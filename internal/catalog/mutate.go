@@ -25,25 +25,40 @@ func (t *Table) clone() *Table {
 	for k, v := range t.NotNull {
 		nn[k] = v
 	}
+	// Lazy index promotion mutates published versions under idxMu, so
+	// the copy must hold it too.
+	t.idxMu.Lock()
 	idx := make(map[string]*index.Index, len(t.indexes))
 	for k, v := range t.indexes {
 		idx[k] = v
 	}
+	var lazy map[string][]string
+	if len(t.lazyIdx) > 0 {
+		lazy = make(map[string][]string, len(t.lazyIdx))
+		for k, v := range t.lazyIdx {
+			lazy[k] = v
+		}
+	}
+	t.idxMu.Unlock()
 	return &Table{
 		Name:       t.Name,
 		Rel:        t.Rel,
 		PK:         t.PK,
 		NotNull:    nn,
 		indexes:    idx,
+		lazyIdx:    lazy,
 		stats:      t.stats,
 		statsStale: t.statsStale,
+		segs:       t.segs, // same rows, still segment-backed
 	}
 }
 
 // withTuples builds the successor version of t over a new tuple slice:
-// fresh relation, rebuilt indexes, statistics marked stale.
+// fresh relation, rebuilt indexes, statistics marked stale, and the
+// backing columnar segment detached — its bytes describe the old rows.
 func (t *Table) withTuples(tuples []relation.Tuple) (*Table, error) {
 	nt := t.clone()
+	nt.segs = nil
 	nt.Rel = &relation.Relation{Schema: t.Rel.Schema, Tuples: tuples}
 	for key, idx := range nt.indexes {
 		fresh, err := index.Build(nt.Rel, idx.Columns())

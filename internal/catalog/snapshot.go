@@ -66,7 +66,7 @@ func (s *Snapshot) Materialize() (*Catalog, error) {
 	c := New()
 	for _, name := range s.Names() {
 		t := s.tables[name]
-		nt, err := newTable(name, t.Rel.Clone(), unqualifiedPK(t))
+		nt, err := newTable(name, t.Rel.Clone(), unqualifiedPK(t), false)
 		if err != nil {
 			return nil, err
 		}
@@ -145,10 +145,23 @@ func (tx *Tx) Table(name string) (*Table, error) {
 
 // Create stages a new table (validated exactly like Catalog.Create).
 func (tx *Tx) Create(name string, rel *relation.Relation, pk string) (*Table, error) {
+	return tx.create(name, rel, pk, false)
+}
+
+// CreateLoaded stages a new table from a loader replaying a checksummed
+// committed save: the primary-key uniqueness scan is skipped (the bytes
+// provably round-trip a catalog that already enforced it) and the PK
+// index is declared lazily, built on first Index lookup. Never use it
+// on data that has not passed an integrity check.
+func (tx *Tx) CreateLoaded(name string, rel *relation.Relation, pk string) (*Table, error) {
+	return tx.create(name, rel, pk, true)
+}
+
+func (tx *Tx) create(name string, rel *relation.Relation, pk string, trusted bool) (*Table, error) {
 	if _, err := tx.Table(name); err == nil {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
-	t, err := newTable(name, rel, pk)
+	t, err := newTable(name, rel, pk, trusted)
 	if err != nil {
 		return nil, err
 	}

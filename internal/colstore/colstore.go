@@ -1,0 +1,292 @@
+// Package colstore implements the engine's binary columnar segment
+// format — the durable table representation that replaces CSV (which
+// remains as an import/export path; see internal/csvio).
+//
+// A segment file holds one table version, laid out column-major:
+//
+//	magic | dict sections | row-group blocks | footer JSON | tail
+//
+// String columns whose value set is small enough store a whole-column
+// dictionary once, in first-appearance order, so decoding reproduces
+// exactly the dictionary vec.ColumnVector would build from the row
+// store. Rows are split into fixed-size row groups (DefaultGroupRows,
+// always a multiple of 64 so NULL bitmaps slice on word boundaries and
+// vectorized predicate windows stay word-aligned); each group stores
+// one encoded block per column, preceded in the footer by a zone map —
+// min/max bounds, NULL count and row count — collected for free at
+// write time. Scans prune row groups against compiled predicates using
+// only the zone maps, before decoding any block bytes (PruneGroups),
+// and ANALYZE seeds its min/max/null pass from the same zones
+// (Reader.Seeds feeding stats.CollectSeeded).
+//
+// The footer is JSON (schema, encodings, block directory, zone maps)
+// and the 16-byte tail carries its length, a CRC-32 of its bytes and a
+// closing magic, so a reader can locate and verify the footer from the
+// end of the file alone. Torn or truncated files fail Open or decode
+// with an error, never a panic; the manifest-level CRC in csvio guards
+// the file as a whole.
+//
+// Encodings (one per column, chosen from the column's vector kind):
+//
+//	int    frame-of-reference bit-packing: per-group varint minimum,
+//	       a width byte, then deltas packed LSB-first into words
+//	float  raw IEEE-754 bits, 8 bytes per row, little-endian
+//	bool   one bit per row, packed into bitmap words
+//	dict   bit-packed codes into the whole-column dictionary
+//	str    length-prefixed raw strings (dictionary-overflow fallback)
+//	boxed  per-row kind tag + payload (mixed-kind or all-NULL columns)
+//
+// Every block starts with the group's NULL bitmap in vec.Bitmap's word
+// layout, so decoded vectors share bitmaps with the in-memory column
+// store byte-for-byte. Decoding a column yields a *vec.Vector that is
+// observationally identical to vec.ColumnVector over the row store —
+// the property the round-trip tests in this package assert — which is
+// what lets the vectorized executor run on decoded columns without a
+// parity caveat. See docs/STORAGE.md for the full layout diagram.
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// DefaultGroupRows is the default row-group size. It is a multiple of
+// the executor's batch size (1024) and of the bitmap word width (64),
+// so group boundaries are always word-aligned window starts.
+const DefaultGroupRows = 8192
+
+// DefaultDictMax is the default cap on dictionary entries per string
+// column before the writer falls back to raw strings.
+const DefaultDictMax = 1 << 16
+
+// Column encodings; the Enc field of ColMeta.
+const (
+	EncInt   = "int"   // frame-of-reference bit-packed int64
+	EncFloat = "float" // raw float64 bits
+	EncBool  = "bool"  // bit-packed booleans
+	EncDict  = "dict"  // bit-packed codes into a whole-column dictionary
+	EncStr   = "str"   // length-prefixed raw strings
+	EncBoxed = "boxed" // per-row kind tag + payload
+)
+
+const (
+	magicHeader = "NRSEG1\x00\n"
+	magicTail   = "NRS1"
+	tailLen     = 16 // u64 footer length + u32 footer CRC + 4-byte magic
+	version     = 1
+)
+
+// BlockRef locates an encoded byte range inside the segment file.
+type BlockRef struct {
+	Off int64 `json:"off"`
+	Len int64 `json:"len"`
+}
+
+// ColMeta describes one column of the segment: its (unqualified) name,
+// declared type, encoding, and — for dictionary-encoded strings — the
+// whole-column dictionary section.
+type ColMeta struct {
+	Name string
+	Type relation.Type
+	Enc  string
+	Dict BlockRef // zero when the encoding has no dictionary section
+}
+
+// Zone is the zone map of one column over one row group: the row and
+// NULL counts, and — when HasBounds — the smallest and largest non-NULL
+// value in the group under value.Less order. Bounds are withheld
+// (HasBounds false) for boxed columns, for all-NULL groups, and for
+// float groups containing NaN, whose ordering value.Compare cannot
+// decide; absent bounds make the group unprunable, never wrong.
+type Zone struct {
+	Rows      int
+	Nulls     int
+	HasBounds bool
+	Min, Max  value.Value
+}
+
+// GroupMeta is the footer entry of one row group: its height plus one
+// block reference and one zone map per column.
+type GroupMeta struct {
+	Rows   int
+	Blocks []BlockRef
+	Zones  []Zone
+}
+
+// Footer is the decoded segment directory.
+type Footer struct {
+	Version   int
+	Rows      int
+	GroupRows int
+	Cols      []ColMeta
+	Groups    []GroupMeta
+}
+
+// NumGroups returns the number of row groups.
+func (f *Footer) NumGroups() int { return len(f.Groups) }
+
+// --- footer JSON wire form -------------------------------------------
+//
+// int64 offsets round-trip exactly through encoding/json (full decimal
+// digits); float bounds are stored as hex-encoded IEEE-754 bits because
+// JSON numbers cannot carry every float64 (nor ±Inf) losslessly.
+
+type footerJSON struct {
+	Version   int         `json:"version"`
+	Rows      int         `json:"rows"`
+	GroupRows int         `json:"group_rows"`
+	Cols      []colJSON   `json:"cols"`
+	Groups    []groupJSON `json:"groups"`
+}
+
+type colJSON struct {
+	Name string    `json:"name"`
+	Type string    `json:"type"`
+	Enc  string    `json:"enc"`
+	Dict *BlockRef `json:"dict,omitempty"`
+}
+
+type groupJSON struct {
+	Rows   int        `json:"rows"`
+	Blocks []BlockRef `json:"blocks"`
+	Zones  []zoneJSON `json:"zones"`
+}
+
+type zoneJSON struct {
+	Rows  int      `json:"rows"`
+	Nulls int      `json:"nulls"`
+	Min   *valJSON `json:"min,omitempty"`
+	Max   *valJSON `json:"max,omitempty"`
+}
+
+type valJSON struct {
+	K string `json:"k"`
+	I int64  `json:"i,omitempty"`
+	F string `json:"f,omitempty"`
+	S string `json:"s,omitempty"`
+	B bool   `json:"b,omitempty"`
+}
+
+func valToJSON(v value.Value) (*valJSON, error) {
+	switch v.Kind() {
+	case value.KindInt:
+		return &valJSON{K: "int", I: v.Int64()}, nil
+	case value.KindFloat:
+		return &valJSON{K: "float", F: strconv.FormatUint(math.Float64bits(v.Float64()), 16)}, nil
+	case value.KindString:
+		return &valJSON{K: "str", S: v.Text()}, nil
+	case value.KindBool:
+		return &valJSON{K: "bool", B: v.Truth() == value.True}, nil
+	}
+	return nil, fmt.Errorf("colstore: zone bound of kind %v", v.Kind())
+}
+
+func valFromJSON(j *valJSON) (value.Value, error) {
+	switch j.K {
+	case "int":
+		return value.Int(j.I), nil
+	case "float":
+		bits, err := strconv.ParseUint(j.F, 16, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("colstore: bad float bound %q: %w", j.F, err)
+		}
+		return value.Float(math.Float64frombits(bits)), nil
+	case "str":
+		return value.Str(j.S), nil
+	case "bool":
+		return value.Bool(j.B), nil
+	}
+	return value.Null, fmt.Errorf("colstore: unknown zone bound kind %q", j.K)
+}
+
+func (f *Footer) marshal() ([]byte, error) {
+	j := footerJSON{Version: f.Version, Rows: f.Rows, GroupRows: f.GroupRows}
+	for _, c := range f.Cols {
+		cj := colJSON{Name: c.Name, Type: c.Type.String(), Enc: c.Enc}
+		if c.Dict != (BlockRef{}) {
+			d := c.Dict
+			cj.Dict = &d
+		}
+		j.Cols = append(j.Cols, cj)
+	}
+	for _, g := range f.Groups {
+		gj := groupJSON{Rows: g.Rows, Blocks: g.Blocks}
+		for _, z := range g.Zones {
+			zj := zoneJSON{Rows: z.Rows, Nulls: z.Nulls}
+			if z.HasBounds {
+				mn, err := valToJSON(z.Min)
+				if err != nil {
+					return nil, err
+				}
+				mx, err := valToJSON(z.Max)
+				if err != nil {
+					return nil, err
+				}
+				zj.Min, zj.Max = mn, mx
+			}
+			gj.Zones = append(gj.Zones, zj)
+		}
+		j.Groups = append(j.Groups, gj)
+	}
+	return json.Marshal(j)
+}
+
+func unmarshalFooter(data []byte) (*Footer, error) {
+	var j footerJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("colstore: footer: %w", err)
+	}
+	f := &Footer{Version: j.Version, Rows: j.Rows, GroupRows: j.GroupRows}
+	for _, cj := range j.Cols {
+		ty, err := typeByName(cj.Type)
+		if err != nil {
+			return nil, err
+		}
+		c := ColMeta{Name: cj.Name, Type: ty, Enc: cj.Enc}
+		if cj.Dict != nil {
+			c.Dict = *cj.Dict
+		}
+		f.Cols = append(f.Cols, c)
+	}
+	for _, gj := range j.Groups {
+		g := GroupMeta{Rows: gj.Rows, Blocks: gj.Blocks}
+		for _, zj := range gj.Zones {
+			z := Zone{Rows: zj.Rows, Nulls: zj.Nulls}
+			if zj.Min != nil && zj.Max != nil {
+				mn, err := valFromJSON(zj.Min)
+				if err != nil {
+					return nil, err
+				}
+				mx, err := valFromJSON(zj.Max)
+				if err != nil {
+					return nil, err
+				}
+				z.HasBounds, z.Min, z.Max = true, mn, mx
+			}
+			g.Zones = append(g.Zones, z)
+		}
+		f.Groups = append(f.Groups, g)
+	}
+	return f, nil
+}
+
+func typeByName(s string) (relation.Type, error) {
+	switch s {
+	case "INTEGER":
+		return relation.TInt, nil
+	case "FLOAT":
+		return relation.TFloat, nil
+	case "VARCHAR":
+		return relation.TString, nil
+	case "BOOLEAN":
+		return relation.TBool, nil
+	case "ANY":
+		return relation.TAny, nil
+	}
+	return relation.TAny, fmt.Errorf("colstore: unknown column type %q", s)
+}

@@ -1,0 +1,371 @@
+package colstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nra/internal/relation"
+	"nra/internal/stats"
+	"nra/internal/value"
+	"nra/internal/vec"
+)
+
+// buildRel assembles a flat relation; each column is a []value.Value.
+func buildRel(name string, names []string, types []relation.Type, cols ...[]value.Value) *relation.Relation {
+	sc := &relation.Schema{Name: name}
+	for i, n := range names {
+		sc.Cols = append(sc.Cols, relation.Column{Name: n, Type: types[i]})
+	}
+	rel := relation.New(sc)
+	if len(cols) == 0 {
+		return rel
+	}
+	for r := range cols[0] {
+		tp := relation.Tuple{Atoms: make([]value.Value, len(cols))}
+		for c := range cols {
+			tp.Atoms[c] = cols[c][r]
+		}
+		rel.Append(tp)
+	}
+	return rel
+}
+
+// roundTrip writes rel and reopens it, failing the test on any error.
+func roundTrip(t *testing.T, rel *relation.Relation, opt WriteOptions) *Reader {
+	t.Helper()
+	data, err := Write(rel, opt)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	r, err := Open(data)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return r
+}
+
+// assertRelEqual compares two relations tuple-for-tuple under
+// value.Identical (so NaNs and -0.0 compare by identity, not ordering).
+func assertRelEqual(t *testing.T, got, want *relation.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("rows: got %d want %d", got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		for c := range want.Tuples[i].Atoms {
+			g, w := got.Tuples[i].Atoms[c], want.Tuples[i].Atoms[c]
+			if !value.Identical(g, w) {
+				t.Fatalf("row %d col %d: got %v want %v", i, c, g, w)
+			}
+		}
+	}
+}
+
+// assertVectorParity checks a decoded column is observationally
+// identical to vec.ColumnVector over the original rows: same kind, same
+// per-row values and NULL bits, and for dictionary strings the same
+// codes and first-appearance dictionary.
+func assertVectorParity(t *testing.T, got *vec.Vector, rel *relation.Relation, c int) {
+	t.Helper()
+	want := vec.ColumnVector(rel.Tuples, c)
+	if got.Kind != want.Kind {
+		t.Fatalf("col %d kind: got %v want %v", c, got.Kind, want.Kind)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("col %d len: got %d want %d", c, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.IsNull(i) != want.IsNull(i) {
+			t.Fatalf("col %d row %d null: got %v want %v", c, i, got.IsNull(i), want.IsNull(i))
+		}
+		if !value.Identical(got.Value(i), want.Value(i)) {
+			t.Fatalf("col %d row %d: got %v want %v", c, i, got.Value(i), want.Value(i))
+		}
+	}
+	if want.Kind == value.KindString {
+		if len(got.Dict) != len(want.Dict) {
+			t.Fatalf("col %d dict size: got %d want %d", c, len(got.Dict), len(want.Dict))
+		}
+		for i := range want.Dict {
+			if got.Dict[i] != want.Dict[i] {
+				t.Fatalf("col %d dict[%d]: got %q want %q", c, i, got.Dict[i], want.Dict[i])
+			}
+			if got.Codes[i] != want.Codes[i] {
+				t.Fatalf("col %d code[%d]: got %d want %d", c, i, got.Codes[i], want.Codes[i])
+			}
+		}
+	}
+	// Typed payloads in NULL slots stay zero, like the in-memory store.
+	for i := 0; i < want.Len(); i++ {
+		if !got.IsNull(i) {
+			continue
+		}
+		switch got.Kind {
+		case value.KindInt, value.KindBool:
+			if got.Ints[i] != 0 {
+				t.Fatalf("col %d row %d: NULL slot holds %d", c, i, got.Ints[i])
+			}
+		case value.KindFloat:
+			if got.Floats[i] != 0 {
+				t.Fatalf("col %d row %d: NULL slot holds %v", c, i, got.Floats[i])
+			}
+		case value.KindString:
+			if got.Codes[i] != 0 {
+				t.Fatalf("col %d row %d: NULL slot holds code %d", c, i, got.Codes[i])
+			}
+		}
+	}
+}
+
+func checkRoundTrip(t *testing.T, rel *relation.Relation, opt WriteOptions) *Reader {
+	t.Helper()
+	r := roundTrip(t, rel, opt)
+	back, err := r.RelationFor(rel.Schema)
+	if err != nil {
+		t.Fatalf("RelationFor: %v", err)
+	}
+	assertRelEqual(t, back, rel)
+	for c := range rel.Schema.Cols {
+		got, err := r.Column(c)
+		if err != nil {
+			t.Fatalf("Column(%d): %v", c, err)
+		}
+		assertVectorParity(t, got, rel, c)
+	}
+	return r
+}
+
+// randomRel generates a mixed-type relation with NULL skew for the
+// property tests.
+func randomRel(rng *rand.Rand, rows int) *relation.Relation {
+	names := []string{"t.a", "t.b", "t.c", "t.d"}
+	types := []relation.Type{relation.TInt, relation.TFloat, relation.TString, relation.TBool}
+	cols := make([][]value.Value, 4)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for r := 0; r < rows; r++ {
+		for c := range cols {
+			if rng.Intn(5) == 0 {
+				cols[c] = append(cols[c], value.Null)
+				continue
+			}
+			switch c {
+			case 0:
+				cols[c] = append(cols[c], value.Int(rng.Int63n(2000)-1000))
+			case 1:
+				cols[c] = append(cols[c], value.Float(rng.NormFloat64()*100))
+			case 2:
+				cols[c] = append(cols[c], value.Str(words[rng.Intn(len(words))]))
+			case 3:
+				cols[c] = append(cols[c], value.Bool(rng.Intn(2) == 0))
+			}
+		}
+	}
+	return buildRel("t", names, types, cols...)
+}
+
+func TestRoundTripTypedColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range []int{1, 63, 64, 65, 200, 1000} {
+		rel := randomRel(rng, rows)
+		r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+		wantGroups := (rows + 63) / 64
+		if r.Footer().NumGroups() != wantGroups {
+			t.Fatalf("rows=%d: %d groups, want %d", rows, r.Footer().NumGroups(), wantGroups)
+		}
+	}
+}
+
+func TestRoundTripEmptyTable(t *testing.T) {
+	rel := buildRel("t", []string{"t.a", "t.b"}, []relation.Type{relation.TInt, relation.TString})
+	r := checkRoundTrip(t, rel, WriteOptions{})
+	if r.Rows() != 0 || r.Footer().NumGroups() != 0 {
+		t.Fatalf("empty table: rows=%d groups=%d", r.Rows(), r.Footer().NumGroups())
+	}
+}
+
+func TestRoundTripAllNullColumn(t *testing.T) {
+	n := 130
+	nulls := make([]value.Value, n)
+	ints := make([]value.Value, n)
+	for i := range ints {
+		ints[i] = value.Int(int64(i))
+	}
+	rel := buildRel("t", []string{"t.a", "t.b"}, []relation.Type{relation.TInt, relation.TString}, ints, nulls)
+	r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+	if enc := r.Footer().Cols[1].Enc; enc != EncBoxed {
+		t.Fatalf("all-NULL column encoded as %q, want %q", enc, EncBoxed)
+	}
+	for g := 0; g < r.Footer().NumGroups(); g++ {
+		z := r.Footer().Groups[g].Zones[1]
+		if z.HasBounds || z.Nulls != z.Rows {
+			t.Fatalf("group %d zone: %+v", g, z)
+		}
+	}
+}
+
+func TestRoundTripSingleRowSegment(t *testing.T) {
+	rel := buildRel("t", []string{"t.a", "t.b", "t.c"},
+		[]relation.Type{relation.TInt, relation.TFloat, relation.TString},
+		[]value.Value{value.Int(-42)}, []value.Value{value.Float(3.5)}, []value.Value{value.Str("only")})
+	r := checkRoundTrip(t, rel, WriteOptions{})
+	if r.Footer().NumGroups() != 1 || r.Footer().Groups[0].Rows != 1 {
+		t.Fatalf("single row segment: %+v", r.Footer().Groups)
+	}
+}
+
+func TestRoundTripDictionaryOverflow(t *testing.T) {
+	n := 256
+	strs := make([]value.Value, n)
+	for i := range strs {
+		strs[i] = value.Str(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%17)))
+	}
+	rel := buildRel("t", []string{"t.s"}, []relation.Type{relation.TString}, strs)
+	r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64, DictMax: 8})
+	if enc := r.Footer().Cols[0].Enc; enc != EncStr {
+		t.Fatalf("overflowing column encoded as %q, want %q", enc, EncStr)
+	}
+
+	// The same data under a roomy cap dictionary-encodes.
+	few := make([]value.Value, n)
+	for i := range few {
+		few[i] = value.Str([]string{"x", "y", "z"}[i%3])
+	}
+	rel2 := buildRel("t", []string{"t.s"}, []relation.Type{relation.TString}, few)
+	r2 := checkRoundTrip(t, rel2, WriteOptions{GroupRows: 64})
+	if enc := r2.Footer().Cols[0].Enc; enc != EncDict {
+		t.Fatalf("low-cardinality column encoded as %q, want %q", enc, EncDict)
+	}
+}
+
+func TestRoundTripFloatSpecials(t *testing.T) {
+	vals := []value.Value{
+		value.Float(math.NaN()),
+		value.Float(math.Inf(1)),
+		value.Float(math.Inf(-1)),
+		value.Float(math.Copysign(0, -1)),
+		value.Float(0),
+		value.Null,
+		value.Float(math.MaxFloat64),
+		value.Float(math.SmallestNonzeroFloat64),
+	}
+	rel := buildRel("t", []string{"t.f"}, []relation.Type{relation.TFloat}, vals)
+	r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+	z := r.Footer().Groups[0].Zones[0]
+	if z.HasBounds {
+		t.Fatalf("NaN-bearing group published bounds %v..%v", z.Min, z.Max)
+	}
+	// Without the NaN the bounds come back, surviving the hex-bits JSON
+	// round trip with ±Inf intact.
+	rel2 := buildRel("t", []string{"t.f"}, []relation.Type{relation.TFloat}, vals[1:])
+	r2 := checkRoundTrip(t, rel2, WriteOptions{GroupRows: 64})
+	z2 := r2.Footer().Groups[0].Zones[0]
+	if !z2.HasBounds || !math.IsInf(z2.Min.Float64(), -1) || !math.IsInf(z2.Max.Float64(), 1) {
+		t.Fatalf("zone bounds %v..%v (HasBounds=%v)", z2.Min, z2.Max, z2.HasBounds)
+	}
+}
+
+func TestRoundTripIntExtremes(t *testing.T) {
+	vals := []value.Value{
+		value.Int(math.MaxInt64), value.Int(math.MinInt64), value.Int(0), value.Null, value.Int(1),
+	}
+	rel := buildRel("t", []string{"t.i"}, []relation.Type{relation.TInt}, vals)
+	checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+}
+
+func TestRoundTripMixedKindColumn(t *testing.T) {
+	vals := []value.Value{value.Int(1), value.Str("two"), value.Float(3.5), value.Bool(true), value.Null}
+	rel := buildRel("t", []string{"t.m"}, []relation.Type{relation.TAny}, vals)
+	r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+	if enc := r.Footer().Cols[0].Enc; enc != EncBoxed {
+		t.Fatalf("mixed column encoded as %q, want %q", enc, EncBoxed)
+	}
+}
+
+func TestRoundTripBoolColumn(t *testing.T) {
+	n := 150
+	vals := make([]value.Value, n)
+	for i := range vals {
+		switch i % 3 {
+		case 0:
+			vals[i] = value.Bool(true)
+		case 1:
+			vals[i] = value.Bool(false)
+		default:
+			vals[i] = value.Null
+		}
+	}
+	rel := buildRel("t", []string{"t.b"}, []relation.Type{relation.TBool}, vals)
+	r := checkRoundTrip(t, rel, WriteOptions{GroupRows: 64})
+	if enc := r.Footer().Cols[0].Enc; enc != EncBool {
+		t.Fatalf("bool column encoded as %q, want %q", enc, EncBool)
+	}
+}
+
+func TestWriteRejectsBadShapes(t *testing.T) {
+	rel := buildRel("t", []string{"t.a"}, []relation.Type{relation.TInt}, []value.Value{value.Int(1)})
+	if _, err := Write(rel, WriteOptions{GroupRows: 100}); err == nil {
+		t.Fatal("unaligned group size accepted")
+	}
+	nested := relation.New(&relation.Schema{Name: "n", Subs: []relation.Sub{{Name: "g", Schema: rel.Schema}}})
+	if _, err := Write(nested, WriteOptions{}); err == nil {
+		t.Fatal("nested schema accepted")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rel := randomRel(rng, 100)
+	data, err := Write(rel, WriteOptions{GroupRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation either fails Open or fails decode — never panics
+	// and never silently yields rows.
+	for cut := 0; cut < len(data); cut++ {
+		r, err := Open(data[:cut])
+		if err != nil {
+			continue
+		}
+		if _, err := r.RelationFor(rel.Schema); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	// A flipped byte in the footer region breaks the checksum.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-tailLen-10] ^= 0xff
+	if _, err := Open(corrupt); err == nil {
+		t.Fatal("corrupted footer accepted")
+	}
+}
+
+func TestSeedsMatchCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rel := randomRel(rng, 500)
+	r := roundTrip(t, rel, WriteOptions{GroupRows: 64})
+	seeds := r.Seeds()
+	want := stats.Collect(rel)
+	got := stats.CollectSeeded(rel, seeds)
+	for i, c := range want.Cols {
+		g := got.Cols[i]
+		if g.Nulls != c.Nulls || !value.Identical(g.Min, c.Min) || !value.Identical(g.Max, c.Max) {
+			t.Fatalf("col %s: seeded {nulls %d, %v..%v} vs collected {nulls %d, %v..%v}",
+				c.Name, g.Nulls, g.Min, g.Max, c.Nulls, c.Min, c.Max)
+		}
+		if g.NDV != c.NDV || g.Width != c.Width {
+			t.Fatalf("col %s: seeded NDV/width %v/%v vs %v/%v", c.Name, g.NDV, g.Width, c.NDV, c.Width)
+		}
+	}
+	// NaN groups withhold the seed; CollectSeeded falls back cleanly.
+	vals := []value.Value{value.Float(1), value.Float(math.NaN()), value.Float(-2)}
+	nanRel := buildRel("t", []string{"t.f"}, []relation.Type{relation.TFloat}, vals)
+	nr := roundTrip(t, nanRel, WriteOptions{GroupRows: 64})
+	if nr.Seeds()[0].Valid {
+		t.Fatal("NaN column produced a valid seed")
+	}
+	nGot := stats.CollectSeeded(nanRel, nr.Seeds())
+	nWant := stats.Collect(nanRel)
+	if !value.Identical(nGot.Cols[0].Min, nWant.Cols[0].Min) || !value.Identical(nGot.Cols[0].Max, nWant.Cols[0].Max) {
+		t.Fatal("fallback column stats diverge from Collect")
+	}
+}

@@ -1,0 +1,402 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+
+	"nra/internal/relation"
+	"nra/internal/value"
+	"nra/internal/vec"
+)
+
+// WriteOptions tunes the segment writer. The zero value selects the
+// defaults.
+type WriteOptions struct {
+	// GroupRows is the row-group height; 0 selects DefaultGroupRows.
+	// It must be a multiple of 64 so every group starts on a bitmap
+	// word boundary (the vectorized executor's alignment contract).
+	GroupRows int
+	// DictMax caps dictionary entries per string column; 0 selects
+	// DefaultDictMax. Columns exceeding it store raw strings.
+	DictMax int
+}
+
+// Write encodes a flat relation into a columnar segment file image.
+// Columns are converted through vec.ColumnVector, so the bytes encode
+// exactly what the in-memory column store would hold; footer column
+// names are stored unqualified, matching the csvio manifest convention.
+func Write(rel *relation.Relation, opt WriteOptions) ([]byte, error) {
+	if len(rel.Schema.Subs) > 0 {
+		return nil, fmt.Errorf("colstore: cannot store nested schema %s", rel.Schema.Name)
+	}
+	groupRows := opt.GroupRows
+	if groupRows == 0 {
+		groupRows = DefaultGroupRows
+	}
+	if groupRows <= 0 || groupRows%64 != 0 {
+		return nil, fmt.Errorf("colstore: group size %d is not a positive multiple of 64", groupRows)
+	}
+	dictMax := opt.DictMax
+	if dictMax == 0 {
+		dictMax = DefaultDictMax
+	}
+
+	rows, ncols := rel.Len(), len(rel.Schema.Cols)
+	ft := &Footer{Version: version, Rows: rows, GroupRows: groupRows}
+	buf := []byte(magicHeader)
+
+	// Convert every column up front and pick its encoding.
+	cols := make([]*vec.Vector, ncols)
+	for c, sc := range rel.Schema.Cols {
+		v := vec.ColumnVector(rel.Tuples, c)
+		cols[c] = v
+		cm := ColMeta{Name: unqualify(sc.Name), Type: sc.Type, Enc: encodingFor(v, rows, dictMax)}
+		if cm.Enc == EncDict {
+			// Whole-column dictionary section, first-appearance order:
+			// decoded vectors share codes with vec.ColumnVector exactly.
+			off := int64(len(buf))
+			buf = binary.AppendUvarint(buf, uint64(len(v.Dict)))
+			for _, s := range v.Dict {
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+			cm.Dict = BlockRef{Off: off, Len: int64(len(buf)) - off}
+		}
+		ft.Cols = append(ft.Cols, cm)
+	}
+
+	for start := 0; start < rows; start += groupRows {
+		end := start + groupRows
+		if end > rows {
+			end = rows
+		}
+		g := GroupMeta{Rows: end - start}
+		for c, v := range cols {
+			off := int64(len(buf))
+			var err error
+			buf, err = appendBlock(buf, ft.Cols[c].Enc, v, start, end)
+			if err != nil {
+				return nil, err
+			}
+			g.Blocks = append(g.Blocks, BlockRef{Off: off, Len: int64(len(buf)) - off})
+			g.Zones = append(g.Zones, collectZone(ft.Cols[c].Enc, v, start, end))
+		}
+		ft.Groups = append(ft.Groups, g)
+	}
+
+	fj, err := ft.marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, fj...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(fj)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(fj))
+	buf = append(buf, magicTail...)
+	return buf, nil
+}
+
+// encodingFor picks the column encoding from the converted vector's
+// kind. String dictionaries fall back to raw strings when the
+// dictionary would hold more than DictMax entries or more than 3/4 of
+// the column's non-NULL values (the dictionary would cost more than it
+// saves).
+func encodingFor(v *vec.Vector, rows, dictMax int) string {
+	switch v.Kind {
+	case value.KindInt:
+		return EncInt
+	case value.KindFloat:
+		return EncFloat
+	case value.KindBool:
+		return EncBool
+	case value.KindString:
+		nonNull := rows - popcount(v.Nulls)
+		if len(v.Dict) > dictMax || len(v.Dict)*4 > nonNull*3 {
+			return EncStr
+		}
+		return EncDict
+	default:
+		return EncBoxed
+	}
+}
+
+func popcount(b vec.Bitmap) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// appendBlock encodes rows [start, end) of one column. Every block
+// leads with the group's NULL bitmap words; start is a multiple of 64
+// (the writer's group-size contract) so the window slices the column
+// bitmap on word boundaries.
+func appendBlock(buf []byte, enc string, v *vec.Vector, start, end int) ([]byte, error) {
+	n := end - start
+	buf = appendBitmapWindow(buf, v.Nulls, start, n)
+	switch enc {
+	case EncInt:
+		return appendIntBlock(buf, v, start, end), nil
+	case EncFloat:
+		for i := start; i < end; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Floats[i]))
+		}
+		return buf, nil
+	case EncBool:
+		words := make([]uint64, value.NullWords(n))
+		for i := start; i < end; i++ {
+			if v.Ints[i] != 0 {
+				words[(i-start)>>6] |= 1 << (uint(i-start) & 63)
+			}
+		}
+		return appendWords(buf, words), nil
+	case EncDict:
+		width := codeWidth(len(v.Dict))
+		buf = append(buf, byte(width))
+		return appendPacked(buf, width, n, func(i int) uint64 { return uint64(v.Codes[start+i]) }), nil
+	case EncStr:
+		for i := start; i < end; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			s := v.Dict[v.Codes[i]]
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		return buf, nil
+	case EncBoxed:
+		for i := start; i < end; i++ {
+			buf = appendBoxed(buf, v.Vals[i])
+		}
+		return buf, nil
+	}
+	return nil, fmt.Errorf("colstore: unknown encoding %q", enc)
+}
+
+// appendIntBlock writes frame-of-reference bit-packed int64s: a varint
+// minimum, a width byte, then (value - minimum) deltas packed LSB-first
+// into little-endian words. NULL rows pack delta 0 and are re-zeroed on
+// decode. The delta range is computed in uint64 two's complement so a
+// full-range int64 column cannot overflow.
+func appendIntBlock(buf []byte, v *vec.Vector, start, end int) []byte {
+	n := end - start
+	var mn, mx int64
+	seen := false
+	for i := start; i < end; i++ {
+		if v.Nulls.Get(i) {
+			continue
+		}
+		x := v.Ints[i]
+		if !seen {
+			mn, mx, seen = x, x, true
+		} else if x < mn {
+			mn = x
+		} else if x > mx {
+			mx = x
+		}
+	}
+	if !seen {
+		mn, mx = 0, 0
+	}
+	width := bits.Len64(uint64(mx) - uint64(mn))
+	buf = binary.AppendVarint(buf, mn)
+	buf = append(buf, byte(width))
+	return appendPacked(buf, width, n, func(i int) uint64 {
+		if v.Nulls.Get(start + i) {
+			return 0
+		}
+		return uint64(v.Ints[start+i]) - uint64(mn)
+	})
+}
+
+// appendPacked packs n width-bit values LSB-first into little-endian
+// uint64 words. width 0 writes nothing (every value is 0).
+func appendPacked(buf []byte, width, n int, get func(i int) uint64) []byte {
+	if width == 0 {
+		return buf
+	}
+	words := make([]uint64, (n*width+63)/64)
+	for i := 0; i < n; i++ {
+		x := get(i) & widthMask(width)
+		p := i * width
+		words[p>>6] |= x << (uint(p) & 63)
+		if rem := 64 - (p & 63); rem < width {
+			words[p>>6+1] |= x >> uint(rem)
+		}
+	}
+	return appendWords(buf, words)
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}
+
+// codeWidth returns the packed bit width for dictionary codes.
+func codeWidth(dictLen int) int {
+	if dictLen <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(dictLen - 1))
+}
+
+// appendBitmapWindow copies bits [start, start+n) of b — start is
+// word-aligned — masking slack bits of the last word to zero.
+func appendBitmapWindow(buf []byte, b vec.Bitmap, start, n int) []byte {
+	words := make([]uint64, value.NullWords(n))
+	copy(words, b[start>>6:])
+	if rem := n & 63; rem != 0 && len(words) > 0 {
+		words[len(words)-1] &= 1<<uint(rem) - 1
+	}
+	return appendWords(buf, words)
+}
+
+func appendWords(buf []byte, words []uint64) []byte {
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// Boxed payload tags, one byte per row ahead of the payload.
+const (
+	boxNull  = 0
+	boxInt   = 1
+	boxFloat = 2
+	boxStr   = 3
+	boxBool  = 4
+)
+
+func appendBoxed(buf []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.KindInt:
+		buf = append(buf, boxInt)
+		return binary.AppendVarint(buf, v.Int64())
+	case value.KindFloat:
+		buf = append(buf, boxFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float64()))
+	case value.KindString:
+		buf = append(buf, boxStr)
+		s := v.Text()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		return append(buf, s...)
+	case value.KindBool:
+		b := byte(0)
+		if v.Truth() == value.True {
+			b = 1
+		}
+		return append(buf, boxBool, b)
+	default:
+		return append(buf, boxNull)
+	}
+}
+
+// collectZone computes the zone map of rows [start, end): row and NULL
+// counts always; min/max bounds when the group's ordering is decidable
+// (see Zone).
+func collectZone(enc string, v *vec.Vector, start, end int) Zone {
+	z := Zone{Rows: end - start}
+	for i := start; i < end; i++ {
+		if v.Nulls.Get(i) {
+			z.Nulls++
+		}
+	}
+	if enc == EncBoxed || z.Nulls == z.Rows {
+		return z
+	}
+	switch enc {
+	case EncInt:
+		var mn, mx int64
+		seen := false
+		for i := start; i < end; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			x := v.Ints[i]
+			if !seen {
+				mn, mx, seen = x, x, true
+			} else if x < mn {
+				mn = x
+			} else if x > mx {
+				mx = x
+			}
+		}
+		z.HasBounds, z.Min, z.Max = true, value.Int(mn), value.Int(mx)
+	case EncFloat:
+		var mn, mx float64
+		seen := false
+		for i := start; i < end; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			x := v.Floats[i]
+			if math.IsNaN(x) {
+				// NaN defeats value.Compare's ordering; withhold bounds
+				// so the group is never pruned.
+				return z
+			}
+			if !seen {
+				mn, mx, seen = x, x, true
+			} else {
+				if x < mn {
+					mn = x
+				}
+				if x > mx {
+					mx = x
+				}
+			}
+		}
+		z.HasBounds, z.Min, z.Max = true, value.Float(mn), value.Float(mx)
+	case EncBool:
+		var mn, mx int64 = 1, 0
+		for i := start; i < end; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			if v.Ints[i] < mn {
+				mn = v.Ints[i]
+			}
+			if v.Ints[i] > mx {
+				mx = v.Ints[i]
+			}
+		}
+		z.HasBounds, z.Min, z.Max = true, value.Bool(mn != 0), value.Bool(mx != 0)
+	case EncDict, EncStr:
+		var mn, mx string
+		seen := false
+		for i := start; i < end; i++ {
+			if v.Nulls.Get(i) {
+				continue
+			}
+			s := v.Dict[v.Codes[i]]
+			if !seen {
+				mn, mx, seen = s, s, true
+			} else {
+				if s < mn {
+					mn = s
+				}
+				if s > mx {
+					mx = s
+				}
+			}
+		}
+		z.HasBounds, z.Min, z.Max = true, value.Str(mn), value.Str(mx)
+	}
+	return z
+}
+
+// unqualify strips a table qualifier prefix, mirroring csvio's manifest
+// naming so footers and manifests agree on column names.
+func unqualify(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,182 @@
+package colstore
+
+import (
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// PruneGroups evaluates pred against every row group's zone maps and
+// returns skip[g] = true for each group the zones prove contains no row
+// satisfying pred — no row where pred evaluates TRUE under 3VL, the
+// filter-keep condition. (The engine's two-valued mode needs no special
+// case here: 2VL predicates reach the planner already rewritten by
+// expr.TwoValued into 3VL expressions with the same keep set.) scanned
+// counts the groups left standing; total is the group count. skip is
+// nil when nothing was pruned (schema mismatch, no prunable shape in
+// pred, or zones too wide), letting callers skip the per-group check.
+//
+// The evaluator computes, per group, an over-approximation of the set
+// of truth values pred can take on the group's rows. A group is skipped
+// only when TRUE is not in that set. Unrecognized expression shapes,
+// withheld bounds and cross-kind comparisons (which the row engine
+// reports as type errors) all widen the set to {T, F, U}, so they
+// disable pruning rather than change results. The same pure function
+// backs both the runtime scan and EXPLAIN's static
+// `segments: scanned/total` annotation, so the two always agree.
+func PruneGroups(pred expr.Expr, s *relation.Schema, ft *Footer) (skip []bool, scanned, total int) {
+	total = len(ft.Groups)
+	if pred == nil || len(s.Cols) != len(ft.Cols) || total == 0 {
+		return nil, total, total
+	}
+	skip = make([]bool, total)
+	any := false
+	for g := range ft.Groups {
+		p := zoneEval(pred, s, &ft.Groups[g])
+		if !p.t {
+			skip[g] = true
+			any = true
+		} else {
+			scanned++
+		}
+	}
+	if !any {
+		return nil, total, total
+	}
+	return skip, scanned, total
+}
+
+// poss is the set of truth values a predicate may take over a row
+// group; every evaluation rule may over-approximate (include extra
+// members) but never under-approximate, which keeps skipping sound.
+type poss struct{ t, f, u bool }
+
+func allPoss() poss { return poss{t: true, f: true, u: true} }
+
+// zoneEval returns the possible truth values of e over group g.
+func zoneEval(e expr.Expr, s *relation.Schema, g *GroupMeta) poss {
+	switch n := e.(type) {
+	case expr.Cmp:
+		return zoneCmp(n, s, g)
+	case expr.Logic:
+		l, r := zoneEval(n.L, s, g), zoneEval(n.R, s, g)
+		if n.Op == expr.OpAnd {
+			return poss{t: l.t && r.t, f: l.f || r.f, u: l.u || r.u}
+		}
+		return poss{t: l.t || r.t, f: l.f && r.f, u: l.u || r.u}
+	case expr.Not:
+		k := zoneEval(n.E, s, g)
+		return poss{t: k.f, f: k.t, u: k.u}
+	case expr.IsNull:
+		col, ok := n.E.(expr.Column)
+		if !ok {
+			if lit, isLit := n.E.(expr.Lit); isLit {
+				return triPoss(value.TriOf(lit.V.IsNull() != n.Negate))
+			}
+			return allPoss()
+		}
+		ci := s.ColIndex(col.Name)
+		if ci < 0 {
+			return allPoss()
+		}
+		z := &g.Zones[ci]
+		isNull := poss{t: z.Nulls > 0, f: z.Nulls < z.Rows}
+		if n.Negate {
+			isNull.t, isNull.f = isNull.f, isNull.t
+		}
+		return isNull
+	case expr.Lit:
+		if n.V.IsNull() {
+			return poss{u: true}
+		}
+		if n.V.Kind() == value.KindBool {
+			return triPoss(n.V.Truth())
+		}
+		return allPoss()
+	}
+	return allPoss()
+}
+
+func triPoss(t value.Tri) poss {
+	switch t {
+	case value.True:
+		return poss{t: true}
+	case value.False:
+		return poss{f: true}
+	default:
+		return poss{u: true}
+	}
+}
+
+// zoneCmp bounds a column-vs-literal comparison (either operand order)
+// against the group's zone map. Any shape it cannot reason about — two
+// columns, arithmetic, missing bounds, a comparison value.Compare
+// rejects — yields the full set.
+func zoneCmp(c expr.Cmp, s *relation.Schema, g *GroupMeta) poss {
+	var col expr.Column
+	var lit value.Value
+	op := c.Op
+	switch l := c.L.(type) {
+	case expr.Column:
+		r, ok := c.R.(expr.Lit)
+		if !ok {
+			return allPoss()
+		}
+		col, lit = l, r.V
+	case expr.Lit:
+		r, ok := c.R.(expr.Column)
+		if !ok {
+			return allPoss()
+		}
+		col, lit, op = r, l.V, op.Flip()
+	default:
+		return allPoss()
+	}
+	ci := s.ColIndex(col.Name)
+	if ci < 0 {
+		return allPoss()
+	}
+	z := &g.Zones[ci]
+
+	var p poss
+	if lit.IsNull() {
+		// NULL on either side makes every row's comparison Unknown.
+		p.u = z.Rows > 0
+		return p
+	}
+	if nonNull := z.Rows - z.Nulls; nonNull > 0 {
+		if !z.HasBounds {
+			p.t, p.f = true, true
+		} else {
+			cMin, okMin, errMin := value.Compare(z.Min, lit)
+			cMax, okMax, errMax := value.Compare(z.Max, lit)
+			if errMin != nil || errMax != nil || !okMin || !okMax {
+				// The row engine would raise a type error here; keep the
+				// group so it still does.
+				return allPoss()
+			}
+			switch op {
+			case expr.Eq:
+				p.t = cMin <= 0 && cMax >= 0
+				p.f = cMin != 0 || cMax != 0
+			case expr.Ne:
+				p.t = cMin != 0 || cMax != 0
+				p.f = cMin <= 0 && cMax >= 0
+			case expr.Lt:
+				p.t, p.f = cMin < 0, cMax >= 0
+			case expr.Le:
+				p.t, p.f = cMin <= 0, cMax > 0
+			case expr.Gt:
+				p.t, p.f = cMax > 0, cMin <= 0
+			case expr.Ge:
+				p.t, p.f = cMax >= 0, cMin < 0
+			default:
+				return allPoss()
+			}
+		}
+	}
+	if z.Nulls > 0 {
+		p.u = true
+	}
+	return p
+}

@@ -1,0 +1,129 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"nra/internal/expr"
+	"nra/internal/relation"
+	"nra/internal/value"
+)
+
+// TestPruneGroupsSelective checks that a selective predicate over a
+// clustered column actually skips groups, and that the skip set lines
+// up with the zone bounds.
+func TestPruneGroupsSelective(t *testing.T) {
+	n := 640 // ten groups of 64
+	ints := make([]value.Value, n)
+	for i := range ints {
+		ints[i] = value.Int(int64(i))
+	}
+	rel := buildRel("t", []string{"t.a"}, []relation.Type{relation.TInt}, ints)
+	r := roundTrip(t, rel, WriteOptions{GroupRows: 64})
+
+	pred := expr.Compare(expr.Lt, expr.Col("t.a"), expr.Val(int64(100)))
+	skip, scanned, total := PruneGroups(pred, rel.Schema, r.Footer())
+	if total != 10 || scanned != 2 {
+		t.Fatalf("scanned %d/%d groups, want 2/10", scanned, total)
+	}
+	for g := 0; g < total; g++ {
+		wantSkip := g >= 2 // groups [128,192) onward hold only a >= 128
+		if skip[g] != wantSkip {
+			t.Fatalf("group %d: skip=%v want %v", g, skip[g], wantSkip)
+		}
+	}
+
+	// An unselective predicate returns a nil skip set.
+	wide := expr.Compare(expr.Ge, expr.Col("t.a"), expr.Val(int64(0)))
+	if skip, scanned, total := PruneGroups(wide, rel.Schema, r.Footer()); skip != nil || scanned != total {
+		t.Fatalf("unselective predicate pruned %d/%d", total-scanned, total)
+	}
+
+	// A never-true predicate prunes everything.
+	none := expr.Compare(expr.Gt, expr.Col("t.a"), expr.Val(int64(10000)))
+	if _, scanned, _ := PruneGroups(none, rel.Schema, r.Footer()); scanned != 0 {
+		t.Fatalf("impossible predicate still scans %d groups", scanned)
+	}
+}
+
+// TestPruneGroupsSoundness drives random predicates over random data
+// and asserts the fundamental property: a pruned group contains no row
+// on which the predicate evaluates to TRUE under the row engine.
+func TestPruneGroupsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"alpha", "beta", "gamma", "delta"}
+
+	randLit := func(kind int) expr.Expr {
+		switch kind {
+		case 0:
+			return expr.Lit{V: value.Int(rng.Int63n(2000) - 1000)}
+		case 1:
+			return expr.Lit{V: value.Float(rng.NormFloat64() * 100)}
+		case 2:
+			return expr.Lit{V: value.Str(words[rng.Intn(len(words))])}
+		default:
+			return expr.Lit{V: value.Null}
+		}
+	}
+	colForKind := []string{"t.a", "t.b", "t.c"}
+	ops := []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+
+	var randPred func(depth int) expr.Expr
+	randPred = func(depth int) expr.Expr {
+		if depth > 0 && rng.Intn(2) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return expr.Logic{Op: expr.OpAnd, L: randPred(depth - 1), R: randPred(depth - 1)}
+			case 1:
+				return expr.Logic{Op: expr.OpOr, L: randPred(depth - 1), R: randPred(depth - 1)}
+			default:
+				return expr.Not{E: randPred(depth - 1)}
+			}
+		}
+		if rng.Intn(6) == 0 {
+			return expr.IsNull{E: expr.Col(colForKind[rng.Intn(3)]), Negate: rng.Intn(2) == 0}
+		}
+		kind := rng.Intn(3)
+		col := expr.Col(colForKind[kind])
+		lit := randLit(kind)
+		if rng.Intn(8) == 0 {
+			lit = expr.Lit{V: value.Null}
+		}
+		op := ops[rng.Intn(len(ops))]
+		if rng.Intn(2) == 0 {
+			return expr.Compare(op, col, lit)
+		}
+		return expr.Compare(op.Flip(), lit, col)
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		rel := randomRel(rng, 64*(1+rng.Intn(6)))
+		r := roundTrip(t, rel, WriteOptions{GroupRows: 64})
+		pred := randPred(3)
+		skip, _, total := PruneGroups(pred, rel.Schema, r.Footer())
+		if skip == nil {
+			continue
+		}
+		compiled, err := expr.Compile(pred, rel.Schema)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, pred, err)
+		}
+		groupRows := r.Footer().GroupRows
+		for g := 0; g < total; g++ {
+			if !skip[g] {
+				continue
+			}
+			start := g * groupRows
+			end := start + r.Footer().Groups[g].Rows
+			for i := start; i < end; i++ {
+				tri, err := compiled.Truth(rel.Tuples[i])
+				if err != nil {
+					t.Fatalf("trial %d: pruned group %d raises %v under the row engine (pred %s)", trial, g, err, pred)
+				}
+				if tri == value.True {
+					t.Fatalf("trial %d: pruned group %d contains a TRUE row %d (pred %s)", trial, g, i, pred)
+				}
+			}
+		}
+	}
+}

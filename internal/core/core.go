@@ -88,6 +88,14 @@ type Options struct {
 	// back to its row implementation per operator. EXPLAIN annotates
 	// each operator [batch] or [row: reason].
 	Vectorized bool
+	// NoZoneMapPruning disables row-group pruning against columnar
+	// segment zone maps on the vectorized scan path (docs/STORAGE.md).
+	// Pruning never changes results — skipped groups are proven empty
+	// under the predicate's 3VL truth set by the segment min/max/null
+	// zone maps — so this switch exists for the storage ablation and for
+	// debugging, not for correctness. No effect on row execution or on
+	// catalogs without attached segments.
+	NoZoneMapPruning bool
 	// Parallelism is the degree of partitioned parallelism for the hash-
 	// join and nest/linking-selection pipeline: joins hash-partition build
 	// and probe across workers, and the fused nest + linking selection

@@ -148,6 +148,9 @@ func (p *planner) explainBlock(b *strings.Builder, blk *sql.Block, depth int) {
 	if p.opt.Vectorized && p.vecGate() == "" {
 		fmt.Fprintf(b, "  [%s]", p.reduceVecLabel(blk))
 	}
+	if lbl := p.segPruneLabel(blk); lbl != "" {
+		fmt.Fprintf(b, "  [%s]", lbl)
+	}
 	b.WriteByte('\n')
 	for _, l := range blk.Links {
 		if p.antijoin2VLOK(blk, p.q.Root, l) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nra/internal/algebra"
+	"nra/internal/colstore"
 	"nra/internal/exec"
 	"nra/internal/expr"
 	"nra/internal/opt"
@@ -370,7 +371,8 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 		if !p.vecCostOK(float64(base.Len())) {
 			p.vecNote(fmt.Sprintf("reduce T%d", b.ID+1), "below vectorization threshold")
 		} else {
-			vo, vb, reason, err := exec.VecReduce(p.ec, base, local, p.needed[b.ID], bt.Table.VecColumn)
+			colsrc, prune := p.segPrune(bt, base, local)
+			vo, vb, reason, err := exec.VecReduce(p.ec, base, local, p.needed[b.ID], colsrc, prune)
 			if err != nil {
 				return nil, err
 			}
@@ -393,6 +395,29 @@ func (p *planner) reduceSingle(b *sql.Block) (*relation.Relation, error) {
 	p.trace("T%d := σ_θ(%s)  → %d tuples", b.ID+1, bt.Ref.Table, out.Len())
 	p.done(sp, p.estCard(b), out.Len())
 	return out, nil
+}
+
+// segPrune prepares a single-table reduction's zone-map pruning: when
+// the table version is segment-backed (columnar durable format) and
+// the segment still describes exactly base's rows, the local predicate
+// is tested against every row group's zone maps. Groups proved free of
+// matches are skipped by the scan AND left undecoded by the column
+// source. Returns the plain memoized column store and a nil prune
+// whenever pruning does not apply — the scan then behaves exactly as
+// before segments existed.
+func (p *planner) segPrune(bt *sql.BlockTable, base *relation.Relation, pred expr.Expr) (func(int) *vec.Vector, *exec.SegPrune) {
+	t := bt.Table
+	segs := t.Segments()
+	if segs == nil || pred == nil || p.opt.NoZoneMapPruning || segs.Rows() != base.Len() {
+		return t.VecColumn, nil
+	}
+	skip, scanned, total := colstore.PruneGroups(pred, base.Schema, segs.Footer())
+	if skip == nil {
+		return t.VecColumn, nil
+	}
+	p.trace("zone maps prune %s: %d/%d row groups scanned", bt.Ref.Table, scanned, total)
+	prune := &exec.SegPrune{GroupRows: segs.Footer().GroupRows, Skip: skip}
+	return func(c int) *vec.Vector { return t.VecColumnPruned(c, skip) }, prune
 }
 
 func blockTables(b *sql.Block) string {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"nra/internal/colstore"
 	"nra/internal/expr"
 	"nra/internal/opt"
 	"nra/internal/sql"
@@ -78,6 +79,32 @@ func (p *planner) reduceVecLabel(b *sql.Block) string {
 		}
 	}
 	return "batch"
+}
+
+// segPruneLabel renders EXPLAIN's static `segments: scanned/total`
+// annotation for a single-table block whose table version is
+// segment-backed and whose local predicate runs on the batch path. It
+// calls the same colstore.PruneGroups the runtime scan uses, so the
+// numbers are exactly what execution will do on this snapshot.
+func (p *planner) segPruneLabel(b *sql.Block) string {
+	if !p.opt.Vectorized || p.vecGate() != "" || p.opt.NoZoneMapPruning || len(b.Tables) != 1 {
+		return ""
+	}
+	bt := b.Tables[0]
+	segs := bt.Table.Segments()
+	if segs == nil || segs.Rows() != bt.Table.Rel.Len() {
+		return ""
+	}
+	local, err := p.q.LowerAll(b.Local)
+	if err != nil || local == nil {
+		return ""
+	}
+	local = p.filterExpr(local)
+	if _, ok := vec.CompilePred(local, bt.Schema); !ok {
+		return "" // row fallback scans every group
+	}
+	_, scanned, total := colstore.PruneGroups(local, bt.Schema, segs.Footer())
+	return fmt.Sprintf("segments: %d/%d", scanned, total)
 }
 
 // linkJoinVecLabel classifies a link edge's outer join for the static

@@ -1,16 +1,30 @@
-// Package csvio persists a catalog to a directory of CSV files plus a
+// Package csvio persists a catalog to a directory of data files plus a
 // JSON manifest (schema, primary keys, NOT NULL constraints, indexes),
-// and loads it back. NULL is encoded as `\N` and string cells beginning
-// with a backslash get one extra leading backslash, so every value —
-// including empty strings and literal `\N` text — survives a round trip.
-// Non-string values render via their SQL text form and parse back under
-// the manifest's column types.
+// and loads it back. Despite the historical package name it writes two
+// formats, selected per save and recorded per table in the manifest:
 //
-// Crash consistency. A save never overwrites live data in place:
+//   - Columnar segments (`<table>.<gen>.seg`, internal/colstore) — the
+//     default, native format: per-column encodings, row-group zone maps
+//     and a checksummed footer, loaded by binary decode and attached to
+//     each table as its lazy column store (see docs/STORAGE.md).
+//   - CSV (`<table>.<gen>.csv`) — the import/export path. NULL is
+//     encoded as `\N` and string cells beginning with a backslash get
+//     one extra leading backslash, so every value — including empty
+//     strings and literal `\N` text — survives a round trip. Non-string
+//     values render via their SQL text form and parse back under the
+//     manifest's column types.
+//
+// A directory may mix formats table-by-table (e.g. after a partial CSV
+// export into a columnar directory); Load dispatches on each manifest
+// entry's format field, so migration in either direction is just a
+// re-save.
+//
+// Crash consistency — identical for both formats. A save never
+// overwrites live data in place:
 //
 //  1. Each table's rows are written to a fresh generation-named file
-//     (`<table>.<gen>.csv`) via temp file + fsync + rename, so no file a
-//     manifest references is ever half-written.
+//     via temp file + fsync + rename, so no file a manifest references
+//     is ever half-written.
 //  2. The manifest — which names the exact files and their CRC32 —
 //     is itself written via temp file + fsync + rename. That rename is
 //     the commit point: before it, a reader (or a reboot) sees the old
@@ -38,6 +52,7 @@ import (
 	"strings"
 
 	"nra/internal/catalog"
+	"nra/internal/colstore"
 	"nra/internal/relation"
 	"nra/internal/stats"
 	"nra/internal/value"
@@ -48,6 +63,41 @@ const (
 	manifestName = "catalog.json"
 	nullToken    = `\N`
 )
+
+// Format selects the on-disk representation of table data files.
+type Format int
+
+const (
+	// FormatColumnar writes binary columnar segments (internal/colstore)
+	// — the native format and the default for every save.
+	FormatColumnar Format = iota
+	// FormatCSV writes generation-named CSV files — the import/export
+	// path, kept for interoperability.
+	FormatCSV
+)
+
+// String returns the format's name as used on CLI flags.
+func (f Format) String() string {
+	if f == FormatCSV {
+		return "csv"
+	}
+	return "columnar"
+}
+
+// ParseFormat maps a CLI flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "columnar", "colseg", "segment":
+		return FormatColumnar, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return FormatColumnar, fmt.Errorf("csvio: unknown storage format %q (want columnar or csv)", s)
+}
+
+// formatTag is the manifest marker for columnar tables; CSV entries
+// leave the field empty so pre-columnar manifests load unchanged.
+const formatTag = "colseg"
 
 // WALName is the file name of the DML journal kept next to the manifest
 // by durable sessions (internal/wal writes it; csvio only needs to know
@@ -73,6 +123,7 @@ type TableMeta struct {
 	PK      string           `json:"pk"`
 	File    string           `json:"file,omitempty"`
 	CRC     string           `json:"crc,omitempty"`
+	Format  string           `json:"format,omitempty"` // "" = CSV, "colseg" = columnar segment
 	Columns []ColumnMeta     `json:"columns"`
 	NotNull []string         `json:"not_null,omitempty"`
 	Indexes [][]string       `json:"indexes,omitempty"`
@@ -86,22 +137,38 @@ type ColumnMeta struct {
 }
 
 // Save writes the catalog's current snapshot into dir (created if
-// missing). When tables is non-empty, only the named tables are written;
-// see SaveFS for the exact semantics.
+// missing) in the native columnar format. When tables is non-empty,
+// only the named tables are written; see SaveFS for the exact
+// semantics.
 func Save(cat *catalog.Catalog, dir string, tables ...string) error {
 	_, err := SaveFS(vfs.OS, cat.Snapshot(), dir, tables...)
 	return err
 }
 
-// SaveFS atomically writes snap into dir through fs and returns the new
-// checkpoint number. A full save (no table filter) replaces the
-// directory's contents as one commit. A partial save writes only the
-// named tables but preserves every other table already saved there —
-// the merged manifest keeps their entries and files untouched; it is an
-// export convenience and therefore refuses to run in a directory with a
-// live WAL, where dropping the journal's tables from the commit would
-// corrupt recovery.
+// SaveCSV is Save in CSV format — the export path for directories that
+// other tools should read.
+func SaveCSV(cat *catalog.Catalog, dir string, tables ...string) error {
+	_, err := SaveFSAs(vfs.OS, cat.Snapshot(), dir, FormatCSV, tables...)
+	return err
+}
+
+// SaveFS atomically writes snap into dir through fs in the native
+// columnar format and returns the new checkpoint number. A full save
+// (no table filter) replaces the directory's contents as one commit. A
+// partial save writes only the named tables but preserves every other
+// table already saved there — the merged manifest keeps their entries
+// and files untouched; it is an export convenience and therefore
+// refuses to run in a directory with a live WAL, where dropping the
+// journal's tables from the commit would corrupt recovery.
 func SaveFS(fs vfs.FS, snap *catalog.Snapshot, dir string, tables ...string) (uint64, error) {
+	return SaveFSAs(fs, snap, dir, FormatColumnar, tables...)
+}
+
+// SaveFSAs is SaveFS with an explicit data-file format. Both formats
+// share the same commit protocol — generation-named data files, then
+// the manifest rename as the commit point, then orphan sweep — so
+// crash-consistency guarantees do not depend on the format chosen.
+func SaveFSAs(fs vfs.FS, snap *catalog.Snapshot, dir string, format Format, tables ...string) (uint64, error) {
 	if err := fs.MkdirAll(dir); err != nil {
 		return 0, err
 	}
@@ -135,7 +202,7 @@ func SaveFS(fs vfs.FS, snap *catalog.Snapshot, dir string, tables ...string) (ui
 		if err != nil {
 			return 0, err
 		}
-		meta, err := writeTable(fs, dir, tbl, man.Checkpoint)
+		meta, err := writeTable(fs, dir, tbl, man.Checkpoint, format)
 		if err != nil {
 			return 0, err
 		}
@@ -166,9 +233,12 @@ func SaveFS(fs vfs.FS, snap *catalog.Snapshot, dir string, tables ...string) (ui
 	return man.Checkpoint, nil
 }
 
-// writeTable persists one table version as `<name>.<gen>.csv` via temp
-// file + fsync + rename and returns its manifest entry.
-func writeTable(fs vfs.FS, dir string, tbl *catalog.Table, gen uint64) (TableMeta, error) {
+// writeTable persists one table version as `<name>.<gen>.seg` (or
+// `.csv`) via temp file + fsync + rename and returns its manifest
+// entry. The manifest CRC covers the whole data file in either format;
+// columnar segments additionally carry their own footer checksum, so a
+// torn segment is caught twice.
+func writeTable(fs vfs.FS, dir string, tbl *catalog.Table, gen uint64, format Format) (TableMeta, error) {
 	meta := TableMeta{Name: tbl.Name, PK: unqualify(tbl.PK)}
 	for _, c := range tbl.Rel.Schema.Cols {
 		meta.Columns = append(meta.Columns, ColumnMeta{Name: unqualify(c.Name), Type: c.Type.String()})
@@ -193,13 +263,25 @@ func writeTable(fs vfs.FS, dir string, tbl *catalog.Table, gen uint64) (TableMet
 		meta.Stats = ts.ToJSON()
 	}
 
-	var buf bytes.Buffer
-	if err := encodeCSV(&buf, tbl.Rel); err != nil {
-		return meta, err
+	var data []byte
+	if format == FormatColumnar {
+		seg, err := colstore.Write(tbl.Rel, colstore.WriteOptions{})
+		if err != nil {
+			return meta, fmt.Errorf("csvio: table %s: %w", tbl.Name, err)
+		}
+		data = seg
+		meta.File = fmt.Sprintf("%s.%d.seg", tbl.Name, gen)
+		meta.Format = formatTag
+	} else {
+		var buf bytes.Buffer
+		if err := encodeCSV(&buf, tbl.Rel); err != nil {
+			return meta, err
+		}
+		data = buf.Bytes()
+		meta.File = fmt.Sprintf("%s.%d.csv", tbl.Name, gen)
 	}
-	meta.File = fmt.Sprintf("%s.%d.csv", tbl.Name, gen)
-	meta.CRC = fmt.Sprintf("%08x", crc32.ChecksumIEEE(buf.Bytes()))
-	if err := atomicWrite(fs, dir, meta.File, buf.Bytes()); err != nil {
+	meta.CRC = fmt.Sprintf("%08x", crc32.ChecksumIEEE(data))
+	if err := atomicWrite(fs, dir, meta.File, data); err != nil {
 		return meta, err
 	}
 	return meta, nil
@@ -231,17 +313,19 @@ func atomicWrite(fs vfs.FS, dir, name string, data []byte) error {
 	return fs.SyncDir(dir)
 }
 
-// genFile matches generation-named CSV artifacts (`name.<gen>.csv`).
-var genFile = regexp.MustCompile(`\.[0-9]+\.csv$`)
+// genFile matches generation-named data artifacts (`name.<gen>.seg` and
+// `name.<gen>.csv`).
+var genFile = regexp.MustCompile(`\.[0-9]+\.(csv|seg)$`)
 
 // sweepOrphans removes save artifacts the manifest no longer references:
-// temp files and superseded CSV generations. It runs after the commit
-// point, so failures here can only leave extra files, never lose data;
-// Load performs the same sweep to converge after a crash.
+// temp files and superseded data-file generations of either format. It
+// runs after the commit point, so failures here can only leave extra
+// files, never lose data; Load performs the same sweep to converge
+// after a crash.
 func sweepOrphans(fs vfs.FS, dir string, man *Manifest) {
 	live := map[string]bool{manifestName: true, WALName: true}
 	for _, meta := range man.Tables {
-		live[meta.csvFile()] = true
+		live[meta.dataFile()] = true
 	}
 	names, err := fs.ReadDirNames(dir)
 	if err != nil {
@@ -257,15 +341,18 @@ func sweepOrphans(fs vfs.FS, dir string, man *Manifest) {
 	}
 }
 
-// csvFile returns the manifest entry's data file, defaulting to the
+// dataFile returns the manifest entry's data file, defaulting to the
 // pre-generation layout (`<name>.csv`) for manifests written before
 // checkpointing existed.
-func (m *TableMeta) csvFile() string {
+func (m *TableMeta) dataFile() string {
 	if m.File != "" {
 		return m.File
 	}
 	return m.Name + ".csv"
 }
+
+// columnar reports whether the entry's data file is a columnar segment.
+func (m *TableMeta) columnar() bool { return m.Format == formatTag }
 
 func encodeCSV(buf *bytes.Buffer, rel *relation.Relation) error {
 	w := csv.NewWriter(buf)
@@ -318,13 +405,28 @@ func LoadFS(fs vfs.FS, dir string) (*catalog.Catalog, uint64, error) {
 	sweepOrphans(fs, dir, man)
 	cat := catalog.New()
 	for _, meta := range man.Tables {
-		rel, err := loadTable(fs, dir, meta)
+		rel, segs, err := loadTable(fs, dir, meta)
 		if err != nil {
 			return nil, 0, err
 		}
-		tbl, err := cat.Create(meta.Name, rel, meta.PK)
+		// A CRC-bearing entry provably round-trips bytes Save wrote from
+		// a catalog that already enforced the PK contract, so the load
+		// skips re-validation and defers index builds to first use —
+		// cold start pays only for parsing/decoding. Legacy entries
+		// without a CRC get the full eager validation.
+		trusted := meta.CRC != ""
+		create := cat.Create
+		if trusted {
+			create = cat.CreateLoaded
+		}
+		tbl, err := create(meta.Name, rel, meta.PK)
 		if err != nil {
 			return nil, 0, err
+		}
+		if segs != nil {
+			// The segment reader becomes this table version's column
+			// store: vectorized scans decode columns lazily from it.
+			tbl.AttachSegments(segs)
 		}
 		for _, col := range meta.NotNull {
 			if err := tbl.SetNotNull(col); err != nil {
@@ -332,7 +434,12 @@ func LoadFS(fs vfs.FS, dir string) (*catalog.Catalog, uint64, error) {
 			}
 		}
 		for _, idx := range meta.Indexes {
-			if _, err := tbl.CreateIndex(idx...); err != nil {
+			if trusted {
+				err = tbl.DeclareIndex(idx...)
+			} else {
+				_, err = tbl.CreateIndex(idx...)
+			}
+			if err != nil {
 				return nil, 0, err
 			}
 		}
@@ -367,17 +474,58 @@ func readManifest(fs vfs.FS, dir string) (*Manifest, error) {
 	return &man, nil
 }
 
-func loadTable(fs vfs.FS, dir string, meta TableMeta) (*relation.Relation, error) {
-	path := filepath.Join(dir, meta.csvFile())
+// loadTable reads one manifest entry's data file. For columnar entries
+// it also returns the opened segment reader so LoadFS can attach it as
+// the table's column store; CSV entries return a nil reader.
+func loadTable(fs vfs.FS, dir string, meta TableMeta) (*relation.Relation, *colstore.Reader, error) {
+	path := filepath.Join(dir, meta.dataFile())
 	raw, err := fs.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("csvio: %w", err)
+		return nil, nil, fmt.Errorf("csvio: %w", err)
 	}
 	if meta.CRC != "" {
 		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(raw)); got != meta.CRC {
-			return nil, fmt.Errorf("csvio: %s: checksum %s does not match manifest %s (torn or corrupted file)", path, got, meta.CRC)
+			return nil, nil, fmt.Errorf("csvio: %s: checksum %s does not match manifest %s (torn or corrupted file)", path, got, meta.CRC)
 		}
 	}
+	schema, types, err := metaSchema(meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta.columnar() {
+		rdr, err := colstore.Open(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: %s: %w", path, err)
+		}
+		rel, err := rdr.RelationFor(schema)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: %s: %w", path, err)
+		}
+		return rel, rdr, nil
+	}
+	rel, err := decodeCSV(raw, path, meta, schema, types)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, nil, nil
+}
+
+// metaSchema builds the relation schema a manifest entry describes.
+func metaSchema(meta TableMeta) (*relation.Schema, []relation.Type, error) {
+	schema := &relation.Schema{Name: meta.Name}
+	types := make([]relation.Type, len(meta.Columns))
+	for i, c := range meta.Columns {
+		ty, err := typeByName(c.Type)
+		if err != nil {
+			return nil, nil, fmt.Errorf("csvio: table %s column %s: %w", meta.Name, c.Name, err)
+		}
+		types[i] = ty
+		schema.Cols = append(schema.Cols, relation.Column{Name: c.Name, Type: ty})
+	}
+	return schema, types, nil
+}
+
+func decodeCSV(raw []byte, path string, meta TableMeta, schema *relation.Schema, types []relation.Type) (*relation.Relation, error) {
 	records, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %s: %w", path, err)
@@ -389,17 +537,10 @@ func loadTable(fs vfs.FS, dir string, meta TableMeta) (*relation.Relation, error
 	if len(header) != len(meta.Columns) {
 		return nil, fmt.Errorf("csvio: %s: header has %d columns, manifest %d", path, len(header), len(meta.Columns))
 	}
-	schema := &relation.Schema{Name: meta.Name}
-	types := make([]relation.Type, len(meta.Columns))
 	for i, c := range meta.Columns {
 		if header[i] != c.Name {
 			return nil, fmt.Errorf("csvio: %s: column %d is %q, manifest says %q", path, i, header[i], c.Name)
 		}
-		types[i], err = typeByName(c.Type)
-		if err != nil {
-			return nil, fmt.Errorf("csvio: table %s column %s: %w", meta.Name, c.Name, err)
-		}
-		schema.Cols = append(schema.Cols, relation.Column{Name: c.Name, Type: types[i]})
 	}
 	rel := relation.New(schema)
 	for ri, rec := range records[1:] {

@@ -393,7 +393,7 @@ func TestStatsPersistence(t *testing.T) {
 func TestTamperedCSVRejected(t *testing.T) {
 	dir := t.TempDir()
 	cat := sampleCatalog(t)
-	if err := Save(cat, dir); err != nil {
+	if err := SaveCSV(cat, dir); err != nil {
 		t.Fatal(err)
 	}
 	csv := filepath.Join(dir, "t.1.csv")
@@ -409,6 +409,70 @@ func TestTamperedCSVRejected(t *testing.T) {
 	}
 }
 
+// TestTamperedSegmentRejected is the columnar twin: the manifest CRC
+// covers the whole segment file, so flipped bytes fail before the
+// segment's own footer checksum is even consulted.
+func TestTamperedSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "t.1.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered segment must fail the checksum, got %v", err)
+	}
+}
+
+// TestColumnarLoadAttachesSegments pins that a columnar load leaves the
+// table segment-backed (so scans can prune) and that a CSV load does not.
+func TestColumnarLoadAttachesSegments(t *testing.T) {
+	dir := t.TempDir()
+	cat := sampleCatalog(t)
+	if err := Save(cat, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := back.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := tbl.Segments()
+	if segs == nil {
+		t.Fatal("columnar load must attach a segment reader")
+	}
+	if segs.Rows() != tbl.Rel.Len() {
+		t.Fatalf("segment rows %d, relation rows %d", segs.Rows(), tbl.Rel.Len())
+	}
+
+	csvDir := t.TempDir()
+	if err := SaveCSV(cat, csvDir); err != nil {
+		t.Fatal(err)
+	}
+	back, err = Load(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err = back.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Segments() != nil {
+		t.Fatal("CSV load must not attach a segment reader")
+	}
+}
+
 // TestLegacyManifest pins backward compatibility: manifests written
 // before checkpointing existed (no file/crc fields) load via the
 // `<name>.csv` fallback without checksum verification, and statistics
@@ -419,7 +483,7 @@ func TestLegacyManifest(t *testing.T) {
 	if err := cat.AnalyzeTable("t"); err != nil {
 		t.Fatal(err)
 	}
-	if err := Save(cat, dir); err != nil {
+	if err := SaveCSV(cat, dir); err != nil {
 		t.Fatal(err)
 	}
 	var man Manifest

@@ -31,12 +31,36 @@ type BatchIterator interface {
 	Schema() *relation.Schema
 }
 
+// SegPrune tells a scan which segment row groups its predicate has
+// already disproved via zone maps (colstore.PruneGroups): group g
+// covers rows [g*GroupRows, (g+1)*GroupRows) and is skipped when
+// Skip[g] is true. The scan only ever *narrows* with it — skipped rows
+// are rows the caller proved can never pass the filter that runs
+// downstream — so a nil SegPrune is always safe. GroupRows must be a
+// multiple of 64 (the segment writer enforces this) so group
+// boundaries preserve the bitmap word alignment batch kernels need.
+type SegPrune struct {
+	GroupRows int
+	Skip      []bool
+}
+
+// skips reports whether the group holding absolute row r is pruned.
+func (p *SegPrune) skips(r int) bool {
+	if p == nil {
+		return false
+	}
+	g := r / p.GroupRows
+	return g < len(p.Skip) && p.Skip[g]
+}
+
 // VecScan produces batch windows over a flat materialized relation —
 // the vectorized counterpart of Scan. Construct with NewVecScan.
 type VecScan struct {
 	rel   *relation.Relation
 	batch *vec.Batch
 	pos   int
+	prune *SegPrune
+	read  int // rows actually windowed (excludes pruned groups)
 	ec    *ExecContext
 	sp    *obsv.Span
 }
@@ -80,10 +104,21 @@ func NewVecScanSrc(rel *relation.Relation, needed []bool, colsrc func(int) *vec.
 	return &VecScan{rel: rel, batch: b}, true
 }
 
+// SetPrune installs a zone-map skip set (see SegPrune). Must be called
+// before Open; ignored when p is nil, p.GroupRows is not a positive
+// multiple of 64, or p.Skip is empty.
+func (s *VecScan) SetPrune(p *SegPrune) {
+	if p == nil || p.GroupRows <= 0 || p.GroupRows%64 != 0 || len(p.Skip) == 0 {
+		return
+	}
+	s.prune = p
+}
+
 // Open implements BatchIterator.
 func (s *VecScan) Open(ec *ExecContext) error {
 	s.ec = ec
 	s.pos = 0
+	s.read = 0
 	if ec.Tracing() {
 		s.sp = ec.StartSpan("scan "+s.rel.Schema.Name, obsv.KindScan)
 	}
@@ -91,8 +126,16 @@ func (s *VecScan) Open(ec *ExecContext) error {
 }
 
 // NextBatch implements BatchIterator, yielding BatchSize-row windows.
+// With a SegPrune installed, windows additionally clamp to row-group
+// boundaries and pruned groups are jumped without touching their
+// vectors — the payoff of zone maps: column bytes for skipped groups
+// are never decoded, because the catalog's lazy column store only
+// materializes what a scan window reads.
 func (s *VecScan) NextBatch() (*vec.Batch, error) {
 	n := s.rel.Len()
+	for s.prune != nil && s.pos < n && s.prune.skips(s.pos) {
+		s.pos = (s.pos/s.prune.GroupRows + 1) * s.prune.GroupRows
+	}
 	if s.pos >= n {
 		return nil, nil
 	}
@@ -100,10 +143,16 @@ func (s *VecScan) NextBatch() (*vec.Batch, error) {
 		return nil, err
 	}
 	end := s.pos + BatchSize
+	if s.prune != nil {
+		if gEnd := (s.pos/s.prune.GroupRows + 1) * s.prune.GroupRows; end > gEnd {
+			end = gEnd
+		}
+	}
 	if end > n {
 		end = n
 	}
 	w := &vec.Batch{Schema: s.batch.Schema, Cols: s.batch.Cols, Start: s.pos, End: end}
+	s.read += end - s.pos
 	s.pos = end
 	s.sp.AddBatches(1)
 	return w, nil
@@ -113,7 +162,7 @@ func (s *VecScan) NextBatch() (*vec.Batch, error) {
 func (s *VecScan) Close() error {
 	if s.sp != nil {
 		s.sp.AddRowsIn(int64(s.rel.Len()))
-		s.sp.AddRowsOut(int64(s.pos))
+		s.sp.AddRowsOut(int64(s.read))
 		s.sp.End()
 		s.sp = nil
 	}
@@ -344,7 +393,13 @@ func (a *RowsFromBatches) Schema() *relation.Schema { return a.In.Schema() }
 // skip re-conversion. A non-empty reason means the batch engine does
 // not apply (nested input, or a predicate with no batch kernel) and the
 // caller must run the row path; out is then nil and err is nil.
-func VecReduce(ec *ExecContext, base *relation.Relation, pred expr.Expr, cols []string, colsrc func(int) *vec.Vector) (out *relation.Relation, ob *vec.Batch, reason string, err error) {
+//
+// prune, when non-nil, is the zone-map verdict on pred over the
+// table's backing segment (colstore.PruneGroups): row groups proved
+// free of matches. It is applied only when the compiled-predicate
+// batch path actually runs — the row fallback scans everything, so a
+// predicate the batch engine cannot compile costs correctness nothing.
+func VecReduce(ec *ExecContext, base *relation.Relation, pred expr.Expr, cols []string, colsrc func(int) *vec.Vector, prune *SegPrune) (out *relation.Relation, ob *vec.Batch, reason string, err error) {
 	defer Guard("reduce", &err)
 	// Convert only the columns the predicate reads or the projection
 	// keeps: base tables are wide, the reduction touches a handful.
@@ -371,6 +426,12 @@ func VecReduce(ec *ExecContext, base *relation.Relation, pred expr.Expr, cols []
 	scan, ok := NewVecScanSrc(base, needed, colsrc)
 	if !ok {
 		return nil, nil, "nested input", nil
+	}
+	if vp != nil {
+		// Sound only because the filter below would reject every row of
+		// a pruned group anyway; without a compiled predicate no groups
+		// were proved prunable (PruneGroups needs the same predicate).
+		scan.SetPrune(prune)
 	}
 	it := &VecProject{In: &VecFilter{In: scan, Pred: vp}, Cols: cols}
 	if err := it.Open(ec); err != nil {

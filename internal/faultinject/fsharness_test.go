@@ -19,10 +19,14 @@ import (
 // The FS crash-point matrix: a durable session (load → three journaled
 // DML commits → full save + WAL checkpoint) is run once per filesystem
 // operation with a crash injected exactly there, under both reboot
-// modes. After every crash, recovery must land on exactly the pre- or
-// post-state of some committed batch — never a torn state — must never
-// lose an acknowledged commit in LoseUnsynced mode, and must leave no
-// temp files behind.
+// modes and both on-disk formats (binary columnar segments and CSV).
+// After every crash, recovery must land on exactly the pre- or
+// post-state of some committed batch — never a torn state: a torn
+// segment write must be caught by the manifest CRC or segment
+// checksums and recovery must fall back to the committed manifest
+// boundary. Recovery must never lose an acknowledged commit in
+// LoseUnsynced mode, and must leave no temp files or orphan segment
+// generations behind.
 
 const faultDir = "/db"
 
@@ -56,11 +60,11 @@ var batches = []wal.Record{
 }
 
 // setup seeds a fresh filesystem with the durable base state: a full
-// save of the base catalog plus an empty journal.
-func setup(t *testing.T) *FaultFS {
+// save of the base catalog in the given format plus an empty journal.
+func setup(t *testing.T, format csvio.Format) *FaultFS {
 	t.Helper()
 	fsys := NewFaultFS()
-	if _, err := csvio.SaveFS(fsys, baseCatalog(t).Snapshot(), faultDir); err != nil {
+	if _, err := csvio.SaveFSAs(fsys, baseCatalog(t).Snapshot(), faultDir, format); err != nil {
 		t.Fatal(err)
 	}
 	l, err := wal.Open(fsys, filepath.Join(faultDir, csvio.WALName), 1, wal.SyncOnCommit)
@@ -75,7 +79,7 @@ func setup(t *testing.T) *FaultFS {
 // first, then the in-memory catalog), then runs a full save with a WAL
 // checkpoint. It returns how many batches were acknowledged (journal
 // append returned success) before any failure.
-func workload(fsys vfs.FS) (acked int, err error) {
+func workload(fsys vfs.FS, format csvio.Format) (acked int, err error) {
 	cat, ckpt, err := csvio.LoadFS(fsys, faultDir)
 	if err != nil {
 		return 0, err
@@ -102,7 +106,7 @@ func workload(fsys vfs.FS) (acked int, err error) {
 		}
 		acked++
 	}
-	newCkpt, err := csvio.SaveFS(fsys, cat.Snapshot(), faultDir)
+	newCkpt, err := csvio.SaveFSAs(fsys, cat.Snapshot(), faultDir, format)
 	if err != nil {
 		return acked, err
 	}
@@ -165,12 +169,20 @@ func committedStates(t *testing.T) []string {
 }
 
 func TestFSCrashPointMatrix(t *testing.T) {
+	for _, format := range []csvio.Format{csvio.FormatColumnar, csvio.FormatCSV} {
+		t.Run(format.String(), func(t *testing.T) {
+			crashPointMatrix(t, format)
+		})
+	}
+}
+
+func crashPointMatrix(t *testing.T, format csvio.Format) {
 	states := committedStates(t)
 
 	// Census: run the workload once, unarmed, to count its FS operations.
-	census := setup(t).RecordOps()
+	census := setup(t, format).RecordOps()
 	base := census.OpCount()
-	if acked, err := workload(census); err != nil || acked != len(batches) {
+	if acked, err := workload(census, format); err != nil || acked != len(batches) {
 		t.Fatalf("census run failed: acked=%d err=%v", acked, err)
 	}
 	total := census.OpCount()
@@ -186,8 +198,8 @@ func TestFSCrashPointMatrix(t *testing.T) {
 	for n := base + 1; n <= total; n++ {
 		for _, mode := range []RebootMode{LoseUnsynced, KeepAll} {
 			name := fmt.Sprintf("op%d/mode%d", n, mode)
-			fsys := setup(t).CrashAt(n)
-			acked, err := workload(fsys)
+			fsys := setup(t, format).CrashAt(n)
+			acked, err := workload(fsys, format)
 			if err == nil && !fsys.Crashed() {
 				t.Fatalf("%s: crash never fired", name)
 			}
@@ -226,7 +238,7 @@ func mustRecover(t *testing.T, fsys *FaultFS, name string) string {
 
 // assertDirClean pins the zero-leftovers invariant: after recovery the
 // directory holds only the manifest, the journal and manifest-referenced
-// CSV files — no temp files, no orphan generations.
+// data files (segments or CSV) — no temp files, no orphan generations.
 func assertDirClean(t *testing.T, fsys *FaultFS, name string) {
 	t.Helper()
 	names, err := fsys.ReadDirNames(faultDir)

@@ -64,9 +64,34 @@ func (t *Table) Col(name string) *Column {
 // statistics. Column names are stored unqualified so the same statistics
 // serve every alias of the table.
 func Collect(rel *relation.Relation) *Table {
+	return CollectSeeded(rel, nil)
+}
+
+// ColumnSeed carries write-time column facts — exact min/max bounds and
+// NULL counts folded from a columnar segment's zone maps — that
+// CollectSeeded uses in place of its own min/max/null pass. A seed is
+// used only when Valid and when Rows matches the relation, so stale or
+// withheld seeds degrade to a plain Collect of that column.
+type ColumnSeed struct {
+	Valid    bool
+	Rows     int         // rows the seed was collected over
+	Nulls    int         // NULL rows in the column
+	Min, Max value.Value // exact bounds under value.Less (Null when all-NULL)
+}
+
+// CollectSeeded is Collect with optional per-column seeds (indexed by
+// column position; nil or short slices mean no seed). Seeded columns
+// skip the per-row min/max comparisons and NULL counting; the output is
+// identical to Collect's because the seeds fold the same values under
+// the same ordering.
+func CollectSeeded(rel *relation.Relation, seeds []ColumnSeed) *Table {
 	t := &Table{Rows: rel.Len(), byName: make(map[string]*Column, len(rel.Schema.Cols))}
 	for ci, sc := range rel.Schema.Cols {
-		c := collectColumn(rel, ci)
+		var seed *ColumnSeed
+		if ci < len(seeds) && seeds[ci].Valid && seeds[ci].Rows == rel.Len() {
+			seed = &seeds[ci]
+		}
+		c := collectColumn(rel, ci, seed)
 		c.Name = unqualify(sc.Name)
 		t.Cols = append(t.Cols, c)
 		t.byName[c.Name] = c
@@ -74,7 +99,7 @@ func Collect(rel *relation.Relation) *Table {
 	return t
 }
 
-func collectColumn(rel *relation.Relation, ci int) *Column {
+func collectColumn(rel *relation.Relation, ci int, seed *ColumnSeed) *Column {
 	c := &Column{Rows: rel.Len(), Min: value.Null, Max: value.Null}
 	sk := newKMV(kmvK)
 	var nonNull []value.Value
@@ -94,13 +119,18 @@ func collectColumn(rel *relation.Relation, ci int) *Column {
 		if v.Kind() == value.KindString {
 			widthSum += float64(len(v.Text()))
 		}
-		if c.Min.IsNull() || value.Less(v, c.Min) {
-			c.Min = v
-		}
-		if c.Max.IsNull() || value.Less(c.Max, v) {
-			c.Max = v
+		if seed == nil {
+			if c.Min.IsNull() || value.Less(v, c.Min) {
+				c.Min = v
+			}
+			if c.Max.IsNull() || value.Less(c.Max, v) {
+				c.Max = v
+			}
 		}
 		nonNull = append(nonNull, v)
+	}
+	if seed != nil {
+		c.Nulls, c.Min, c.Max = seed.Nulls, seed.Min, seed.Max
 	}
 	if n := len(nonNull); n > 0 {
 		c.Width = widthSum / float64(n)

@@ -134,6 +134,25 @@ func Gather(v *Vector, idx []int32) *Vector {
 	return out
 }
 
+// NewVector allocates an all-NULL-clear vector of n rows with the
+// payload array for the given kind (value.KindNull allocates the boxed
+// fallback). Decoders — the columnar segment reader in
+// internal/colstore — fill the payload and NULL bitmap in place.
+func NewVector(kind value.Kind, n int) *Vector {
+	v := &Vector{Kind: kind, Nulls: NewBitmap(n), n: n}
+	switch kind {
+	case value.KindInt, value.KindBool:
+		v.Ints = make([]int64, n)
+	case value.KindFloat:
+		v.Floats = make([]float64, n)
+	case value.KindString:
+		v.Codes = make([]int32, n)
+	default:
+		v.Vals = make([]value.Value, n)
+	}
+	return v
+}
+
 // Len returns the row count.
 func (v *Vector) Len() int { return v.n }
 

@@ -86,6 +86,10 @@ type DB struct {
 	// planCache, when non-nil, caches analyzed statements keyed on
 	// normalized AST + snapshot epoch (see SetPlanCache).
 	planCache *PlanCache
+
+	// format selects the on-disk table representation Save writes
+	// (zero value = columnar segments; see SetStorageFormat).
+	format csvio.Format
 }
 
 // Open returns an empty in-memory database.
@@ -182,25 +186,42 @@ func (db *DB) StatsSummary(table string) (string, error) {
 }
 
 // Save persists the whole database (data, schema, constraints, indexes)
-// into a directory of CSV files plus a JSON manifest. The save is
-// crash-consistent: data lands via temp file + fsync + atomic rename,
-// and the manifest rename is the commit point — a crash mid-save leaves
-// the previous save fully intact. Saving the durable session's own
-// directory also checkpoints (truncates) the write-ahead log; the save
-// holds the writer lock, so it captures an exact commit boundary.
+// into a directory of per-table data files plus a JSON manifest. Tables
+// are written as binary columnar segments by default (zone-mapped,
+// checksummed; see docs/STORAGE.md) — SetStorageFormat("csv") selects
+// portable CSV instead. The save is crash-consistent either way: data
+// lands via temp file + fsync + atomic rename, and the manifest rename
+// is the commit point — a crash mid-save leaves the previous save fully
+// intact. Saving the durable session's own directory also checkpoints
+// (truncates) the write-ahead log; the save holds the writer lock, so
+// it captures an exact commit boundary.
 func (db *DB) Save(dir string) error {
 	tx := db.cat.Begin()
 	defer tx.Rollback() // lock only; a save publishes no new snapshot
 	snap := tx.Snapshot()
 	if db.journal != nil && dir == db.dir {
-		ckpt, err := csvio.SaveFS(db.fs, snap, dir)
+		ckpt, err := csvio.SaveFSAs(db.fs, snap, dir, db.format)
 		if err != nil {
 			return err
 		}
 		return db.journal.Checkpoint(ckpt)
 	}
-	_, err := csvio.SaveFS(db.fsOrOS(), snap, dir)
+	_, err := csvio.SaveFSAs(db.fsOrOS(), snap, dir, db.format)
 	return err
+}
+
+// SetStorageFormat selects the representation Save writes table data
+// in: "columnar" (the default — binary segment files with zone maps)
+// or "csv" (portable text, for export and interop). Load auto-detects
+// per table from the manifest, so a directory may mix formats and the
+// setting never affects reads.
+func (db *DB) SetStorageFormat(format string) error {
+	f, err := csvio.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	db.format = f
+	return nil
 }
 
 func (db *DB) fsOrOS() vfs.FS {
@@ -678,6 +699,22 @@ func (s Strategy) WithVectorized(on bool) Strategy {
 	}
 	s = s.promote()
 	s.opts.Vectorized = on
+	return s
+}
+
+// WithZoneMapPruning returns a copy of a nested strategy with row-group
+// pruning against columnar segment zone maps switched on (the default)
+// or off. Pruning applies only on the vectorized path over tables whose
+// current version is segment-backed (databases opened from a columnar
+// directory — see docs/STORAGE.md); it never changes results, so the
+// off position exists for ablation and debugging. Native/Reference are
+// returned unchanged.
+func (s Strategy) WithZoneMapPruning(on bool) Strategy {
+	if s.kind == kindNative || s.kind == kindReference {
+		return s
+	}
+	s = s.promote()
+	s.opts.NoZoneMapPruning = !on
 	return s
 }
 

@@ -1,0 +1,128 @@
+package nra
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// bigDB builds an in-memory database whose main table spans several
+// default-size row groups (8192 rows each) with a clustered primary
+// key, so a columnar save produces a segment worth pruning.
+func bigDB(t testing.TB, rows int) *DB {
+	t.Helper()
+	db := Open()
+	data := make([][]any, rows)
+	for i := range data {
+		var note any
+		if i%5 == 0 {
+			note = nil
+		} else {
+			note = fmt.Sprintf("note-%d", i%97)
+		}
+		data[i] = []any{i, float64(i % 1000), note}
+	}
+	db.MustCreateTable("events", []string{"id", "score", "note"}, "id", data...)
+	return db
+}
+
+// TestColumnarRoundTripAndPruning drives the full durable pipeline:
+// Save (columnar by default) → OpenDir → the reloaded table is
+// segment-backed, EXPLAIN shows zone-map pruning, and query results
+// are identical to both the pre-save database and a CSV round trip.
+func TestColumnarRoundTripAndPruning(t *testing.T) {
+	const rows = 3*8192 + 100
+	db := bigDB(t, rows)
+	queries := []string{
+		"select id, note from events where id < 100",
+		"select id from events where score > 990.0 and id >= 24576",
+		"select id from events where note is null and id < 8192",
+	}
+	baseline := make([]*Result, len(queries))
+	for i, src := range queries {
+		res, err := db.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = res
+	}
+
+	colDir, csvDir := t.TempDir(), t.TempDir()
+	if err := db.Save(colDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetStorageFormat("csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(csvDir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dir := range []string{colDir, csvDir} {
+		back, err := OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range queries {
+			res, err := back.Query(src)
+			if err != nil {
+				t.Fatalf("%s after reload from %s: %v", src, dir, err)
+			}
+			if !res.Equal(baseline[i]) {
+				t.Fatalf("%s changed across save/load via %s:\n%s\nvs\n%s", src, dir, res, baseline[i])
+			}
+		}
+	}
+
+	back, err := OpenDir(colDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := back.Explain("select id from events where id < 100", NestedOptimized.WithVectorized(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[segments: 1/4]") {
+		t.Fatalf("columnar reload should prune 3 of 4 row groups:\n%s", plan)
+	}
+}
+
+// TestMutationDropsSegments pins the copy-on-write rule: DML produces a
+// successor version whose rows no longer match the loaded segment, so
+// the version must detach it (and scans must keep working).
+func TestMutationDropsSegments(t *testing.T) {
+	db := bigDB(t, 8192+10)
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Exec("delete from events where id >= 8192"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.QueryWith("select id from events where id >= 8000", NestedOptimized.WithVectorized(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 192 {
+		t.Fatalf("post-delete scan returned %d rows, want 192", res.NumRows())
+	}
+	// A save after the mutation writes a fresh segment that reloads.
+	if err := back.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := again.NumRows("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8192 {
+		t.Fatalf("reloaded table has %d rows, want 8192", n)
+	}
+}
